@@ -1,0 +1,228 @@
+// Package cagnet is a Go reproduction of "Reducing Communication in Graph
+// Neural Network Training" (Tripathy, Yelick, Buluç — SC 2020), known as
+// CAGNET.
+//
+// The library trains graph convolutional networks with full-batch gradient
+// descent under four distributed decompositions — 1D, 1.5D, 2D (SUMMA), and
+// 3D (Split-3D-SpMM) — over a simulated cluster that counts every word of
+// communication and charges it to the paper's α–β cost model. All four
+// trainers produce outputs identical to the serial reference up to
+// floating-point accumulation order.
+//
+// # Quick start
+//
+//	ds := cagnet.Dataset("reddit-sim")         // synthetic Reddit analog
+//	report, err := cagnet.Train(ds, cagnet.TrainOptions{
+//	    Algorithm: "2d",
+//	    Ranks:     16,
+//	    Epochs:    10,
+//	})
+//	fmt.Println(report.Losses, report.EpochTime)
+//
+// See the examples/ directory for runnable programs, and cmd/cagnet-bench
+// for the harness that regenerates every table and figure of the paper.
+package cagnet
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/graph"
+	"repro/internal/nn"
+)
+
+// Algorithms lists the supported training algorithms in the order the
+// paper presents them.
+var Algorithms = []string{"serial", "1d", "1.5d", "2d", "3d"}
+
+// Datasets lists the built-in synthetic analogs of the paper's Table VI
+// datasets.
+func Datasets() []string {
+	out := make([]string, len(graph.Analogs))
+	for i, a := range graph.Analogs {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// Dataset builds a named synthetic dataset analog ("reddit-sim",
+// "amazon-sim", "protein-sim"). It panics on unknown names; use
+// DatasetByName for error handling.
+func Dataset(name string) *graph.Dataset {
+	ds, err := DatasetByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return ds
+}
+
+// DatasetByName builds a named synthetic dataset analog.
+func DatasetByName(name string) (*graph.Dataset, error) {
+	spec, err := graph.AnalogByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return spec.Build(), nil
+}
+
+// RandomDataset synthesizes a dataset over an R-MAT graph with 2^scale
+// vertices, edgeFactor·2^scale directed edges (then symmetrized), the given
+// feature/hidden/label widths, and a deterministic seed.
+func RandomDataset(scale, edgeFactor, features, hidden, labels int, seed int64) *graph.Dataset {
+	spec := graph.AnalogSpec{
+		Name: fmt.Sprintf("rmat-%d-%d", scale, edgeFactor), Scale: scale, EdgeFactor: edgeFactor,
+		Features: features, Hidden: hidden, Labels: labels, Seed: seed,
+	}
+	return spec.Build()
+}
+
+// TrainOptions configures a training run.
+type TrainOptions struct {
+	// Algorithm selects the decomposition: "serial", "1d", "1.5d", "2d",
+	// or "3d".
+	Algorithm string
+	// Ranks is the simulated process count (ignored for "serial"). 2D
+	// needs a perfect square, 3D a perfect cube, 1.5D a multiple of its
+	// replication factor.
+	Ranks int
+	// Epochs of full-batch gradient descent. Default 10.
+	Epochs int
+	// LR is the learning rate. Default 0.01.
+	LR float64
+	// Seed fixes the weight initialization. Default 1.
+	Seed int64
+	// Machine names the cost-model profile: "summit-v100", "summit-sim",
+	// or "laptop-cpu". Default "summit-v100".
+	Machine string
+	// TrainMask restricts the loss to marked vertices (semi-supervised
+	// training, like the paper's Reddit split). Nil trains on all vertices.
+	TrainMask []bool
+}
+
+func (o TrainOptions) withDefaults() TrainOptions {
+	if o.Algorithm == "" {
+		o.Algorithm = "2d"
+	}
+	if o.Ranks == 0 {
+		o.Ranks = 1
+	}
+	if o.Epochs == 0 {
+		o.Epochs = 10
+	}
+	if o.LR == 0 {
+		o.LR = 0.01
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Machine == "" {
+		o.Machine = costmodel.Summit.Name
+	}
+	return o
+}
+
+// TrainReport extends the training result with the simulated cluster's cost
+// accounting.
+type TrainReport struct {
+	// Losses holds the full-batch loss per epoch.
+	Losses []float64
+	// Accuracy is the final training accuracy.
+	Accuracy float64
+	// OutputRows and OutputCols describe the final embedding matrix.
+	OutputRows, OutputCols int
+	// ModeledSeconds is the bulk-synchronous modeled run time across all
+	// epochs (zero for "serial").
+	ModeledSeconds float64
+	// TimeByCategory breaks ModeledSeconds into Figure 3 categories:
+	// "misc", "trpose", "dcomm", "scomm", "spmm" (nil for "serial").
+	TimeByCategory map[string]float64
+	// WordsByCategory is the per-rank maximum of modeled words moved per
+	// category (nil for "serial").
+	WordsByCategory map[string]int64
+
+	result *core.Result
+}
+
+// Result exposes the underlying training result (weights, output matrix).
+func (r *TrainReport) Result() *core.Result { return r.result }
+
+// Train runs full-batch GCN training on ds with the paper's 3-layer
+// architecture (input → hidden → labels).
+func Train(ds *graph.Dataset, opts TrainOptions) (*TrainReport, error) {
+	opts = opts.withDefaults()
+	mach, err := costmodel.ProfileByName(opts.Machine)
+	if err != nil {
+		return nil, err
+	}
+	trainer, err := core.NewTrainer(opts.Algorithm, opts.Ranks, mach)
+	if err != nil {
+		return nil, err
+	}
+	problem := core.Problem{
+		A:         ds.Graph.NormalizedAdjacency(),
+		Features:  ds.Features,
+		Labels:    ds.Labels,
+		TrainMask: opts.TrainMask,
+		Config: nn.Config{
+			Widths: ds.LayerWidths(),
+			LR:     opts.LR,
+			Epochs: opts.Epochs,
+			Seed:   opts.Seed,
+		},
+	}
+	res, err := trainer.Train(problem)
+	if err != nil {
+		return nil, err
+	}
+	report := &TrainReport{
+		Losses:     res.Losses,
+		Accuracy:   res.Accuracy,
+		OutputRows: res.Output.Rows,
+		OutputCols: res.Output.Cols,
+		result:     res,
+	}
+	if dt, ok := trainer.(core.DistTrainer); ok {
+		cl := dt.Cluster()
+		report.ModeledSeconds = cl.MaxTotalTime()
+		report.TimeByCategory = make(map[string]float64)
+		for k, v := range cl.MaxTimeByCategory() {
+			report.TimeByCategory[string(k)] = v
+		}
+		report.WordsByCategory = make(map[string]int64)
+		for k, v := range cl.MaxWordsByCategory() {
+			report.WordsByCategory[string(k)] = v
+		}
+	}
+	return report, nil
+}
+
+// PredictWords evaluates the paper's closed-form §IV per-epoch word bounds
+// for a dataset at rank count p, keyed by algorithm name. It requires no
+// training run — the formulas depend only on n, nnz, f, and L.
+func PredictWords(ds *graph.Dataset, p int) map[string]float64 {
+	a := ds.Graph.Adjacency()
+	w := costmodel.Workload{
+		N:      ds.Graph.NumVertices,
+		NNZ:    int64(a.NNZ()),
+		F:      (float64(ds.FeatureLen()) + float64(ds.Hidden) + float64(ds.NumLabels)) / 3,
+		Layers: 3,
+	}
+	ec := costmodel.OneDRandomEdgecut(w.N, p)
+	return map[string]float64{
+		"1d":   costmodel.OneD(w, p, ec).Words,
+		"1.5d": costmodel.OneFiveD(w, p, 2).Words,
+		"2d":   costmodel.TwoD(w, p).Words,
+		"3d":   costmodel.ThreeD(w, p).Words,
+	}
+}
+
+// CommCategories lists the Figure 3 cost categories in display order.
+func CommCategories() []string {
+	out := make([]string, len(comm.AllCategories))
+	for i, c := range comm.AllCategories {
+		out[i] = string(c)
+	}
+	return out
+}

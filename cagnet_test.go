@@ -1,0 +1,145 @@
+package cagnet
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDatasetsList(t *testing.T) {
+	ds := Datasets()
+	if len(ds) != 3 {
+		t.Fatalf("got %d datasets", len(ds))
+	}
+}
+
+func TestDatasetByName(t *testing.T) {
+	ds, err := DatasetByName("reddit-sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Graph.NumVertices == 0 {
+		t.Fatal("empty dataset")
+	}
+	if _, err := DatasetByName("nope"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestDatasetPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Dataset("nope")
+}
+
+func TestRandomDataset(t *testing.T) {
+	ds := RandomDataset(8, 6, 10, 5, 4, 42)
+	if ds.Graph.NumVertices != 256 || ds.FeatureLen() != 10 || ds.NumLabels != 4 {
+		t.Fatalf("dataset malformed: %+v", ds)
+	}
+	// Deterministic.
+	ds2 := RandomDataset(8, 6, 10, 5, 4, 42)
+	if ds2.Graph.NumEdges() != ds.Graph.NumEdges() {
+		t.Fatal("RandomDataset not deterministic")
+	}
+}
+
+func TestTrainSerialAndDistributedAgree(t *testing.T) {
+	ds := RandomDataset(7, 5, 8, 4, 3, 7)
+	serial, err := Train(ds, TrainOptions{Algorithm: "serial", Epochs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := Train(ds, TrainOptions{Algorithm: "2d", Ranks: 4, Epochs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.Losses) != 4 || len(dist.Losses) != 4 {
+		t.Fatal("wrong epoch counts")
+	}
+	for i := range serial.Losses {
+		if math.Abs(serial.Losses[i]-dist.Losses[i]) > 1e-8 {
+			t.Fatalf("epoch %d: serial %v vs 2d %v", i, serial.Losses[i], dist.Losses[i])
+		}
+	}
+	if serial.ModeledSeconds != 0 {
+		t.Fatal("serial should not report modeled time")
+	}
+	if dist.ModeledSeconds <= 0 || dist.TimeByCategory["spmm"] <= 0 {
+		t.Fatalf("distributed report missing cost data: %+v", dist)
+	}
+	if dist.WordsByCategory["dcomm"] <= 0 {
+		t.Fatal("distributed report missing word counts")
+	}
+	if dist.Result() == nil || dist.Result().Output == nil {
+		t.Fatal("missing underlying result")
+	}
+}
+
+func TestTrainAllAlgorithms(t *testing.T) {
+	ds := RandomDataset(7, 5, 8, 4, 3, 8)
+	ranks := map[string]int{"serial": 1, "1d": 4, "1.5d": 4, "2d": 4, "3d": 8}
+	var first []float64
+	for _, algo := range Algorithms {
+		rep, err := Train(ds, TrainOptions{Algorithm: algo, Ranks: ranks[algo], Epochs: 3})
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if first == nil {
+			first = rep.Losses
+			continue
+		}
+		for i := range first {
+			if math.Abs(first[i]-rep.Losses[i]) > 1e-8 {
+				t.Fatalf("%s disagrees with serial at epoch %d: %v vs %v",
+					algo, i, rep.Losses[i], first[i])
+			}
+		}
+	}
+}
+
+func TestTrainOptionValidation(t *testing.T) {
+	ds := RandomDataset(6, 4, 6, 4, 3, 9)
+	if _, err := Train(ds, TrainOptions{Algorithm: "9d", Ranks: 4, Epochs: 1}); err == nil {
+		t.Fatal("expected unknown-algorithm error")
+	}
+	if _, err := Train(ds, TrainOptions{Algorithm: "2d", Ranks: 5, Epochs: 1}); err == nil {
+		t.Fatal("expected non-square error")
+	}
+	if _, err := Train(ds, TrainOptions{Machine: "cray", Ranks: 1, Epochs: 1}); err == nil {
+		t.Fatal("expected unknown-machine error")
+	}
+}
+
+func TestPredictWords(t *testing.T) {
+	ds := RandomDataset(9, 8, 16, 8, 4, 10)
+	pred := PredictWords(ds, 36)
+	for _, algo := range []string{"1d", "1.5d", "2d", "3d"} {
+		if pred[algo] <= 0 {
+			t.Fatalf("missing prediction for %s: %v", algo, pred)
+		}
+	}
+	// Past the crossover, the paper's ordering must hold:
+	// 3D < 2D < 1D in words.
+	if !(pred["3d"] < pred["2d"] && pred["2d"] < pred["1d"]) {
+		t.Fatalf("word ordering violated at P=36: %v", pred)
+	}
+}
+
+func TestCommCategories(t *testing.T) {
+	cats := CommCategories()
+	if len(cats) != 5 {
+		t.Fatalf("got %d categories", len(cats))
+	}
+	seen := map[string]bool{}
+	for _, c := range cats {
+		seen[c] = true
+	}
+	for _, want := range []string{"misc", "trpose", "dcomm", "scomm", "spmm"} {
+		if !seen[want] {
+			t.Fatalf("missing category %q in %v", want, cats)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+// Communication sweep: measure the per-epoch words each algorithm moves as
+// the rank count grows, next to the paper's closed-form §IV predictions.
+// This reproduces the asymptotic story of the paper in one table: 1D is
+// flat in P, 2D falls as √P, 3D as P^{2/3}.
+//
+// Run with: go run ./examples/commsweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// Feature-heavy like Amazon (f ≫ d), the regime where the paper's
+	// crossover is sharpest.
+	ds := cagnet.RandomDataset(10, 6, 64, 16, 8, 11)
+	fmt.Printf("dataset: %d vertices, %d edges\n\n", ds.Graph.NumVertices, ds.Graph.NumEdges())
+
+	// run returns total comm words for a given epoch count; differencing
+	// two epoch counts isolates the per-epoch cost from setup and output
+	// gathering.
+	run := func(algo string, ranks, epochs int) int64 {
+		report, err := cagnet.Train(ds, cagnet.TrainOptions{
+			Algorithm: algo, Ranks: ranks, Epochs: epochs, LR: 0.01,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return report.WordsByCategory["dcomm"] +
+			report.WordsByCategory["scomm"] +
+			report.WordsByCategory["trpose"]
+	}
+
+	fmt.Printf("%4s  %14s  %14s  %14s | analytic 1d / 2d / 3d\n", "P", "1d words", "2d words", "3d words")
+	for _, p := range []int{1, 4, 16, 64} {
+		oneD := run("1d", p, 2) - run("1d", p, 1)
+		twoD := run("2d", p, 2) - run("2d", p, 1)
+		threeD := "-"
+		if isCube(p) {
+			threeD = fmt.Sprintf("%d", run("3d", p, 2)-run("3d", p, 1))
+		}
+		pred := cagnet.PredictWords(ds, p)
+		fmt.Printf("%4d  %14d  %14d  %14s | %.3g / %.3g / %.3g\n",
+			p, oneD, twoD, threeD, pred["1d"], pred["2d"], pred["3d"])
+	}
+	fmt.Println("\n1D stays flat while 2D shrinks ~√P: the paper's headline result.")
+}
+
+func isCube(p int) bool {
+	c := 0
+	for c*c*c < p {
+		c++
+	}
+	return c*c*c == p
+}

@@ -1,0 +1,48 @@
+// Partitioning experiment (§IV-A-8): compare a locality-aware greedy
+// partitioner (a Metis stand-in) against random block partitioning on a
+// scale-free graph, reporting both the total edgecut — the metric
+// partitioners optimize — and the per-process maximum that actually bounds
+// bulk-synchronous runtime.
+//
+// Run with: go run ./examples/partitioning
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(3))
+	// A scale-free R-MAT graph like the paper's datasets...
+	powerLaw := graph.RMAT(12, 16, graph.DefaultRMAT, rng)
+	// ...and a 2D lattice, the best case for smart partitioning.
+	lattice := graph.Grid2D(64, 64)
+
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"scale-free (rmat)", powerLaw},
+		{"lattice (64x64 grid)", lattice},
+	} {
+		const p = 64
+		random := partition.Edgecut(tc.g, partition.RandomAssignment(tc.g.NumVertices, p, rng))
+		greedy := partition.Edgecut(tc.g, partition.GreedyBFS(tc.g, p, rng))
+
+		fmt.Printf("%s — %d vertices, %d edges, %d parts\n",
+			tc.name, tc.g.NumVertices, tc.g.NumEdges(), p)
+		fmt.Printf("  total cut: random %8d  greedy %8d  (reduction %4.0f%%)\n",
+			random.TotalCut, greedy.TotalCut,
+			100*(1-float64(greedy.TotalCut)/float64(random.TotalCut)))
+		fmt.Printf("  max cut:   random %8d  greedy %8d  (reduction %4.0f%%)\n\n",
+			random.MaxCut, greedy.MaxCut,
+			100*(1-float64(greedy.MaxCut)/float64(random.MaxCut)))
+	}
+	fmt.Println("On scale-free graphs the max-cut reduction lags the total-cut")
+	fmt.Println("reduction — the paper's argument (§IV-A-8) for why graph")
+	fmt.Println("partitioning cannot rescue 1D algorithms, and 2D/3D layouts win.")
+}

@@ -1,0 +1,414 @@
+// Package comm implements a simulated distributed-memory runtime: P ranks
+// run as goroutines and exchange messages through an in-process fabric.
+//
+// The package substitutes for the paper's Summit + NCCL testbed. It keeps
+// two ledgers per rank:
+//
+//   - a *physical* ledger counting the words actually moved through the
+//     fabric (useful for debugging the algorithms), and
+//   - a *model* ledger charging each operation its α–β cost exactly as the
+//     paper's analysis does (§III-A): a message of n words costs α + βn,
+//     collectives cost their Chan-et-al. bounds. Model time, words, and
+//     message counts are broken down by category (sparse comm, dense comm,
+//     transposes, local SpMM, ...) so that the paper's Figure 3 breakdown
+//     can be regenerated.
+//
+// Every collective is SPMD: all members of a group must call the same
+// operation in the same order, as in MPI.
+package comm
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Category labels where time and traffic are spent, matching the legend of
+// the paper's Figure 3.
+type Category string
+
+// Categories used by the trainers. CatSparseComm and CatDenseComm split
+// communication by payload type; CatTranspose covers redistribution for
+// explicit transposes; CatSpMM and CatMisc are compute categories charged by
+// trainers via ChargeTime.
+const (
+	CatSparseComm Category = "scomm"
+	CatDenseComm  Category = "dcomm"
+	CatTranspose  Category = "trpose"
+	CatSpMM       Category = "spmm"
+	CatMisc       Category = "misc"
+)
+
+// AllCategories lists every category in Figure 3's display order.
+var AllCategories = []Category{CatMisc, CatTranspose, CatDenseComm, CatSparseComm, CatSpMM}
+
+// CostParams holds the α–β machine constants used for model-time charging.
+type CostParams struct {
+	// Alpha is the per-message latency in seconds.
+	Alpha float64
+	// Beta is the per-word inverse bandwidth in seconds/word (one word =
+	// one float64).
+	Beta float64
+}
+
+// Payload is the unit of data exchanged between ranks: a float payload plus
+// an integer payload (for sparse matrix structure).
+type Payload struct {
+	Floats []float64
+	Ints   []int
+}
+
+// Words returns the logical size of the payload in words; both float64
+// values and indices count as one word, following the paper's convention of
+// counting nnz-proportional sparse traffic.
+func (p Payload) Words() int64 { return int64(len(p.Floats)) + int64(len(p.Ints)) }
+
+func (p Payload) clone() Payload {
+	out := Payload{}
+	if p.Floats != nil {
+		out.Floats = append([]float64(nil), p.Floats...)
+	}
+	if p.Ints != nil {
+		out.Ints = append([]int(nil), p.Ints...)
+	}
+	return out
+}
+
+// Ledger accumulates per-rank accounting. Each rank owns its ledger
+// exclusively during Run, so no locking is needed; read it after Run
+// returns.
+type Ledger struct {
+	// ModelTime is modeled seconds per category (α–β charges plus compute
+	// charges from ChargeTime).
+	ModelTime map[Category]float64
+	// ModelWords is the β-term word count charged per category.
+	ModelWords map[Category]int64
+	// ModelMsgs is the α-term message count charged per category.
+	ModelMsgs map[Category]int64
+	// PhysWordsSent counts words physically pushed into the fabric.
+	PhysWordsSent int64
+	// PhysMsgsSent counts messages physically pushed into the fabric.
+	PhysMsgsSent int64
+	// PeakMemWords is the high-water mark of modeled resident matrix words
+	// reported by the algorithm via RecordMem — the basis for the paper's
+	// §IV-D replication-factor comparison.
+	PeakMemWords int64
+}
+
+// RecordMem reports the current modeled resident word count; the ledger
+// keeps the maximum.
+func (l *Ledger) RecordMem(words int64) {
+	if words > l.PeakMemWords {
+		l.PeakMemWords = words
+	}
+}
+
+func newLedger() *Ledger {
+	return &Ledger{
+		ModelTime:  make(map[Category]float64),
+		ModelWords: make(map[Category]int64),
+		ModelMsgs:  make(map[Category]int64),
+	}
+}
+
+// TotalTime returns the sum of modeled time across categories.
+func (l *Ledger) TotalTime() float64 {
+	var s float64
+	for _, v := range l.ModelTime {
+		s += v
+	}
+	return s
+}
+
+// CommTime returns modeled time in communication categories only.
+func (l *Ledger) CommTime() float64 {
+	return l.ModelTime[CatSparseComm] + l.ModelTime[CatDenseComm] + l.ModelTime[CatTranspose]
+}
+
+// TotalWords returns the sum of modeled words across categories.
+func (l *Ledger) TotalWords() int64 {
+	var s int64
+	for _, v := range l.ModelWords {
+		s += v
+	}
+	return s
+}
+
+// Reset clears all accumulated counts.
+func (l *Ledger) Reset() {
+	for k := range l.ModelTime {
+		delete(l.ModelTime, k)
+	}
+	for k := range l.ModelWords {
+		delete(l.ModelWords, k)
+	}
+	for k := range l.ModelMsgs {
+		delete(l.ModelMsgs, k)
+	}
+	l.PhysWordsSent = 0
+	l.PhysMsgsSent = 0
+	l.PeakMemWords = 0
+}
+
+// Cluster is the in-process fabric connecting P ranks.
+type Cluster struct {
+	p       int
+	cost    CostParams
+	mailbox [][]chan Payload // mailbox[src][dst]
+	ledgers []*Ledger
+	barrier *centralBarrier
+}
+
+// mailboxDepth bounds in-flight messages per (src, dst) pair. Collectives
+// are written so that blocking sends cannot deadlock.
+const mailboxDepth = 8
+
+// NewCluster creates a fabric for p ranks with the given cost constants.
+func NewCluster(p int, cost CostParams) *Cluster {
+	if p <= 0 {
+		panic(fmt.Sprintf("comm: cluster size must be positive, got %d", p))
+	}
+	c := &Cluster{p: p, cost: cost, barrier: newCentralBarrier(p)}
+	c.mailbox = make([][]chan Payload, p)
+	c.ledgers = make([]*Ledger, p)
+	for i := 0; i < p; i++ {
+		c.mailbox[i] = make([]chan Payload, p)
+		for j := 0; j < p; j++ {
+			c.mailbox[i][j] = make(chan Payload, mailboxDepth)
+		}
+		c.ledgers[i] = newLedger()
+	}
+	return c
+}
+
+// Size returns the number of ranks.
+func (c *Cluster) Size() int { return c.p }
+
+// Ledger returns rank's accounting ledger. Read it only after Run returns.
+func (c *Cluster) Ledger(rank int) *Ledger { return c.ledgers[rank] }
+
+// MaxTotalTime returns the bulk-synchronous epoch time: the maximum over
+// ranks of total modeled time.
+func (c *Cluster) MaxTotalTime() float64 {
+	var mx float64
+	for _, l := range c.ledgers {
+		if t := l.TotalTime(); t > mx {
+			mx = t
+		}
+	}
+	return mx
+}
+
+// MaxTimeByCategory returns, per category, the maximum modeled time across
+// ranks (the paper's per-category breakdown is per-process maxima under
+// bulk-synchronous execution).
+func (c *Cluster) MaxTimeByCategory() map[Category]float64 {
+	out := make(map[Category]float64)
+	for _, l := range c.ledgers {
+		for k, v := range l.ModelTime {
+			if v > out[k] {
+				out[k] = v
+			}
+		}
+	}
+	return out
+}
+
+// MaxWordsByCategory returns per-category maximum modeled words across
+// ranks.
+func (c *Cluster) MaxWordsByCategory() map[Category]int64 {
+	out := make(map[Category]int64)
+	for _, l := range c.ledgers {
+		for k, v := range l.ModelWords {
+			if v > out[k] {
+				out[k] = v
+			}
+		}
+	}
+	return out
+}
+
+// MaxPeakMemWords returns the largest per-rank peak resident word count.
+func (c *Cluster) MaxPeakMemWords() int64 {
+	var mx int64
+	for _, l := range c.ledgers {
+		if l.PeakMemWords > mx {
+			mx = l.PeakMemWords
+		}
+	}
+	return mx
+}
+
+// TotalWords sums modeled words over all ranks and categories.
+func (c *Cluster) TotalWords() int64 {
+	var s int64
+	for _, l := range c.ledgers {
+		s += l.TotalWords()
+	}
+	return s
+}
+
+// ResetLedgers clears all rank ledgers (e.g., to discard a warmup epoch).
+func (c *Cluster) ResetLedgers() {
+	for _, l := range c.ledgers {
+		l.Reset()
+	}
+}
+
+// Run executes fn on every rank concurrently and waits for all to finish.
+// The first non-nil error is returned. A panic in any rank is re-raised.
+func (c *Cluster) Run(fn func(*Comm) error) error {
+	errs := make([]error, c.p)
+	panics := make([]any, c.p)
+	var wg sync.WaitGroup
+	for r := 0; r < c.p; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					panics[rank] = rec
+				}
+			}()
+			errs[rank] = fn(&Comm{cluster: c, rank: rank, ledger: c.ledgers[rank]})
+		}(r)
+	}
+	wg.Wait()
+	for r, p := range panics {
+		if p != nil {
+			panic(fmt.Sprintf("comm: rank %d panicked: %v", r, p))
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Comm is one rank's handle on the fabric.
+type Comm struct {
+	cluster *Cluster
+	rank    int
+	ledger  *Ledger
+}
+
+// Rank returns this rank's id in [0, Size).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the cluster.
+func (c *Comm) Size() int { return c.cluster.p }
+
+// Ledger returns this rank's ledger for compute-charge access.
+func (c *Comm) Ledger() *Ledger { return c.ledger }
+
+// sendRaw moves a payload through the fabric without model charging
+// (collectives charge analytically). The payload is deep-copied so sender
+// and receiver never share backing arrays.
+func (c *Comm) sendRaw(dst int, p Payload) {
+	if dst < 0 || dst >= c.cluster.p {
+		panic(fmt.Sprintf("comm: rank %d sending to invalid rank %d", c.rank, dst))
+	}
+	if dst == c.rank {
+		panic(fmt.Sprintf("comm: rank %d sending to itself", c.rank))
+	}
+	c.ledger.PhysWordsSent += p.Words()
+	c.ledger.PhysMsgsSent++
+	c.cluster.mailbox[c.rank][dst] <- p.clone()
+}
+
+// recvRaw receives the next payload from src.
+func (c *Comm) recvRaw(src int) Payload {
+	if src < 0 || src >= c.cluster.p {
+		panic(fmt.Sprintf("comm: rank %d receiving from invalid rank %d", c.rank, src))
+	}
+	if src == c.rank {
+		panic(fmt.Sprintf("comm: rank %d receiving from itself", c.rank))
+	}
+	return <-c.cluster.mailbox[src][c.rank]
+}
+
+// Charge adds an explicit α–β charge: msgs α-units and words β-units under
+// cat.
+func (c *Comm) Charge(cat Category, msgs int64, words int64) {
+	c.ledger.ModelMsgs[cat] += msgs
+	c.ledger.ModelWords[cat] += words
+	c.ledger.ModelTime[cat] += float64(msgs)*c.cluster.cost.Alpha + float64(words)*c.cluster.cost.Beta
+}
+
+// ChargeTime adds modeled compute seconds under cat (used for local SpMM /
+// GEMM work, which has no α–β decomposition).
+func (c *Comm) ChargeTime(cat Category, seconds float64) {
+	c.ledger.ModelTime[cat] += seconds
+}
+
+// Send transmits a payload point-to-point and charges α + β·words.
+func (c *Comm) Send(dst int, p Payload, cat Category) {
+	c.Charge(cat, 1, p.Words())
+	c.sendRaw(dst, p)
+}
+
+// Recv receives the next payload from src. Reception is not charged; the
+// α–β model charges the critical path at the sender.
+func (c *Comm) Recv(src int) Payload {
+	return c.recvRaw(src)
+}
+
+// Exchange performs a simultaneous send+receive with peer, charging one
+// message each way.
+func (c *Comm) Exchange(peer int, p Payload, cat Category) Payload {
+	c.Charge(cat, 1, p.Words())
+	done := make(chan struct{})
+	go func() {
+		c.sendRaw(peer, p)
+		close(done)
+	}()
+	out := c.recvRaw(peer)
+	<-done
+	return out
+}
+
+// Barrier blocks until every rank in the cluster has entered the barrier.
+func (c *Comm) Barrier() {
+	c.cluster.barrier.await()
+}
+
+// lg2 returns ceil(log2(n)) with lg2(1) = 0.
+func lg2(n int) int64 {
+	if n <= 1 {
+		return 0
+	}
+	return int64(math.Ceil(math.Log2(float64(n))))
+}
+
+// centralBarrier is a reusable counting barrier.
+type centralBarrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	phase int
+}
+
+func newCentralBarrier(n int) *centralBarrier {
+	b := &centralBarrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *centralBarrier) await() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	phase := b.phase
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.phase++
+		b.cond.Broadcast()
+		return
+	}
+	for phase == b.phase {
+		b.cond.Wait()
+	}
+}

@@ -1,0 +1,133 @@
+package comm
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestConcurrentGridCollectivesStress exercises the exact communication
+// pattern of a 2D SUMMA epoch — interleaved row broadcasts, column
+// broadcasts, and world all-reduces — many times over, to catch ordering
+// or deadlock regressions in the collectives.
+func TestConcurrentGridCollectivesStress(t *testing.T) {
+	const side = 4
+	const p = side * side
+	const rounds = 50
+	c := NewCluster(p, testCost)
+	done := make(chan error, 1)
+	go func() {
+		done <- c.Run(func(cm *Comm) error {
+			pi, pj := cm.Rank()/side, cm.Rank()%side
+			rowRanks := make([]int, side)
+			colRanks := make([]int, side)
+			for k := 0; k < side; k++ {
+				rowRanks[k] = pi*side + k
+				colRanks[k] = k*side + pj
+			}
+			row := cm.NewGroup(rowRanks)
+			col := cm.NewGroup(colRanks)
+			world := cm.World()
+			rng := rand.New(rand.NewSource(int64(cm.Rank())))
+			for r := 0; r < rounds; r++ {
+				for k := 0; k < side; k++ {
+					var rowIn, colIn Payload
+					if k == pj {
+						rowIn = Payload{Floats: []float64{float64(r*side + pi)}}
+					}
+					if k == pi {
+						colIn = Payload{Floats: []float64{float64(r*side + pj)}}
+					}
+					got := row.Broadcast(k, rowIn, CatSparseComm)
+					if got.Floats[0] != float64(r*side+pi) {
+						return fmt.Errorf("row bcast corrupted: %v", got.Floats)
+					}
+					got = col.Broadcast(k, colIn, CatDenseComm)
+					if got.Floats[0] != float64(r*side+pj) {
+						return fmt.Errorf("col bcast corrupted: %v", got.Floats)
+					}
+				}
+				sum := world.AllReduce([]float64{1, rng.Float64()}, CatMisc)
+				if sum[0] != p {
+					return fmt.Errorf("allreduce count = %v", sum[0])
+				}
+				if r%10 == 0 {
+					cm.Barrier()
+				}
+			}
+			return nil
+		})
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("stress run deadlocked")
+	}
+}
+
+// TestAllReduceDeterministicAcrossRanks: tree reductions must give each
+// rank bit-identical results, the property that keeps replicated weights
+// in sync without communication.
+func TestAllReduceDeterministicAcrossRanks(t *testing.T) {
+	const p = 9
+	results := make([][]float64, p)
+	runCluster(t, p, func(c *Comm) error {
+		x := make([]float64, 64)
+		rng := rand.New(rand.NewSource(int64(c.Rank() + 1)))
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		results[c.Rank()] = c.World().AllReduce(x, CatDenseComm)
+		return nil
+	})
+	for r := 1; r < p; r++ {
+		for i := range results[0] {
+			if results[r][i] != results[0][i] {
+				t.Fatalf("rank %d element %d differs: %v vs %v — replicated weights would diverge",
+					r, i, results[r][i], results[0][i])
+			}
+		}
+	}
+}
+
+// TestReduceScatterThenAllGatherRoundTrip: composing the two collectives
+// the 1D backward pass relies on must reconstruct the summed vector.
+func TestReduceScatterThenAllGatherRoundTrip(t *testing.T) {
+	const p = 6
+	const total = 31 // uneven split
+	runCluster(t, p, func(c *Comm) error {
+		g := c.World()
+		counts := make([]int, p)
+		for i := range counts {
+			counts[i] = total / p
+			if i < total%p {
+				counts[i]++
+			}
+		}
+		x := make([]float64, total)
+		for i := range x {
+			x[i] = float64(i * (c.Rank() + 1))
+		}
+		mine := g.ReduceScatter(x, counts, CatDenseComm)
+		parts := g.AllGather(Payload{Floats: mine}, CatDenseComm)
+		idx := 0
+		scale := float64(p*(p+1)) / 2
+		for _, part := range parts {
+			for _, v := range part.Floats {
+				want := float64(idx) * scale
+				if v != want {
+					return fmt.Errorf("element %d = %v, want %v", idx, v, want)
+				}
+				idx++
+			}
+		}
+		if idx != total {
+			return fmt.Errorf("reassembled %d elements, want %d", idx, total)
+		}
+		return nil
+	})
+}

@@ -1,0 +1,323 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/costmodel"
+	"repro/internal/dense"
+	"repro/internal/graph"
+	"repro/internal/nn"
+	"repro/internal/sparse"
+)
+
+// testMach keeps cost constants simple for tests.
+var testMach = costmodel.Machine{
+	Name: "test", Alpha: 1e-6, Beta: 1e-9, GEMMRate: 1e9, SpMMRate: 1e9, MiscOverhead: 0,
+}
+
+// testProblem builds a deterministic small training problem.
+func testProblem(t *testing.T, n, f, hidden, labels, epochs int, seed int64) Problem {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.ErdosRenyi(n, 6, rng)
+	// Symmetrize so the same problem works for the 3D trainer.
+	sym := graph.New(n)
+	for _, e := range g.Edges {
+		sym.AddUndirectedEdge(e[0], e[1])
+	}
+	ds := graph.Synthetic("test", sym, f, hidden, labels, seed+1)
+	return Problem{
+		A:        ds.Graph.NormalizedAdjacency(),
+		Features: ds.Features,
+		Labels:   ds.Labels,
+		Config: nn.Config{
+			Widths: []int{f, hidden, labels},
+			LR:     0.05,
+			Epochs: epochs,
+			Seed:   seed + 2,
+		},
+	}
+}
+
+func TestProblemValidate(t *testing.T) {
+	p := testProblem(t, 20, 5, 4, 3, 1, 1)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := p
+	bad.Labels = p.Labels[:10]
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected label-length error")
+	}
+	bad = p
+	bad.Features = dense.New(20, 99)
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected feature-width error")
+	}
+	bad = p
+	bad.A = sparse.NewCSR(3, 4, nil)
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected square-adjacency error")
+	}
+	bad = p
+	lbl := append([]int(nil), p.Labels...)
+	lbl[0] = 99
+	bad.Labels = lbl
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected label-range error")
+	}
+}
+
+func TestSerialLossDecreases(t *testing.T) {
+	p := testProblem(t, 60, 8, 6, 4, 30, 3)
+	res, err := NewSerial().Train(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Losses) != 30 {
+		t.Fatalf("got %d losses", len(res.Losses))
+	}
+	first, last := res.Losses[0], res.Losses[len(res.Losses)-1]
+	if !(last < first) {
+		t.Fatalf("loss did not decrease: %v -> %v", first, last)
+	}
+	if res.Accuracy < 0 || res.Accuracy > 1 {
+		t.Fatalf("accuracy = %v", res.Accuracy)
+	}
+	if res.Output.Rows != 60 || res.Output.Cols != 4 {
+		t.Fatalf("output shape %dx%d", res.Output.Rows, res.Output.Cols)
+	}
+}
+
+func TestSerialDeterministic(t *testing.T) {
+	p := testProblem(t, 30, 6, 5, 3, 5, 4)
+	a, _ := NewSerial().Train(p)
+	b, _ := NewSerial().Train(p)
+	if dense.MaxAbsDiff(a.Output, b.Output) != 0 {
+		t.Fatal("serial training must be deterministic")
+	}
+}
+
+// TestSerialGradientNumerical validates the full backward pass against
+// numerical differentiation of the loss with respect to every weight.
+func TestSerialGradientNumerical(t *testing.T) {
+	p := testProblem(t, 12, 4, 3, 3, 1, 5)
+	p.Config.Epochs = 1
+	p.Config.LR = 1.0 // after one epoch, W' = W - dW exactly
+
+	cfg := p.Config.WithDefaults()
+	w0 := nn.InitWeights(cfg)
+	res, err := NewSerial().Train(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recover the analytic gradient dW = (W0 - W1)/lr.
+	for l := range w0 {
+		analytic := dense.New(w0[l].Rows, w0[l].Cols)
+		dense.Sub(analytic, w0[l], res.Weights[l])
+
+		// Numerical gradient of the initial loss wrt W^l.
+		lossAt := func(weights []*dense.Matrix) float64 {
+			n := p.A.Rows
+			h := p.Features
+			for layer := 1; layer <= cfg.Layers(); layer++ {
+				tmp := dense.New(n, cfg.Widths[layer-1])
+				sparse.SpMMT(tmp, p.A, h)
+				z := dense.New(n, cfg.Widths[layer])
+				dense.Mul(z, tmp, weights[layer-1])
+				h = dense.New(n, cfg.Widths[layer])
+				cfg.Activation(layer).Forward(h, z)
+			}
+			loss, _ := nn.NLLLoss(h, p.Labels, 0, n)
+			return loss
+		}
+		const hstep = 1e-6
+		for idx := 0; idx < len(w0[l].Data); idx += 3 { // sample every 3rd
+			wp := make([]*dense.Matrix, len(w0))
+			wm := make([]*dense.Matrix, len(w0))
+			for j := range w0 {
+				wp[j] = nn.InitWeights(cfg)[j]
+				wm[j] = nn.InitWeights(cfg)[j]
+			}
+			wp[l].Data[idx] += hstep
+			wm[l].Data[idx] -= hstep
+			num := (lossAt(wp) - lossAt(wm)) / (2 * hstep)
+			if math.Abs(num-analytic.Data[idx]) > 1e-5 {
+				t.Fatalf("layer %d weight %d: analytic %v vs numerical %v",
+					l, idx, analytic.Data[idx], num)
+			}
+		}
+	}
+}
+
+// equivTol is the allowed deviation between distributed and serial results;
+// distributed reductions reorder floating-point sums.
+const equivTol = 1e-8
+
+// checkEquivalence trains p with trainer and requires outputs, losses, and
+// weights to match the serial reference — the paper's §V-A verification.
+func checkEquivalence(t *testing.T, trainer Trainer, p Problem) {
+	t.Helper()
+	want, err := NewSerial().Train(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := trainer.Train(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := dense.MaxAbsDiff(got.Output, want.Output); d > equivTol {
+		t.Fatalf("%s output deviates from serial by %v", trainer.Name(), d)
+	}
+	for l := range want.Weights {
+		if d := dense.MaxAbsDiff(got.Weights[l], want.Weights[l]); d > equivTol {
+			t.Fatalf("%s W[%d] deviates from serial by %v", trainer.Name(), l, d)
+		}
+	}
+	if len(got.Losses) != len(want.Losses) {
+		t.Fatalf("%s epochs: %d vs %d", trainer.Name(), len(got.Losses), len(want.Losses))
+	}
+	for e := range want.Losses {
+		if math.Abs(got.Losses[e]-want.Losses[e]) > equivTol {
+			t.Fatalf("%s epoch %d loss %v vs serial %v", trainer.Name(), e, got.Losses[e], want.Losses[e])
+		}
+	}
+	if math.Abs(got.Accuracy-want.Accuracy) > 1e-12 {
+		t.Fatalf("%s accuracy %v vs serial %v", trainer.Name(), got.Accuracy, want.Accuracy)
+	}
+}
+
+func TestOneDMatchesSerial(t *testing.T) {
+	for _, ranks := range []int{1, 2, 3, 4, 7, 8} {
+		p := testProblem(t, 40, 7, 5, 4, 4, 11)
+		checkEquivalence(t, NewOneD(ranks, testMach), p)
+	}
+}
+
+func TestOneDUnevenBlocks(t *testing.T) {
+	// n not divisible by p.
+	p := testProblem(t, 41, 5, 4, 3, 3, 12)
+	checkEquivalence(t, NewOneD(6, testMach), p)
+}
+
+func TestTwoDMatchesSerial(t *testing.T) {
+	for _, ranks := range []int{1, 4, 9, 16} {
+		p := testProblem(t, 48, 8, 6, 5, 4, 13)
+		checkEquivalence(t, NewTwoD(ranks, testMach), p)
+	}
+}
+
+func TestTwoDUnevenBlocks(t *testing.T) {
+	// n, f, hidden, labels all indivisible by √P = 3.
+	p := testProblem(t, 47, 7, 5, 4, 3, 14)
+	checkEquivalence(t, NewTwoD(9, testMach), p)
+}
+
+func TestTwoDNonSquareRankCountRejected(t *testing.T) {
+	p := testProblem(t, 20, 4, 3, 2, 1, 15)
+	if _, err := NewTwoD(12, testMach).Train(p); err == nil {
+		t.Fatal("expected error for non-square rank count")
+	}
+}
+
+func TestThreeDMatchesSerial(t *testing.T) {
+	for _, ranks := range []int{1, 8, 27} {
+		p := testProblem(t, 54, 8, 6, 5, 4, 16)
+		checkEquivalence(t, NewThreeD(ranks, testMach), p)
+	}
+}
+
+func TestThreeDUnevenBlocks(t *testing.T) {
+	p := testProblem(t, 53, 7, 5, 4, 3, 17)
+	checkEquivalence(t, NewThreeD(8, testMach), p)
+}
+
+func TestThreeDNonCubeRankCountRejected(t *testing.T) {
+	p := testProblem(t, 20, 4, 3, 2, 1, 18)
+	if _, err := NewThreeD(9, testMach).Train(p); err == nil {
+		t.Fatal("expected error for non-cube rank count")
+	}
+}
+
+// TestOneDDirectedGraph exercises the general (non-symmetric) path: 1D and
+// 2D must handle directed adjacency, where Aᵀ ≠ A.
+func TestDirectedGraphTrainers(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	g := graph.ErdosRenyi(36, 5, rng) // directed
+	ds := graph.Synthetic("directed", g, 6, 4, 3, 20)
+	p := Problem{
+		A:        sparse.RowStochastic(ds.Graph.Adjacency()),
+		Features: ds.Features,
+		Labels:   ds.Labels,
+		Config:   nn.Config{Widths: []int{6, 4, 3}, LR: 0.05, Epochs: 3, Seed: 21},
+	}
+	checkEquivalence(t, NewOneD(4, testMach), p)
+	checkEquivalence(t, NewTwoD(4, testMach), p)
+}
+
+// TestTrainersWithIdentityOutput exercises the element-wise-output path
+// (no all-gather needed anywhere).
+func TestTrainersElementwiseOutput(t *testing.T) {
+	p := testProblem(t, 36, 6, 4, 3, 3, 22)
+	p.Config.Output = dense.Identity{}
+	checkEquivalence(t, NewOneD(4, testMach), p)
+	checkEquivalence(t, NewTwoD(4, testMach), p)
+	checkEquivalence(t, NewThreeD(8, testMach), p)
+}
+
+func TestNewTrainerFactory(t *testing.T) {
+	for _, name := range []string{"serial", "1d", "2d", "3d"} {
+		tr, err := NewTrainer(name, 4, testMach)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Name() != name {
+			t.Fatalf("Name = %q, want %q", tr.Name(), name)
+		}
+	}
+	if _, err := NewTrainer("4d", 4, testMach); err == nil {
+		t.Fatal("expected error for unknown trainer")
+	}
+}
+
+func TestPayloadRoundTrips(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	var entries []sparse.Coord
+	for i := 0; i < 10; i++ {
+		entries = append(entries, sparse.Coord{Row: rng.Intn(8), Col: rng.Intn(9), Val: rng.NormFloat64()})
+	}
+	m := sparse.NewCSR(8, 9, entries)
+	got := payloadCSR(csrPayload(m))
+	if !sparse.Equal(m, got, 0) {
+		t.Fatal("CSR payload round trip failed")
+	}
+	d := dense.FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	gd := payloadMat(matPayload(d))
+	if dense.MaxAbsDiff(d, gd) != 0 {
+		t.Fatal("dense payload round trip failed")
+	}
+}
+
+// TestLedgersPopulated verifies distributed runs leave cost accounting
+// behind for the harness.
+func TestLedgersPopulated(t *testing.T) {
+	p := testProblem(t, 40, 6, 4, 3, 2, 24)
+	tr := NewTwoD(4, testMach)
+	if _, err := tr.Train(p); err != nil {
+		t.Fatal(err)
+	}
+	cl := tr.Cluster()
+	if cl.MaxTotalTime() <= 0 {
+		t.Fatal("no modeled time recorded")
+	}
+	words := cl.MaxWordsByCategory()
+	if words["scomm"] == 0 || words["dcomm"] == 0 || words["trpose"] == 0 {
+		t.Fatalf("expected traffic in all comm categories, got %v", words)
+	}
+	times := cl.MaxTimeByCategory()
+	if times["spmm"] <= 0 {
+		t.Fatalf("expected SpMM compute charges, got %v", times)
+	}
+}

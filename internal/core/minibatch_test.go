@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/nn"
+	"repro/internal/sampling"
+)
+
+func TestMiniBatchLearnsSBM(t *testing.T) {
+	ds, err := graph.LearnableSpec{
+		Communities: 4, PerCommunity: 60,
+		IntraDegree: 8, InterDegree: 2,
+		Features: 8, FeatureNoise: 0.8, Seed: 81,
+	}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := nn.Config{Widths: []int{8, 16, 4}, LR: 0.4, Epochs: 15, Seed: 82}
+	tr := NewMiniBatch(32, sampling.Fanouts{6, 6}, 83)
+	res, err := tr.Train(ds, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Losses) != 15 {
+		t.Fatalf("got %d epoch losses", len(res.Losses))
+	}
+	if res.Accuracy < 0.85 {
+		t.Fatalf("mini-batch SBM accuracy = %v, want ≥ 0.85", res.Accuracy)
+	}
+	if res.Losses[len(res.Losses)-1] >= res.Losses[0] {
+		t.Fatalf("loss did not fall: %v -> %v", res.Losses[0], res.Losses[len(res.Losses)-1])
+	}
+}
+
+func TestMiniBatchWithMask(t *testing.T) {
+	ds, err := graph.LearnableSpec{
+		Communities: 3, PerCommunity: 40,
+		IntraDegree: 8, InterDegree: 1,
+		Features: 6, FeatureNoise: 0.5, Seed: 84,
+	}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Supervise only half the vertices; accuracy is still measured on all.
+	mask := make([]bool, ds.Graph.NumVertices)
+	for i := 0; i < len(mask); i += 2 {
+		mask[i] = true
+	}
+	cfg := nn.Config{Widths: []int{6, 12, 3}, LR: 0.4, Epochs: 12, Seed: 85}
+	res, err := NewMiniBatch(16, sampling.Fanouts{5, 5}, 86).Train(ds, cfg, mask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accuracy < 0.8 {
+		t.Fatalf("semi-supervised mini-batch accuracy = %v", res.Accuracy)
+	}
+}
+
+func TestMiniBatchValidation(t *testing.T) {
+	ds, _ := graph.LearnableSpec{
+		Communities: 2, PerCommunity: 10, IntraDegree: 3, InterDegree: 1,
+		Features: 4, FeatureNoise: 0.1, Seed: 87,
+	}.Build()
+	cfg := nn.Config{Widths: []int{4, 4, 2}, LR: 0.1, Epochs: 1, Seed: 88}
+	if _, err := NewMiniBatch(0, sampling.Fanouts{2, 2}, 1).Train(ds, cfg, nil); err == nil {
+		t.Fatal("expected batch-size error")
+	}
+	if _, err := NewMiniBatch(4, sampling.Fanouts{2}, 1).Train(ds, cfg, nil); err == nil {
+		t.Fatal("expected fanout-count error")
+	}
+	empty := make([]bool, ds.Graph.NumVertices)
+	if _, err := NewMiniBatch(4, sampling.Fanouts{2, 2}, 1).Train(ds, cfg, empty); err == nil {
+		t.Fatal("expected empty-mask error")
+	}
+}
+
+func TestMiniBatchName(t *testing.T) {
+	if NewMiniBatch(1, nil, 0).Name() != "minibatch" {
+		t.Fatal("name wrong")
+	}
+}

@@ -1,0 +1,241 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/costmodel"
+	"repro/internal/dense"
+	"repro/internal/nn"
+	"repro/internal/partition"
+	"repro/internal/sparse"
+)
+
+// OneD implements the paper's 1D algorithm (§IV-A): Aᵀ is distributed in
+// block rows (equivalently, A in block columns), H and G in block rows, W
+// fully replicated.
+//
+// Forward propagation is Algorithm 1: a 1D block-row SpMM in which every
+// process broadcasts its H block (cost β·edgecut·f with random-partition
+// edgecut ≈ n(P−1)/P). Backward uses the large 1D outer product
+// A G = Σᵢ A(:,i)·Gᵢ with a reduce-scatter (β·nf), and the small outer
+// product Y = (H)ᵀ(AG) with an f×f all-reduce.
+type OneD struct {
+	p       int
+	mach    costmodel.Machine
+	cluster *comm.Cluster
+}
+
+// NewOneD returns a 1D trainer over p simulated ranks.
+func NewOneD(p int, mach costmodel.Machine) *OneD {
+	return &OneD{
+		p:       p,
+		mach:    mach,
+		cluster: comm.NewCluster(p, comm.CostParams{Alpha: mach.Alpha, Beta: mach.Beta}),
+	}
+}
+
+// Name implements Trainer.
+func (t *OneD) Name() string { return "1d" }
+
+// Cluster implements DistTrainer.
+func (t *OneD) Cluster() *comm.Cluster { return t.cluster }
+
+// Train implements Trainer.
+func (t *OneD) Train(p Problem) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	cfg := p.Config.WithDefaults()
+	n := p.A.Rows
+	if t.p > n {
+		return nil, fmt.Errorf("core: 1d trainer with %d ranks needs at least %d vertices, got %d", t.p, t.p, n)
+	}
+	at := p.A.Transpose() // read-only global view; ranks extract blocks
+	blk := partition.NewBlock1D(n, t.p)
+	var result Result
+	err := t.cluster.Run(func(c *comm.Comm) error {
+		r := oneDRank{
+			comm: c, mach: t.mach, cfg: cfg, blk: blk,
+			labels: p.Labels, mask: p.TrainMask, norm: p.lossNormalizer(), n: n,
+		}
+		r.setup(at, p.Features)
+		out := r.train()
+		if c.Rank() == 0 {
+			result = *out
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &result, nil
+}
+
+// oneDRank holds one rank's state during 1D training.
+type oneDRank struct {
+	comm   *comm.Comm
+	mach   costmodel.Machine
+	cfg    nn.Config
+	blk    partition.Block1D
+	labels []int
+	mask   []bool
+	norm   int
+	n      int
+
+	lo, hi  int
+	atBlk   []*sparse.CSR // atBlk[j] = Aᵀ(my rows, rows of block j)
+	atLocal *sparse.CSR   // Aᵀ(my rows, :) for the backward outer product
+	h0      *dense.Matrix
+	weights []*dense.Matrix
+	memBase int64
+}
+
+// recordMem reports the resident footprint: persistent blocks plus the
+// given live intermediate words.
+func (r *oneDRank) recordMem(extra int64) {
+	r.comm.Ledger().RecordMem(r.memBase + extra)
+}
+
+func (r *oneDRank) setup(at *sparse.CSR, features *dense.Matrix) {
+	me := r.comm.Rank()
+	r.lo, r.hi = r.blk.Lo(me), r.blk.Hi(me)
+	r.atLocal = at.ExtractBlock(r.lo, r.hi, 0, r.n)
+	r.atBlk = make([]*sparse.CSR, r.comm.Size())
+	for j := 0; j < r.comm.Size(); j++ {
+		r.atBlk[j] = r.atLocal.ExtractBlock(0, r.hi-r.lo, r.blk.Lo(j), r.blk.Hi(j))
+	}
+	r.h0 = features.RowSlice(r.lo, r.hi)
+	r.weights = nn.InitWeights(r.cfg)
+	r.memBase = csrWords(r.atLocal) + matWords(r.h0) + weightWords(r.weights)
+	r.recordMem(0)
+}
+
+func (r *oneDRank) train() *Result {
+	L := r.cfg.Layers()
+	world := r.comm.World()
+
+	H := make([]*dense.Matrix, L+1)
+	Z := make([]*dense.Matrix, L+1)
+	H[0] = r.h0
+	losses := make([]float64, 0, r.cfg.Epochs)
+
+	for epoch := 0; epoch < r.cfg.Epochs; epoch++ {
+		for l := 1; l <= L; l++ {
+			H[l], Z[l] = r.forwardLayer(H[l-1], l)
+		}
+		losses = append(losses, r.globalLoss(H[L]))
+		r.backward(H, Z)
+		r.comm.ChargeTime(comm.CatMisc, r.mach.MiscOverhead)
+	}
+
+	// Final forward pass for the reported embeddings.
+	out := H[0]
+	for l := 1; l <= L; l++ {
+		out, _ = r.forwardLayer(out, l)
+	}
+	// Assemble the global output on rank 0.
+	parts := world.Gather(0, matPayload(out), comm.CatMisc)
+	if r.comm.Rank() != 0 {
+		return nil
+	}
+	full := dense.New(r.n, r.cfg.Widths[L])
+	for j, part := range parts {
+		full.SetSubMatrix(r.blk.Lo(j), 0, payloadMat(part))
+	}
+	return &Result{
+		Weights:  r.weights,
+		Output:   full,
+		Losses:   losses,
+		Accuracy: nn.Accuracy(full, r.labels),
+	}
+}
+
+// forwardLayer computes H^l, Z^l from H^{l-1} via Algorithm 1.
+func (r *oneDRank) forwardLayer(hPrev *dense.Matrix, l int) (h, z *dense.Matrix) {
+	world := r.comm.World()
+	rows := r.hi - r.lo
+	fPrev, fNext := r.cfg.Widths[l-1], r.cfg.Widths[l]
+
+	// T_i = Σ_j Aᵀ_ij H_j with a broadcast per block row of H.
+	T := dense.New(rows, fPrev)
+	for j := 0; j < r.comm.Size(); j++ {
+		var in comm.Payload
+		if j == r.comm.Rank() {
+			in = matPayload(hPrev)
+		}
+		hj := payloadMat(world.Broadcast(j, in, comm.CatDenseComm))
+		r.recordMem(matWords(T) + matWords(hj))
+		sparse.SpMMAdd(T, r.atBlk[j], hj)
+		r.comm.ChargeTime(comm.CatSpMM, r.mach.SpMMTime(int64(r.atBlk[j].NNZ()), rows, fPrev))
+	}
+	// Z_i = T_i W (W replicated: no communication).
+	z = dense.New(rows, fNext)
+	dense.Mul(z, T, r.weights[l-1])
+	r.comm.ChargeTime(comm.CatMisc, r.mach.GEMMTime(rows, fPrev, fNext))
+	// H^l = σ(Z^l): H is row-partitioned, so even row-wise activations
+	// such as log_softmax need no communication in 1D (§IV-A-2).
+	h = dense.New(rows, fNext)
+	r.cfg.Activation(l).Forward(h, z)
+	return h, z
+}
+
+// globalLoss computes the full-batch NLL via a scalar all-reduce.
+func (r *oneDRank) globalLoss(hOut *dense.Matrix) float64 {
+	local, _ := nn.NLLLossMasked(hOut, r.labels, r.mask, r.lo, r.norm)
+	sum := r.comm.World().AllReduce([]float64{local}, comm.CatMisc)
+	return sum[0]
+}
+
+// backward runs the §III-D equations under the 1D layout and applies the
+// gradient step.
+func (r *oneDRank) backward(H, Z []*dense.Matrix) {
+	world := r.comm.World()
+	L := r.cfg.Layers()
+	rows := r.hi - r.lo
+
+	_, dH := nn.NLLLossMasked(H[L], r.labels, r.mask, r.lo, r.norm)
+	counts := make([]int, r.comm.Size())
+	dW := make([]*dense.Matrix, L)
+	for l := L; l >= 1; l-- {
+		fl := r.cfg.Widths[l]
+		// G^l = act'(∂L/∂H^l, Z^l): local (row-partitioned).
+		g := dense.New(rows, fl)
+		r.cfg.Activation(l).Backward(g, dH, Z[l])
+
+		// Large 1D outer product (§IV-A-3): each rank forms the low-rank
+		// n x f product A(:, my rows)·G_i = (Aᵀ_i)ᵀ G_i, then the partial
+		// sums are reduce-scattered back to block rows.
+		// The 1D outer product materializes an n x f dense intermediate per
+		// rank — the memory cost §IV-A-3 discusses.
+		agFull := dense.New(r.n, fl)
+		r.recordMem(matWords(agFull))
+		sparse.SpMMTAdd(agFull, r.atLocal, g)
+		r.comm.ChargeTime(comm.CatSpMM, r.mach.SpMMTime(int64(r.atLocal.NNZ()), rows, fl))
+		for j := range counts {
+			counts[j] = r.blk.Size(j) * fl
+		}
+		agLocal := dense.FromSlice(rows, fl,
+			world.ReduceScatter(agFull.Data, counts, comm.CatDenseComm))
+
+		// Small 1D outer product (§IV-A-4): Y^l = (H^{l-1})ᵀ(A G^l),
+		// reusing the intermediate product, finished with an f×f
+		// all-reduce.
+		yLocal := dense.New(r.cfg.Widths[l-1], fl)
+		dense.TMul(yLocal, H[l-1], agLocal)
+		r.comm.ChargeTime(comm.CatMisc, r.mach.GEMMTime(r.cfg.Widths[l-1], rows, fl))
+		dW[l-1] = dense.FromSlice(r.cfg.Widths[l-1], fl,
+			world.AllReduce(yLocal.Data, comm.CatDenseComm))
+
+		// ∂L/∂H^{l-1} = (A G^l)(W^l)ᵀ: local (W replicated).
+		if l > 1 {
+			dH = dense.New(rows, r.cfg.Widths[l-1])
+			dense.MulT(dH, agLocal, r.weights[l-1])
+			r.comm.ChargeTime(comm.CatMisc, r.mach.GEMMTime(rows, fl, r.cfg.Widths[l-1]))
+		}
+	}
+	// Gradient step: no communication (§III-D).
+	for l := 0; l < L; l++ {
+		dense.AXPY(r.weights[l], -r.cfg.LR, dW[l])
+	}
+}

@@ -1,0 +1,270 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/costmodel"
+	"repro/internal/dense"
+	"repro/internal/nn"
+	"repro/internal/partition"
+	"repro/internal/sparse"
+)
+
+// OneFiveD implements a 1.5D block-row algorithm in the spirit of §IV-B
+// (following Koanantakool et al.): P ranks form P/c teams of c layers.
+// The vertex dimension is block-partitioned across teams; each team
+// replicates its H (and G) row block across its c members — the factor-c
+// memory overhead the paper cites as the 1.5D downside — while each member
+// stores only the 1/c of its team's Aᵀ columns it needs, so the sparse
+// matrix is not replicated.
+//
+// Each member sums only the SUMMA stages s ≡ k (mod c), cutting dense
+// broadcast traffic from ≈ nf to ≈ nf/c per multiply; a small intra-team
+// all-reduce (≈ ncf/P words) completes each product. The paper analyzes but
+// does not implement 1.5D, arguing d = O(f) makes the memory cost hard to
+// justify (§IV-B); this implementation lets the repo quantify that
+// trade-off. A must be symmetric, as for the 3D trainer.
+type OneFiveD struct {
+	p       int
+	c       int
+	mach    costmodel.Machine
+	cluster *comm.Cluster
+}
+
+// NewOneFiveD returns a 1.5D trainer over p ranks with replication factor
+// c; p must be divisible by c.
+func NewOneFiveD(p, c int, mach costmodel.Machine) *OneFiveD {
+	return &OneFiveD{
+		p:       p,
+		c:       c,
+		mach:    mach,
+		cluster: comm.NewCluster(p, comm.CostParams{Alpha: mach.Alpha, Beta: mach.Beta}),
+	}
+}
+
+// Name implements Trainer.
+func (t *OneFiveD) Name() string { return "1.5d" }
+
+// Cluster implements DistTrainer.
+func (t *OneFiveD) Cluster() *comm.Cluster { return t.cluster }
+
+// ReplicationFactor returns c.
+func (t *OneFiveD) ReplicationFactor() int { return t.c }
+
+// Train implements Trainer.
+func (t *OneFiveD) Train(p Problem) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if t.c < 1 || t.p%t.c != 0 {
+		return nil, fmt.Errorf("core: 1.5d trainer needs c ≥ 1 dividing P, got P=%d c=%d", t.p, t.c)
+	}
+	teams := t.p / t.c
+	n := p.A.Rows
+	if teams > n {
+		return nil, fmt.Errorf("core: 1.5d trainer with %d teams needs at least %d vertices, got %d", teams, teams, n)
+	}
+	cfg := p.Config.WithDefaults()
+	var result Result
+	err := t.cluster.Run(func(c *comm.Comm) error {
+		r := oneFiveDRank{
+			comm: c, mach: t.mach, cfg: cfg,
+			labels: p.Labels, mask: p.TrainMask, norm: p.lossNormalizer(),
+			n: n, c: t.c, teams: teams,
+			blk: partition.NewBlock1D(n, teams),
+		}
+		r.setup(p.A, p.Features)
+		out := r.train()
+		if c.Rank() == 0 {
+			result = *out
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &result, nil
+}
+
+type oneFiveDRank struct {
+	comm   *comm.Comm
+	mach   costmodel.Machine
+	cfg    nn.Config
+	labels []int
+	mask   []bool
+	norm   int
+	n      int
+	c      int // replication factor
+	teams  int // P/c
+	blk    partition.Block1D
+
+	team, layer int
+	teamGroup   *comm.Group         // the c replicas of my row block
+	layerGroup  *comm.Group         // one member per team, all at my layer index
+	atBlk       map[int]*sparse.CSR // s -> Aᵀ(my team rows, team-s cols), s ≡ layer (mod c)
+	h0          *dense.Matrix
+	weights     []*dense.Matrix
+	memBase     int64
+}
+
+// recordMem reports the resident footprint: persistent blocks plus the
+// given live intermediate words.
+func (r *oneFiveDRank) recordMem(extra int64) {
+	r.comm.Ledger().RecordMem(r.memBase + extra)
+}
+
+func (r *oneFiveDRank) setup(a *sparse.CSR, features *dense.Matrix) {
+	rank := r.comm.Rank()
+	r.team, r.layer = rank/r.c, rank%r.c
+	teamRanks := make([]int, r.c)
+	for k := range teamRanks {
+		teamRanks[k] = r.team*r.c + k
+	}
+	r.teamGroup = r.comm.NewGroup(teamRanks)
+	layerRanks := make([]int, r.teams)
+	for j := range layerRanks {
+		layerRanks[j] = j*r.c + r.layer
+	}
+	r.layerGroup = r.comm.NewGroup(layerRanks)
+
+	// A is symmetric, so Aᵀ row blocks come straight from A. Member k of
+	// team j keeps only the column blocks s ≡ k (mod c).
+	r.atBlk = make(map[int]*sparse.CSR)
+	lo, hi := r.blk.Lo(r.team), r.blk.Hi(r.team)
+	for s := r.layer; s < r.teams; s += r.c {
+		r.atBlk[s] = a.ExtractBlock(lo, hi, r.blk.Lo(s), r.blk.Hi(s))
+	}
+	r.h0 = features.RowSlice(lo, hi)
+	r.weights = nn.InitWeights(r.cfg)
+	// h0 is the c-fold replicated dense block — the §IV-B memory overhead.
+	r.memBase = matWords(r.h0) + weightWords(r.weights)
+	for _, blk := range r.atBlk {
+		r.memBase += csrWords(blk)
+	}
+	r.recordMem(0)
+}
+
+// blockMul computes my team's row block of Aᵀ·X, where x is my team's
+// (replicated) row block of X: each member sums its s ≡ layer stages, then
+// an intra-team all-reduce completes and re-replicates the product.
+func (r *oneFiveDRank) blockMul(x *dense.Matrix) *dense.Matrix {
+	rows := r.blk.Size(r.team)
+	partial := dense.New(rows, x.Cols)
+	for s := r.layer; s < r.teams; s += r.c {
+		var in comm.Payload
+		if s == r.team {
+			in = matPayload(x)
+		}
+		// Broadcast within my layer: root is the member of team s.
+		xs := payloadMat(r.layerGroup.Broadcast(s, in, comm.CatDenseComm))
+		blk := r.atBlk[s]
+		r.recordMem(matWords(partial) + matWords(xs))
+		sparse.SpMMAdd(partial, blk, xs)
+		r.comm.ChargeTime(comm.CatSpMM, r.mach.SpMMTime(int64(blk.NNZ()), rows, x.Cols))
+	}
+	if r.c == 1 {
+		return partial
+	}
+	return dense.FromSlice(rows, x.Cols,
+		r.teamGroup.AllReduce(partial.Data, comm.CatDenseComm))
+}
+
+func (r *oneFiveDRank) train() *Result {
+	L := r.cfg.Layers()
+	H := make([]*dense.Matrix, L+1)
+	Z := make([]*dense.Matrix, L+1)
+	H[0] = r.h0
+	losses := make([]float64, 0, r.cfg.Epochs)
+
+	for epoch := 0; epoch < r.cfg.Epochs; epoch++ {
+		for l := 1; l <= L; l++ {
+			H[l], Z[l] = r.forwardLayer(H[l-1], l)
+		}
+		losses = append(losses, r.globalLoss(H[L]))
+		r.backward(H, Z)
+		r.comm.ChargeTime(comm.CatMisc, r.mach.MiscOverhead)
+	}
+
+	out := H[0]
+	for l := 1; l <= L; l++ {
+		out, _ = r.forwardLayer(out, l)
+	}
+	parts := r.comm.World().Gather(0, matPayload(out), comm.CatMisc)
+	if r.comm.Rank() != 0 {
+		return nil
+	}
+	full := dense.New(r.n, r.cfg.Widths[L])
+	for rank, part := range parts {
+		if rank%r.c != 0 {
+			continue // replicas carry identical blocks; keep layer 0's
+		}
+		full.SetSubMatrix(r.blk.Lo(rank/r.c), 0, payloadMat(part))
+	}
+	return &Result{
+		Weights:  r.weights,
+		Output:   full,
+		Losses:   losses,
+		Accuracy: nn.Accuracy(full, r.labels),
+	}
+}
+
+func (r *oneFiveDRank) forwardLayer(hPrev *dense.Matrix, l int) (h, z *dense.Matrix) {
+	rows := r.blk.Size(r.team)
+	fPrev, fNext := r.cfg.Widths[l-1], r.cfg.Widths[l]
+	t := r.blockMul(hPrev)
+	z = dense.New(rows, fNext)
+	dense.Mul(z, t, r.weights[l-1])
+	r.comm.ChargeTime(comm.CatMisc, r.mach.GEMMTime(rows, fPrev, fNext))
+	h = dense.New(rows, fNext)
+	r.cfg.Activation(l).Forward(h, z) // row-partitioned: local even row-wise
+	return h, z
+}
+
+// globalLoss sums per-team losses, counting each replicated block once
+// (layer-0 members only).
+func (r *oneFiveDRank) globalLoss(hOut *dense.Matrix) float64 {
+	var local float64
+	if r.layer == 0 {
+		local, _ = nn.NLLLossMasked(hOut, r.labels, r.mask, r.blk.Lo(r.team), r.norm)
+	}
+	sum := r.comm.World().AllReduce([]float64{local}, comm.CatMisc)
+	return sum[0]
+}
+
+func (r *oneFiveDRank) backward(H, Z []*dense.Matrix) {
+	L := r.cfg.Layers()
+	rows := r.blk.Size(r.team)
+	_, dH := nn.NLLLossMasked(H[L], r.labels, r.mask, r.blk.Lo(r.team), r.norm)
+
+	dW := make([]*dense.Matrix, L)
+	for l := L; l >= 1; l-- {
+		fl := r.cfg.Widths[l]
+		fPrev := r.cfg.Widths[l-1]
+		g := dense.New(rows, fl)
+		r.cfg.Activation(l).Backward(g, dH, Z[l])
+
+		// AG = A·G = Aᵀ·G by symmetry: same pattern as forward, no outer
+		// product and no transpose needed.
+		ag := r.blockMul(g)
+
+		// Y^l = Σ_teams (H_j)ᵀ(AG_j): layer-0 members contribute their
+		// team's term once; the world all-reduce replicates Y everywhere.
+		partial := dense.New(fPrev, fl)
+		if r.layer == 0 {
+			dense.TMul(partial, H[l-1], ag)
+			r.comm.ChargeTime(comm.CatMisc, r.mach.GEMMTime(fPrev, rows, fl))
+		}
+		dW[l-1] = dense.FromSlice(fPrev, fl,
+			r.comm.World().AllReduce(partial.Data, comm.CatDenseComm))
+
+		if l > 1 {
+			dH = dense.New(rows, fPrev)
+			dense.MulT(dH, ag, r.weights[l-1])
+			r.comm.ChargeTime(comm.CatMisc, r.mach.GEMMTime(rows, fl, fPrev))
+		}
+	}
+	for l := 0; l < L; l++ {
+		dense.AXPY(r.weights[l], -r.cfg.LR, dW[l])
+	}
+}

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestOneFiveDMatchesSerial(t *testing.T) {
+	for _, tc := range []struct{ p, c int }{
+		{1, 1}, {4, 1}, {4, 2}, {4, 4}, {8, 2}, {12, 3}, {6, 2},
+	} {
+		p := testProblem(t, 44, 7, 5, 4, 4, 31)
+		checkEquivalence(t, NewOneFiveD(tc.p, tc.c, testMach), p)
+	}
+}
+
+func TestOneFiveDUnevenBlocks(t *testing.T) {
+	p := testProblem(t, 43, 5, 4, 3, 3, 32)
+	checkEquivalence(t, NewOneFiveD(6, 2, testMach), p)
+}
+
+func TestOneFiveDInvalidReplication(t *testing.T) {
+	p := testProblem(t, 20, 4, 3, 2, 1, 33)
+	if _, err := NewOneFiveD(6, 4, testMach).Train(p); err == nil {
+		t.Fatal("expected error when c does not divide P")
+	}
+	if _, err := NewOneFiveD(6, 0, testMach).Train(p); err == nil {
+		t.Fatal("expected error for c=0")
+	}
+}
+
+// TestOneFiveDReducesDenseTraffic verifies the §IV-B trade-off in its
+// valid regime (P ≫ c²): replication factor c cuts dense broadcast words
+// relative to c=1 at equal rank count. It also documents the paper's
+// skepticism: once c² approaches P, the intra-team all-reduce (≈ 2ncf/P
+// words) eats the broadcast savings.
+func TestOneFiveDReducesDenseTraffic(t *testing.T) {
+	const ranks = 16
+	words := map[int]int64{}
+	for _, c := range []int{1, 2} {
+		p := testProblem(t, 160, 8, 8, 8, 1, 34)
+		tr := NewOneFiveD(ranks, c, testMach)
+		if _, err := tr.Train(p); err != nil {
+			t.Fatal(err)
+		}
+		words[c] = tr.Cluster().MaxWordsByCategory()["dcomm"]
+	}
+	if words[2] >= words[1] {
+		t.Fatalf("dense words should fall with replication when P >> c²: %v", words)
+	}
+}
+
+func TestOneFiveDFactoryName(t *testing.T) {
+	tr := NewOneFiveD(4, 2, testMach)
+	if tr.Name() != "1.5d" || tr.ReplicationFactor() != 2 {
+		t.Fatal("metadata wrong")
+	}
+}

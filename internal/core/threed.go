@@ -1,0 +1,364 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/costmodel"
+	"repro/internal/dense"
+	"repro/internal/nn"
+	"repro/internal/partition"
+	"repro/internal/sparse"
+)
+
+// ThreeD implements the paper's block 3D algorithm, Split-3D-SpMM (§IV-D):
+// processes form a ∛P x ∛P x ∛P mesh. Each Aᵀ block is n/∛P x n/∛P² —
+// the vertex dimension is split ∛P ways by grid row and a further ∛P ways
+// by layer — while H blocks are n/∛P² x f/∛P. Every 2D layer of the mesh
+// runs an independent SUMMA over its column sub-slices, and partial sums
+// are reduce-scattered along the fiber dimension, the P^{1/3}
+// memory-replicating step of 3D algorithms.
+//
+// The paper analyzes but does not implement this algorithm (§IV-D-5); this
+// implementation completes the family. A must be symmetric (A = Aᵀ), which
+// holds for the normalized adjacency of every dataset in the paper, so
+// backward reuses the forward blocks without a transpose step.
+type ThreeD struct {
+	p       int
+	mach    costmodel.Machine
+	cluster *comm.Cluster
+}
+
+// NewThreeD returns a Split-3D-SpMM trainer over p simulated ranks; p must
+// be a perfect cube.
+func NewThreeD(p int, mach costmodel.Machine) *ThreeD {
+	return &ThreeD{
+		p:       p,
+		mach:    mach,
+		cluster: comm.NewCluster(p, comm.CostParams{Alpha: mach.Alpha, Beta: mach.Beta}),
+	}
+}
+
+// Name implements Trainer.
+func (t *ThreeD) Name() string { return "3d" }
+
+// Cluster implements DistTrainer.
+func (t *ThreeD) Cluster() *comm.Cluster { return t.cluster }
+
+// Train implements Trainer.
+func (t *ThreeD) Train(p Problem) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if !partition.IsPerfectCube(t.p) {
+		return nil, fmt.Errorf("core: 3d trainer needs a perfect-cube rank count, got %d", t.p)
+	}
+	cfg := p.Config.WithDefaults()
+	n := p.A.Rows
+	mesh := partition.NewGrid3D(t.p)
+	if mesh.C*mesh.C > n {
+		return nil, fmt.Errorf("core: 3d mesh needs n ≥ ∛P² (%d), got %d vertices", mesh.C*mesh.C, n)
+	}
+	var result Result
+	err := t.cluster.Run(func(c *comm.Comm) error {
+		r := threeDRank{
+			comm: c, mach: t.mach, cfg: cfg, mesh: mesh,
+			labels: p.Labels, mask: p.TrainMask, norm: p.lossNormalizer(), n: n,
+			vBlk: partition.NewBlock1D(n, mesh.C),
+		}
+		r.setup(p.A, p.Features)
+		out := r.train()
+		if c.Rank() == 0 {
+			result = *out
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &result, nil
+}
+
+// threeDRank holds one rank's state during 3D training.
+type threeDRank struct {
+	comm   *comm.Comm
+	mach   costmodel.Machine
+	cfg    nn.Config
+	mesh   partition.Grid3D
+	labels []int
+	mask   []bool
+	norm   int
+	n      int
+	vBlk   partition.Block1D // vertex dimension split ∛P ways
+
+	pi, pj, pk int         // mesh coordinates: row, column, layer
+	rowGroup   *comm.Group // (pi, *, pk)
+	colGroup   *comm.Group // (*, pj, pk)
+	fiberGroup *comm.Group // (pi, pj, *)
+	planeGroup *comm.Group // (*, pj, *): all ranks sharing grid column pj
+	atBlk      *sparse.CSR // Aᵀ(rows of pi, column sub-slice (pj, pk))
+	h0         *dense.Matrix
+	weights    []*dense.Matrix
+	memBase    int64
+}
+
+// recordMem reports the resident footprint: persistent blocks plus the
+// given live intermediate words.
+func (r *threeDRank) recordMem(extra int64) {
+	r.comm.Ledger().RecordMem(r.memBase + extra)
+}
+
+// subRange returns the global index range of sub-slice k within vertex
+// block q: block q of Block1D(n, C), subdivided C ways.
+func (r *threeDRank) subRange(q, k int) (int, int) {
+	inner := partition.NewBlock1D(r.vBlk.Size(q), r.mesh.C)
+	base := r.vBlk.Lo(q)
+	return base + inner.Lo(k), base + inner.Hi(k)
+}
+
+// fBlk splits a feature dimension across mesh columns.
+func (r *threeDRank) fBlk(f int) partition.Block1D {
+	return partition.NewBlock1D(f, r.mesh.C)
+}
+
+func (r *threeDRank) setup(a *sparse.CSR, features *dense.Matrix) {
+	r.pi, r.pj, r.pk = r.mesh.Coords(r.comm.Rank())
+	r.rowGroup = r.comm.NewGroup(r.mesh.LayerRowRanks(r.pi, r.pk))
+	r.colGroup = r.comm.NewGroup(r.mesh.LayerColRanks(r.pj, r.pk))
+	r.fiberGroup = r.comm.NewGroup(r.mesh.FiberRanks(r.pi, r.pj))
+	var plane []int
+	for i := 0; i < r.mesh.C; i++ {
+		for k := 0; k < r.mesh.C; k++ {
+			plane = append(plane, r.mesh.Rank(i, r.pj, k))
+		}
+	}
+	r.planeGroup = r.comm.NewGroup(plane)
+
+	// Aᵀ block: rows of grid-row pi, columns = sub-slice (pj, pk). Since A
+	// is required symmetric, Aᵀ = A and we read blocks from a directly.
+	cLo, cHi := r.subRange(r.pj, r.pk)
+	r.atBlk = a.ExtractBlock(r.vBlk.Lo(r.pi), r.vBlk.Hi(r.pi), cLo, cHi)
+	// H block: rows = sub-slice (pi, pk), feature columns of pj.
+	rLo, rHi := r.subRange(r.pi, r.pk)
+	f0 := r.fBlk(r.cfg.Widths[0])
+	r.h0 = features.SubMatrix(rLo, rHi, f0.Lo(r.pj), f0.Hi(r.pj))
+	r.weights = nn.InitWeights(r.cfg)
+	r.memBase = csrWords(r.atBlk) + matWords(r.h0) + weightWords(r.weights)
+	r.recordMem(0)
+}
+
+func (r *threeDRank) train() *Result {
+	L := r.cfg.Layers()
+	H := make([]*dense.Matrix, L+1)
+	Z := make([]*dense.Matrix, L+1)
+	zRow := make([]*dense.Matrix, L+1)
+	H[0] = r.h0
+	losses := make([]float64, 0, r.cfg.Epochs)
+
+	for epoch := 0; epoch < r.cfg.Epochs; epoch++ {
+		for l := 1; l <= L; l++ {
+			H[l], Z[l], zRow[l] = r.forwardLayer(H[l-1], l)
+		}
+		losses = append(losses, r.globalLoss(H[L]))
+		r.backward(H, Z, zRow)
+		r.comm.ChargeTime(comm.CatMisc, r.mach.MiscOverhead)
+	}
+
+	out := H[0]
+	for l := 1; l <= L; l++ {
+		h, _, _ := r.forwardLayer(out, l)
+		out = h
+	}
+	parts := r.comm.World().Gather(0, matPayload(out), comm.CatMisc)
+	if r.comm.Rank() != 0 {
+		return nil
+	}
+	fL := r.fBlk(r.cfg.Widths[L])
+	full := dense.New(r.n, r.cfg.Widths[L])
+	for rank, part := range parts {
+		gi, gj, gk := r.mesh.Coords(rank)
+		rLo, _ := r.subRange(gi, gk)
+		full.SetSubMatrix(rLo, fL.Lo(gj), payloadMat(part))
+	}
+	return &Result{
+		Weights:  r.weights,
+		Output:   full,
+		Losses:   losses,
+		Accuracy: nn.Accuracy(full, r.labels),
+	}
+}
+
+// split3DSpMM computes my block of Aᵀ·X (X distributed like H) via the
+// Split-3D-SpMM: independent SUMMA per mesh layer over the column
+// sub-slices, then a reduce-scatter along the fiber so the result lands in
+// the same n/∛P² x f/∛P layout as X (§IV-D-1).
+func (r *threeDRank) split3DSpMM(x *dense.Matrix) *dense.Matrix {
+	myRows := r.vBlk.Size(r.pi)
+	partial := dense.New(myRows, x.Cols)
+	for q := 0; q < r.mesh.C; q++ {
+		var aIn, xIn comm.Payload
+		if q == r.pj {
+			aIn = csrPayload(r.atBlk)
+		}
+		if q == r.pi {
+			xIn = matPayload(x)
+		}
+		// Sparse block Aᵀ(row pi, sub-slice (q, pk)) broadcasts along the
+		// layer row; dense block X(sub-slice (q, pk), fcols pj) along the
+		// layer column.
+		aQ := payloadCSR(r.rowGroup.Broadcast(q, aIn, comm.CatSparseComm))
+		xQ := payloadMat(r.colGroup.Broadcast(q, xIn, comm.CatDenseComm))
+		// partial is the layer's pre-reduction sum: the P^{1/3}-replicated
+		// intermediate of §IV-D-1.
+		r.recordMem(matWords(partial) + csrWords(aQ) + matWords(xQ))
+		sparse.SpMMAdd(partial, aQ, xQ)
+		r.comm.ChargeTime(comm.CatSpMM, r.mach.SpMMTime(int64(aQ.NNZ()), aQ.Rows, xQ.Cols))
+	}
+	// Fiber reduce-scatter: partial sums for T(row block pi) are summed
+	// across layers and scattered so layer k keeps row sub-slice (pi, k).
+	counts := make([]int, r.mesh.C)
+	for k := 0; k < r.mesh.C; k++ {
+		lo, hi := r.subRange(r.pi, k)
+		counts[k] = (hi - lo) * x.Cols
+	}
+	myLo, myHi := r.subRange(r.pi, r.pk)
+	return dense.FromSlice(myHi-myLo, x.Cols,
+		r.fiberGroup.ReduceScatter(partial.Data, counts, comm.CatDenseComm))
+}
+
+// partialSplit3D computes my block of T·W for replicated W: T blocks
+// broadcast along layer rows, as in the 2D partial SUMMA but within each
+// mesh layer.
+func (r *threeDRank) partialSplit3D(tBlk *dense.Matrix, w *dense.Matrix) *dense.Matrix {
+	rowsB := r.fBlk(w.Rows)
+	colsB := r.fBlk(w.Cols)
+	out := dense.New(tBlk.Rows, colsB.Size(r.pj))
+	for q := 0; q < r.mesh.C; q++ {
+		var tIn comm.Payload
+		if q == r.pj {
+			tIn = matPayload(tBlk)
+		}
+		tQ := payloadMat(r.rowGroup.Broadcast(q, tIn, comm.CatDenseComm))
+		wSlice := w.SubMatrix(rowsB.Lo(q), rowsB.Hi(q), colsB.Lo(r.pj), colsB.Hi(r.pj))
+		dense.MulAdd(out, tQ, wSlice)
+		r.comm.ChargeTime(comm.CatMisc, r.mach.GEMMTime(tQ.Rows, tQ.Cols, wSlice.Cols))
+	}
+	return out
+}
+
+// gatherRows all-gathers my feature-column blocks along the layer row,
+// returning full rows (n/∛P² x f).
+func (r *threeDRank) gatherRows(x *dense.Matrix, f int) *dense.Matrix {
+	fB := r.fBlk(f)
+	parts := r.rowGroup.AllGather(matPayload(x), comm.CatDenseComm)
+	out := dense.New(x.Rows, f)
+	for j, part := range parts {
+		out.SetSubMatrix(0, fB.Lo(j), payloadMat(part))
+	}
+	r.recordMem(matWords(out))
+	return out
+}
+
+func (r *threeDRank) forwardLayer(hPrev *dense.Matrix, l int) (h, z, zRowCache *dense.Matrix) {
+	fNext := r.cfg.Widths[l]
+	t := r.split3DSpMM(hPrev)
+	z = r.partialSplit3D(t, r.weights[l-1])
+	act := r.cfg.Activation(l)
+	h = dense.New(z.Rows, z.Cols)
+	if !act.RowWise() {
+		act.Forward(h, z)
+		return h, z, nil
+	}
+	// Row-wise activation: all-gather along the layer row completes each
+	// row; no cross-layer or cross-row communication is needed (§IV-D-2).
+	zR := r.gatherRows(z, fNext)
+	hR := dense.New(zR.Rows, zR.Cols)
+	act.Forward(hR, zR)
+	fB := r.fBlk(fNext)
+	h = hR.SubMatrix(0, hR.Rows, fB.Lo(r.pj), fB.Hi(r.pj))
+	return h, z, zR
+}
+
+func (r *threeDRank) globalLoss(hOut *dense.Matrix) float64 {
+	local := r.localLossGrad(hOut, nil)
+	sum := r.comm.World().AllReduce([]float64{local}, comm.CatMisc)
+	return sum[0]
+}
+
+func (r *threeDRank) localLossGrad(hOut *dense.Matrix, grad *dense.Matrix) float64 {
+	fB := r.fBlk(r.cfg.Widths[r.cfg.Layers()])
+	cLo, cHi := fB.Lo(r.pj), fB.Hi(r.pj)
+	rLo, _ := r.subRange(r.pi, r.pk)
+	inv := 1.0 / float64(r.norm)
+	var loss float64
+	for i := 0; i < hOut.Rows; i++ {
+		if r.mask != nil && !r.mask[rLo+i] {
+			continue
+		}
+		lab := r.labels[rLo+i]
+		if lab < cLo || lab >= cHi {
+			continue
+		}
+		loss -= hOut.At(i, lab-cLo) * inv
+		if grad != nil {
+			grad.Set(i, lab-cLo, -inv)
+		}
+	}
+	return loss
+}
+
+func (r *threeDRank) backward(H, Z, zRow []*dense.Matrix) {
+	L := r.cfg.Layers()
+	dH := dense.New(H[L].Rows, H[L].Cols)
+	r.localLossGrad(H[L], dH)
+
+	dW := make([]*dense.Matrix, L)
+	for l := L; l >= 1; l-- {
+		fl := r.cfg.Widths[l]
+		fPrev := r.cfg.Widths[l-1]
+		act := r.cfg.Activation(l)
+
+		g := dense.New(dH.Rows, dH.Cols)
+		if !act.RowWise() {
+			act.Backward(g, dH, Z[l])
+		} else {
+			dHRow := r.gatherRows(dH, fl)
+			gRow := dense.New(dHRow.Rows, dHRow.Cols)
+			act.Backward(gRow, dHRow, zRow[l])
+			fB := r.fBlk(fl)
+			g = gRow.SubMatrix(0, gRow.Rows, fB.Lo(r.pj), fB.Hi(r.pj))
+		}
+
+		// AG = A·G^l. A is symmetric, so the Aᵀ blocks serve directly —
+		// the 3D trainer's structural shortcut for undirected graphs.
+		ag := r.split3DSpMM(g)
+
+		// Y^l = (H^{l-1})ᵀ(AG): gather AG rows along the layer row, local
+		// partial, all-reduce over the plane of ranks sharing my feature
+		// column (summing over both grid rows and layers), then all-gather
+		// along the layer row to replicate Y (§IV-D-4).
+		agRow := r.gatherRows(ag, fl)
+		partial := dense.New(H[l-1].Cols, fl)
+		dense.TMul(partial, H[l-1], agRow)
+		r.comm.ChargeTime(comm.CatMisc, r.mach.GEMMTime(H[l-1].Cols, H[l-1].Rows, fl))
+		planeSum := r.planeGroup.AllReduce(partial.Data, comm.CatDenseComm)
+		yParts := r.rowGroup.AllGather(
+			comm.Payload{Floats: planeSum, Ints: []int{partial.Rows, partial.Cols}},
+			comm.CatDenseComm)
+		dW[l-1] = dense.New(fPrev, fl)
+		fPB := r.fBlk(fPrev)
+		for j, part := range yParts {
+			dW[l-1].SetSubMatrix(fPB.Lo(j), 0, payloadMat(part))
+		}
+
+		if l > 1 {
+			wRowBlk := r.weights[l-1].SubMatrix(fPB.Lo(r.pj), fPB.Hi(r.pj), 0, fl)
+			dH = dense.New(agRow.Rows, wRowBlk.Rows)
+			dense.MulT(dH, agRow, wRowBlk)
+			r.comm.ChargeTime(comm.CatMisc, r.mach.GEMMTime(agRow.Rows, fl, wRowBlk.Rows))
+		}
+	}
+	for l := 0; l < L; l++ {
+		dense.AXPY(r.weights[l], -r.cfg.LR, dW[l])
+	}
+}

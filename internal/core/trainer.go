@@ -1,0 +1,179 @@
+// Package core implements the paper's contribution: full-batch GCN training
+// under the 1D, 2D (SUMMA), and 3D (Split-3D-SpMM) parallel decompositions
+// of §IV, plus the serial reference every distributed trainer is verified
+// against.
+//
+// All trainers compute the same mathematics (§III-C/D):
+//
+//	forward:  Z^l = Aᵀ H^{l-1} W^l,  H^l = σ(Z^l)
+//	backward: G^l = ∂L/∂Z^l,
+//	          Y^l  = (H^{l-1})ᵀ A G^l        (weight gradient)
+//	          ∂L/∂H^{l-1} = A G^l (W^l)ᵀ
+//	update:   W^l ← W^l − lr·Y^l
+//
+// and differ only in how matrices are partitioned and which collectives move
+// them, exactly as in the paper.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/costmodel"
+	"repro/internal/dense"
+	"repro/internal/nn"
+	"repro/internal/sparse"
+)
+
+// Problem bundles one training task: the modified adjacency matrix A
+// (already normalized, self-loops added), input features H⁰, labels, and
+// the network configuration.
+type Problem struct {
+	// A is the n x n modified adjacency matrix. The 3D trainer requires A
+	// to be symmetric (all the paper's datasets are); 1D and 2D handle
+	// general directed A.
+	A        *sparse.CSR
+	Features *dense.Matrix
+	Labels   []int
+	// TrainMask restricts the loss to marked vertices (the semi-supervised
+	// split of §V-C); nil trains on the whole graph, as the paper does for
+	// Amazon and Protein.
+	TrainMask []bool
+	Config    nn.Config
+}
+
+// lossNormalizer returns the global count of supervised vertices.
+func (p Problem) lossNormalizer() int {
+	return nn.CountMask(p.TrainMask, p.A.Rows)
+}
+
+// Validate checks shape consistency.
+func (p Problem) Validate() error {
+	if err := p.Config.Validate(); err != nil {
+		return err
+	}
+	if p.A == nil || p.Features == nil {
+		return fmt.Errorf("core: nil matrices in problem")
+	}
+	if p.A.Rows != p.A.Cols {
+		return fmt.Errorf("core: adjacency must be square, got %dx%d", p.A.Rows, p.A.Cols)
+	}
+	if p.Features.Rows != p.A.Rows {
+		return fmt.Errorf("core: features have %d rows, adjacency has %d", p.Features.Rows, p.A.Rows)
+	}
+	if p.Features.Cols != p.Config.Widths[0] {
+		return fmt.Errorf("core: features have %d columns, config expects %d", p.Features.Cols, p.Config.Widths[0])
+	}
+	if len(p.Labels) != p.A.Rows {
+		return fmt.Errorf("core: %d labels for %d vertices", len(p.Labels), p.A.Rows)
+	}
+	if p.TrainMask != nil && len(p.TrainMask) != p.A.Rows {
+		return fmt.Errorf("core: train mask covers %d vertices, graph has %d", len(p.TrainMask), p.A.Rows)
+	}
+	if p.TrainMask != nil && nn.CountMask(p.TrainMask, 0) == 0 {
+		return fmt.Errorf("core: train mask selects no vertices")
+	}
+	k := p.Config.Widths[len(p.Config.Widths)-1]
+	for i, l := range p.Labels {
+		if l < 0 || l >= k {
+			return fmt.Errorf("core: label[%d] = %d out of range for %d classes", i, l, k)
+		}
+	}
+	return nil
+}
+
+// Result reports a completed training run.
+type Result struct {
+	// Weights are the trained W^1..W^L.
+	Weights []*dense.Matrix
+	// Output is the final embedding H^L (n x f^L).
+	Output *dense.Matrix
+	// Losses holds the full-batch loss of each epoch.
+	Losses []float64
+	// Accuracy is the training accuracy of the final output.
+	Accuracy float64
+}
+
+// Trainer runs full-batch GCN training on a problem. Implementations:
+// Serial, OneD, TwoD, ThreeD.
+type Trainer interface {
+	// Name identifies the algorithm ("serial", "1d", "2d", "3d").
+	Name() string
+	// Train runs Config.Epochs epochs and returns the result.
+	Train(p Problem) (*Result, error)
+}
+
+// DistTrainer is a Trainer that executes on a simulated cluster, leaving
+// per-rank cost ledgers on the cluster for inspection.
+type DistTrainer interface {
+	Trainer
+	// Cluster returns the simulated cluster the trainer ran on.
+	Cluster() *comm.Cluster
+}
+
+// NewTrainer constructs a trainer by algorithm name. p is the rank count
+// (ignored for "serial"); mach supplies the cost constants.
+func NewTrainer(name string, p int, mach costmodel.Machine) (Trainer, error) {
+	switch name {
+	case "serial":
+		return NewSerial(), nil
+	case "1d":
+		return NewOneD(p, mach), nil
+	case "1.5d":
+		c := 2
+		if p%2 != 0 {
+			c = 1
+		}
+		return NewOneFiveD(p, c, mach), nil
+	case "2d":
+		return NewTwoD(p, mach), nil
+	case "3d":
+		return NewThreeD(p, mach), nil
+	default:
+		return nil, fmt.Errorf("core: unknown trainer %q (want serial, 1d, 1.5d, 2d, 3d)", name)
+	}
+}
+
+// matWords returns the modeled resident size of a dense matrix in words.
+func matWords(m *dense.Matrix) int64 { return int64(m.Rows) * int64(m.Cols) }
+
+// csrWords returns the modeled resident size of a CSR block in words
+// (values + column indices + row pointers).
+func csrWords(m *sparse.CSR) int64 { return 2*int64(m.NNZ()) + int64(m.Rows) + 1 }
+
+// weightWords sums the replicated weight footprint.
+func weightWords(ws []*dense.Matrix) int64 {
+	var s int64
+	for _, w := range ws {
+		s += matWords(w)
+	}
+	return s
+}
+
+// csrPayload serializes a CSR block for transport: Ints = [rows, cols,
+// rowptr..., colidx...], Floats = values.
+func csrPayload(m *sparse.CSR) comm.Payload {
+	ints := make([]int, 0, 2+len(m.RowPtr)+len(m.ColIdx))
+	ints = append(ints, m.Rows, m.Cols)
+	ints = append(ints, m.RowPtr...)
+	ints = append(ints, m.ColIdx...)
+	return comm.Payload{Floats: m.Val, Ints: ints}
+}
+
+// payloadCSR deserializes csrPayload output.
+func payloadCSR(p comm.Payload) *sparse.CSR {
+	rows, cols := p.Ints[0], p.Ints[1]
+	rowPtr := p.Ints[2 : 3+rows]
+	colIdx := p.Ints[3+rows:]
+	return &sparse.CSR{Rows: rows, Cols: cols, RowPtr: rowPtr, ColIdx: colIdx, Val: p.Floats}
+}
+
+// matPayload serializes a dense matrix: Ints = [rows, cols], Floats = data.
+func matPayload(m *dense.Matrix) comm.Payload {
+	return comm.Payload{Floats: m.Data, Ints: []int{m.Rows, m.Cols}}
+}
+
+// payloadMat deserializes matPayload output.
+func payloadMat(p comm.Payload) *dense.Matrix {
+	return dense.FromSlice(p.Ints[0], p.Ints[1], p.Floats)
+}

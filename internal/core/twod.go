@@ -1,0 +1,360 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/costmodel"
+	"repro/internal/dense"
+	"repro/internal/nn"
+	"repro/internal/partition"
+	"repro/internal/sparse"
+)
+
+// TwoD implements the paper's block 2D algorithm (§IV-C, Algorithm 2): all
+// of A, H, and G live on a √P x √P process grid, W is replicated.
+//
+// Each forward layer runs a SUMMA SpMM (row broadcasts of Aᵀ blocks, column
+// broadcasts of H blocks) followed by a "partial SUMMA" against the
+// replicated W (row broadcasts of the intermediate product T). Row-wise
+// activations (log_softmax) add an all-gather along process rows. Backward
+// runs the same pattern with A — obtained by a pairwise transpose exchange
+// across the grid diagonal, the "trpose" category of Figure 3 — plus the
+// (H)ᵀ(AG) dense SUMMA with its f×f all-gather.
+type TwoD struct {
+	p       int
+	mach    costmodel.Machine
+	cluster *comm.Cluster
+}
+
+// NewTwoD returns a 2D SUMMA trainer over p simulated ranks; p must be a
+// perfect square.
+func NewTwoD(p int, mach costmodel.Machine) *TwoD {
+	return &TwoD{
+		p:       p,
+		mach:    mach,
+		cluster: comm.NewCluster(p, comm.CostParams{Alpha: mach.Alpha, Beta: mach.Beta}),
+	}
+}
+
+// Name implements Trainer.
+func (t *TwoD) Name() string { return "2d" }
+
+// Cluster implements DistTrainer.
+func (t *TwoD) Cluster() *comm.Cluster { return t.cluster }
+
+// Train implements Trainer.
+func (t *TwoD) Train(p Problem) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if !partition.IsPerfectSquare(t.p) {
+		return nil, fmt.Errorf("core: 2d trainer needs a perfect-square rank count, got %d", t.p)
+	}
+	cfg := p.Config.WithDefaults()
+	n := p.A.Rows
+	grid := partition.NewSquareGrid(t.p)
+	if grid.Pr > n {
+		return nil, fmt.Errorf("core: 2d grid dimension %d exceeds vertex count %d", grid.Pr, n)
+	}
+	at := p.A.Transpose()
+	var result Result
+	err := t.cluster.Run(func(c *comm.Comm) error {
+		r := twoDRank{
+			comm: c, mach: t.mach, cfg: cfg, grid: grid,
+			labels: p.Labels, mask: p.TrainMask, norm: p.lossNormalizer(), n: n,
+			vBlk: partition.NewBlock1D(n, grid.Pr),
+		}
+		r.setup(at, p.Features)
+		out := r.train()
+		if c.Rank() == 0 {
+			result = *out
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &result, nil
+}
+
+// twoDRank holds one rank's state during 2D training.
+type twoDRank struct {
+	comm   *comm.Comm
+	mach   costmodel.Machine
+	cfg    nn.Config
+	grid   partition.Grid2D
+	labels []int
+	mask   []bool
+	norm   int
+	n      int
+	vBlk   partition.Block1D // vertex dimension split √P ways
+
+	pi, pj   int // grid coordinates
+	rowGroup *comm.Group
+	colGroup *comm.Group
+	atBlk    *sparse.CSR // Aᵀ(rows of pi, cols of pj)
+	aBlk     *sparse.CSR // A(rows of pi, cols of pj), built by transpose exchange
+	h0       *dense.Matrix
+	weights  []*dense.Matrix
+	memBase  int64
+}
+
+// recordMem reports the resident footprint: persistent blocks plus the
+// given live intermediate words.
+func (r *twoDRank) recordMem(extra int64) {
+	r.comm.Ledger().RecordMem(r.memBase + extra)
+}
+
+// fBlk returns the Block1D splitting a feature dimension across grid
+// columns.
+func (r *twoDRank) fBlk(f int) partition.Block1D {
+	return partition.NewBlock1D(f, r.grid.Pc)
+}
+
+func (r *twoDRank) setup(at *sparse.CSR, features *dense.Matrix) {
+	r.pi, r.pj = r.grid.Coords(r.comm.Rank())
+	r.rowGroup = r.comm.NewGroup(r.grid.RowRanks(r.pi))
+	r.colGroup = r.comm.NewGroup(r.grid.ColRanks(r.pj))
+	r.atBlk = at.ExtractBlock(r.vBlk.Lo(r.pi), r.vBlk.Hi(r.pi), r.vBlk.Lo(r.pj), r.vBlk.Hi(r.pj))
+	f0 := r.fBlk(r.cfg.Widths[0])
+	r.h0 = features.SubMatrix(r.vBlk.Lo(r.pi), r.vBlk.Hi(r.pi), f0.Lo(r.pj), f0.Hi(r.pj))
+	r.weights = nn.InitWeights(r.cfg)
+	// The A block appears twice once the transpose exchange runs.
+	r.memBase = 2*csrWords(r.atBlk) + matWords(r.h0) + weightWords(r.weights)
+	r.recordMem(0)
+}
+
+// transposeExchange builds this rank's A block from the Aᵀ blocks by a
+// pairwise exchange across the grid diagonal: A_ij = (Aᵀ_ji)ᵀ. This is the
+// paper's "trpose" cost (Figure 3); it also charges the local transpose
+// work.
+func (r *twoDRank) transposeExchange() {
+	localT := r.atBlk.Transpose()
+	r.comm.ChargeTime(comm.CatTranspose, float64(localT.NNZ())*4/r.mach.SpMMRate)
+	if r.pi == r.pj {
+		r.aBlk = localT
+		return
+	}
+	peer := r.grid.Rank(r.pj, r.pi)
+	got := r.comm.Exchange(peer, csrPayload(localT), comm.CatTranspose)
+	r.aBlk = payloadCSR(got)
+}
+
+func (r *twoDRank) train() *Result {
+	L := r.cfg.Layers()
+
+	H := make([]*dense.Matrix, L+1)
+	Z := make([]*dense.Matrix, L+1)
+	// zRow[l] caches the full-row gather of Z^l when the layer's
+	// activation is row-wise, for reuse in backward.
+	zRow := make([]*dense.Matrix, L+1)
+	H[0] = r.h0
+	losses := make([]float64, 0, r.cfg.Epochs)
+
+	for epoch := 0; epoch < r.cfg.Epochs; epoch++ {
+		for l := 1; l <= L; l++ {
+			H[l], Z[l], zRow[l] = r.forwardLayer(H[l-1], l)
+		}
+		losses = append(losses, r.globalLoss(H[L]))
+		r.transposeExchange()
+		r.backward(H, Z, zRow)
+		r.comm.ChargeTime(comm.CatMisc, r.mach.MiscOverhead)
+	}
+
+	out := H[0]
+	for l := 1; l <= L; l++ {
+		h, _, _ := r.forwardLayer(out, l)
+		out = h
+	}
+	parts := r.comm.World().Gather(0, matPayload(out), comm.CatMisc)
+	if r.comm.Rank() != 0 {
+		return nil
+	}
+	fL := r.fBlk(r.cfg.Widths[L])
+	full := dense.New(r.n, r.cfg.Widths[L])
+	for rank, part := range parts {
+		gi, gj := r.grid.Coords(rank)
+		full.SetSubMatrix(r.vBlk.Lo(gi), fL.Lo(gj), payloadMat(part))
+	}
+	return &Result{
+		Weights:  r.weights,
+		Output:   full,
+		Losses:   losses,
+		Accuracy: nn.Accuracy(full, r.labels),
+	}
+}
+
+// summaSpMM computes my block of op(A)·X where aBlk is my block of op(A)
+// and x is my block of the 2D-partitioned dense operand. Sparse blocks
+// broadcast along process rows, dense blocks along process columns
+// (Algorithm 2, first phase).
+func (r *twoDRank) summaSpMM(aBlk *sparse.CSR, x *dense.Matrix) *dense.Matrix {
+	rows := r.vBlk.Size(r.pi)
+	out := dense.New(rows, x.Cols)
+	for k := 0; k < r.grid.Pc; k++ {
+		var aIn, xIn comm.Payload
+		if k == r.pj {
+			aIn = csrPayload(aBlk)
+		}
+		if k == r.pi {
+			xIn = matPayload(x)
+		}
+		aK := payloadCSR(r.rowGroup.Broadcast(k, aIn, comm.CatSparseComm))
+		xK := payloadMat(r.colGroup.Broadcast(k, xIn, comm.CatDenseComm))
+		r.recordMem(matWords(out) + csrWords(aK) + matWords(xK))
+		sparse.SpMMAdd(out, aK, xK)
+		r.comm.ChargeTime(comm.CatSpMM, r.mach.SpMMTime(int64(aK.NNZ()), aK.Rows, xK.Cols))
+	}
+	return out
+}
+
+// partialSumma computes my block of T·W for the replicated W: T blocks
+// broadcast along process rows (Algorithm 2, second phase). wRows and
+// wCols give W's global dimensions; the k-th stage multiplies T's k-th
+// column block against W[rowBlk(k), colBlk(pj)].
+func (r *twoDRank) partialSumma(tBlk *dense.Matrix, w *dense.Matrix) *dense.Matrix {
+	rowsB := r.fBlk(w.Rows) // W rows = T's feature dimension, split by pc
+	colsB := r.fBlk(w.Cols)
+	rows := r.vBlk.Size(r.pi)
+	out := dense.New(rows, colsB.Size(r.pj))
+	for k := 0; k < r.grid.Pc; k++ {
+		var tIn comm.Payload
+		if k == r.pj {
+			tIn = matPayload(tBlk)
+		}
+		tK := payloadMat(r.rowGroup.Broadcast(k, tIn, comm.CatDenseComm))
+		wSlice := w.SubMatrix(rowsB.Lo(k), rowsB.Hi(k), colsB.Lo(r.pj), colsB.Hi(r.pj))
+		dense.MulAdd(out, tK, wSlice)
+		r.comm.ChargeTime(comm.CatMisc, r.mach.GEMMTime(rows, tK.Cols, wSlice.Cols))
+	}
+	return out
+}
+
+// gatherRows all-gathers the row blocks of a 2D-partitioned matrix along my
+// process row, returning my full rows (n/√P x f).
+func (r *twoDRank) gatherRows(x *dense.Matrix, f int) *dense.Matrix {
+	fB := r.fBlk(f)
+	parts := r.rowGroup.AllGather(matPayload(x), comm.CatDenseComm)
+	out := dense.New(r.vBlk.Size(r.pi), f)
+	for j, part := range parts {
+		out.SetSubMatrix(0, fB.Lo(j), payloadMat(part))
+	}
+	r.recordMem(matWords(out))
+	return out
+}
+
+// forwardLayer computes H^l, Z^l (2D blocks) and, for row-wise
+// activations, the full-row Z cache used again in backward.
+func (r *twoDRank) forwardLayer(hPrev *dense.Matrix, l int) (h, z, zRowCache *dense.Matrix) {
+	fNext := r.cfg.Widths[l]
+	t := r.summaSpMM(r.atBlk, hPrev)      // T = Aᵀ H^{l-1}
+	z = r.partialSumma(t, r.weights[l-1]) // Z = T W
+	act := r.cfg.Activation(l)
+	h = dense.New(z.Rows, z.Cols)
+	if !act.RowWise() {
+		act.Forward(h, z) // element-wise: no communication (§IV-C-2)
+		return h, z, nil
+	}
+	// Row-wise activation: all-gather Z along the process row, apply,
+	// keep my column block (§IV-C-2).
+	zRow := r.gatherRows(z, fNext)
+	hRow := dense.New(zRow.Rows, zRow.Cols)
+	act.Forward(hRow, zRow)
+	fB := r.fBlk(fNext)
+	h = hRow.SubMatrix(0, hRow.Rows, fB.Lo(r.pj), fB.Hi(r.pj))
+	return h, z, zRow
+}
+
+// globalLoss computes the full-batch NLL. Each rank contributes the labels
+// whose class index falls in its column block, so nothing is double
+// counted.
+func (r *twoDRank) globalLoss(hOut *dense.Matrix) float64 {
+	local := r.localLossGrad(hOut, nil)
+	sum := r.comm.World().AllReduce([]float64{local}, comm.CatMisc)
+	return sum[0]
+}
+
+// localLossGrad computes this block's loss contribution and, if grad is
+// non-nil, writes -1/n into the label positions owned by this block.
+func (r *twoDRank) localLossGrad(hOut *dense.Matrix, grad *dense.Matrix) float64 {
+	fB := r.fBlk(r.cfg.Widths[r.cfg.Layers()])
+	cLo, cHi := fB.Lo(r.pj), fB.Hi(r.pj)
+	rLo := r.vBlk.Lo(r.pi)
+	inv := 1.0 / float64(r.norm)
+	var loss float64
+	for i := 0; i < hOut.Rows; i++ {
+		if r.mask != nil && !r.mask[rLo+i] {
+			continue
+		}
+		lab := r.labels[rLo+i]
+		if lab < cLo || lab >= cHi {
+			continue
+		}
+		loss -= hOut.At(i, lab-cLo) * inv
+		if grad != nil {
+			grad.Set(i, lab-cLo, -inv)
+		}
+	}
+	return loss
+}
+
+func (r *twoDRank) backward(H, Z, zRow []*dense.Matrix) {
+	L := r.cfg.Layers()
+	dH := dense.New(H[L].Rows, H[L].Cols)
+	r.localLossGrad(H[L], dH)
+
+	dW := make([]*dense.Matrix, L)
+	for l := L; l >= 1; l-- {
+		fl := r.cfg.Widths[l]
+		fPrev := r.cfg.Widths[l-1]
+		act := r.cfg.Activation(l)
+
+		// G^l = act'(∂L/∂H^l, Z^l). Row-wise activations need full rows:
+		// all-gather dH along the row and reuse the cached full-row Z
+		// (the σ' all-gather of §IV-C-3).
+		g := dense.New(dH.Rows, dH.Cols)
+		if !act.RowWise() {
+			act.Backward(g, dH, Z[l])
+		} else {
+			dHRow := r.gatherRows(dH, fl)
+			gRow := dense.New(dHRow.Rows, dHRow.Cols)
+			act.Backward(gRow, dHRow, zRow[l])
+			fB := r.fBlk(fl)
+			g = gRow.SubMatrix(0, gRow.Rows, fB.Lo(r.pj), fB.Hi(r.pj))
+		}
+
+		// AG = A·G^l via SUMMA SpMM; reused for both Y and ∂L/∂H
+		// (§IV-C-4).
+		ag := r.summaSpMM(r.aBlk, g)
+
+		// Y^l = (H^{l-1})ᵀ(AG): all-gather AG along the process row, form
+		// the local partial, sum down process columns, then replicate
+		// along rows (2D dense SUMMA + all-gather, §IV-C-4).
+		agRow := r.gatherRows(ag, fl)
+		partial := dense.New(H[l-1].Cols, fl)
+		dense.TMul(partial, H[l-1], agRow)
+		r.comm.ChargeTime(comm.CatMisc, r.mach.GEMMTime(H[l-1].Cols, H[l-1].Rows, fl))
+		colSum := r.colGroup.AllReduce(partial.Data, comm.CatDenseComm)
+		yParts := r.rowGroup.AllGather(
+			comm.Payload{Floats: colSum, Ints: []int{partial.Rows, partial.Cols}},
+			comm.CatDenseComm)
+		dW[l-1] = dense.New(fPrev, fl)
+		fPB := r.fBlk(fPrev)
+		for j, part := range yParts {
+			dW[l-1].SetSubMatrix(fPB.Lo(j), 0, payloadMat(part))
+		}
+
+		// ∂L/∂H^{l-1} = AG·(W^l)ᵀ, computed from the already-gathered
+		// full-row AG with no extra communication.
+		if l > 1 {
+			wRowBlk := r.weights[l-1].SubMatrix(fPB.Lo(r.pj), fPB.Hi(r.pj), 0, fl)
+			dH = dense.New(agRow.Rows, wRowBlk.Rows)
+			dense.MulT(dH, agRow, wRowBlk)
+			r.comm.ChargeTime(comm.CatMisc, r.mach.GEMMTime(agRow.Rows, fl, wRowBlk.Rows))
+		}
+	}
+	for l := 0; l < L; l++ {
+		dense.AXPY(r.weights[l], -r.cfg.LR, dW[l])
+	}
+}

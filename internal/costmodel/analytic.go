@@ -1,0 +1,183 @@
+package costmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// Workload carries the aggregate quantities every §IV cost formula depends
+// on: vertex count n, nonzero count nnz(A), average feature length f, and
+// layer count L.
+type Workload struct {
+	N      int
+	NNZ    int64
+	F      float64
+	Layers int
+}
+
+// AvgDegree returns nnz/n, the paper's d.
+func (w Workload) AvgDegree() float64 {
+	if w.N == 0 {
+		return 0
+	}
+	return float64(w.NNZ) / float64(w.N)
+}
+
+// CommCost is a closed-form per-epoch communication bound: Msgs α-units and
+// Words β-units.
+type CommCost struct {
+	Msgs  float64
+	Words float64
+}
+
+// Time evaluates the bound on machine m.
+func (c CommCost) Time(m Machine) float64 {
+	return c.Msgs*m.Alpha + c.Words*m.Beta
+}
+
+// Add returns the component-wise sum.
+func (c CommCost) Add(o CommCost) CommCost {
+	return CommCost{Msgs: c.Msgs + o.Msgs, Words: c.Words + o.Words}
+}
+
+func (c CommCost) String() string {
+	return fmt.Sprintf("{msgs: %.3g, words: %.4g}", c.Msgs, c.Words)
+}
+
+// OneD returns the per-epoch communication bound of the 1D block-row
+// algorithm (§IV-A-5):
+//
+//	T = L( α·3 lg P + β( edgecut·f + n·f + f² ) )
+//
+// edgecut is edgecut_P(A), the per-process maximum number of dense-matrix
+// rows that must be fetched; random partitioning gives ≈ n(P-1)/P.
+func OneD(w Workload, p int, edgecut float64) CommCost {
+	L := float64(w.Layers)
+	return CommCost{
+		Msgs:  L * 3 * lgf(p),
+		Words: L * (edgecut*w.F + float64(w.N)*w.F + w.F*w.F),
+	}
+}
+
+// OneDRandomEdgecut returns the edgecut of a random (block) vertex
+// partition, n(P-1)/P (§IV-A-1: "a non-adversarial edgecut is never higher
+// than n(P-1)/P, which can be achieved by a random partitioning").
+func OneDRandomEdgecut(n, p int) float64 {
+	if p == 0 {
+		return 0
+	}
+	return float64(n) * float64(p-1) / float64(p)
+}
+
+// OneDSymmetric returns the bound for the symmetric case (§IV-A-6, Eq. 2)
+// where A can stand in for Aᵀ, trading the big outer product for a second
+// block-row multiply:
+//
+//	T = L( α·3 lg P + β( 2·edgecut·f + f² ) )
+func OneDSymmetric(w Workload, p int, edgecut float64) CommCost {
+	L := float64(w.Layers)
+	return CommCost{
+		Msgs:  L * 3 * lgf(p),
+		Words: L * (2*edgecut*w.F + w.F*w.F),
+	}
+}
+
+// OneDTransposing returns the bound for the variant that explicitly
+// transposes A between forward and backward propagation (§IV-A-7):
+//
+//	T = 2αP² + 2β·nnz/P + L( α·3 lg P + β( 2·edgecut·f + f² ) )
+func OneDTransposing(w Workload, p int, edgecut float64) CommCost {
+	base := OneDSymmetric(w, p, edgecut)
+	return base.Add(CommCost{
+		Msgs:  2 * float64(p) * float64(p),
+		Words: 2 * float64(w.NNZ) / float64(p),
+	})
+}
+
+// TwoD returns the per-epoch bound of the 2D SUMMA algorithm on a √P x √P
+// grid (§IV-C-5):
+//
+//	T = L( α(5√P + 3 lg P) + β( 8nf/√P + 2nnz/√P + f² ) )
+func TwoD(w Workload, p int) CommCost {
+	L := float64(w.Layers)
+	sq := math.Sqrt(float64(p))
+	return CommCost{
+		Msgs:  L * (5*sq + 3*lgf(p)),
+		Words: L * (8*float64(w.N)*w.F/sq + 2*float64(w.NNZ)/sq + w.F*w.F),
+	}
+}
+
+// TwoDRect returns the forward-propagation bound on a Pr x Pc rectangular
+// grid (§IV-C-6):
+//
+//	T = α·gcf(Pr,Pc) + β( nnz/Pr + nf/Pc + nf/Pr )
+func TwoDRect(w Workload, pr, pc int) CommCost {
+	return CommCost{
+		Msgs:  float64(gcd(pr, pc)),
+		Words: float64(w.NNZ)/float64(pr) + float64(w.N)*w.F/float64(pc) + float64(w.N)*w.F/float64(pr),
+	}
+}
+
+// ThreeD returns the per-epoch bound of the 3D Split-3D-SpMM algorithm on a
+// ∛P x ∛P x ∛P mesh (§IV-D-5):
+//
+//	T ≈ L( α·4P^{1/3} + β( 2nnz/P^{2/3} + 12nf/P^{2/3} ) )
+func ThreeD(w Workload, p int) CommCost {
+	L := float64(w.Layers)
+	cbrt := math.Cbrt(float64(p))
+	p23 := cbrt * cbrt
+	return CommCost{
+		Msgs:  L * 4 * cbrt,
+		Words: L * (2*float64(w.NNZ)/p23 + 12*float64(w.N)*w.F/p23),
+	}
+}
+
+// ThreeDReplicationFactor returns the 3D algorithm's intermediate-stage
+// memory replication factor P^{1/3} (§IV-D-1).
+func ThreeDReplicationFactor(p int) float64 {
+	return math.Cbrt(float64(p))
+}
+
+// OneFiveD returns the per-epoch bound for a 1.5D block-row algorithm with
+// replication factor c (§IV-B, following Koanantakool et al.): the dense
+// matrix is replicated across c layers, cutting its movement by a factor of
+// c at a c-fold memory cost; the sparse matrix shifts within teams of P/c.
+//
+//	T = L( α·(P/c² + lg c) + β( nnz·c/P + 2nf/c + f² ) )
+//
+// At c = 1 this degenerates to the 1D bound with a random edgecut; the
+// paper argues (§IV-B) the added memory is rarely worthwhile for GNNs since
+// d = O(f) makes the two input matrices comparable in size.
+func OneFiveD(w Workload, p, c int) CommCost {
+	if c < 1 {
+		c = 1
+	}
+	L := float64(w.Layers)
+	return CommCost{
+		Msgs:  L * (float64(p)/float64(c*c) + lgf(c)),
+		Words: L * (float64(w.NNZ)*float64(c)/float64(p) + 2*float64(w.N)*w.F/float64(c) + w.F*w.F),
+	}
+}
+
+// TwoDOverOneDWordRatio returns the predicted ratio of words moved by the
+// 2D algorithm to the 1D algorithm under the paper's simplifying
+// assumptions (§IV-C-5: random partitioning so edgecut ≈ n, nnz ≈ nf,
+// f ≪ n): the 2D algorithm moves (5/√P)× the 1D words, so the crossover
+// where 2D wins is √P ≥ 5 (§VI-d).
+func TwoDOverOneDWordRatio(p int) float64 {
+	return 5 / math.Sqrt(float64(p))
+}
+
+func lgf(p int) float64 {
+	if p <= 1 {
+		return 0
+	}
+	return math.Ceil(math.Log2(float64(p)))
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}

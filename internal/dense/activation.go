@@ -1,0 +1,161 @@
+package dense
+
+import (
+	"fmt"
+	"math"
+)
+
+// Activation is a differentiable elementwise-or-rowwise nonlinearity used
+// between GNN layers. Forward computes dst = σ(z); Backward computes
+// dst = grad ⊙ σ'(z) for elementwise activations, or the full
+// row-Jacobian-vector product for rowwise ones such as LogSoftmax.
+//
+// RowWise reports whether σ couples values within a row. The paper's
+// communication analysis distinguishes the two: elementwise activations need
+// no communication while rowwise ones (log_softmax) force an all-gather
+// along process rows (§IV-C-2).
+type Activation interface {
+	// Name identifies the activation in configs and logs.
+	Name() string
+	// Forward writes σ(z) into dst. dst may alias z.
+	Forward(dst, z *Matrix)
+	// Backward writes the gradient of the loss with respect to z into dst,
+	// given upstream gradient grad and pre-activation z. dst may alias grad.
+	Backward(dst, grad, z *Matrix)
+	// RowWise reports whether the activation couples elements within a row.
+	RowWise() bool
+}
+
+// ReLU is max(0, x).
+type ReLU struct{}
+
+// Name implements Activation.
+func (ReLU) Name() string { return "relu" }
+
+// RowWise implements Activation: ReLU is elementwise.
+func (ReLU) RowWise() bool { return false }
+
+// Forward implements Activation.
+func (ReLU) Forward(dst, z *Matrix) {
+	sameShape2(dst, z, "ReLU.Forward")
+	for i, v := range z.Data {
+		if v > 0 {
+			dst.Data[i] = v
+		} else {
+			dst.Data[i] = 0
+		}
+	}
+}
+
+// Backward implements Activation: dst = grad ⊙ 1[z > 0].
+func (ReLU) Backward(dst, grad, z *Matrix) {
+	sameShape3(dst, grad, z, "ReLU.Backward")
+	for i, v := range z.Data {
+		if v > 0 {
+			dst.Data[i] = grad.Data[i]
+		} else {
+			dst.Data[i] = 0
+		}
+	}
+}
+
+// Identity is the no-op activation, useful for testing the pure linear
+// pipeline.
+type Identity struct{}
+
+// Name implements Activation.
+func (Identity) Name() string { return "identity" }
+
+// RowWise implements Activation.
+func (Identity) RowWise() bool { return false }
+
+// Forward implements Activation.
+func (Identity) Forward(dst, z *Matrix) {
+	sameShape2(dst, z, "Identity.Forward")
+	copy(dst.Data, z.Data)
+}
+
+// Backward implements Activation.
+func (Identity) Backward(dst, grad, z *Matrix) {
+	sameShape3(dst, grad, z, "Identity.Backward")
+	copy(dst.Data, grad.Data)
+}
+
+// LogSoftmax applies log(softmax) along each row, the standard output
+// activation for node classification. It is rowwise: in distributed runs it
+// requires gathering each full row (the paper's all-gather term).
+type LogSoftmax struct{}
+
+// Name implements Activation.
+func (LogSoftmax) Name() string { return "log_softmax" }
+
+// RowWise implements Activation.
+func (LogSoftmax) RowWise() bool { return true }
+
+// Forward implements Activation: dst[i,j] = z[i,j] - log(sum_k exp(z[i,k])),
+// computed with the max-subtraction trick for numerical stability.
+func (LogSoftmax) Forward(dst, z *Matrix) {
+	sameShape2(dst, z, "LogSoftmax.Forward")
+	for i := 0; i < z.Rows; i++ {
+		zrow := z.Row(i)
+		drow := dst.Row(i)
+		logSoftmaxRow(drow, zrow)
+	}
+}
+
+func logSoftmaxRow(dst, z []float64) {
+	mx := math.Inf(-1)
+	for _, v := range z {
+		if v > mx {
+			mx = v
+		}
+	}
+	var sum float64
+	for _, v := range z {
+		sum += math.Exp(v - mx)
+	}
+	lse := mx + math.Log(sum)
+	for j, v := range z {
+		dst[j] = v - lse
+	}
+}
+
+// Backward implements Activation. For y = log_softmax(z),
+// dL/dz[i,j] = grad[i,j] - softmax(z)[i,j] * sum_k grad[i,k].
+func (LogSoftmax) Backward(dst, grad, z *Matrix) {
+	sameShape3(dst, grad, z, "LogSoftmax.Backward")
+	tmp := make([]float64, z.Cols)
+	for i := 0; i < z.Rows; i++ {
+		zrow := z.Row(i)
+		grow := grad.Row(i)
+		drow := dst.Row(i)
+		logSoftmaxRow(tmp, zrow)
+		var gsum float64
+		for _, g := range grow {
+			gsum += g
+		}
+		for j := range drow {
+			drow[j] = grow[j] - math.Exp(tmp[j])*gsum
+		}
+	}
+}
+
+// ActivationByName returns the activation registered under name.
+func ActivationByName(name string) (Activation, error) {
+	switch name {
+	case "relu":
+		return ReLU{}, nil
+	case "identity":
+		return Identity{}, nil
+	case "log_softmax":
+		return LogSoftmax{}, nil
+	default:
+		return nil, fmt.Errorf("dense: unknown activation %q", name)
+	}
+}
+
+func sameShape2(a, b *Matrix, op string) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("dense: %s shape mismatch: %dx%d vs %dx%d", op, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}

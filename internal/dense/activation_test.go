@@ -1,0 +1,162 @@
+package dense
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestReLUForward(t *testing.T) {
+	z := FromRows([][]float64{{-1, 0, 2}, {3, -4, 0.5}})
+	dst := New(2, 3)
+	ReLU{}.Forward(dst, z)
+	want := FromRows([][]float64{{0, 0, 2}, {3, 0, 0.5}})
+	if !EqualWithin(dst, want, 0) {
+		t.Fatalf("ReLU forward = %v, want %v", dst, want)
+	}
+}
+
+func TestReLUBackward(t *testing.T) {
+	z := FromRows([][]float64{{-1, 0, 2}})
+	g := FromRows([][]float64{{10, 20, 30}})
+	dst := New(1, 3)
+	ReLU{}.Backward(dst, g, z)
+	want := FromRows([][]float64{{0, 0, 30}})
+	if !EqualWithin(dst, want, 0) {
+		t.Fatalf("ReLU backward = %v, want %v", dst, want)
+	}
+}
+
+func TestIdentityRoundTrip(t *testing.T) {
+	z := FromRows([][]float64{{1, -2}, {3, 4}})
+	dst := New(2, 2)
+	Identity{}.Forward(dst, z)
+	if !EqualWithin(dst, z, 0) {
+		t.Fatal("Identity forward should copy")
+	}
+	g := FromRows([][]float64{{5, 6}, {7, 8}})
+	Identity{}.Backward(dst, g, z)
+	if !EqualWithin(dst, g, 0) {
+		t.Fatal("Identity backward should copy grad")
+	}
+}
+
+func TestLogSoftmaxRowsSumToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	z := randMatrix(rng, 10, 7)
+	out := New(10, 7)
+	LogSoftmax{}.Forward(out, z)
+	for i := 0; i < out.Rows; i++ {
+		var sum float64
+		for _, v := range out.Row(i) {
+			sum += math.Exp(v)
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("row %d: exp(log_softmax) sums to %v, want 1", i, sum)
+		}
+	}
+}
+
+func TestLogSoftmaxShiftInvariance(t *testing.T) {
+	z := FromRows([][]float64{{1, 2, 3}})
+	zs := FromRows([][]float64{{101, 102, 103}})
+	a, b := New(1, 3), New(1, 3)
+	LogSoftmax{}.Forward(a, z)
+	LogSoftmax{}.Forward(b, zs)
+	if MaxAbsDiff(a, b) > 1e-9 {
+		t.Fatal("log_softmax must be invariant to constant row shifts")
+	}
+}
+
+func TestLogSoftmaxStability(t *testing.T) {
+	z := FromRows([][]float64{{1000, 1000, 1000}})
+	out := New(1, 3)
+	LogSoftmax{}.Forward(out, z)
+	want := math.Log(1.0 / 3.0)
+	for _, v := range out.Row(0) {
+		if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v-want) > 1e-9 {
+			t.Fatalf("log_softmax overflowed: %v, want %v", v, want)
+		}
+	}
+}
+
+// numericalActGrad computes d(sum(grad .* act(z)))/dz[i,j] by central
+// differences to validate Backward implementations.
+func numericalActGrad(act Activation, z, grad *Matrix) *Matrix {
+	const h = 1e-6
+	out := New(z.Rows, z.Cols)
+	eval := func(zz *Matrix) float64 {
+		y := New(zz.Rows, zz.Cols)
+		act.Forward(y, zz)
+		var s float64
+		for i := range y.Data {
+			s += grad.Data[i] * y.Data[i]
+		}
+		return s
+	}
+	for i := range z.Data {
+		zp := z.Clone()
+		zm := z.Clone()
+		zp.Data[i] += h
+		zm.Data[i] -= h
+		out.Data[i] = (eval(zp) - eval(zm)) / (2 * h)
+	}
+	return out
+}
+
+func TestLogSoftmaxBackwardNumerical(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	z := randMatrix(rng, 4, 5)
+	grad := randMatrix(rng, 4, 5)
+	got := New(4, 5)
+	LogSoftmax{}.Backward(got, grad, z)
+	want := numericalActGrad(LogSoftmax{}, z, grad)
+	if MaxAbsDiff(got, want) > 1e-5 {
+		t.Fatalf("LogSoftmax backward differs from numerical gradient by %v", MaxAbsDiff(got, want))
+	}
+}
+
+func TestReLUBackwardNumerical(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	// Keep z away from 0 where ReLU is non-differentiable.
+	z := New(4, 5)
+	for i := range z.Data {
+		v := rng.NormFloat64()
+		if math.Abs(v) < 0.1 {
+			v += math.Copysign(0.2, v)
+		}
+		z.Data[i] = v
+	}
+	grad := randMatrix(rng, 4, 5)
+	got := New(4, 5)
+	ReLU{}.Backward(got, grad, z)
+	want := numericalActGrad(ReLU{}, z, grad)
+	if MaxAbsDiff(got, want) > 1e-5 {
+		t.Fatalf("ReLU backward differs from numerical gradient by %v", MaxAbsDiff(got, want))
+	}
+}
+
+func TestActivationByName(t *testing.T) {
+	for _, name := range []string{"relu", "identity", "log_softmax"} {
+		act, err := ActivationByName(name)
+		if err != nil {
+			t.Fatalf("ActivationByName(%q): %v", name, err)
+		}
+		if act.Name() != name {
+			t.Fatalf("round-trip name = %q, want %q", act.Name(), name)
+		}
+	}
+	if _, err := ActivationByName("tanh"); err == nil {
+		t.Fatal("expected error for unknown activation")
+	}
+}
+
+func TestRowWiseFlags(t *testing.T) {
+	if (ReLU{}).RowWise() || (Identity{}).RowWise() {
+		t.Fatal("elementwise activations must report RowWise() == false")
+	}
+	ls := LogSoftmax{}
+	if !ls.RowWise() {
+		t.Fatal("log_softmax must report RowWise() == true")
+	}
+}

@@ -1,0 +1,129 @@
+package dense
+
+import "fmt"
+
+// blockSize is the cache-blocking tile edge for GEMM kernels. 64 keeps a
+// 64x64 float64 tile (32 KiB) within L1 on common hardware.
+const blockSize = 64
+
+// Mul computes dst = a * b. dst must not alias a or b and must be
+// pre-shaped (a.Rows x b.Cols); it is overwritten.
+func Mul(dst, a, b *Matrix) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("dense: Mul inner dimension mismatch: %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("dense: Mul dst shape %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
+	}
+	dst.Zero()
+	MulAdd(dst, a, b)
+}
+
+// MulAdd computes dst += a * b with ikj loop order and cache blocking over
+// the k dimension. dst must not alias a or b.
+func MulAdd(dst, a, b *Matrix) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("dense: MulAdd inner dimension mismatch: %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("dense: MulAdd dst shape %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
+	}
+	n, k, m := a.Rows, a.Cols, b.Cols
+	for k0 := 0; k0 < k; k0 += blockSize {
+		k1 := min(k0+blockSize, k)
+		for i := 0; i < n; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			drow := dst.Data[i*m : (i+1)*m]
+			for kk := k0; kk < k1; kk++ {
+				av := arow[kk]
+				if av == 0 {
+					continue
+				}
+				brow := b.Data[kk*m : (kk+1)*m]
+				for j, bv := range brow {
+					drow[j] += av * bv
+				}
+			}
+		}
+	}
+}
+
+// MulT computes dst = a * bᵀ. dst must be a.Rows x b.Rows and must not
+// alias a or b.
+func MulT(dst, a, b *Matrix) {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("dense: MulT inner dimension mismatch: %dx%d * (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic(fmt.Sprintf("dense: MulT dst shape %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Rows))
+	}
+	k := a.Cols
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		drow := dst.Data[i*b.Rows : (i+1)*b.Rows]
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Data[j*k : (j+1)*k]
+			var s float64
+			for kk, av := range arow {
+				s += av * brow[kk]
+			}
+			drow[j] = s
+		}
+	}
+}
+
+// TMul computes dst = aᵀ * b. dst must be a.Cols x b.Cols and must not
+// alias a or b. It is overwritten.
+func TMul(dst, a, b *Matrix) {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("dense: TMul inner dimension mismatch: (%dx%d)ᵀ * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("dense: TMul dst shape %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Cols, b.Cols))
+	}
+	dst.Zero()
+	TMulAdd(dst, a, b)
+}
+
+// TMulAdd computes dst += aᵀ * b without materializing aᵀ.
+func TMulAdd(dst, a, b *Matrix) {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("dense: TMulAdd inner dimension mismatch: (%dx%d)ᵀ * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("dense: TMulAdd dst shape %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Cols, b.Cols))
+	}
+	m := b.Cols
+	for r := 0; r < a.Rows; r++ {
+		arow := a.Data[r*a.Cols : (r+1)*a.Cols]
+		brow := b.Data[r*m : (r+1)*m]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			drow := dst.Data[i*m : (i+1)*m]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MulNaive is a straightforward triple-loop reference used to validate the
+// blocked kernels in tests.
+func MulNaive(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("dense: MulNaive inner dimension mismatch: %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	dst := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			var s float64
+			for kk := 0; kk < a.Cols; kk++ {
+				s += a.At(i, kk) * b.At(kk, j)
+			}
+			dst.Set(i, j, s)
+		}
+	}
+	return dst
+}

@@ -1,0 +1,166 @@
+package dense
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMulMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, dims := range [][3]int{{1, 1, 1}, {2, 3, 4}, {7, 5, 3}, {64, 64, 64}, {65, 130, 33}, {128, 1, 128}} {
+		a := randMatrix(rng, dims[0], dims[1])
+		b := randMatrix(rng, dims[1], dims[2])
+		got := New(dims[0], dims[2])
+		Mul(got, a, b)
+		want := MulNaive(a, b)
+		if MaxAbsDiff(got, want) > 1e-10 {
+			t.Fatalf("Mul(%v) diverges from naive by %v", dims, MaxAbsDiff(got, want))
+		}
+	}
+}
+
+func TestMulAddAccumulates(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randMatrix(rng, 5, 6)
+	b := randMatrix(rng, 6, 4)
+	dst := randMatrix(rng, 5, 4)
+	orig := dst.Clone()
+	MulAdd(dst, a, b)
+	want := MulNaive(a, b)
+	Add(want, want, orig)
+	if MaxAbsDiff(dst, want) > 1e-10 {
+		t.Fatalf("MulAdd mismatch: %v", MaxAbsDiff(dst, want))
+	}
+}
+
+func TestMulTMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randMatrix(rng, 6, 5)
+	b := randMatrix(rng, 7, 5) // b^T is 5x7
+	got := New(6, 7)
+	MulT(got, a, b)
+	want := MulNaive(a, b.T())
+	if MaxAbsDiff(got, want) > 1e-10 {
+		t.Fatalf("MulT mismatch: %v", MaxAbsDiff(got, want))
+	}
+}
+
+func TestTMulMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randMatrix(rng, 8, 3) // a^T is 3x8
+	b := randMatrix(rng, 8, 4)
+	got := New(3, 4)
+	TMul(got, a, b)
+	want := MulNaive(a.T(), b)
+	if MaxAbsDiff(got, want) > 1e-10 {
+		t.Fatalf("TMul mismatch: %v", MaxAbsDiff(got, want))
+	}
+}
+
+func TestTMulAddAccumulates(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := randMatrix(rng, 8, 3)
+	b := randMatrix(rng, 8, 4)
+	dst := randMatrix(rng, 3, 4)
+	orig := dst.Clone()
+	TMulAdd(dst, a, b)
+	want := MulNaive(a.T(), b)
+	Add(want, want, orig)
+	if MaxAbsDiff(dst, want) > 1e-10 {
+		t.Fatalf("TMulAdd mismatch: %v", MaxAbsDiff(dst, want))
+	}
+}
+
+func TestMulDimensionMismatchPanics(t *testing.T) {
+	defer mustPanic(t, "inner dim mismatch")
+	Mul(New(2, 2), New(2, 3), New(4, 2))
+}
+
+func TestMulDstShapePanics(t *testing.T) {
+	defer mustPanic(t, "dst shape mismatch")
+	Mul(New(3, 3), New(2, 3), New(3, 2))
+}
+
+func TestMulTDimensionMismatchPanics(t *testing.T) {
+	defer mustPanic(t, "MulT inner dim")
+	MulT(New(2, 2), New(2, 3), New(2, 4))
+}
+
+func TestTMulDimensionMismatchPanics(t *testing.T) {
+	defer mustPanic(t, "TMul inner dim")
+	TMul(New(3, 4), New(2, 3), New(3, 4))
+}
+
+// Property: (AB)^T == B^T A^T.
+func TestMulTransposeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	f := func(n8, k8, m8 uint8) bool {
+		n, k, m := int(n8%12)+1, int(k8%12)+1, int(m8%12)+1
+		a := randMatrix(rng, n, k)
+		b := randMatrix(rng, k, m)
+		ab := New(n, m)
+		Mul(ab, a, b)
+		btat := New(m, n)
+		Mul(btat, b.T(), a.T())
+		return MaxAbsDiff(ab.T(), btat) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: A(B+C) == AB + AC (distributivity).
+func TestMulDistributivityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	f := func(n8, k8, m8 uint8) bool {
+		n, k, m := int(n8%10)+1, int(k8%10)+1, int(m8%10)+1
+		a := randMatrix(rng, n, k)
+		b := randMatrix(rng, k, m)
+		c := randMatrix(rng, k, m)
+		bc := New(k, m)
+		Add(bc, b, c)
+		lhs := New(n, m)
+		Mul(lhs, a, bc)
+		ab := New(n, m)
+		Mul(ab, a, b)
+		ac := New(n, m)
+		Mul(ac, a, c)
+		rhs := New(n, m)
+		Add(rhs, ab, ac)
+		return MaxAbsDiff(lhs, rhs) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	a := randMatrix(rng, 9, 9)
+	got := New(9, 9)
+	Mul(got, a, Eye(9))
+	if MaxAbsDiff(got, a) > 1e-12 {
+		t.Fatal("A*I != A")
+	}
+	Mul(got, Eye(9), a)
+	if MaxAbsDiff(got, a) > 1e-12 {
+		t.Fatal("I*A != A")
+	}
+}
+
+func BenchmarkGEMM128(b *testing.B) { benchGEMM(b, 128) }
+func BenchmarkGEMM256(b *testing.B) { benchGEMM(b, 256) }
+
+func benchGEMM(b *testing.B, n int) {
+	rng := rand.New(rand.NewSource(11))
+	x := randMatrix(rng, n, n)
+	y := randMatrix(rng, n, n)
+	dst := New(n, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Mul(dst, x, y)
+	}
+	b.SetBytes(int64(8 * n * n * 3))
+}

@@ -1,0 +1,107 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCommunityRMATStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	k, scalePer := 8, 5
+	g := CommunityRMAT(k, scalePer, 10, 2, rng)
+	if g.NumVertices != 8*32 {
+		t.Fatalf("vertices = %d, want 256", g.NumVertices)
+	}
+	// Count intra- vs inter-community edges: local edges must dominate.
+	per := 32
+	intra, inter := 0, 0
+	for _, e := range g.Edges {
+		if e[0]/per == e[1]/per {
+			intra++
+		} else {
+			inter++
+		}
+	}
+	if intra <= 2*inter {
+		t.Fatalf("community structure too weak: %d intra vs %d inter", intra, inter)
+	}
+	// Symmetric by construction.
+	a := g.Adjacency()
+	if a.NNZ() == 0 {
+		t.Fatal("no edges")
+	}
+	at := a.Transpose()
+	for i := range a.Val {
+		if a.ColIdx[i] != at.ColIdx[i] {
+			t.Fatal("community graph must be symmetric")
+		}
+	}
+}
+
+func TestCommunityRMATHeavyTailWithinCommunities(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := CommunityRMAT(4, 8, 16, 1, rng)
+	st := Stats(g.Adjacency())
+	if st.MaxDegree < int(2.5*st.AvgDegree) {
+		t.Fatalf("expected heavy-tailed degrees: max %d vs avg %.1f", st.MaxDegree, st.AvgDegree)
+	}
+}
+
+func TestLearnableBuildInPackage(t *testing.T) {
+	ds, err := LearnableSpec{
+		Communities: 3, PerCommunity: 20,
+		IntraDegree: 5, InterDegree: 1,
+		Features: 5, FeatureNoise: 0.3, Seed: 3,
+	}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Graph.NumVertices != 60 || ds.NumLabels != 3 {
+		t.Fatalf("dataset malformed: %+v", ds)
+	}
+	// Labels equal community index.
+	for v := 0; v < 60; v++ {
+		if ds.Labels[v] != v/20 {
+			t.Fatalf("label[%d] = %d, want %d", v, ds.Labels[v], v/20)
+		}
+	}
+	// Feature rows are indicator + noise: the label coordinate should be
+	// largest on average.
+	hits := 0
+	for v := 0; v < 60; v++ {
+		row := ds.Features.Row(v)
+		best := 0
+		for j := range row {
+			if row[j] > row[best] {
+				best = j
+			}
+		}
+		if best == ds.Labels[v] {
+			hits++
+		}
+	}
+	if hits < 40 {
+		t.Fatalf("features too noisy: only %d/60 argmax hits", hits)
+	}
+}
+
+func TestLearnableBuildErrors(t *testing.T) {
+	if _, err := (LearnableSpec{Communities: 1, PerCommunity: 5, Features: 3}).Build(); err == nil {
+		t.Fatal("expected communities error")
+	}
+	if _, err := (LearnableSpec{Communities: 4, PerCommunity: 5, Features: 3}).Build(); err == nil {
+		t.Fatal("expected features error")
+	}
+	if _, err := (LearnableSpec{Communities: 2, PerCommunity: 0, Features: 3}).Build(); err == nil {
+		t.Fatal("expected per-community error")
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(-1)
+}

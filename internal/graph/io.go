@@ -1,0 +1,130 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// edgeListMagic identifies the binary edge-list format.
+const edgeListMagic = uint32(0xCA97E701)
+
+// WriteBinary serializes the graph in a compact binary format:
+// magic, vertex count, edge count, then (src, dst) pairs as uint32 varints.
+func (g *Graph) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], edgeListMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(g.NumVertices))
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(g.Edges)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("graph: write header: %w", err)
+	}
+	var buf [binary.MaxVarintLen64]byte
+	for _, e := range g.Edges {
+		n := binary.PutUvarint(buf[:], uint64(e[0]))
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return fmt.Errorf("graph: write edge: %w", err)
+		}
+		n = binary.PutUvarint(buf[:], uint64(e[1]))
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return fmt.Errorf("graph: write edge: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary deserializes a graph written by WriteBinary.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	var hdr [12]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("graph: read header: %w", err)
+	}
+	if m := binary.LittleEndian.Uint32(hdr[0:4]); m != edgeListMagic {
+		return nil, fmt.Errorf("graph: bad magic 0x%08X", m)
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[4:8]))
+	e := int(binary.LittleEndian.Uint32(hdr[8:12]))
+	g := New(n)
+	g.Edges = make([][2]int, 0, e)
+	for i := 0; i < e; i++ {
+		u, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("graph: read edge %d src: %w", i, err)
+		}
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("graph: read edge %d dst: %w", i, err)
+		}
+		if int(u) >= n || int(v) >= n {
+			return nil, fmt.Errorf("graph: edge %d (%d,%d) out of range for %d vertices", i, u, v, n)
+		}
+		g.Edges = append(g.Edges, [2]int{int(u), int(v)})
+	}
+	return g, nil
+}
+
+// WriteText emits the graph as a plain edge list: first line "n m", then one
+// "src dst" pair per line.
+func (g *Graph) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%d %d\n", g.NumVertices, len(g.Edges)); err != nil {
+		return fmt.Errorf("graph: write text header: %w", err)
+	}
+	for _, e := range g.Edges {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", e[0], e[1]); err != nil {
+			return fmt.Errorf("graph: write text edge: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText parses the format emitted by WriteText. Blank lines and lines
+// starting with '#' or '%' are skipped (compatible with SNAP/MatrixMarket
+// style comments).
+func ReadText(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	var g *Graph
+	var wantEdges int
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") || strings.HasPrefix(text, "%") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("graph: line %d: want 2 fields, got %d", line, len(fields))
+		}
+		a, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %w", line, err)
+		}
+		b, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %w", line, err)
+		}
+		if g == nil {
+			g = New(a)
+			wantEdges = b
+			continue
+		}
+		g.AddEdge(a, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: scan: %w", err)
+	}
+	if g == nil {
+		return nil, fmt.Errorf("graph: empty input")
+	}
+	if len(g.Edges) != wantEdges {
+		return nil, fmt.Errorf("graph: header declared %d edges, read %d", wantEdges, len(g.Edges))
+	}
+	return g, nil
+}

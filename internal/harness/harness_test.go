@@ -1,0 +1,296 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/costmodel"
+	"repro/internal/graph"
+)
+
+var quick = Options{Quick: true, Machine: costmodel.Summit}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.WithDefaults()
+	if o.Machine.Name != costmodel.SummitSim.Name {
+		t.Fatalf("default machine = %q", o.Machine.Name)
+	}
+}
+
+func TestQuickDatasetSmaller(t *testing.T) {
+	full, err := Options{}.dataset("reddit-sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := quick.dataset("reddit-sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Scale >= full.Scale {
+		t.Fatal("quick dataset should be smaller")
+	}
+	if _, err := quick.dataset("unknown"); err == nil {
+		t.Fatal("expected error for unknown dataset")
+	}
+}
+
+func TestMeasureEpoch(t *testing.T) {
+	spec, err := quick.dataset("reddit-sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := spec.Build()
+	m, err := MeasureEpoch(ds, "2d", 4, costmodel.Summit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.EpochTime <= 0 {
+		t.Fatalf("epoch time = %v", m.EpochTime)
+	}
+	if m.Throughput() <= 0 {
+		t.Fatal("throughput should be positive")
+	}
+	if m.WordsByCat[comm.CatDenseComm] <= 0 || m.WordsByCat[comm.CatSparseComm] <= 0 {
+		t.Fatalf("missing traffic: %v", m.WordsByCat)
+	}
+	if m.TimeByCat[comm.CatSpMM] <= 0 {
+		t.Fatalf("missing spmm time: %v", m.TimeByCat)
+	}
+	if m.CommWords() <= 0 {
+		t.Fatal("CommWords should be positive")
+	}
+}
+
+func TestMeasureEpochUnknownAlgo(t *testing.T) {
+	spec, _ := quick.dataset("reddit-sim")
+	ds := spec.Build()
+	if _, err := MeasureEpoch(ds, "bogus", 4, costmodel.Summit); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := MeasureEpoch(ds, "serial", 4, costmodel.Summit); err == nil {
+		t.Fatal("serial should be rejected (no cluster ledger)")
+	}
+}
+
+// TestFig2QuickShape runs a reduced Figure 2 sweep and validates the
+// qualitative shapes: per-dataset rows present, epoch time finite.
+func TestFig2QuickShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness sweep in -short mode")
+	}
+	// Restrict to a single small dataset sweep for test runtime by
+	// measuring directly rather than the full Fig2.
+	spec, err := quick.dataset("reddit-sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := spec.Build()
+	var prev EpochMeasurement
+	for i, p := range []int{4, 16} {
+		m, err := MeasureEpoch(ds, "2d", p, costmodel.Summit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 {
+			// Dense communication *words* must fall with P (the √P law).
+			// Time need not fall at this scale: small broadcasts are
+			// latency-bound, exactly the paper's Reddit observation
+			// (§VI-b).
+			if m.WordsByCat[comm.CatDenseComm] >= prev.WordsByCat[comm.CatDenseComm] {
+				t.Fatalf("dcomm words should fall from P=4 to P=16: %v vs %v",
+					prev.WordsByCat[comm.CatDenseComm], m.WordsByCat[comm.CatDenseComm])
+			}
+		}
+		prev = m
+	}
+}
+
+func TestTableVI(t *testing.T) {
+	rows, err := TableVI(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.PaperVertices == 0 || r.SimVertices == 0 || r.SimEdges == 0 {
+			t.Fatalf("incomplete row %+v", r)
+		}
+		if r.SimAvgDegree <= 0 {
+			t.Fatalf("bad degree in %+v", r)
+		}
+	}
+	// Protein must remain the densest analog, Amazon the sparsest,
+	// matching Table VI's degree ordering.
+	deg := map[string]float64{}
+	for _, r := range rows {
+		deg[r.Name] = r.SimAvgDegree
+	}
+	if !(deg["amazon-sim"] < deg["reddit-sim"] && deg["amazon-sim"] < deg["protein-sim"]) {
+		t.Fatalf("degree ordering violated: %v", deg)
+	}
+}
+
+func TestPartitionExperiment(t *testing.T) {
+	res, err := PartitionExperiment(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RandomTotalCut == 0 || res.GreedyTotalCut == 0 {
+		t.Fatalf("degenerate result %+v", res)
+	}
+	// The paper's qualitative finding: total reduction exceeds max
+	// reduction (smart partitioning helps the sum much more than the
+	// bottleneck process).
+	if res.TotalReduction < res.MaxReduction-0.05 {
+		t.Fatalf("total reduction (%.2f) should exceed max reduction (%.2f)",
+			res.TotalReduction, res.MaxReduction)
+	}
+}
+
+func TestCrossoverQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness sweep in -short mode")
+	}
+	rows, err := Crossover(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// Measured ratio must fall with P, tracking 5/√P qualitatively.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].MeasuredRatio >= rows[i-1].MeasuredRatio {
+			t.Fatalf("2D/1D ratio should fall with P: %+v", rows)
+		}
+	}
+	// At P=4 1D wins; at P=36 (past crossover) 2D wins.
+	if rows[0].MeasuredRatio <= 1 {
+		t.Fatalf("at P=4, 1D should win: ratio %v", rows[0].MeasuredRatio)
+	}
+	last := rows[len(rows)-1]
+	if last.P >= 36 && last.MeasuredRatio >= 1 {
+		t.Fatalf("at P=%d, 2D should win: ratio %v", last.P, last.MeasuredRatio)
+	}
+}
+
+func TestAlgo3DQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness sweep in -short mode")
+	}
+	rows, err := Algo3D(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	byAlgo := map[string]Algo3DRow{}
+	for _, r := range rows {
+		byAlgo[r.Algorithm] = r
+	}
+	if byAlgo["3d"].Replication <= 1 {
+		t.Fatal("3D must report replication > 1")
+	}
+	if byAlgo["3d"].CommWords <= 0 || byAlgo["2d"].CommWords <= 0 {
+		t.Fatalf("missing words: %+v", rows)
+	}
+}
+
+func TestScalingQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness sweep in -short mode")
+	}
+	rows, err := Scaling(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no scaling rows")
+	}
+	for _, r := range rows {
+		if r.Measured <= 0 {
+			t.Fatalf("non-positive measurement: %+v", r)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	out := Table([]string{"a", "long-header"}, [][]string{{"xx", "1"}, {"y", "22"}})
+	if !strings.Contains(out, "long-header") || !strings.Contains(out, "xx") {
+		t.Fatalf("table output malformed:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want 4 lines, got %d", len(lines))
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	if FormatFloat(0) != "0" {
+		t.Fatal("zero formatting")
+	}
+	if s := FormatFloat(123456); !strings.Contains(s, "e") && len(s) > 8 {
+		t.Fatalf("large float formatting: %q", s)
+	}
+	if FormatFloat(0.5) != "0.5000" {
+		t.Fatalf("mid float: %q", FormatFloat(0.5))
+	}
+}
+
+func TestSortMeasurements(t *testing.T) {
+	ms := []EpochMeasurement{
+		{Dataset: "protein-sim", P: 36},
+		{Dataset: "amazon-sim", P: 64},
+		{Dataset: "amazon-sim", P: 16},
+	}
+	SortMeasurements(ms)
+	if ms[0].Dataset != "amazon-sim" || ms[0].P != 16 || ms[2].Dataset != "protein-sim" {
+		t.Fatalf("sorted order wrong: %+v", ms)
+	}
+}
+
+func TestFig2SweepsCoverDatasets(t *testing.T) {
+	for _, d := range Fig2Datasets {
+		if len(Fig2Sweeps[d]) == 0 {
+			t.Fatalf("no sweep for %s", d)
+		}
+	}
+	// Every sweep value must be a perfect square (2D grids).
+	for d, ps := range Fig2Sweeps {
+		for _, p := range ps {
+			s := 0
+			for s*s < p {
+				s++
+			}
+			if s*s != p {
+				t.Fatalf("%s sweep contains non-square %d", d, p)
+			}
+		}
+	}
+	_ = graph.Analogs // keep import meaningful if sweeps change
+}
+
+func TestConvergenceQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness sweep in -short mode")
+	}
+	rows, err := Convergence(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	full, sampled := rows[0], rows[1]
+	if full.Accuracy < 0.9 || sampled.Accuracy < 0.9 {
+		t.Fatalf("both methods should learn the SBM: %+v", rows)
+	}
+	if sampled.PeakVertices >= full.PeakVertices {
+		t.Fatalf("sampling should cap the footprint: sampled %d vs full %d",
+			sampled.PeakVertices, full.PeakVertices)
+	}
+}

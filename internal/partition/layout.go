@@ -1,0 +1,205 @@
+// Package partition provides the data layouts of Tables III-V (1D block,
+// 2D grid, 3D mesh), graph partitioners, and the edgecut metrics of
+// §IV-A-1 and §IV-A-8.
+package partition
+
+import "fmt"
+
+// Block1D describes splitting n items into p consecutive blocks, block i
+// holding [Lo(i), Hi(i)). Blocks differ in size by at most one item.
+type Block1D struct {
+	N, P int
+}
+
+// NewBlock1D validates and builds a 1D block distribution.
+func NewBlock1D(n, p int) Block1D {
+	if n < 0 || p <= 0 {
+		panic(fmt.Sprintf("partition: invalid Block1D(%d, %d)", n, p))
+	}
+	return Block1D{N: n, P: p}
+}
+
+// Lo returns the first index of block i.
+func (b Block1D) Lo(i int) int { return i * b.N / b.P }
+
+// Hi returns one past the last index of block i.
+func (b Block1D) Hi(i int) int { return (i + 1) * b.N / b.P }
+
+// Size returns the number of items in block i.
+func (b Block1D) Size(i int) int { return b.Hi(i) - b.Lo(i) }
+
+// Owner returns which block holds item idx.
+func (b Block1D) Owner(idx int) int {
+	if idx < 0 || idx >= b.N {
+		panic(fmt.Sprintf("partition: index %d out of range for n=%d", idx, b.N))
+	}
+	// Invert lo(i) = i*n/p: candidate then adjust for rounding.
+	i := (idx*b.P + b.P - 1) / b.N
+	if i >= b.P {
+		i = b.P - 1
+	}
+	for i > 0 && b.Lo(i) > idx {
+		i--
+	}
+	for i < b.P-1 && b.Hi(i) <= idx {
+		i++
+	}
+	return i
+}
+
+// Sizes returns all block sizes.
+func (b Block1D) Sizes() []int {
+	out := make([]int, b.P)
+	for i := range out {
+		out[i] = b.Size(i)
+	}
+	return out
+}
+
+// Grid2D is a Pr x Pc process grid; processor (i, j) has linear rank
+// i*Pc + j (row-major), matching the paper's P(i, j) indexing.
+type Grid2D struct {
+	Pr, Pc int
+}
+
+// NewSquareGrid returns the √P x √P grid, panicking if p is not a perfect
+// square (the configuration the paper implements, §IV-C-6).
+func NewSquareGrid(p int) Grid2D {
+	s := intSqrt(p)
+	if s*s != p {
+		panic(fmt.Sprintf("partition: %d is not a perfect square", p))
+	}
+	return Grid2D{Pr: s, Pc: s}
+}
+
+// NewGrid2D returns a Pr x Pc grid.
+func NewGrid2D(pr, pc int) Grid2D {
+	if pr <= 0 || pc <= 0 {
+		panic(fmt.Sprintf("partition: invalid grid %dx%d", pr, pc))
+	}
+	return Grid2D{Pr: pr, Pc: pc}
+}
+
+// Size returns the total number of processes.
+func (g Grid2D) Size() int { return g.Pr * g.Pc }
+
+// Rank returns the linear rank of processor (i, j).
+func (g Grid2D) Rank(i, j int) int {
+	if i < 0 || i >= g.Pr || j < 0 || j >= g.Pc {
+		panic(fmt.Sprintf("partition: grid coord (%d,%d) out of %dx%d", i, j, g.Pr, g.Pc))
+	}
+	return i*g.Pc + j
+}
+
+// Coords returns the (i, j) coordinates of a linear rank.
+func (g Grid2D) Coords(rank int) (int, int) {
+	if rank < 0 || rank >= g.Size() {
+		panic(fmt.Sprintf("partition: rank %d out of range for %dx%d grid", rank, g.Pr, g.Pc))
+	}
+	return rank / g.Pc, rank % g.Pc
+}
+
+// RowRanks returns the linear ranks of process row i, ordered by column.
+func (g Grid2D) RowRanks(i int) []int {
+	out := make([]int, g.Pc)
+	for j := range out {
+		out[j] = g.Rank(i, j)
+	}
+	return out
+}
+
+// ColRanks returns the linear ranks of process column j, ordered by row.
+func (g Grid2D) ColRanks(j int) []int {
+	out := make([]int, g.Pr)
+	for i := range out {
+		out[i] = g.Rank(i, j)
+	}
+	return out
+}
+
+// Grid3D is a C x C x C process mesh for the Split-3D algorithm. Processor
+// (i, j, k) — row i, column j, layer k — has linear rank k*C² + i*C + j.
+type Grid3D struct {
+	C int
+}
+
+// NewGrid3D returns the ∛P x ∛P x ∛P mesh, panicking if p is not a perfect
+// cube.
+func NewGrid3D(p int) Grid3D {
+	c := intCbrt(p)
+	if c*c*c != p {
+		panic(fmt.Sprintf("partition: %d is not a perfect cube", p))
+	}
+	return Grid3D{C: c}
+}
+
+// Size returns the total number of processes.
+func (g Grid3D) Size() int { return g.C * g.C * g.C }
+
+// Rank returns the linear rank of processor (i, j, k).
+func (g Grid3D) Rank(i, j, k int) int {
+	if i < 0 || i >= g.C || j < 0 || j >= g.C || k < 0 || k >= g.C {
+		panic(fmt.Sprintf("partition: mesh coord (%d,%d,%d) out of %d³", i, j, k, g.C))
+	}
+	return k*g.C*g.C + i*g.C + j
+}
+
+// Coords returns the (i, j, k) coordinates of a linear rank.
+func (g Grid3D) Coords(rank int) (int, int, int) {
+	if rank < 0 || rank >= g.Size() {
+		panic(fmt.Sprintf("partition: rank %d out of range for %d³ mesh", rank, g.C))
+	}
+	k := rank / (g.C * g.C)
+	rem := rank % (g.C * g.C)
+	return rem / g.C, rem % g.C, k
+}
+
+// LayerRowRanks returns the ranks of process row i within layer k.
+func (g Grid3D) LayerRowRanks(i, k int) []int {
+	out := make([]int, g.C)
+	for j := range out {
+		out[j] = g.Rank(i, j, k)
+	}
+	return out
+}
+
+// LayerColRanks returns the ranks of process column j within layer k.
+func (g Grid3D) LayerColRanks(j, k int) []int {
+	out := make([]int, g.C)
+	for i := range out {
+		out[i] = g.Rank(i, j, k)
+	}
+	return out
+}
+
+// FiberRanks returns the ranks along the fiber (third dimension) at grid
+// position (i, j), ordered by layer.
+func (g Grid3D) FiberRanks(i, j int) []int {
+	out := make([]int, g.C)
+	for k := range out {
+		out[k] = g.Rank(i, j, k)
+	}
+	return out
+}
+
+func intSqrt(p int) int {
+	s := 0
+	for (s+1)*(s+1) <= p {
+		s++
+	}
+	return s
+}
+
+func intCbrt(p int) int {
+	c := 0
+	for (c+1)*(c+1)*(c+1) <= p {
+		c++
+	}
+	return c
+}
+
+// IsPerfectSquare reports whether p has an integer square root.
+func IsPerfectSquare(p int) bool { s := intSqrt(p); return s*s == p }
+
+// IsPerfectCube reports whether p has an integer cube root.
+func IsPerfectCube(p int) bool { c := intCbrt(p); return c*c*c == p }

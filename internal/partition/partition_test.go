@@ -1,0 +1,319 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestBlock1DCoverage(t *testing.T) {
+	for _, tc := range [][2]int{{10, 3}, {7, 7}, {100, 64}, {5, 8}, {0, 2}, {1, 1}} {
+		n, p := tc[0], tc[1]
+		b := NewBlock1D(n, p)
+		total := 0
+		prevHi := 0
+		for i := 0; i < p; i++ {
+			if b.Lo(i) != prevHi {
+				t.Fatalf("n=%d p=%d: block %d starts at %d, want %d", n, p, i, b.Lo(i), prevHi)
+			}
+			total += b.Size(i)
+			prevHi = b.Hi(i)
+		}
+		if total != n || prevHi != n {
+			t.Fatalf("n=%d p=%d: blocks cover %d items ending at %d", n, p, total, prevHi)
+		}
+	}
+}
+
+func TestBlock1DBalanced(t *testing.T) {
+	b := NewBlock1D(10, 3)
+	for i := 0; i < 3; i++ {
+		if s := b.Size(i); s < 3 || s > 4 {
+			t.Fatalf("block %d size %d not balanced", i, s)
+		}
+	}
+}
+
+func TestBlock1DOwnerConsistent(t *testing.T) {
+	f := func(n16, p8 uint8) bool {
+		n, p := int(n16)+1, int(p8%16)+1
+		b := NewBlock1D(n, p)
+		for idx := 0; idx < n; idx++ {
+			o := b.Owner(idx)
+			if idx < b.Lo(o) || idx >= b.Hi(o) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlock1DOwnerOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBlock1D(5, 2).Owner(5)
+}
+
+func TestGrid2DRoundTrip(t *testing.T) {
+	g := NewGrid2D(3, 4)
+	if g.Size() != 12 {
+		t.Fatalf("Size = %d", g.Size())
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			r := g.Rank(i, j)
+			gi, gj := g.Coords(r)
+			if gi != i || gj != j {
+				t.Fatalf("round trip (%d,%d) -> %d -> (%d,%d)", i, j, r, gi, gj)
+			}
+		}
+	}
+}
+
+func TestNewSquareGrid(t *testing.T) {
+	g := NewSquareGrid(16)
+	if g.Pr != 4 || g.Pc != 4 {
+		t.Fatalf("square grid = %dx%d", g.Pr, g.Pc)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-square p")
+		}
+	}()
+	NewSquareGrid(12)
+}
+
+func TestGridRowColRanks(t *testing.T) {
+	g := NewGrid2D(2, 3)
+	row1 := g.RowRanks(1)
+	if len(row1) != 3 || row1[0] != 3 || row1[2] != 5 {
+		t.Fatalf("RowRanks(1) = %v", row1)
+	}
+	col2 := g.ColRanks(2)
+	if len(col2) != 2 || col2[0] != 2 || col2[1] != 5 {
+		t.Fatalf("ColRanks(2) = %v", col2)
+	}
+}
+
+func TestGrid3DRoundTrip(t *testing.T) {
+	g := NewGrid3D(27)
+	if g.C != 3 || g.Size() != 27 {
+		t.Fatalf("grid3d C=%d size=%d", g.C, g.Size())
+	}
+	seen := make(map[int]bool)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			for k := 0; k < 3; k++ {
+				r := g.Rank(i, j, k)
+				if seen[r] {
+					t.Fatalf("duplicate rank %d", r)
+				}
+				seen[r] = true
+				gi, gj, gk := g.Coords(r)
+				if gi != i || gj != j || gk != k {
+					t.Fatalf("round trip (%d,%d,%d) -> %d -> (%d,%d,%d)", i, j, k, r, gi, gj, gk)
+				}
+			}
+		}
+	}
+}
+
+func TestGrid3DGroups(t *testing.T) {
+	g := NewGrid3D(8)
+	fiber := g.FiberRanks(1, 0)
+	if len(fiber) != 2 {
+		t.Fatalf("fiber = %v", fiber)
+	}
+	// All fiber members share (i, j).
+	for k, r := range fiber {
+		i, j, kk := g.Coords(r)
+		if i != 1 || j != 0 || kk != k {
+			t.Fatalf("fiber member %d has coords (%d,%d,%d)", r, i, j, kk)
+		}
+	}
+	row := g.LayerRowRanks(0, 1)
+	for j, r := range row {
+		i, jj, k := g.Coords(r)
+		if i != 0 || k != 1 || jj != j {
+			t.Fatalf("layer row member %d has coords (%d,%d,%d)", r, i, jj, k)
+		}
+	}
+	col := g.LayerColRanks(1, 1)
+	for i, r := range col {
+		ii, j, k := g.Coords(r)
+		if j != 1 || k != 1 || ii != i {
+			t.Fatalf("layer col member %d has coords (%d,%d,%d)", r, ii, j, k)
+		}
+	}
+}
+
+func TestPerfectPredicates(t *testing.T) {
+	if !IsPerfectSquare(36) || IsPerfectSquare(35) {
+		t.Fatal("IsPerfectSquare wrong")
+	}
+	if !IsPerfectCube(27) || IsPerfectCube(26) {
+		t.Fatal("IsPerfectCube wrong")
+	}
+}
+
+func TestBlockAssignment(t *testing.T) {
+	a := BlockAssignment(10, 3)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sizes := a.PartSizes()
+	if sizes[0]+sizes[1]+sizes[2] != 10 {
+		t.Fatalf("sizes = %v", sizes)
+	}
+	// Consecutive blocks.
+	if a.Parts[0] != 0 || a.Parts[9] != 2 {
+		t.Fatalf("parts = %v", a.Parts)
+	}
+}
+
+func TestRandomAssignmentBalanced(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := RandomAssignment(100, 7, rng)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if imb := a.Imbalance(); imb > 1.1 {
+		t.Fatalf("random assignment imbalance = %v", imb)
+	}
+}
+
+func TestGreedyBFSCoversAndBalances(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := graph.Grid2D(20, 20)
+	a := GreedyBFS(g, 8, rng)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if imb := a.Imbalance(); imb > 1.3 {
+		t.Fatalf("GreedyBFS imbalance = %v", imb)
+	}
+}
+
+func TestLDGCoversAndBalances(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := graph.Grid2D(15, 15)
+	a := LDG(g, 5, rng)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if imb := a.Imbalance(); imb > 1.3 {
+		t.Fatalf("LDG imbalance = %v", imb)
+	}
+}
+
+// TestGreedyBeatsRandomOnLattice reproduces the §IV-A-8 qualitative result:
+// a locality-aware partitioner cuts total edgecut dramatically on a graph
+// with structure, relative to random partitioning.
+func TestGreedyBeatsRandomOnLattice(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := graph.Grid2D(30, 30)
+	random := Edgecut(g, RandomAssignment(g.NumVertices, 9, rng))
+	greedy := Edgecut(g, GreedyBFS(g, 9, rng))
+	if greedy.TotalCut >= random.TotalCut/2 {
+		t.Fatalf("greedy cut %d should be far below random cut %d", greedy.TotalCut, random.TotalCut)
+	}
+}
+
+// TestMaxVsTotalGapOnPowerLaw reproduces the paper's key observation: on
+// scale-free graphs the *total* cut improves much more than the *max
+// per-process* cut, so bulk-synchronous runtime barely benefits.
+func TestMaxVsTotalGapOnPowerLaw(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := graph.RMAT(11, 16, graph.DefaultRMAT, rng)
+	p := 16
+	random := Edgecut(g, RandomAssignment(g.NumVertices, p, rng))
+	greedy := Edgecut(g, GreedyBFS(g, p, rng))
+	totalReduction := 1 - float64(greedy.TotalCut)/float64(random.TotalCut)
+	maxReduction := 1 - float64(greedy.MaxCut)/float64(random.MaxCut)
+	if totalReduction <= 0 {
+		t.Skip("greedy did not beat random on this instance; power-law graphs resist partitioning")
+	}
+	if maxReduction > totalReduction+0.05 {
+		t.Fatalf("max-cut reduction (%.2f) should not exceed total-cut reduction (%.2f): imbalance dominates",
+			maxReduction, totalReduction)
+	}
+}
+
+func TestEdgecutSimple(t *testing.T) {
+	// Two triangles joined by one edge, split perfectly in two parts.
+	g := graph.New(6)
+	g.AddUndirectedEdge(0, 1)
+	g.AddUndirectedEdge(1, 2)
+	g.AddUndirectedEdge(0, 2)
+	g.AddUndirectedEdge(3, 4)
+	g.AddUndirectedEdge(4, 5)
+	g.AddUndirectedEdge(3, 5)
+	g.AddUndirectedEdge(2, 3) // the only cut edge
+	a := Assignment{Parts: []int{0, 0, 0, 1, 1, 1}, P: 2}
+	st := Edgecut(g, a)
+	if st.TotalCut != 2 { // (2,3) and (3,2)
+		t.Fatalf("TotalCut = %d, want 2", st.TotalCut)
+	}
+	if st.MaxCut != 1 {
+		t.Fatalf("MaxCut = %d, want 1", st.MaxCut)
+	}
+	if st.PerPartRecvRows[0] != 1 || st.PerPartRecvRows[1] != 1 {
+		t.Fatalf("recv rows = %v", st.PerPartRecvRows)
+	}
+	if st.MaxRecvRows != 1 || st.TotalRecvRows != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestEdgecutDistinctRows(t *testing.T) {
+	// Vertex 0 (part 0) has two edges to vertex 3 (part 1) via different
+	// sources; distinct-row counting must count vertex 3 once.
+	g := graph.New(4)
+	g.AddEdge(0, 3)
+	g.AddEdge(1, 3)
+	a := Assignment{Parts: []int{0, 0, 0, 1}, P: 2}
+	st := Edgecut(g, a)
+	if st.TotalCut != 2 {
+		t.Fatalf("TotalCut = %d", st.TotalCut)
+	}
+	if st.PerPartRecvRows[0] != 1 {
+		t.Fatalf("part 0 must need exactly 1 distinct row, got %d", st.PerPartRecvRows[0])
+	}
+}
+
+func TestEdgecutRandomUpperBound(t *testing.T) {
+	// §IV-A-1: a non-adversarial edgecut is never higher than n(P-1)/P.
+	rng := rand.New(rand.NewSource(6))
+	g := graph.ErdosRenyi(400, 12, rng)
+	p := 8
+	st := Edgecut(g, RandomAssignment(g.NumVertices, p, rng))
+	bound := float64(g.NumVertices) * float64(p-1) / float64(p)
+	if float64(st.MaxRecvRows) > bound {
+		t.Fatalf("edgecut %d exceeds theoretical bound %.0f", st.MaxRecvRows, bound)
+	}
+}
+
+func TestAssignmentValidate(t *testing.T) {
+	a := Assignment{Parts: []int{0, 5}, P: 2}
+	if err := a.Validate(); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestEdgecutMismatchedSizesPanics(t *testing.T) {
+	g := graph.Ring(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Edgecut(g, Assignment{Parts: []int{0}, P: 1})
+}

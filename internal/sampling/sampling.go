@@ -1,0 +1,147 @@
+// Package sampling implements neighborhood-explosion measurement and
+// GraphSAGE-style neighbor sampling.
+//
+// The paper's introduction motivates full-batch distributed training with
+// the neighborhood-explosion phenomenon: "after only a few layers, the
+// chosen mini-batch ends up being dependent on the whole graph", which
+// "completely nullifies the memory reduction goals" of mini-batching. Its
+// conclusion proposes combining the distributed algorithms with
+// "sophisticated sampling based methods" as future work. This package
+// provides both halves: the measurement that reproduces the motivation,
+// and the fan-out sampler that caps it.
+package sampling
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// adjacencyList builds an undirected-view adjacency list (out-edges as
+// stored).
+func adjacencyList(g *graph.Graph) [][]int {
+	adj := make([][]int, g.NumVertices)
+	for _, e := range g.Edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+	}
+	return adj
+}
+
+// KHopFootprint returns, for each k in 0..hops, the number of distinct
+// vertices reachable within k hops of the seed set — the memory footprint
+// of an exact k-layer GNN mini-batch.
+func KHopFootprint(g *graph.Graph, seeds []int, hops int) []int {
+	adj := adjacencyList(g)
+	visited := make([]bool, g.NumVertices)
+	frontier := make([]int, 0, len(seeds))
+	for _, s := range seeds {
+		if s < 0 || s >= g.NumVertices {
+			panic(fmt.Sprintf("sampling: seed %d out of range", s))
+		}
+		if !visited[s] {
+			visited[s] = true
+			frontier = append(frontier, s)
+		}
+	}
+	count := len(frontier)
+	out := make([]int, hops+1)
+	out[0] = count
+	for k := 1; k <= hops; k++ {
+		var next []int
+		for _, v := range frontier {
+			for _, u := range adj[v] {
+				if !visited[u] {
+					visited[u] = true
+					next = append(next, u)
+					count++
+				}
+			}
+		}
+		out[k] = count
+		frontier = next
+	}
+	return out
+}
+
+// Fanouts gives the per-layer neighbor sample sizes, outermost layer
+// first, as in GraphSAGE (Hamilton et al., the paper's [17]).
+type Fanouts []int
+
+// SampleSubgraph draws a fan-out-bounded computation subgraph for the
+// seeds: layer k keeps at most fanouts[k] sampled neighbors per vertex.
+// It returns the induced subgraph over the sampled vertex set, the mapping
+// from new to original vertex ids, and a mask marking the seed vertices in
+// the new numbering.
+func SampleSubgraph(g *graph.Graph, seeds []int, fanouts Fanouts, rng *rand.Rand) (*graph.Graph, []int, []bool) {
+	adj := adjacencyList(g)
+	inSet := make(map[int]int, len(seeds)) // original id -> new id
+	var order []int                        // new id -> original id
+	add := func(v int) int {
+		if id, ok := inSet[v]; ok {
+			return id
+		}
+		id := len(order)
+		inSet[v] = id
+		order = append(order, v)
+		return id
+	}
+	type edge struct{ u, v int }
+	var edges []edge
+
+	frontier := make([]int, 0, len(seeds))
+	seen := make(map[int]bool, len(seeds))
+	for _, s := range seeds {
+		add(s)
+		if !seen[s] {
+			seen[s] = true
+			frontier = append(frontier, s)
+		}
+	}
+	for _, fanout := range fanouts {
+		var next []int
+		for _, v := range frontier {
+			nbrs := adj[v]
+			k := fanout
+			if k > len(nbrs) {
+				k = len(nbrs)
+			}
+			// Partial Fisher-Yates over a copy for a uniform sample
+			// without replacement.
+			idx := rng.Perm(len(nbrs))[:k]
+			for _, i := range idx {
+				u := nbrs[i]
+				uid := add(u)
+				vid := inSet[v]
+				edges = append(edges, edge{vid, uid}, edge{uid, vid})
+				if !seen[u] {
+					seen[u] = true
+					next = append(next, u)
+				}
+			}
+		}
+		frontier = next
+	}
+
+	sub := graph.New(len(order))
+	for _, e := range edges {
+		sub.AddEdge(e.u, e.v)
+	}
+	mask := make([]bool, len(order))
+	for _, s := range seeds {
+		mask[inSet[s]] = true
+	}
+	return sub, order, mask
+}
+
+// FootprintBound returns the worst-case sampled footprint for a batch of b
+// seeds under the given fanouts: b·(1 + f1 + f1·f2 + ...).
+func FootprintBound(batch int, fanouts Fanouts) int {
+	total := batch
+	layer := batch
+	for _, f := range fanouts {
+		layer *= f
+		total += layer
+	}
+	return total
+}

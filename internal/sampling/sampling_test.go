@@ -1,0 +1,144 @@
+package sampling
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestKHopFootprintRing(t *testing.T) {
+	g := graph.Ring(20)
+	fp := KHopFootprint(g, []int{0}, 3)
+	// Ring: 1, 3, 5, 7 vertices within 0..3 hops.
+	want := []int{1, 3, 5, 7}
+	for k, w := range want {
+		if fp[k] != w {
+			t.Fatalf("hop %d footprint = %d, want %d", k, fp[k], w)
+		}
+	}
+}
+
+func TestKHopFootprintDedupSeeds(t *testing.T) {
+	g := graph.Ring(10)
+	fp := KHopFootprint(g, []int{3, 3, 3}, 0)
+	if fp[0] != 1 {
+		t.Fatalf("duplicate seeds should count once, got %d", fp[0])
+	}
+}
+
+func TestKHopFootprintSeedRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	KHopFootprint(graph.Ring(5), []int{9}, 1)
+}
+
+// TestNeighborhoodExplosion reproduces the paper's §I motivation: on a
+// scale-free graph, the exact footprint of even a tiny mini-batch reaches
+// most of the graph within 2-3 hops.
+func TestNeighborhoodExplosion(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.RMAT(12, 16, graph.DefaultRMAT, rng)
+	sym := graph.New(g.NumVertices)
+	for _, e := range g.Edges {
+		sym.AddUndirectedEdge(e[0], e[1])
+	}
+	seeds := make([]int, 16)
+	for i := range seeds {
+		seeds[i] = rng.Intn(sym.NumVertices)
+	}
+	fp := KHopFootprint(sym, seeds, 3)
+	// Count vertices with any connectivity; isolated RMAT vertices can
+	// never be reached.
+	st := graph.Stats(sym.Adjacency())
+	reachable := sym.NumVertices - st.EmptyRows
+	if frac := float64(fp[3]) / float64(reachable); frac < 0.8 {
+		t.Fatalf("3-hop footprint = %.2f of reachable graph; explosion expected (>0.8)", frac)
+	}
+	if fp[1] <= fp[0] || fp[2] <= fp[1] {
+		t.Fatalf("footprint must grow per hop: %v", fp)
+	}
+}
+
+func TestSampleSubgraphBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := graph.RMAT(11, 16, graph.DefaultRMAT, rng)
+	sym := graph.New(g.NumVertices)
+	for _, e := range g.Edges {
+		sym.AddUndirectedEdge(e[0], e[1])
+	}
+	seeds := []int{1, 2, 3, 4}
+	fanouts := Fanouts{5, 5}
+	sub, order, mask := SampleSubgraph(sym, seeds, fanouts, rng)
+	bound := FootprintBound(len(seeds), fanouts)
+	if sub.NumVertices > bound {
+		t.Fatalf("sampled %d vertices, bound %d", sub.NumVertices, bound)
+	}
+	if len(order) != sub.NumVertices || len(mask) != sub.NumVertices {
+		t.Fatal("order/mask sizes inconsistent")
+	}
+	// Seeds are the first entries and masked.
+	seedCount := 0
+	for _, m := range mask {
+		if m {
+			seedCount++
+		}
+	}
+	if seedCount != len(seeds) {
+		t.Fatalf("mask marks %d seeds, want %d", seedCount, len(seeds))
+	}
+	for i, s := range seeds {
+		if order[i] != s {
+			t.Fatalf("order[%d] = %d, want seed %d", i, order[i], s)
+		}
+	}
+}
+
+func TestSampleSubgraphEdgesExistInOriginal(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := graph.Ring(30)
+	sub, order, _ := SampleSubgraph(g, []int{0, 15}, Fanouts{2, 2}, rng)
+	orig := make(map[[2]int]bool)
+	for _, e := range g.Edges {
+		orig[e] = true
+	}
+	for _, e := range sub.Edges {
+		oe := [2]int{order[e[0]], order[e[1]]}
+		if !orig[oe] {
+			t.Fatalf("sampled edge %v -> original %v does not exist", e, oe)
+		}
+	}
+}
+
+func TestFootprintBound(t *testing.T) {
+	if got := FootprintBound(10, Fanouts{5, 3}); got != 10+50+150 {
+		t.Fatalf("FootprintBound = %d, want 210", got)
+	}
+	if got := FootprintBound(4, nil); got != 4 {
+		t.Fatalf("empty fanouts bound = %d", got)
+	}
+}
+
+// TestSamplingCapsExplosion is the paper's future-work payoff in one test:
+// the sampled footprint stays far below the exact k-hop footprint.
+func TestSamplingCapsExplosion(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := graph.RMAT(12, 16, graph.DefaultRMAT, rng)
+	sym := graph.New(g.NumVertices)
+	for _, e := range g.Edges {
+		sym.AddUndirectedEdge(e[0], e[1])
+	}
+	seeds := make([]int, 32)
+	for i := range seeds {
+		seeds[i] = rng.Intn(sym.NumVertices)
+	}
+	exact := KHopFootprint(sym, seeds, 2)[2]
+	sub, _, _ := SampleSubgraph(sym, seeds, Fanouts{4, 4}, rng)
+	if sub.NumVertices*3 >= exact {
+		t.Fatalf("sampling should cut the footprint ≥3x: sampled %d, exact %d",
+			sub.NumVertices, exact)
+	}
+}

@@ -1,0 +1,236 @@
+// Package sparse implements the compressed sparse row (CSR) matrices and
+// sparse-times-dense kernels (SpMM) at the heart of GNN training.
+//
+// The paper's key computation is multiplying the (normalized) adjacency
+// matrix A — stored sparse — by tall-skinny dense activation matrices. This
+// package provides those kernels plus the block-extraction operations needed
+// to lay a sparse matrix out on 1D, 2D, and 3D process grids, and the
+// symmetric normalization D^{-1/2}(A+I)D^{-1/2} from Kipf & Welling.
+package sparse
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dense"
+)
+
+// Coord is a single nonzero in coordinate (COO) format.
+type Coord struct {
+	Row, Col int
+	Val      float64
+}
+
+// CSR is a sparse matrix in compressed sparse row format.
+//
+// RowPtr has length Rows+1; the column indices and values of row i occupy
+// ColIdx[RowPtr[i]:RowPtr[i+1]] and Val[RowPtr[i]:RowPtr[i+1]]. Column
+// indices are strictly increasing within each row.
+type CSR struct {
+	Rows, Cols int
+	RowPtr     []int
+	ColIdx     []int
+	Val        []float64
+}
+
+// NewCSR builds a CSR matrix from coordinate entries. Duplicate (row, col)
+// entries are summed. Entries out of range cause a panic.
+func NewCSR(rows, cols int, entries []Coord) *CSR {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("sparse: negative dimensions %dx%d", rows, cols))
+	}
+	for _, e := range entries {
+		if e.Row < 0 || e.Row >= rows || e.Col < 0 || e.Col >= cols {
+			panic(fmt.Sprintf("sparse: entry (%d,%d) out of range for %dx%d", e.Row, e.Col, rows, cols))
+		}
+	}
+	sorted := make([]Coord, len(entries))
+	copy(sorted, entries)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Row != sorted[j].Row {
+			return sorted[i].Row < sorted[j].Row
+		}
+		return sorted[i].Col < sorted[j].Col
+	})
+	// Sum duplicates in place.
+	dedup := sorted[:0]
+	for _, e := range sorted {
+		if n := len(dedup); n > 0 && dedup[n-1].Row == e.Row && dedup[n-1].Col == e.Col {
+			dedup[n-1].Val += e.Val
+		} else {
+			dedup = append(dedup, e)
+		}
+	}
+	m := &CSR{
+		Rows:   rows,
+		Cols:   cols,
+		RowPtr: make([]int, rows+1),
+		ColIdx: make([]int, len(dedup)),
+		Val:    make([]float64, len(dedup)),
+	}
+	for i, e := range dedup {
+		m.RowPtr[e.Row+1]++
+		m.ColIdx[i] = e.Col
+		m.Val[i] = e.Val
+	}
+	for i := 0; i < rows; i++ {
+		m.RowPtr[i+1] += m.RowPtr[i]
+	}
+	return m
+}
+
+// NNZ returns the number of stored nonzeros.
+func (m *CSR) NNZ() int { return len(m.Val) }
+
+// At returns element (i, j) with a binary search within row i.
+func (m *CSR) At(i, j int) float64 {
+	if i < 0 || i >= m.Rows || j < 0 || j >= m.Cols {
+		panic(fmt.Sprintf("sparse: index (%d,%d) out of range for %dx%d", i, j, m.Rows, m.Cols))
+	}
+	lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+	k := lo + sort.SearchInts(m.ColIdx[lo:hi], j)
+	if k < hi && m.ColIdx[k] == j {
+		return m.Val[k]
+	}
+	return 0
+}
+
+// Entries returns all nonzeros in row-major order as coordinate entries.
+func (m *CSR) Entries() []Coord {
+	out := make([]Coord, 0, m.NNZ())
+	for i := 0; i < m.Rows; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			out = append(out, Coord{Row: i, Col: m.ColIdx[k], Val: m.Val[k]})
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of m.
+func (m *CSR) Clone() *CSR {
+	out := &CSR{
+		Rows:   m.Rows,
+		Cols:   m.Cols,
+		RowPtr: append([]int(nil), m.RowPtr...),
+		ColIdx: append([]int(nil), m.ColIdx...),
+		Val:    append([]float64(nil), m.Val...),
+	}
+	return out
+}
+
+// Transpose returns mᵀ in CSR format using a counting pass (the classic
+// CSR→CSC conversion, reinterpreted).
+func (m *CSR) Transpose() *CSR {
+	out := &CSR{
+		Rows:   m.Cols,
+		Cols:   m.Rows,
+		RowPtr: make([]int, m.Cols+1),
+		ColIdx: make([]int, m.NNZ()),
+		Val:    make([]float64, m.NNZ()),
+	}
+	for _, c := range m.ColIdx {
+		out.RowPtr[c+1]++
+	}
+	for i := 0; i < m.Cols; i++ {
+		out.RowPtr[i+1] += out.RowPtr[i]
+	}
+	next := append([]int(nil), out.RowPtr[:m.Cols]...)
+	for i := 0; i < m.Rows; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			c := m.ColIdx[k]
+			pos := next[c]
+			next[c]++
+			out.ColIdx[pos] = i
+			out.Val[pos] = m.Val[k]
+		}
+	}
+	return out
+}
+
+// ExtractBlock returns the sub-matrix with rows [r0, r1) and columns
+// [c0, c1) re-indexed to local coordinates, as used when distributing a
+// matrix onto a process grid.
+func (m *CSR) ExtractBlock(r0, r1, c0, c1 int) *CSR {
+	if r0 < 0 || r1 > m.Rows || c0 < 0 || c1 > m.Cols || r0 > r1 || c0 > c1 {
+		panic(fmt.Sprintf("sparse: ExtractBlock [%d:%d, %d:%d] out of range for %dx%d", r0, r1, c0, c1, m.Rows, m.Cols))
+	}
+	out := &CSR{Rows: r1 - r0, Cols: c1 - c0, RowPtr: make([]int, r1-r0+1)}
+	for i := r0; i < r1; i++ {
+		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+		start := lo + sort.SearchInts(m.ColIdx[lo:hi], c0)
+		end := lo + sort.SearchInts(m.ColIdx[lo:hi], c1)
+		for k := start; k < end; k++ {
+			out.ColIdx = append(out.ColIdx, m.ColIdx[k]-c0)
+			out.Val = append(out.Val, m.Val[k])
+		}
+		out.RowPtr[i-r0+1] = len(out.ColIdx)
+	}
+	return out
+}
+
+// Scale multiplies all values by alpha in place.
+func (m *CSR) Scale(alpha float64) {
+	for i := range m.Val {
+		m.Val[i] *= alpha
+	}
+}
+
+// ToDense materializes m as a dense matrix (test/debug helper; avoid on
+// large inputs).
+func (m *CSR) ToDense() *dense.Matrix {
+	out := dense.New(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			out.Set(i, m.ColIdx[k], m.Val[k])
+		}
+	}
+	return out
+}
+
+// RowNNZ returns the number of nonzeros in row i.
+func (m *CSR) RowNNZ(i int) int { return m.RowPtr[i+1] - m.RowPtr[i] }
+
+// NonEmptyRows returns how many rows have at least one nonzero. The paper's
+// hypersparsity discussion (§IV-A-3, citing Buluç & Gilbert) keys on this:
+// 2D-partitioned submatrices of sparse graphs have mostly empty rows.
+func (m *CSR) NonEmptyRows() int {
+	n := 0
+	for i := 0; i < m.Rows; i++ {
+		if m.RowNNZ(i) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// AvgDegree returns NNZ/Rows, the average number of nonzeros per row
+// (written d in the paper).
+func (m *CSR) AvgDegree() float64 {
+	if m.Rows == 0 {
+		return 0
+	}
+	return float64(m.NNZ()) / float64(m.Rows)
+}
+
+// Equal reports whether a and b have identical shape and nonzero structure
+// with values equal within tol.
+func Equal(a, b *CSR, tol float64) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols || a.NNZ() != b.NNZ() {
+		return false
+	}
+	for i := range a.RowPtr {
+		if a.RowPtr[i] != b.RowPtr[i] {
+			return false
+		}
+	}
+	for k := range a.ColIdx {
+		if a.ColIdx[k] != b.ColIdx[k] {
+			return false
+		}
+		d := a.Val[k] - b.Val[k]
+		if d < -tol || d > tol {
+			return false
+		}
+	}
+	return true
+}

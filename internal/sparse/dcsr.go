@@ -1,0 +1,118 @@
+package sparse
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dense"
+)
+
+// DCSR is a doubly compressed sparse row matrix (Buluç & Gilbert, the
+// paper's [8]): only non-empty rows are represented, which the paper's
+// §VI-a identifies as essential for 2D-partitioned graph blocks — after a
+// √P x √P split, block average degree falls by √P and most rows become
+// empty ("hypersparsity").
+//
+// Storage is 2·nnz + 2·nzr + 1 words (nzr = non-empty rows), versus CSR's
+// 2·nnz + rows + 1; for hypersparse blocks with nzr ≪ rows this removes
+// the dominant term.
+type DCSR struct {
+	Rows, Cols int
+	// RowIdx lists the non-empty row ids in increasing order.
+	RowIdx []int
+	// RowPtr has length len(RowIdx)+1; the k-th non-empty row's entries
+	// occupy ColIdx[RowPtr[k]:RowPtr[k+1]].
+	RowPtr []int
+	ColIdx []int
+	Val    []float64
+}
+
+// DCSRFromCSR compresses a CSR matrix.
+func DCSRFromCSR(m *CSR) *DCSR {
+	out := &DCSR{Rows: m.Rows, Cols: m.Cols}
+	for i := 0; i < m.Rows; i++ {
+		if m.RowNNZ(i) == 0 {
+			continue
+		}
+		out.RowIdx = append(out.RowIdx, i)
+		out.RowPtr = append(out.RowPtr, len(out.ColIdx))
+		out.ColIdx = append(out.ColIdx, m.ColIdx[m.RowPtr[i]:m.RowPtr[i+1]]...)
+		out.Val = append(out.Val, m.Val[m.RowPtr[i]:m.RowPtr[i+1]]...)
+	}
+	out.RowPtr = append(out.RowPtr, len(out.ColIdx))
+	return out
+}
+
+// ToCSR expands back to CSR.
+func (d *DCSR) ToCSR() *CSR {
+	out := &CSR{
+		Rows:   d.Rows,
+		Cols:   d.Cols,
+		RowPtr: make([]int, d.Rows+1),
+		ColIdx: append([]int(nil), d.ColIdx...),
+		Val:    append([]float64(nil), d.Val...),
+	}
+	for k, row := range d.RowIdx {
+		out.RowPtr[row+1] = d.RowPtr[k+1] - d.RowPtr[k]
+	}
+	for i := 0; i < d.Rows; i++ {
+		out.RowPtr[i+1] += out.RowPtr[i]
+	}
+	return out
+}
+
+// NNZ returns the number of stored nonzeros.
+func (d *DCSR) NNZ() int { return len(d.Val) }
+
+// NonEmptyRows returns the count of represented rows.
+func (d *DCSR) NonEmptyRows() int { return len(d.RowIdx) }
+
+// Words returns the modeled storage footprint in words.
+func (d *DCSR) Words() int64 {
+	return 2*int64(d.NNZ()) + 2*int64(len(d.RowIdx)) + 1
+}
+
+// CSRWords returns the CSR footprint for the same matrix, for comparison.
+func (d *DCSR) CSRWords() int64 {
+	return 2*int64(d.NNZ()) + int64(d.Rows) + 1
+}
+
+// At returns element (i, j).
+func (d *DCSR) At(i, j int) float64 {
+	if i < 0 || i >= d.Rows || j < 0 || j >= d.Cols {
+		panic(fmt.Sprintf("sparse: DCSR index (%d,%d) out of range for %dx%d", i, j, d.Rows, d.Cols))
+	}
+	k := sort.SearchInts(d.RowIdx, i)
+	if k == len(d.RowIdx) || d.RowIdx[k] != i {
+		return 0
+	}
+	lo, hi := d.RowPtr[k], d.RowPtr[k+1]
+	p := lo + sort.SearchInts(d.ColIdx[lo:hi], j)
+	if p < hi && d.ColIdx[p] == j {
+		return d.Val[p]
+	}
+	return 0
+}
+
+// SpMMDCSR computes dst = d * x, skipping empty rows entirely. dst is
+// overwritten.
+func SpMMDCSR(dst *dense.Matrix, d *DCSR, x *dense.Matrix) {
+	if d.Cols != x.Rows {
+		panic(fmt.Sprintf("sparse: SpMMDCSR inner dimension mismatch: %dx%d * %dx%d", d.Rows, d.Cols, x.Rows, x.Cols))
+	}
+	if dst.Rows != d.Rows || dst.Cols != x.Cols {
+		panic(fmt.Sprintf("sparse: SpMMDCSR dst shape %dx%d, want %dx%d", dst.Rows, dst.Cols, d.Rows, x.Cols))
+	}
+	dst.Zero()
+	f := x.Cols
+	for k, row := range d.RowIdx {
+		drow := dst.Data[row*f : (row+1)*f]
+		for p := d.RowPtr[k]; p < d.RowPtr[k+1]; p++ {
+			v := d.Val[p]
+			xrow := x.Data[d.ColIdx[p]*f : (d.ColIdx[p]+1)*f]
+			for j, xv := range xrow {
+				drow[j] += v * xv
+			}
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dense"
+)
+
+func TestDCSRRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(r8, c8 uint8) bool {
+		r, c := int(r8%30)+1, int(c8%30)+1
+		m := randCSR(rng, r, c, 0.15)
+		return Equal(DCSRFromCSR(m).ToCSR(), m, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDCSRAt(t *testing.T) {
+	m := NewCSR(5, 5, []Coord{{1, 2, 7}, {3, 0, 4}})
+	d := DCSRFromCSR(m)
+	if d.At(1, 2) != 7 || d.At(3, 0) != 4 {
+		t.Fatal("stored values wrong")
+	}
+	if d.At(0, 0) != 0 || d.At(1, 3) != 0 || d.At(4, 4) != 0 {
+		t.Fatal("missing values should read 0")
+	}
+	if d.NonEmptyRows() != 2 || d.NNZ() != 2 {
+		t.Fatalf("structure wrong: %+v", d)
+	}
+}
+
+func TestDCSRAtOutOfRangePanics(t *testing.T) {
+	d := DCSRFromCSR(NewCSR(2, 2, nil))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	d.At(2, 0)
+}
+
+func TestSpMMDCSRMatchesCSR(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := randCSR(rng, 40, 25, 0.05) // hypersparse-ish
+	x := randDense(rng, 25, 6)
+	want := dense.New(40, 6)
+	SpMM(want, m, x)
+	got := dense.New(40, 6)
+	SpMMDCSR(got, DCSRFromCSR(m), x)
+	if dense.MaxAbsDiff(got, want) > 1e-12 {
+		t.Fatal("DCSR SpMM diverges from CSR SpMM")
+	}
+}
+
+func TestSpMMDCSRDimensionPanics(t *testing.T) {
+	d := DCSRFromCSR(NewCSR(3, 4, nil))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SpMMDCSR(dense.New(3, 2), d, dense.New(5, 2))
+}
+
+// TestDCSRHypersparseSavings quantifies the §VI-a storage argument: for a
+// 2D-partitioned block whose rows are mostly empty, DCSR removes the
+// O(rows) pointer array.
+func TestDCSRHypersparseSavings(t *testing.T) {
+	// 1000 rows, only 30 non-empty.
+	var entries []Coord
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 30; i++ {
+		entries = append(entries, Coord{Row: rng.Intn(1000), Col: rng.Intn(100), Val: 1})
+	}
+	d := DCSRFromCSR(NewCSR(1000, 100, entries))
+	if d.Words() >= d.CSRWords()/3 {
+		t.Fatalf("DCSR (%d words) should be ≥3x smaller than CSR (%d words) here",
+			d.Words(), d.CSRWords())
+	}
+}
+
+// TestDCSRDenseBlockNoPenalty: when every row is occupied, DCSR costs only
+// ~nzr extra words over CSR.
+func TestDCSRDenseBlockOverheadBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := randCSR(rng, 50, 50, 0.5)
+	d := DCSRFromCSR(m)
+	if d.Words() > d.CSRWords()+int64(d.NonEmptyRows()) {
+		t.Fatalf("DCSR overhead too large: %d vs CSR %d", d.Words(), d.CSRWords())
+	}
+}
+
+func TestDCSREmptyMatrix(t *testing.T) {
+	d := DCSRFromCSR(NewCSR(10, 10, nil))
+	if d.NNZ() != 0 || d.NonEmptyRows() != 0 {
+		t.Fatal("empty matrix should compress to nothing")
+	}
+	out := dense.New(10, 3)
+	SpMMDCSR(out, d, dense.New(10, 3))
+	if out.MaxAbs() != 0 {
+		t.Fatal("empty SpMM should produce zeros")
+	}
+	if !Equal(d.ToCSR(), NewCSR(10, 10, nil), 0) {
+		t.Fatal("empty round trip failed")
+	}
+}

@@ -1,0 +1,138 @@
+package sparse
+
+import (
+	"math"
+
+	"repro/internal/dense"
+)
+
+// Semiring generalizes the (+, ×) pair used by SpMM, following the
+// Combinatorial BLAS interface the paper points to for increasing GNN
+// expressive power (§I: "many distributed libraries ... allow the user to
+// overload scalar addition operations through their semiring interface,
+// which is exactly the neighborhood aggregate function").
+//
+// Plus must be associative and commutative with identity Zero; Times
+// combines an adjacency weight with a feature value.
+type Semiring interface {
+	// Name identifies the semiring in configs and logs.
+	Name() string
+	// Zero is the identity of Plus (the value of an empty aggregation).
+	Zero() float64
+	// Plus aggregates two partial results.
+	Plus(a, b float64) float64
+	// Times combines an edge weight with an incoming feature value.
+	Times(edge, x float64) float64
+}
+
+// PlusTimes is the standard arithmetic semiring; SpMMSemiring with
+// PlusTimes equals SpMM.
+type PlusTimes struct{}
+
+// Name implements Semiring.
+func (PlusTimes) Name() string { return "plus-times" }
+
+// Zero implements Semiring.
+func (PlusTimes) Zero() float64 { return 0 }
+
+// Plus implements Semiring.
+func (PlusTimes) Plus(a, b float64) float64 { return a + b }
+
+// Times implements Semiring.
+func (PlusTimes) Times(edge, x float64) float64 { return edge * x }
+
+// MaxTimes implements max-aggregation (GraphSAGE's max pooling): the
+// neighborhood aggregate is the elementwise maximum of scaled neighbor
+// features.
+type MaxTimes struct{}
+
+// Name implements Semiring.
+func (MaxTimes) Name() string { return "max-times" }
+
+// Zero implements Semiring.
+func (MaxTimes) Zero() float64 { return math.Inf(-1) }
+
+// Plus implements Semiring.
+func (MaxTimes) Plus(a, b float64) float64 { return math.Max(a, b) }
+
+// Times implements Semiring.
+func (MaxTimes) Times(edge, x float64) float64 { return edge * x }
+
+// MinPlus is the tropical semiring; Aᵏ under MinPlus computes k-hop
+// shortest-path distances, a classic CombBLAS-style use.
+type MinPlus struct{}
+
+// Name implements Semiring.
+func (MinPlus) Name() string { return "min-plus" }
+
+// Zero implements Semiring.
+func (MinPlus) Zero() float64 { return math.Inf(1) }
+
+// Plus implements Semiring.
+func (MinPlus) Plus(a, b float64) float64 { return math.Min(a, b) }
+
+// Times implements Semiring.
+func (MinPlus) Times(edge, x float64) float64 { return edge + x }
+
+// OrAnd is the boolean semiring over {0, 1}: reachability aggregation.
+type OrAnd struct{}
+
+// Name implements Semiring.
+func (OrAnd) Name() string { return "or-and" }
+
+// Zero implements Semiring.
+func (OrAnd) Zero() float64 { return 0 }
+
+// Plus implements Semiring.
+func (OrAnd) Plus(a, b float64) float64 {
+	if a != 0 || b != 0 {
+		return 1
+	}
+	return 0
+}
+
+// Times implements Semiring.
+func (OrAnd) Times(edge, x float64) float64 {
+	if edge != 0 && x != 0 {
+		return 1
+	}
+	return 0
+}
+
+// SpMMSemiring computes dst = a ⊗ x under the given semiring: dst[i,j] =
+// Plus over k with a[i,k] ≠ stored of Times(a[i,k], x[k,j]), starting from
+// Zero. Rows of a with no nonzeros yield Zero (e.g. -Inf under MaxTimes),
+// which callers may post-process.
+func SpMMSemiring(dst *dense.Matrix, a *CSR, x *dense.Matrix, s Semiring) {
+	checkSpMM(dst, a, x, "SpMMSemiring")
+	f := x.Cols
+	zero := s.Zero()
+	for i := range dst.Data {
+		dst.Data[i] = zero
+	}
+	for i := 0; i < a.Rows; i++ {
+		drow := dst.Data[i*f : (i+1)*f]
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			v := a.Val[k]
+			xrow := x.Data[a.ColIdx[k]*f : (a.ColIdx[k]+1)*f]
+			for j, xv := range xrow {
+				drow[j] = s.Plus(drow[j], s.Times(v, xv))
+			}
+		}
+	}
+}
+
+// SemiringByName returns a registered semiring.
+func SemiringByName(name string) (Semiring, bool) {
+	switch name {
+	case "plus-times":
+		return PlusTimes{}, true
+	case "max-times":
+		return MaxTimes{}, true
+	case "min-plus":
+		return MinPlus{}, true
+	case "or-and":
+		return OrAnd{}, true
+	}
+	return nil, false
+}

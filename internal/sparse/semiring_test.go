@@ -1,0 +1,120 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dense"
+)
+
+func TestSpMMSemiringPlusTimesEqualsSpMM(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randCSR(rng, 12, 10, 0.3)
+	x := randDense(rng, 10, 5)
+	want := dense.New(12, 5)
+	SpMM(want, a, x)
+	got := dense.New(12, 5)
+	SpMMSemiring(got, a, x, PlusTimes{})
+	if dense.MaxAbsDiff(got, want) > 1e-12 {
+		t.Fatal("PlusTimes semiring must equal SpMM")
+	}
+}
+
+func TestSpMMSemiringMaxTimes(t *testing.T) {
+	// Vertex 0 aggregates neighbors 1 and 2 with unit weights: max pooling.
+	a := NewCSR(3, 3, []Coord{{0, 1, 1}, {0, 2, 1}})
+	x := dense.FromRows([][]float64{
+		{0, 0},
+		{3, -1},
+		{2, 5},
+	})
+	out := dense.New(3, 2)
+	SpMMSemiring(out, a, x, MaxTimes{})
+	if out.At(0, 0) != 3 || out.At(0, 1) != 5 {
+		t.Fatalf("max aggregation wrong: %v", out)
+	}
+	// Rows with no neighbors yield the semiring zero, -Inf.
+	if !math.IsInf(out.At(1, 0), -1) {
+		t.Fatalf("empty row should be -Inf, got %v", out.At(1, 0))
+	}
+}
+
+func TestSpMMSemiringMinPlusShortestPaths(t *testing.T) {
+	// Path graph 0-1-2-3 with unit edge weights. Iterating x ← A ⊗ x under
+	// MinPlus from the indicator of vertex 0 computes BFS distances.
+	var entries []Coord
+	for i := 0; i < 3; i++ {
+		entries = append(entries, Coord{i, i + 1, 1}, Coord{i + 1, i, 1})
+	}
+	// Self loops with weight 0 retain the current distance.
+	for i := 0; i < 4; i++ {
+		entries = append(entries, Coord{i, i, 0})
+	}
+	a := NewCSR(4, 4, entries)
+	x := dense.New(4, 1)
+	for i := 1; i < 4; i++ {
+		x.Set(i, 0, math.Inf(1))
+	}
+	for iter := 0; iter < 3; iter++ {
+		next := dense.New(4, 1)
+		SpMMSemiring(next, a, x, MinPlus{})
+		x = next
+	}
+	for i := 0; i < 4; i++ {
+		if x.At(i, 0) != float64(i) {
+			t.Fatalf("distance to %d = %v, want %d", i, x.At(i, 0), i)
+		}
+	}
+}
+
+func TestSpMMSemiringOrAndReachability(t *testing.T) {
+	// 0 -> 1 -> 2; reachability frontier expands one hop per multiply.
+	a := NewCSR(3, 3, []Coord{{1, 0, 1}, {2, 1, 1}, {0, 0, 1}, {1, 1, 1}, {2, 2, 1}})
+	x := dense.FromRows([][]float64{{1}, {0}, {0}})
+	SpMMSemiring(x.Clone(), a, x, OrAnd{}) // warm call for coverage
+	cur := x
+	for iter := 0; iter < 2; iter++ {
+		next := dense.New(3, 1)
+		SpMMSemiring(next, a, cur, OrAnd{})
+		cur = next
+	}
+	for i := 0; i < 3; i++ {
+		if cur.At(i, 0) != 1 {
+			t.Fatalf("vertex %d unreachable: %v", i, cur)
+		}
+	}
+}
+
+func TestSemiringByName(t *testing.T) {
+	for _, name := range []string{"plus-times", "max-times", "min-plus", "or-and"} {
+		s, ok := SemiringByName(name)
+		if !ok || s.Name() != name {
+			t.Fatalf("lookup %q failed", name)
+		}
+	}
+	if _, ok := SemiringByName("frobnicate"); ok {
+		t.Fatal("unknown semiring should fail lookup")
+	}
+}
+
+// TestSemiringProperties checks Plus identity and commutativity for every
+// registered semiring on random values.
+func TestSemiringProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, name := range []string{"plus-times", "max-times", "min-plus", "or-and"} {
+		s, _ := SemiringByName(name)
+		for trial := 0; trial < 100; trial++ {
+			a, b := rng.NormFloat64(), rng.NormFloat64()
+			if name == "or-and" {
+				a, b = float64(rng.Intn(2)), float64(rng.Intn(2))
+			}
+			if s.Plus(a, s.Zero()) != a {
+				t.Fatalf("%s: Zero is not a Plus identity for %v", name, a)
+			}
+			if s.Plus(a, b) != s.Plus(b, a) {
+				t.Fatalf("%s: Plus not commutative", name)
+			}
+		}
+	}
+}

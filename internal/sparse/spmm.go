@@ -1,0 +1,83 @@
+package sparse
+
+import (
+	"fmt"
+
+	"repro/internal/dense"
+)
+
+// SpMM computes dst = a * x where a is sparse and x is dense (the SpMM
+// kernel the paper identifies as the dominant GNN training cost). dst must
+// be a.Rows x x.Cols and is overwritten.
+func SpMM(dst *dense.Matrix, a *CSR, x *dense.Matrix) {
+	checkSpMM(dst, a, x, "SpMM")
+	dst.Zero()
+	SpMMAdd(dst, a, x)
+}
+
+// SpMMAdd computes dst += a * x. This is the accumulating form used inside
+// SUMMA iterations where partial products for different k-blocks sum into
+// the same output tile.
+func SpMMAdd(dst *dense.Matrix, a *CSR, x *dense.Matrix) {
+	checkSpMM(dst, a, x, "SpMMAdd")
+	f := x.Cols
+	for i := 0; i < a.Rows; i++ {
+		drow := dst.Data[i*f : (i+1)*f]
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			v := a.Val[k]
+			xrow := x.Data[a.ColIdx[k]*f : (a.ColIdx[k]+1)*f]
+			for j, xv := range xrow {
+				drow[j] += v * xv
+			}
+		}
+	}
+}
+
+// SpMMT computes dst = aᵀ * x without materializing aᵀ, by scattering each
+// stored row of a into the rows of dst indexed by its column indices. dst
+// must be a.Cols x x.Cols and is overwritten.
+func SpMMT(dst *dense.Matrix, a *CSR, x *dense.Matrix) {
+	checkSpMMT(dst, a, x, "SpMMT")
+	dst.Zero()
+	SpMMTAdd(dst, a, x)
+}
+
+// SpMMTAdd computes dst += aᵀ * x.
+func SpMMTAdd(dst *dense.Matrix, a *CSR, x *dense.Matrix) {
+	checkSpMMT(dst, a, x, "SpMMTAdd")
+	f := x.Cols
+	for i := 0; i < a.Rows; i++ {
+		xrow := x.Data[i*f : (i+1)*f]
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			v := a.Val[k]
+			drow := dst.Data[a.ColIdx[k]*f : (a.ColIdx[k]+1)*f]
+			for j, xv := range xrow {
+				drow[j] += v * xv
+			}
+		}
+	}
+}
+
+// SpMMFlops returns the floating-point operation count of SpMM(a, x): one
+// multiply and one add per (nonzero, dense column) pair.
+func SpMMFlops(a *CSR, denseCols int) int64 {
+	return 2 * int64(a.NNZ()) * int64(denseCols)
+}
+
+func checkSpMM(dst *dense.Matrix, a *CSR, x *dense.Matrix, op string) {
+	if a.Cols != x.Rows {
+		panic(fmt.Sprintf("sparse: %s inner dimension mismatch: %dx%d * %dx%d", op, a.Rows, a.Cols, x.Rows, x.Cols))
+	}
+	if dst.Rows != a.Rows || dst.Cols != x.Cols {
+		panic(fmt.Sprintf("sparse: %s dst shape %dx%d, want %dx%d", op, dst.Rows, dst.Cols, a.Rows, x.Cols))
+	}
+}
+
+func checkSpMMT(dst *dense.Matrix, a *CSR, x *dense.Matrix, op string) {
+	if a.Rows != x.Rows {
+		panic(fmt.Sprintf("sparse: %s inner dimension mismatch: (%dx%d)ᵀ * %dx%d", op, a.Rows, a.Cols, x.Rows, x.Cols))
+	}
+	if dst.Rows != a.Cols || dst.Cols != x.Cols {
+		panic(fmt.Sprintf("sparse: %s dst shape %dx%d, want %dx%d", op, dst.Rows, dst.Cols, a.Cols, x.Cols))
+	}
+}
