@@ -15,13 +15,17 @@ package cagnet
 
 import (
 	"fmt"
+	"math/rand"
 	"sync"
 	"testing"
 
 	"repro/internal/comm"
 	"repro/internal/costmodel"
+	"repro/internal/dense"
 	"repro/internal/graph"
 	"repro/internal/harness"
+	"repro/internal/parallel"
+	"repro/internal/sparse"
 )
 
 // benchQuick shrinks the benchmark datasets when -short is set.
@@ -194,6 +198,102 @@ func BenchmarkThreeD(b *testing.B) {
 			}
 			b.ReportMetric(float64(words), "comm-words/epoch")
 			b.ReportMetric(epochTime, "model-s/epoch")
+		})
+	}
+}
+
+// withKernelBackend runs the benchmark body under the named compute backend,
+// restoring the process-wide setting afterwards.
+func withKernelBackend(b *testing.B, backend parallel.Backend, body func()) {
+	b.Helper()
+	prev := parallel.CurrentBackend()
+	parallel.SetBackend(backend)
+	defer parallel.SetBackend(prev)
+	body()
+}
+
+// kernelBackends pairs every kernel benchmark: the serial baseline first,
+// then the pool-partitioned variant, so the speedup is tracked run to run.
+var kernelBackends = []parallel.Backend{parallel.BackendSerial, parallel.BackendParallel}
+
+// BenchmarkSpMM measures the raw SpMM kernel (dst = A·X, the paper's
+// dominant cost) on the reddit-sim normalized adjacency at full scale,
+// serial vs parallel. Both backends are bit-identical; the parallel one
+// row-partitions across runtime.NumCPU workers (override with
+// CAGNET_WORKERS), so the gflops ratio of the pair is the kernel speedup.
+func BenchmarkSpMM(b *testing.B) {
+	ds := benchDataset(b, "reddit-sim")
+	a := ds.Graph.NormalizedAdjacency()
+	rng := rand.New(rand.NewSource(1))
+	x := dense.New(a.Cols, ds.FeatureLen())
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	dst := dense.New(a.Rows, x.Cols)
+	flops := sparse.SpMMFlops(a, x.Cols)
+	for _, backend := range kernelBackends {
+		b.Run(backend.String(), func(b *testing.B) {
+			withKernelBackend(b, backend, func() {
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					sparse.SpMM(dst, a, x)
+				}
+				b.ReportMetric(float64(flops)*float64(b.N)/b.Elapsed().Seconds()/1e9, "gflops")
+			})
+		})
+	}
+}
+
+// BenchmarkSpMMT measures the transposed kernel (dst = Aᵀ·X) used by every
+// forward layer, serial vs parallel owner-computes.
+func BenchmarkSpMMT(b *testing.B) {
+	ds := benchDataset(b, "reddit-sim")
+	a := ds.Graph.NormalizedAdjacency()
+	rng := rand.New(rand.NewSource(2))
+	x := dense.New(a.Rows, ds.FeatureLen())
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	dst := dense.New(a.Cols, x.Cols)
+	flops := sparse.SpMMFlops(a, x.Cols)
+	for _, backend := range kernelBackends {
+		b.Run(backend.String(), func(b *testing.B) {
+			withKernelBackend(b, backend, func() {
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					sparse.SpMMT(dst, a, x)
+				}
+				b.ReportMetric(float64(flops)*float64(b.N)/b.Elapsed().Seconds()/1e9, "gflops")
+			})
+		})
+	}
+}
+
+// BenchmarkGEMM measures the dense layer product (n x f times f x f at
+// reddit-sim scale, the shape of H·W in every layer), serial vs parallel.
+func BenchmarkGEMM(b *testing.B) {
+	ds := benchDataset(b, "reddit-sim")
+	n, f := ds.Graph.NumVertices, ds.FeatureLen()
+	rng := rand.New(rand.NewSource(3))
+	h := dense.New(n, f)
+	for i := range h.Data {
+		h.Data[i] = rng.NormFloat64()
+	}
+	w := dense.New(f, f)
+	for i := range w.Data {
+		w.Data[i] = rng.NormFloat64()
+	}
+	dst := dense.New(n, f)
+	flops := 2 * int64(n) * int64(f) * int64(f)
+	for _, backend := range kernelBackends {
+		b.Run(backend.String(), func(b *testing.B) {
+			withKernelBackend(b, backend, func() {
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					dense.Mul(dst, h, w)
+				}
+				b.ReportMetric(float64(flops)*float64(b.N)/b.Elapsed().Seconds()/1e9, "gflops")
+			})
 		})
 	}
 }

@@ -17,7 +17,7 @@
 //	    Ranks:     16,
 //	    Epochs:    10,
 //	})
-//	fmt.Println(report.Losses, report.EpochTime)
+//	fmt.Println(report.Losses, report.ModeledSeconds)
 //
 // See the examples/ directory for runnable programs, and cmd/cagnet-bench
 // for the harness that regenerates every table and figure of the paper.
@@ -31,11 +31,17 @@ import (
 	"repro/internal/costmodel"
 	"repro/internal/graph"
 	"repro/internal/nn"
+	"repro/internal/parallel"
 )
 
 // Algorithms lists the supported training algorithms in the order the
 // paper presents them.
 var Algorithms = []string{"serial", "1d", "1.5d", "2d", "3d"}
+
+// Backends lists the selectable compute backends for the SpMM/GEMM kernels.
+// Both produce bit-identical results; "parallel" row-partitions large
+// kernels across a worker pool.
+var Backends = parallel.Backends
 
 // Datasets lists the built-in synthetic analogs of the paper's Table VI
 // datasets.
@@ -99,6 +105,14 @@ type TrainOptions struct {
 	// TrainMask restricts the loss to marked vertices (semi-supervised
 	// training, like the paper's Reddit split). Nil trains on all vertices.
 	TrainMask []bool
+	// Backend selects the compute backend for all kernels: "serial" runs
+	// them single-threaded, "parallel" (the default) row-partitions large
+	// SpMM/GEMM/activation kernels across a worker pool sized by
+	// runtime.NumCPU. Both backends produce bit-identical results; the
+	// setting is process-wide, so concurrent Train calls share it. Empty
+	// keeps the current process-wide backend (default "parallel",
+	// overridable with the CAGNET_BACKEND environment variable).
+	Backend string
 }
 
 func (o TrainOptions) withDefaults() TrainOptions {
@@ -152,6 +166,13 @@ func (r *TrainReport) Result() *core.Result { return r.result }
 // architecture (input → hidden → labels).
 func Train(ds *graph.Dataset, opts TrainOptions) (*TrainReport, error) {
 	opts = opts.withDefaults()
+	if opts.Backend != "" {
+		backend, err := parallel.ParseBackend(opts.Backend)
+		if err != nil {
+			return nil, err
+		}
+		parallel.SetBackend(backend)
+	}
 	mach, err := costmodel.ProfileByName(opts.Machine)
 	if err != nil {
 		return nil, err

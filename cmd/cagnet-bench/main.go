@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	cagnet-bench [-exp all|tableVI|fig2|fig3|partition|crossover|algo3d|scaling] [-quick] [-machine summit-v100]
+//	cagnet-bench [-exp all|tableVI|fig2|fig3|partition|crossover|algo3d|scaling]
+//	             [-quick] [-machine summit-v100] [-backend parallel] [-workers 0]
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/costmodel"
 	"repro/internal/harness"
+	"repro/internal/parallel"
 )
 
 func main() {
@@ -25,7 +27,20 @@ func main() {
 	exp := flag.String("exp", "all", "experiment: all, tableVI, fig2, fig3, partition, crossover, algo3d, scaling")
 	quick := flag.Bool("quick", false, "use reduced dataset sizes")
 	machine := flag.String("machine", costmodel.SummitSim.Name, "cost-model machine profile")
+	backendFlag := flag.String("backend", "", "compute backend: serial or parallel (default: parallel, or $CAGNET_BACKEND)")
+	workers := flag.Int("workers", 0, "parallel backend worker count (0 = runtime.NumCPU or $CAGNET_WORKERS)")
 	flag.Parse()
+
+	if *backendFlag != "" {
+		backend, err := parallel.ParseBackend(*backendFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		parallel.SetBackend(backend)
+	}
+	if *workers > 0 {
+		parallel.SetWorkers(*workers)
+	}
 
 	mach, err := costmodel.ProfileByName(*machine)
 	if err != nil {

@@ -5,7 +5,8 @@
 // Usage:
 //
 //	cagnet-train [-dataset reddit-sim] [-algo 2d] [-ranks 16] [-epochs 10]
-//	             [-lr 0.01] [-machine summit-v100] [-quick]
+//	             [-lr 0.01] [-machine summit-v100] [-backend parallel]
+//	             [-workers 0] [-quick]
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 
 	"repro"
 	"repro/internal/graph"
+	"repro/internal/parallel"
 )
 
 func main() {
@@ -26,8 +28,19 @@ func main() {
 	epochs := flag.Int("epochs", 10, "training epochs")
 	lr := flag.Float64("lr", 0.01, "learning rate")
 	machine := flag.String("machine", "summit-v100", "cost-model machine profile")
+	backend := flag.String("backend", "", "compute backend: serial or parallel (default: parallel, or $CAGNET_BACKEND)")
+	workers := flag.Int("workers", 0, "parallel backend worker count (0 = runtime.NumCPU or $CAGNET_WORKERS)")
 	quickFlag := flag.Bool("quick", false, "shrink the dataset for a fast run")
 	flag.Parse()
+
+	// Validate the backend before the (potentially expensive) dataset build;
+	// Train applies it via TrainOptions.Backend.
+	if _, err := parallel.ParseBackend(*backend); err != nil {
+		log.Fatal(err)
+	}
+	if *workers > 0 {
+		parallel.SetWorkers(*workers)
+	}
 
 	ds, err := cagnet.DatasetByName(*dataset)
 	if err != nil {
@@ -53,6 +66,7 @@ func main() {
 		Epochs:    *epochs,
 		LR:        *lr,
 		Machine:   *machine,
+		Backend:   *backend,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -21,6 +21,8 @@ import (
 	"fmt"
 	"math"
 	"sync"
+
+	"repro/internal/parallel"
 )
 
 // Category labels where time and traffic are spent, matching the legend of
@@ -257,7 +259,13 @@ func (c *Cluster) ResetLedgers() {
 
 // Run executes fn on every rank concurrently and waits for all to finish.
 // The first non-nil error is returned. A panic in any rank is re-raised.
+//
+// While the ranks run, they are registered with the parallel worker pool so
+// that per-rank compute kernels divide the machine between them instead of
+// oversubscribing it (each of the P rank goroutines already occupies a
+// core; see parallel.EnterRanks).
 func (c *Cluster) Run(fn func(*Comm) error) error {
+	defer parallel.EnterRanks(c.p)()
 	errs := make([]error, c.p)
 	panics := make([]any, c.p)
 	var wg sync.WaitGroup

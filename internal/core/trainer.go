@@ -13,6 +13,14 @@
 //
 // and differ only in how matrices are partitioned and which collectives move
 // them, exactly as in the paper.
+//
+// Every trainer's local compute goes through the backend-dispatched kernels
+// in internal/dense and internal/sparse: under the "parallel" backend large
+// SpMM/GEMM/activation calls are row-partitioned across the shared worker
+// pool (internal/parallel) with bit-identical results. The serial trainer
+// gets the whole pool; the distributed trainers run inside comm.Cluster.Run,
+// which registers its P rank goroutines with the pool so per-rank kernels
+// split the machine instead of oversubscribing it.
 package core
 
 import (

@@ -3,7 +3,16 @@ package dense
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/parallel"
 )
+
+// activationRows dispatches a rowwise activation sweep over z through the
+// parallel backend. Each row is written by exactly one worker, so parallel
+// execution stays bit-identical to the serial sweep.
+func activationRows(z *Matrix, fn func(lo, hi int)) {
+	parallel.Rows(z.Rows, int64(len(z.Data)), fn)
+}
 
 // Activation is a differentiable elementwise-or-rowwise nonlinearity used
 // between GNN layers. Forward computes dst = σ(z); Backward computes
@@ -38,25 +47,29 @@ func (ReLU) RowWise() bool { return false }
 // Forward implements Activation.
 func (ReLU) Forward(dst, z *Matrix) {
 	sameShape2(dst, z, "ReLU.Forward")
-	for i, v := range z.Data {
-		if v > 0 {
-			dst.Data[i] = v
-		} else {
-			dst.Data[i] = 0
+	activationRows(z, func(lo, hi int) {
+		for i := lo * z.Cols; i < hi*z.Cols; i++ {
+			if v := z.Data[i]; v > 0 {
+				dst.Data[i] = v
+			} else {
+				dst.Data[i] = 0
+			}
 		}
-	}
+	})
 }
 
 // Backward implements Activation: dst = grad ⊙ 1[z > 0].
 func (ReLU) Backward(dst, grad, z *Matrix) {
 	sameShape3(dst, grad, z, "ReLU.Backward")
-	for i, v := range z.Data {
-		if v > 0 {
-			dst.Data[i] = grad.Data[i]
-		} else {
-			dst.Data[i] = 0
+	activationRows(z, func(lo, hi int) {
+		for i := lo * z.Cols; i < hi*z.Cols; i++ {
+			if z.Data[i] > 0 {
+				dst.Data[i] = grad.Data[i]
+			} else {
+				dst.Data[i] = 0
+			}
 		}
-	}
+	})
 }
 
 // Identity is the no-op activation, useful for testing the pure linear
@@ -72,13 +85,17 @@ func (Identity) RowWise() bool { return false }
 // Forward implements Activation.
 func (Identity) Forward(dst, z *Matrix) {
 	sameShape2(dst, z, "Identity.Forward")
-	copy(dst.Data, z.Data)
+	activationRows(z, func(lo, hi int) {
+		copy(dst.Data[lo*z.Cols:hi*z.Cols], z.Data[lo*z.Cols:hi*z.Cols])
+	})
 }
 
 // Backward implements Activation.
 func (Identity) Backward(dst, grad, z *Matrix) {
 	sameShape3(dst, grad, z, "Identity.Backward")
-	copy(dst.Data, grad.Data)
+	activationRows(z, func(lo, hi int) {
+		copy(dst.Data[lo*z.Cols:hi*z.Cols], grad.Data[lo*z.Cols:hi*z.Cols])
+	})
 }
 
 // LogSoftmax applies log(softmax) along each row, the standard output
@@ -96,11 +113,11 @@ func (LogSoftmax) RowWise() bool { return true }
 // computed with the max-subtraction trick for numerical stability.
 func (LogSoftmax) Forward(dst, z *Matrix) {
 	sameShape2(dst, z, "LogSoftmax.Forward")
-	for i := 0; i < z.Rows; i++ {
-		zrow := z.Row(i)
-		drow := dst.Row(i)
-		logSoftmaxRow(drow, zrow)
-	}
+	activationRows(z, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			logSoftmaxRow(dst.Row(i), z.Row(i))
+		}
+	})
 }
 
 func logSoftmaxRow(dst, z []float64) {
@@ -124,20 +141,22 @@ func logSoftmaxRow(dst, z []float64) {
 // dL/dz[i,j] = grad[i,j] - softmax(z)[i,j] * sum_k grad[i,k].
 func (LogSoftmax) Backward(dst, grad, z *Matrix) {
 	sameShape3(dst, grad, z, "LogSoftmax.Backward")
-	tmp := make([]float64, z.Cols)
-	for i := 0; i < z.Rows; i++ {
-		zrow := z.Row(i)
-		grow := grad.Row(i)
-		drow := dst.Row(i)
-		logSoftmaxRow(tmp, zrow)
-		var gsum float64
-		for _, g := range grow {
-			gsum += g
+	activationRows(z, func(lo, hi int) {
+		tmp := make([]float64, z.Cols)
+		for i := lo; i < hi; i++ {
+			zrow := z.Row(i)
+			grow := grad.Row(i)
+			drow := dst.Row(i)
+			logSoftmaxRow(tmp, zrow)
+			var gsum float64
+			for _, g := range grow {
+				gsum += g
+			}
+			for j := range drow {
+				drow[j] = grow[j] - math.Exp(tmp[j])*gsum
+			}
 		}
-		for j := range drow {
-			drow[j] = grow[j] - math.Exp(tmp[j])*gsum
-		}
-	}
+	})
 }
 
 // ActivationByName returns the activation registered under name.

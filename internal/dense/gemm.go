@@ -1,13 +1,25 @@
 package dense
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/parallel"
+)
 
 // blockSize is the cache-blocking tile edge for GEMM kernels. 64 keeps a
 // 64x64 float64 tile (32 KiB) within L1 on common hardware.
 const blockSize = 64
 
+// gemmFlops estimates the work of an n x k by k x m product.
+func gemmFlops(n, k, m int) int64 { return 2 * int64(n) * int64(k) * int64(m) }
+
 // Mul computes dst = a * b. dst must not alias a or b and must be
 // pre-shaped (a.Rows x b.Cols); it is overwritten.
+//
+// All GEMM kernels in this package dispatch on the process-wide parallel
+// backend: large products are row-partitioned across the shared worker
+// pool, with each output row owned by exactly one worker so results are
+// bit-identical to the serial loops.
 func Mul(dst, a, b *Matrix) {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("dense: Mul inner dimension mismatch: %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
@@ -28,10 +40,19 @@ func MulAdd(dst, a, b *Matrix) {
 	if dst.Rows != a.Rows || dst.Cols != b.Cols {
 		panic(fmt.Sprintf("dense: MulAdd dst shape %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
 	}
-	n, k, m := a.Rows, a.Cols, b.Cols
+	parallel.Rows(a.Rows, gemmFlops(a.Rows, a.Cols, b.Cols), func(lo, hi int) {
+		mulAddRows(dst, a, b, lo, hi)
+	})
+}
+
+// mulAddRows accumulates rows [lo, hi) of a*b into dst. The per-row k-block
+// traversal matches the serial kernel, so each output row sees the same
+// floating-point accumulation order regardless of partitioning.
+func mulAddRows(dst, a, b *Matrix, lo, hi int) {
+	k, m := a.Cols, b.Cols
 	for k0 := 0; k0 < k; k0 += blockSize {
 		k1 := min(k0+blockSize, k)
-		for i := 0; i < n; i++ {
+		for i := lo; i < hi; i++ {
 			arow := a.Data[i*k : (i+1)*k]
 			drow := dst.Data[i*m : (i+1)*m]
 			for kk := k0; kk < k1; kk++ {
@@ -57,8 +78,15 @@ func MulT(dst, a, b *Matrix) {
 	if dst.Rows != a.Rows || dst.Cols != b.Rows {
 		panic(fmt.Sprintf("dense: MulT dst shape %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Rows))
 	}
+	parallel.Rows(a.Rows, gemmFlops(a.Rows, a.Cols, b.Rows), func(lo, hi int) {
+		mulTRows(dst, a, b, lo, hi)
+	})
+}
+
+// mulTRows computes rows [lo, hi) of a*bᵀ.
+func mulTRows(dst, a, b *Matrix, lo, hi int) {
 	k := a.Cols
-	for i := 0; i < a.Rows; i++ {
+	for i := lo; i < hi; i++ {
 		arow := a.Data[i*k : (i+1)*k]
 		drow := dst.Data[i*b.Rows : (i+1)*b.Rows]
 		for j := 0; j < b.Rows; j++ {
@@ -86,6 +114,11 @@ func TMul(dst, a, b *Matrix) {
 }
 
 // TMulAdd computes dst += aᵀ * b without materializing aᵀ.
+//
+// The parallel variant is owner-computes over dst rows (columns of a): each
+// worker scans every row of a but touches only its own column slice, so
+// contributions to a given output row arrive in the same order as in the
+// serial scatter loop.
 func TMulAdd(dst, a, b *Matrix) {
 	if a.Rows != b.Rows {
 		panic(fmt.Sprintf("dense: TMulAdd inner dimension mismatch: (%dx%d)ᵀ * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
@@ -93,11 +126,19 @@ func TMulAdd(dst, a, b *Matrix) {
 	if dst.Rows != a.Cols || dst.Cols != b.Cols {
 		panic(fmt.Sprintf("dense: TMulAdd dst shape %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Cols, b.Cols))
 	}
+	parallel.Rows(a.Cols, gemmFlops(a.Rows, a.Cols, b.Cols), func(lo, hi int) {
+		tMulAddCols(dst, a, b, lo, hi)
+	})
+}
+
+// tMulAddCols accumulates rows [lo, hi) of aᵀ*b into dst.
+func tMulAddCols(dst, a, b *Matrix, lo, hi int) {
 	m := b.Cols
 	for r := 0; r < a.Rows; r++ {
 		arow := a.Data[r*a.Cols : (r+1)*a.Cols]
 		brow := b.Data[r*m : (r+1)*m]
-		for i, av := range arow {
+		for i := lo; i < hi; i++ {
+			av := arow[i]
 			if av == 0 {
 				continue
 			}

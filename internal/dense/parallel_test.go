@@ -1,0 +1,172 @@
+package dense
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/parallel"
+)
+
+// withBackends computes the same kernel under the serial and parallel
+// backends (with enough workers to force real partitioning) and hands both
+// results to check.
+func withBackends(t *testing.T, compute func() *Matrix, check func(serial, par *Matrix)) {
+	t.Helper()
+	prevB, prevW := parallel.CurrentBackend(), parallel.Workers()
+	defer func() {
+		parallel.SetBackend(prevB)
+		parallel.SetWorkers(prevW)
+	}()
+	parallel.SetWorkers(7)
+	parallel.SetBackend(parallel.BackendSerial)
+	serial := compute()
+	parallel.SetBackend(parallel.BackendParallel)
+	par := compute()
+	check(serial, par)
+}
+
+// requireBitIdentical fails unless a and b match bit for bit.
+func requireBitIdentical(t *testing.T, serial, par *Matrix) {
+	t.Helper()
+	if serial.Rows != par.Rows || serial.Cols != par.Cols {
+		t.Fatalf("shape mismatch: serial %dx%d, parallel %dx%d", serial.Rows, serial.Cols, par.Rows, par.Cols)
+	}
+	for i := range serial.Data {
+		if serial.Data[i] != par.Data[i] {
+			t.Fatalf("element %d differs: serial %v, parallel %v", i, serial.Data[i], par.Data[i])
+		}
+	}
+}
+
+func randn(rng *rand.Rand, rows, cols int) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+// gemmShapes covers the trainer-shaped products plus degenerate edges;
+// larger cases clear the parallel dispatch threshold, including k spans
+// crossing multiple cache blocks.
+var gemmShapes = []struct{ n, k, m int }{
+	{0, 0, 0},
+	{1, 1, 1},
+	{1, 500, 40}, // 1xN
+	{500, 1, 40}, // Nx1 inner
+	{400, 40, 1}, // single output column
+	{200, 130, 60},
+	{300, 200, 33},
+}
+
+func TestMulParallelBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, s := range gemmShapes {
+		t.Run(fmt.Sprintf("%dx%dx%d", s.n, s.k, s.m), func(t *testing.T) {
+			a, b := randn(rng, s.n, s.k), randn(rng, s.k, s.m)
+			withBackends(t, func() *Matrix {
+				dst := New(s.n, s.m)
+				Mul(dst, a, b)
+				return dst
+			}, func(serial, par *Matrix) {
+				requireBitIdentical(t, serial, par)
+			})
+		})
+	}
+}
+
+func TestMulAddParallelBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	a, b := randn(rng, 250, 170), randn(rng, 170, 45)
+	init := randn(rng, 250, 45)
+	withBackends(t, func() *Matrix {
+		dst := init.Clone()
+		MulAdd(dst, a, b)
+		return dst
+	}, func(serial, par *Matrix) {
+		requireBitIdentical(t, serial, par)
+	})
+}
+
+func TestMulTParallelBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, s := range gemmShapes {
+		t.Run(fmt.Sprintf("%dx%dx%d", s.n, s.k, s.m), func(t *testing.T) {
+			a, b := randn(rng, s.n, s.k), randn(rng, s.m, s.k)
+			withBackends(t, func() *Matrix {
+				dst := New(s.n, s.m)
+				MulT(dst, a, b)
+				return dst
+			}, func(serial, par *Matrix) {
+				requireBitIdentical(t, serial, par)
+			})
+		})
+	}
+}
+
+func TestTMulParallelBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for _, s := range gemmShapes {
+		t.Run(fmt.Sprintf("%dx%dx%d", s.n, s.k, s.m), func(t *testing.T) {
+			a, b := randn(rng, s.k, s.n), randn(rng, s.k, s.m)
+			withBackends(t, func() *Matrix {
+				dst := New(s.n, s.m)
+				TMul(dst, a, b)
+				return dst
+			}, func(serial, par *Matrix) {
+				requireBitIdentical(t, serial, par)
+			})
+		})
+	}
+}
+
+func TestActivationsParallelBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	acts := []Activation{ReLU{}, Identity{}, LogSoftmax{}}
+	shapes := []struct{ n, f int }{{1, 1}, {1, 700}, {700, 1}, {400, 90}}
+	for _, act := range acts {
+		for _, s := range shapes {
+			t.Run(fmt.Sprintf("%s/%dx%d", act.Name(), s.n, s.f), func(t *testing.T) {
+				z := randn(rng, s.n, s.f)
+				grad := randn(rng, s.n, s.f)
+				withBackends(t, func() *Matrix {
+					dst := New(s.n, s.f)
+					act.Forward(dst, z)
+					return dst
+				}, func(serial, par *Matrix) {
+					requireBitIdentical(t, serial, par)
+				})
+				withBackends(t, func() *Matrix {
+					dst := New(s.n, s.f)
+					act.Backward(dst, grad, z)
+					return dst
+				}, func(serial, par *Matrix) {
+					requireBitIdentical(t, serial, par)
+				})
+			})
+		}
+	}
+}
+
+// TestMulParallelMatchesNaive cross-checks the parallel blocked kernel
+// against the naive triple loop within tolerance (the naive loop uses a
+// different accumulation order).
+func TestMulParallelMatchesNaive(t *testing.T) {
+	prevB, prevW := parallel.CurrentBackend(), parallel.Workers()
+	defer func() {
+		parallel.SetBackend(prevB)
+		parallel.SetWorkers(prevW)
+	}()
+	parallel.SetWorkers(7)
+	parallel.SetBackend(parallel.BackendParallel)
+
+	rng := rand.New(rand.NewSource(43))
+	a, b := randn(rng, 180, 140), randn(rng, 140, 70)
+	dst := New(180, 70)
+	Mul(dst, a, b)
+	want := MulNaive(a, b)
+	if !EqualWithin(dst, want, 1e-9) {
+		t.Fatalf("parallel Mul deviates from naive reference by %g", MaxAbsDiff(dst, want))
+	}
+}

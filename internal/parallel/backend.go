@@ -1,0 +1,125 @@
+package parallel
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+)
+
+// Backend selects how compute kernels execute.
+type Backend int32
+
+const (
+	// BackendSerial runs every kernel single-threaded, exactly as the seed
+	// implementation did.
+	BackendSerial Backend = iota
+	// BackendParallel row-partitions large kernels across the worker pool.
+	// Outputs are bit-identical to BackendSerial.
+	BackendParallel
+)
+
+// String implements fmt.Stringer.
+func (b Backend) String() string {
+	if b == BackendParallel {
+		return "parallel"
+	}
+	return "serial"
+}
+
+// ParseBackend maps a flag/option value to a Backend. The empty string maps
+// to the default (parallel).
+func ParseBackend(s string) (Backend, error) {
+	switch s {
+	case "", "parallel":
+		return BackendParallel, nil
+	case "serial":
+		return BackendSerial, nil
+	default:
+		return BackendSerial, fmt.Errorf("parallel: unknown backend %q (want serial or parallel)", s)
+	}
+}
+
+// Backends lists the selectable backend names.
+var Backends = []string{"serial", "parallel"}
+
+// minParallelWork is the kernel work (in flops or element writes) below
+// which parallel dispatch is not worth the scheduling overhead.
+const minParallelWork = 1 << 15
+
+var (
+	current     atomic.Int32 // Backend
+	activeRanks atomic.Int64 // simulated rank goroutines, see EnterRanks
+	pool        atomic.Pointer[Pool]
+)
+
+func init() {
+	b := BackendParallel
+	if s, ok := os.LookupEnv("CAGNET_BACKEND"); ok {
+		if parsed, err := ParseBackend(s); err == nil {
+			b = parsed
+		}
+	}
+	current.Store(int32(b))
+	w := runtime.NumCPU()
+	if s, ok := os.LookupEnv("CAGNET_WORKERS"); ok {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			w = n
+		}
+	}
+	pool.Store(NewPool(w))
+}
+
+// SetBackend selects the process-wide backend. Both backends produce
+// bit-identical results, so this only affects execution speed.
+func SetBackend(b Backend) { current.Store(int32(b)) }
+
+// CurrentBackend returns the process-wide backend.
+func CurrentBackend() Backend { return Backend(current.Load()) }
+
+// SetWorkers replaces the shared pool with one of n workers. It is meant
+// for process startup and tests; kernels already in flight finish on the
+// old pool.
+func SetWorkers(n int) {
+	old := pool.Swap(NewPool(n))
+	if old != nil {
+		old.stop()
+	}
+}
+
+// Workers returns the shared pool's worker count.
+func Workers() int { return pool.Load().Workers() }
+
+// EnterRanks registers p concurrently running simulated rank goroutines and
+// returns a function that unregisters them. While ranks are registered,
+// every kernel divides the pool among them so per-rank parallelism does not
+// oversubscribe the machine; with at least as many ranks as workers the
+// kernels run inline (serial).
+func EnterRanks(p int) (leave func()) {
+	if p < 1 {
+		p = 1
+	}
+	activeRanks.Add(int64(p))
+	return func() { activeRanks.Add(-int64(p)) }
+}
+
+// Rows runs fn over row ranges covering [0, rows). Under the parallel
+// backend, when rows > 1 and the estimated total work is large enough, the
+// range is split into contiguous chunks across the shared pool; otherwise
+// fn(0, rows) runs inline. Each row belongs to exactly one chunk, so a
+// kernel whose per-row computation order matches its serial loop produces
+// bit-identical output under either backend.
+func Rows(rows int, work int64, fn func(lo, hi int)) {
+	if CurrentBackend() != BackendParallel || rows <= 1 || work < minParallelWork {
+		fn(0, rows)
+		return
+	}
+	p := pool.Load()
+	w := p.effective()
+	if w <= 1 {
+		fn(0, rows)
+		return
+	}
+	p.For(rows, w, fn)
+}

@@ -2,13 +2,20 @@ package sparse
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/dense"
+	"repro/internal/parallel"
 )
 
 // SpMM computes dst = a * x where a is sparse and x is dense (the SpMM
 // kernel the paper identifies as the dominant GNN training cost). dst must
 // be a.Rows x x.Cols and is overwritten.
+//
+// Like every kernel in this package, SpMM dispatches on the process-wide
+// parallel backend: under parallel.BackendParallel large products are
+// row-partitioned across the shared worker pool, with each output row owned
+// by exactly one worker so the result is bit-identical to the serial loop.
 func SpMM(dst *dense.Matrix, a *CSR, x *dense.Matrix) {
 	checkSpMM(dst, a, x, "SpMM")
 	dst.Zero()
@@ -20,8 +27,16 @@ func SpMM(dst *dense.Matrix, a *CSR, x *dense.Matrix) {
 // the same output tile.
 func SpMMAdd(dst *dense.Matrix, a *CSR, x *dense.Matrix) {
 	checkSpMM(dst, a, x, "SpMMAdd")
+	parallel.Rows(a.Rows, SpMMFlops(a, x.Cols), func(lo, hi int) {
+		spMMAddRows(dst, a, x, lo, hi)
+	})
+}
+
+// spMMAddRows accumulates rows [lo, hi) of a*x into dst. For each output
+// row the accumulation order is identical to the full serial loop.
+func spMMAddRows(dst *dense.Matrix, a *CSR, x *dense.Matrix, lo, hi int) {
 	f := x.Cols
-	for i := 0; i < a.Rows; i++ {
+	for i := lo; i < hi; i++ {
 		drow := dst.Data[i*f : (i+1)*f]
 		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
 			v := a.Val[k]
@@ -43,12 +58,37 @@ func SpMMT(dst *dense.Matrix, a *CSR, x *dense.Matrix) {
 }
 
 // SpMMTAdd computes dst += aᵀ * x.
+//
+// The parallel variant is owner-computes over dst rows: each worker owns a
+// contiguous range of output rows (columns of a) and visits, per stored row
+// of a, only the nonzeros whose column index falls in its range — located
+// with a binary search, since column indices are strictly increasing within
+// each row. Contributions to a given output row therefore arrive in the
+// same (row, nonzero) order as in the serial scatter loop, keeping the
+// result bit-identical.
 func SpMMTAdd(dst *dense.Matrix, a *CSR, x *dense.Matrix) {
 	checkSpMMT(dst, a, x, "SpMMTAdd")
+	parallel.Rows(a.Cols, SpMMFlops(a, x.Cols), func(lo, hi int) {
+		spMMTAddCols(dst, a, x, lo, hi)
+	})
+}
+
+// spMMTAddCols accumulates rows [lo, hi) of aᵀ*x into dst.
+func spMMTAddCols(dst *dense.Matrix, a *CSR, x *dense.Matrix, lo, hi int) {
 	f := x.Cols
+	full := lo == 0 && hi == a.Cols
 	for i := 0; i < a.Rows; i++ {
+		k0, k1 := a.RowPtr[i], a.RowPtr[i+1]
+		if !full {
+			row := a.ColIdx[k0:k1]
+			k1 = k0 + sort.SearchInts(row, hi)
+			k0 += sort.SearchInts(row, lo)
+		}
+		if k0 == k1 {
+			continue
+		}
 		xrow := x.Data[i*f : (i+1)*f]
-		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+		for k := k0; k < k1; k++ {
 			v := a.Val[k]
 			drow := dst.Data[a.ColIdx[k]*f : (a.ColIdx[k]+1)*f]
 			for j, xv := range xrow {

@@ -1,0 +1,178 @@
+package sparse
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dense"
+	"repro/internal/parallel"
+)
+
+// withBackends computes the same kernel under the serial and parallel
+// backends (with enough workers to force real partitioning) and hands both
+// results to check.
+func withBackends(t *testing.T, compute func() *dense.Matrix, check func(serial, par *dense.Matrix)) {
+	t.Helper()
+	prevB, prevW := parallel.CurrentBackend(), parallel.Workers()
+	defer func() {
+		parallel.SetBackend(prevB)
+		parallel.SetWorkers(prevW)
+	}()
+	parallel.SetWorkers(7)
+	parallel.SetBackend(parallel.BackendSerial)
+	serial := compute()
+	parallel.SetBackend(parallel.BackendParallel)
+	par := compute()
+	check(serial, par)
+}
+
+// requireBitIdentical fails unless a and b match bit for bit.
+func requireBitIdentical(t *testing.T, serial, par *dense.Matrix) {
+	t.Helper()
+	if serial.Rows != par.Rows || serial.Cols != par.Cols {
+		t.Fatalf("shape mismatch: serial %dx%d, parallel %dx%d", serial.Rows, serial.Cols, par.Rows, par.Cols)
+	}
+	for i := range serial.Data {
+		if serial.Data[i] != par.Data[i] {
+			t.Fatalf("element %d differs: serial %v, parallel %v", i, serial.Data[i], par.Data[i])
+		}
+	}
+}
+
+// randomCSR builds a CSR with roughly density*rows*cols nonzeros, plus a few
+// deliberately empty rows.
+func randomCSR(rng *rand.Rand, rows, cols int, density float64) *CSR {
+	var entries []Coord
+	for i := 0; i < rows; i++ {
+		if rows > 4 && i%5 == 3 {
+			continue // leave every fifth-ish row empty
+		}
+		for j := 0; j < cols; j++ {
+			if rng.Float64() < density {
+				entries = append(entries, Coord{Row: i, Col: j, Val: rng.NormFloat64()})
+			}
+		}
+	}
+	return NewCSR(rows, cols, entries)
+}
+
+func randomMatrix(rng *rand.Rand, rows, cols int) *dense.Matrix {
+	m := dense.New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+// spmmShapes covers the paper-shaped products plus degenerate edges: empty
+// matrices, single rows/columns, and tall/wide extremes. Sizes are chosen so
+// the larger cases clear the parallel dispatch threshold.
+var spmmShapes = []struct {
+	rows, cols, f int
+	density       float64
+}{
+	{0, 0, 3, 0},
+	{1, 1, 1, 1},
+	{1, 600, 40, 0.5}, // 1xN
+	{600, 1, 40, 0.5}, // Nx1
+	{97, 103, 1, 0.3}, // single dense column
+	{256, 256, 32, 0.05},
+	{500, 300, 64, 0.1},
+	{300, 500, 64, 0.1},
+}
+
+func TestSpMMParallelBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, s := range spmmShapes {
+		t.Run(fmt.Sprintf("%dx%d_f%d", s.rows, s.cols, s.f), func(t *testing.T) {
+			a := randomCSR(rng, s.rows, s.cols, s.density)
+			x := randomMatrix(rng, s.cols, s.f)
+			withBackends(t, func() *dense.Matrix {
+				dst := dense.New(s.rows, s.f)
+				SpMM(dst, a, x)
+				return dst
+			}, func(serial, par *dense.Matrix) {
+				requireBitIdentical(t, serial, par)
+			})
+		})
+	}
+}
+
+func TestSpMMAddParallelBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := randomCSR(rng, 400, 350, 0.08)
+	x := randomMatrix(rng, 350, 48)
+	init := randomMatrix(rng, 400, 48)
+	withBackends(t, func() *dense.Matrix {
+		dst := init.Clone()
+		SpMMAdd(dst, a, x)
+		return dst
+	}, func(serial, par *dense.Matrix) {
+		requireBitIdentical(t, serial, par)
+	})
+}
+
+func TestSpMMTParallelBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, s := range spmmShapes {
+		t.Run(fmt.Sprintf("%dx%d_f%d", s.rows, s.cols, s.f), func(t *testing.T) {
+			a := randomCSR(rng, s.rows, s.cols, s.density)
+			x := randomMatrix(rng, s.rows, s.f)
+			withBackends(t, func() *dense.Matrix {
+				dst := dense.New(s.cols, s.f)
+				SpMMT(dst, a, x)
+				return dst
+			}, func(serial, par *dense.Matrix) {
+				requireBitIdentical(t, serial, par)
+			})
+		})
+	}
+}
+
+func TestSpMMTAddParallelBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	a := randomCSR(rng, 400, 350, 0.08)
+	x := randomMatrix(rng, 400, 48)
+	init := randomMatrix(rng, 350, 48)
+	withBackends(t, func() *dense.Matrix {
+		dst := init.Clone()
+		SpMMTAdd(dst, a, x)
+		return dst
+	}, func(serial, par *dense.Matrix) {
+		requireBitIdentical(t, serial, par)
+	})
+}
+
+// TestSpMMParallelMatchesNaive cross-checks the parallel kernel against a
+// naive dense reference (within floating-point tolerance, since the naive
+// reference accumulates in a different order).
+func TestSpMMParallelMatchesNaive(t *testing.T) {
+	prevB, prevW := parallel.CurrentBackend(), parallel.Workers()
+	defer func() {
+		parallel.SetBackend(prevB)
+		parallel.SetWorkers(prevW)
+	}()
+	parallel.SetWorkers(7)
+	parallel.SetBackend(parallel.BackendParallel)
+
+	rng := rand.New(rand.NewSource(19))
+	a := randomCSR(rng, 150, 120, 0.2)
+	x := randomMatrix(rng, 120, 50)
+	dst := dense.New(150, 50)
+	SpMM(dst, a, x)
+
+	want := dense.New(150, 50)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < x.Cols; j++ {
+			var s float64
+			for k := 0; k < a.Cols; k++ {
+				s += a.At(i, k) * x.At(k, j)
+			}
+			want.Set(i, j, s)
+		}
+	}
+	if !dense.EqualWithin(dst, want, 1e-9) {
+		t.Fatalf("parallel SpMM deviates from naive reference by %g", dense.MaxAbsDiff(dst, want))
+	}
+}
