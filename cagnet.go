@@ -43,6 +43,11 @@ var Algorithms = []string{"serial", "1d", "1.5d", "2d", "3d"}
 // kernels across a worker pool.
 var Backends = parallel.Backends
 
+// Optimizers lists the selectable weight-update rules. All of them keep
+// their state replicated across ranks, so they work identically under
+// every decomposition with zero extra communication.
+var Optimizers = nn.Optimizers
+
 // Datasets lists the built-in synthetic analogs of the paper's Table VI
 // datasets.
 func Datasets() []string {
@@ -97,6 +102,14 @@ type TrainOptions struct {
 	Epochs int
 	// LR is the learning rate. Default 0.01.
 	LR float64
+	// Optimizer selects the weight-update rule: "sgd" (default),
+	// "momentum", or "adam". Optimizer state is replicated on every rank,
+	// so the choice adds no communication (§III-D).
+	Optimizer string
+	// ReplicationFactor is the 1.5D replication factor c (algorithm
+	// "1.5d" only). 0 picks the default (2, or 1 when Ranks is odd);
+	// otherwise it must divide Ranks.
+	ReplicationFactor int
 	// Seed fixes the weight initialization. Default 1.
 	Seed int64
 	// Machine names the cost-model profile: "summit-v100", "summit-sim",
@@ -105,13 +118,21 @@ type TrainOptions struct {
 	// TrainMask restricts the loss to marked vertices (semi-supervised
 	// training, like the paper's Reddit split). Nil trains on all vertices.
 	TrainMask []bool
+	// ValMask marks held-out vertices. When set, per-epoch train and
+	// validation accuracy are tracked in the report, and validation
+	// vertices never contribute to the loss: if TrainMask is nil it is
+	// derived as ValMask's complement, while an explicit TrainMask is used
+	// as given.
+	ValMask []bool
 	// Backend selects the compute backend for all kernels: "serial" runs
 	// them single-threaded, "parallel" (the default) row-partitions large
 	// SpMM/GEMM/activation kernels across a worker pool sized by
-	// runtime.NumCPU. Both backends produce bit-identical results; the
-	// setting is process-wide, so concurrent Train calls share it. Empty
-	// keeps the current process-wide backend (default "parallel",
-	// overridable with the CAGNET_BACKEND environment variable).
+	// runtime.NumCPU. Both backends produce bit-identical results. The
+	// choice is scoped to this run (set on entry, restored on return);
+	// concurrent Train calls requesting different backends serialize
+	// instead of racing. Empty keeps the current process-wide backend
+	// (default "parallel", overridable with the CAGNET_BACKEND environment
+	// variable).
 	Backend string
 }
 
@@ -144,6 +165,11 @@ type TrainReport struct {
 	Losses []float64
 	// Accuracy is the final training accuracy.
 	Accuracy float64
+	// TrainAccuracy and ValAccuracy hold per-epoch accuracies over
+	// TrainOptions.TrainMask and TrainOptions.ValMask; populated only when
+	// ValMask is set.
+	TrainAccuracy []float64
+	ValAccuracy   []float64
 	// OutputRows and OutputCols describe the final embedding matrix.
 	OutputRows, OutputCols int
 	// ModeledSeconds is the bulk-synchronous modeled run time across all
@@ -171,13 +197,17 @@ func Train(ds *graph.Dataset, opts TrainOptions) (*TrainReport, error) {
 		if err != nil {
 			return nil, err
 		}
-		parallel.SetBackend(backend)
+		// Scope the backend to this run: restore on return, and let
+		// concurrent Train calls with conflicting backends serialize
+		// rather than race on the process-wide setting.
+		release := parallel.AcquireBackend(backend)
+		defer release()
 	}
 	mach, err := costmodel.ProfileByName(opts.Machine)
 	if err != nil {
 		return nil, err
 	}
-	trainer, err := core.NewTrainer(opts.Algorithm, opts.Ranks, mach)
+	trainer, err := core.NewTrainerReplicated(opts.Algorithm, opts.Ranks, opts.ReplicationFactor, mach)
 	if err != nil {
 		return nil, err
 	}
@@ -186,11 +216,13 @@ func Train(ds *graph.Dataset, opts TrainOptions) (*TrainReport, error) {
 		Features:  ds.Features,
 		Labels:    ds.Labels,
 		TrainMask: opts.TrainMask,
+		ValMask:   opts.ValMask,
 		Config: nn.Config{
-			Widths: ds.LayerWidths(),
-			LR:     opts.LR,
-			Epochs: opts.Epochs,
-			Seed:   opts.Seed,
+			Widths:    ds.LayerWidths(),
+			LR:        opts.LR,
+			Optimizer: opts.Optimizer,
+			Epochs:    opts.Epochs,
+			Seed:      opts.Seed,
 		},
 	}
 	res, err := trainer.Train(problem)
@@ -198,11 +230,13 @@ func Train(ds *graph.Dataset, opts TrainOptions) (*TrainReport, error) {
 		return nil, err
 	}
 	report := &TrainReport{
-		Losses:     res.Losses,
-		Accuracy:   res.Accuracy,
-		OutputRows: res.Output.Rows,
-		OutputCols: res.Output.Cols,
-		result:     res,
+		Losses:        res.Losses,
+		Accuracy:      res.Accuracy,
+		TrainAccuracy: res.TrainAccuracy,
+		ValAccuracy:   res.ValAccuracy,
+		OutputRows:    res.Output.Rows,
+		OutputCols:    res.Output.Cols,
+		result:        res,
 	}
 	if dt, ok := trainer.(core.DistTrainer); ok {
 		cl := dt.Cluster()

@@ -1,7 +1,9 @@
 package cagnet
 
 import (
+	"fmt"
 	"math"
+	"sync"
 	"testing"
 )
 
@@ -141,5 +143,138 @@ func TestCommCategories(t *testing.T) {
 		if !seen[want] {
 			t.Fatalf("missing category %q in %v", want, cats)
 		}
+	}
+}
+
+// TestTrainOptimizerAcrossAlgorithms: the optimizer knob lands once in the
+// engine and works identically for every decomposition.
+func TestTrainOptimizerAcrossAlgorithms(t *testing.T) {
+	ds := RandomDataset(7, 5, 8, 4, 3, 30)
+	ranks := map[string]int{"serial": 1, "1d": 4, "1.5d": 4, "2d": 4, "3d": 8}
+	for _, optimizer := range Optimizers {
+		var first []float64
+		for _, algo := range Algorithms {
+			rep, err := Train(ds, TrainOptions{
+				Algorithm: algo, Ranks: ranks[algo], Epochs: 3, Optimizer: optimizer,
+			})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", algo, optimizer, err)
+			}
+			if first == nil {
+				first = rep.Losses
+				continue
+			}
+			for i := range first {
+				if math.Abs(first[i]-rep.Losses[i]) > 1e-8 {
+					t.Fatalf("%s/%s disagrees with serial at epoch %d: %v vs %v",
+						algo, optimizer, i, rep.Losses[i], first[i])
+				}
+			}
+		}
+	}
+	if _, err := Train(ds, TrainOptions{Optimizer: "adagrad", Ranks: 1, Epochs: 1}); err == nil {
+		t.Fatal("expected unknown-optimizer error")
+	}
+}
+
+// TestTrainReplicationFactor: the 1.5D replication knob is honored and
+// validated.
+func TestTrainReplicationFactor(t *testing.T) {
+	ds := RandomDataset(7, 5, 8, 4, 3, 31)
+	rep, err := Train(ds, TrainOptions{Algorithm: "1.5d", Ranks: 8, ReplicationFactor: 4, Epochs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Losses) != 2 {
+		t.Fatalf("got %d losses", len(rep.Losses))
+	}
+	if _, err := Train(ds, TrainOptions{Algorithm: "1.5d", Ranks: 6, ReplicationFactor: 4, Epochs: 1}); err == nil {
+		t.Fatal("expected error when c does not divide ranks")
+	}
+	if _, err := Train(ds, TrainOptions{Algorithm: "2d", Ranks: 4, ReplicationFactor: 2, Epochs: 1}); err == nil {
+		t.Fatal("expected error for replication on a non-1.5d algorithm")
+	}
+}
+
+// TestTrainValidationTracking: a ValMask yields per-epoch accuracy curves
+// of the right shape, identical across decompositions.
+func TestTrainValidationTracking(t *testing.T) {
+	ds := RandomDataset(7, 5, 8, 4, 3, 32)
+	n := ds.Graph.NumVertices
+	trainMask := make([]bool, n)
+	valMask := make([]bool, n)
+	for v := 0; v < n; v++ {
+		if v%4 == 0 {
+			valMask[v] = true
+		} else {
+			trainMask[v] = true
+		}
+	}
+	serial, err := Train(ds, TrainOptions{
+		Algorithm: "serial", Epochs: 3, TrainMask: trainMask, ValMask: valMask,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.TrainAccuracy) != 3 || len(serial.ValAccuracy) != 3 {
+		t.Fatalf("tracking shape: %d/%d epochs", len(serial.TrainAccuracy), len(serial.ValAccuracy))
+	}
+	dist, err := Train(ds, TrainOptions{
+		Algorithm: "2d", Ranks: 4, Epochs: 3, TrainMask: trainMask, ValMask: valMask,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial.ValAccuracy {
+		if serial.ValAccuracy[i] != dist.ValAccuracy[i] || serial.TrainAccuracy[i] != dist.TrainAccuracy[i] {
+			t.Fatalf("epoch %d: accuracy curves diverge between serial and 2d", i)
+		}
+	}
+	// Without a ValMask the curves stay nil.
+	plain, err := Train(ds, TrainOptions{Algorithm: "serial", Epochs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.TrainAccuracy != nil || plain.ValAccuracy != nil {
+		t.Fatal("tracking should be off without ValMask")
+	}
+}
+
+// TestTrainConcurrentBackends: concurrent Train calls with different
+// Backend values must not race on the process-wide setting (run with
+// -race) and must agree bit-for-bit.
+func TestTrainConcurrentBackends(t *testing.T) {
+	ds := RandomDataset(6, 4, 6, 4, 3, 33)
+	want, err := Train(ds, TrainOptions{Algorithm: "serial", Epochs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		backend := "serial"
+		if i%2 == 0 {
+			backend = "parallel"
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rep, err := Train(ds, TrainOptions{Algorithm: "serial", Epochs: 2, Backend: backend})
+			if err != nil {
+				errs <- err
+				return
+			}
+			for e := range want.Losses {
+				if rep.Losses[e] != want.Losses[e] {
+					errs <- fmt.Errorf("backend %s: loss diverged at epoch %d", backend, e)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
 	}
 }

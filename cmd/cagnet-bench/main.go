@@ -6,7 +6,8 @@
 // Usage:
 //
 //	cagnet-bench [-exp all|tableVI|fig2|fig3|partition|crossover|algo3d|scaling]
-//	             [-quick] [-machine summit-v100] [-backend parallel] [-workers 0]
+//	             [-quick] [-machine summit-v100] [-optimizer sgd]
+//	             [-backend parallel] [-workers 0]
 package main
 
 import (
@@ -27,6 +28,7 @@ func main() {
 	exp := flag.String("exp", "all", "experiment: all, tableVI, fig2, fig3, partition, crossover, algo3d, scaling")
 	quick := flag.Bool("quick", false, "use reduced dataset sizes")
 	machine := flag.String("machine", costmodel.SummitSim.Name, "cost-model machine profile")
+	optimizer := flag.String("optimizer", "sgd", "weight-update rule for the convergence experiment: sgd, momentum, adam")
 	backendFlag := flag.String("backend", "", "compute backend: serial or parallel (default: parallel, or $CAGNET_BACKEND)")
 	workers := flag.Int("workers", 0, "parallel backend worker count (0 = runtime.NumCPU or $CAGNET_WORKERS)")
 	flag.Parse()
@@ -46,7 +48,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	opts := harness.Options{Machine: mach, Quick: *quick}
+	opts := harness.Options{Machine: mach, Quick: *quick, Optimizer: *optimizer}
 
 	runners := map[string]func(harness.Options) error{
 		"tableVI":     runTableVI,

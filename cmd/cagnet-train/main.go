@@ -5,7 +5,8 @@
 // Usage:
 //
 //	cagnet-train [-dataset reddit-sim] [-algo 2d] [-ranks 16] [-epochs 10]
-//	             [-lr 0.01] [-machine summit-v100] [-backend parallel]
+//	             [-lr 0.01] [-optimizer sgd] [-replication 0] [-val 0]
+//	             [-machine summit-v100] [-backend parallel]
 //	             [-workers 0] [-quick]
 package main
 
@@ -27,6 +28,9 @@ func main() {
 	ranks := flag.Int("ranks", 16, "simulated rank count")
 	epochs := flag.Int("epochs", 10, "training epochs")
 	lr := flag.Float64("lr", 0.01, "learning rate")
+	optimizer := flag.String("optimizer", "sgd", "weight-update rule: sgd, momentum, adam")
+	replication := flag.Int("replication", 0, "1.5d replication factor c (0 = default; must divide ranks)")
+	valFrac := flag.Float64("val", 0, "fraction of vertices held out for validation tracking (0 disables)")
 	machine := flag.String("machine", "summit-v100", "cost-model machine profile")
 	backend := flag.String("backend", "", "compute backend: serial or parallel (default: parallel, or $CAGNET_BACKEND)")
 	workers := flag.Int("workers", 0, "parallel backend worker count (0 = runtime.NumCPU or $CAGNET_WORKERS)")
@@ -57,21 +61,52 @@ func main() {
 	a := ds.Graph.Adjacency()
 	fmt.Printf("dataset %s: n=%d nnz=%d d=%.1f f=%d labels=%d\n",
 		ds.Name, ds.Graph.NumVertices, a.NNZ(), a.AvgDegree(), ds.FeatureLen(), ds.NumLabels)
-	fmt.Printf("training: algo=%s ranks=%d epochs=%d lr=%g machine=%s\n\n",
-		*algo, *ranks, *epochs, *lr, *machine)
+	fmt.Printf("training: algo=%s ranks=%d epochs=%d lr=%g optimizer=%s machine=%s\n\n",
+		*algo, *ranks, *epochs, *lr, *optimizer, *machine)
+
+	// A -val fraction holds out vertices deterministically, spread evenly
+	// across the index range: vertex v is validation when v·frac crosses an
+	// integer boundary, so any fraction in (0, 1) selects ⌊n·frac⌋ vertices.
+	// Training runs on the complement (derived by the library).
+	var valMask []bool
+	if *valFrac > 0 {
+		if *valFrac >= 1 {
+			log.Fatalf("-val %v must be in (0, 1)", *valFrac)
+		}
+		n := ds.Graph.NumVertices
+		valMask = make([]bool, n)
+		picked := 0
+		for v := 0; v < n; v++ {
+			if int(float64(v+1)**valFrac) > int(float64(v)**valFrac) {
+				valMask[v] = true
+				picked++
+			}
+		}
+		if picked == 0 || picked == n {
+			log.Fatalf("-val %v leaves no usable train/validation split on %d vertices", *valFrac, n)
+		}
+	}
 
 	report, err := cagnet.Train(ds, cagnet.TrainOptions{
-		Algorithm: *algo,
-		Ranks:     *ranks,
-		Epochs:    *epochs,
-		LR:        *lr,
-		Machine:   *machine,
-		Backend:   *backend,
+		Algorithm:         *algo,
+		Ranks:             *ranks,
+		Epochs:            *epochs,
+		LR:                *lr,
+		Optimizer:         *optimizer,
+		ReplicationFactor: *replication,
+		ValMask:           valMask,
+		Machine:           *machine,
+		Backend:           *backend,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	for i, loss := range report.Losses {
+		if report.ValAccuracy != nil {
+			fmt.Printf("epoch %3d  loss %.6f  train-acc %.4f  val-acc %.4f\n",
+				i+1, loss, report.TrainAccuracy[i], report.ValAccuracy[i])
+			continue
+		}
 		fmt.Printf("epoch %3d  loss %.6f\n", i+1, loss)
 	}
 	fmt.Printf("\nfinal training accuracy: %.4f\n", report.Accuracy)

@@ -1,7 +1,8 @@
 // Communication sweep: measure the per-epoch words each algorithm moves as
 // the rank count grows, next to the paper's closed-form §IV predictions.
 // This reproduces the asymptotic story of the paper in one table: 1D is
-// flat in P, 2D falls as √P, 3D as P^{2/3}.
+// flat in P, 1.5D cuts the 1D dense traffic by its replication factor c,
+// 2D falls as √P, 3D as P^{2/3}.
 //
 // Run with: go run ./examples/commsweep
 package main
@@ -21,10 +22,12 @@ func main() {
 
 	// run returns total comm words for a given epoch count; differencing
 	// two epoch counts isolates the per-epoch cost from setup and output
-	// gathering.
-	run := func(algo string, ranks, epochs int) int64 {
+	// gathering. replication sets the 1.5D factor c (0 for the other
+	// algorithms).
+	run := func(algo string, ranks, replication, epochs int) int64 {
 		report, err := cagnet.Train(ds, cagnet.TrainOptions{
-			Algorithm: algo, Ranks: ranks, Epochs: epochs, LR: 0.01,
+			Algorithm: algo, Ranks: ranks, ReplicationFactor: replication,
+			Epochs: epochs, LR: 0.01,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -34,17 +37,25 @@ func main() {
 			report.WordsByCategory["trpose"]
 	}
 
-	fmt.Printf("%4s  %14s  %14s  %14s | analytic 1d / 2d / 3d\n", "P", "1d words", "2d words", "3d words")
+	fmt.Printf("%4s  %14s  %14s  %14s  %14s | analytic 1d / 1.5d / 2d / 3d\n",
+		"P", "1d words", "1.5d (c=2)", "2d words", "3d words")
 	for _, p := range []int{1, 4, 16, 64} {
-		oneD := run("1d", p, 2) - run("1d", p, 1)
-		twoD := run("2d", p, 2) - run("2d", p, 1)
+		oneD := run("1d", p, 0, 2) - run("1d", p, 0, 1)
+		twoD := run("2d", p, 0, 2) - run("2d", p, 0, 1)
+		oneFiveD := "-"
+		if p%2 == 0 {
+			// Explicit replication factor c=2: each rank broadcasts half
+			// the dense rows of plain 1D at the cost of c-fold H storage.
+			oneFiveD = fmt.Sprintf("%d", run("1.5d", p, 2, 2)-run("1.5d", p, 2, 1))
+		}
 		threeD := "-"
 		if isCube(p) {
-			threeD = fmt.Sprintf("%d", run("3d", p, 2)-run("3d", p, 1))
+			threeD = fmt.Sprintf("%d", run("3d", p, 0, 2)-run("3d", p, 0, 1))
 		}
 		pred := cagnet.PredictWords(ds, p)
-		fmt.Printf("%4d  %14d  %14d  %14s | %.3g / %.3g / %.3g\n",
-			p, oneD, twoD, threeD, pred["1d"], pred["2d"], pred["3d"])
+		fmt.Printf("%4d  %14d  %14s  %14d  %14s | %.3g / %.3g / %.3g / %.3g\n",
+			p, oneD, oneFiveD, twoD, threeD,
+			pred["1d"], pred["1.5d"], pred["2d"], pred["3d"])
 	}
 	fmt.Println("\n1D stays flat while 2D shrinks ~√P: the paper's headline result.")
 }

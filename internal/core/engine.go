@@ -1,0 +1,255 @@
+package core
+
+import (
+	"repro/internal/dense"
+	"repro/internal/nn"
+)
+
+// layerOps is the contract a decomposition implements for the shared
+// training engine: only the layout-specific SpMM + collective choreography
+// (and its cost charges). The engine owns everything the five algorithms
+// have in common — the epoch loop, activation bookkeeping, loss
+// normalization, optimizer steps, per-epoch accuracy tracking, and
+// final-output assembly — so features like new optimizers land once and
+// work for every algorithm.
+//
+// Methods are called in a fixed order on every rank (the engine code is
+// identical everywhere), which keeps the simulated collectives aligned.
+type layerOps interface {
+	// input returns this rank's block of the input features H⁰.
+	input() *dense.Matrix
+
+	// forwardAggregate returns this rank's block of T = Aᵀ·X, where x is
+	// this rank's block of X and l is the 1-based layer (for cost charges).
+	forwardAggregate(x *dense.Matrix, l int) *dense.Matrix
+
+	// multiplyWeight returns this rank's block of Z = T·W for the
+	// replicated weight matrix w of layer l.
+	multiplyWeight(t, w *dense.Matrix, l int) *dense.Matrix
+
+	// activationForward applies act to z, returning this rank's H block
+	// plus any full-row cache the layout needs again in backward (nil for
+	// row-partitioned layouts, which apply even row-wise activations
+	// locally).
+	activationForward(act dense.Activation, z *dense.Matrix, l int) (*dense.Matrix, *actCache)
+
+	// lossGrad returns this rank's loss contribution and its block of
+	// ∂L/∂H^L, both normalized by the global supervised-vertex count.
+	lossGrad(hOut *dense.Matrix) (float64, *dense.Matrix)
+
+	// beforeBackward runs once per epoch between the loss reduction and
+	// the backward recursion (the 2D transpose exchange).
+	beforeBackward()
+
+	// activationBackward returns G^l = act'(∂L/∂H^l, Z^l).
+	activationBackward(act dense.Activation, dH, z *dense.Matrix, cache *actCache, l int) *dense.Matrix
+
+	// backwardAggregate returns this rank's block of AG = A·G^l. Layouts
+	// that gather full rows of AG here may cache them for the weightGrad
+	// and inputGrad calls that immediately follow.
+	backwardAggregate(g *dense.Matrix, l int) *dense.Matrix
+
+	// weightGrad returns the fully replicated Y^l = (H^{l-1})ᵀ(A G^l).
+	weightGrad(hPrev, ag *dense.Matrix, l int) *dense.Matrix
+
+	// inputGrad returns this rank's block of ∂L/∂H^{l-1} = (A G^l)(W^l)ᵀ
+	// for the replicated w. Called only for l > 1, always after
+	// weightGrad(l).
+	inputGrad(ag, w *dense.Matrix, l int) *dense.Matrix
+
+	// endEpoch charges per-epoch overhead after the optimizer step.
+	endEpoch()
+
+	// correctCounts returns, per mask (nil = all vertices), this rank's
+	// count of vertices whose output argmax matches the label, counting
+	// every global row on exactly one rank. cache is the output layer's
+	// actCache, if any; layouts without full output rows gather them once
+	// for all masks.
+	correctCounts(hOut *dense.Matrix, cache *actCache, masks ...[]bool) []float64
+
+	// reduce sums per-rank scalar contributions across all ranks
+	// (identity for serial).
+	reduce(vals []float64) []float64
+
+	// gatherOutput assembles the global output matrix on rank 0 and
+	// returns nil on every other rank.
+	gatherOutput(hOut *dense.Matrix) *dense.Matrix
+}
+
+// actCache carries layout-private full-row state from activationForward to
+// activationBackward and the accuracy counters. Row-partitioned layouts
+// never need one; the 2D/3D layouts fill it when a row-wise activation
+// forced an all-gather, so backward reuses the gathered rows instead of
+// re-communicating.
+type actCache struct {
+	// zRow holds full rows of the pre-activation Z.
+	zRow *dense.Matrix
+	// hRow holds full rows of the post-activation H.
+	hRow *dense.Matrix
+}
+
+// hRowOr returns the cached full-row H, or gather() when no cache exists
+// (element-wise output activations never gathered rows).
+func (c *actCache) hRowOr(gather func() *dense.Matrix) *dense.Matrix {
+	if c != nil && c.hRow != nil {
+		return c.hRow
+	}
+	return gather()
+}
+
+// engine runs per-rank GCN training over a layerOps implementation. One
+// engine instance executes on every rank; all five trainers (and the
+// mini-batch trainer's inner steps) share it.
+type engine struct {
+	ops layerOps
+	cfg nn.Config
+	opt nn.Optimizer
+
+	// labels and the masks are global (every rank holds them); they feed
+	// the final accuracy and the optional per-epoch tracking.
+	labels    []int
+	trainMask []bool
+	valMask   []bool
+}
+
+// newEngine builds the engine for one full training run of p.
+func newEngine(ops layerOps, cfg nn.Config, p Problem) *engine {
+	return &engine{
+		ops:       ops,
+		cfg:       cfg,
+		opt:       cfg.NewOptimizer(),
+		labels:    p.Labels,
+		trainMask: p.TrainMask,
+		valMask:   p.ValMask,
+	}
+}
+
+// epoch runs one forward pass, loss reduction, backward recursion, and
+// optimizer step, updating weights in place. It returns the global loss,
+// the output-layer activation block, and its cache (for accuracy
+// tracking).
+func (e *engine) epoch(weights []*dense.Matrix) (float64, *dense.Matrix, *actCache) {
+	L := e.cfg.Layers()
+	H := make([]*dense.Matrix, L+1)
+	Z := make([]*dense.Matrix, L+1)
+	caches := make([]*actCache, L+1)
+	H[0] = e.ops.input()
+
+	// Forward: Z^l = Aᵀ H^{l-1} W^l, H^l = σ(Z^l). Activations are
+	// retained for backpropagation — the O(nfL) memory cost the paper's
+	// conclusion discusses.
+	for l := 1; l <= L; l++ {
+		t := e.ops.forwardAggregate(H[l-1], l)
+		Z[l] = e.ops.multiplyWeight(t, weights[l-1], l)
+		H[l], caches[l] = e.ops.activationForward(e.cfg.Activation(l), Z[l], l)
+	}
+
+	local, dH := e.ops.lossGrad(H[L])
+	loss := e.ops.reduce([]float64{local})[0]
+
+	// Backward (§III-D):
+	//   G^l   = act.Backward(∂L/∂H^l, Z^l)
+	//   Y^l   = (H^{l-1})ᵀ (A G^l)
+	//   ∂L/∂H^{l-1} = (A G^l)(W^l)ᵀ
+	e.ops.beforeBackward()
+	dW := make([]*dense.Matrix, L)
+	for l := L; l >= 1; l-- {
+		g := e.ops.activationBackward(e.cfg.Activation(l), dH, Z[l], caches[l], l)
+		ag := e.ops.backwardAggregate(g, l)
+		dW[l-1] = e.ops.weightGrad(H[l-1], ag, l)
+		if l > 1 {
+			dH = e.ops.inputGrad(ag, weights[l-1], l)
+		}
+	}
+
+	// Weight update: gradients are replicated, so the optimizer runs
+	// identically on every rank with no communication (§III-D).
+	e.opt.Step(weights, dW)
+	return loss, H[L], caches[L]
+}
+
+// forward runs inference with fixed weights and returns this rank's block
+// of H^L.
+func (e *engine) forward(weights []*dense.Matrix) *dense.Matrix {
+	out := e.ops.input()
+	for l := 1; l <= e.cfg.Layers(); l++ {
+		t := e.ops.forwardAggregate(out, l)
+		z := e.ops.multiplyWeight(t, weights[l-1], l)
+		out, _ = e.ops.activationForward(e.cfg.Activation(l), z, l)
+	}
+	return out
+}
+
+// run executes the full training loop — Config.Epochs epochs, a final
+// forward pass, and the output gather — returning the Result on rank 0 and
+// nil elsewhere.
+func (e *engine) run() *Result {
+	weights := nn.InitWeights(e.cfg)
+	losses := make([]float64, 0, e.cfg.Epochs)
+	var trainAcc, valAcc []float64
+	track := e.valMask != nil
+	trainTotal := nn.CountMask(e.trainMask, len(e.labels))
+	valTotal := nn.CountMask(e.valMask, 0)
+
+	for epoch := 0; epoch < e.cfg.Epochs; epoch++ {
+		loss, hOut, cache := e.epoch(weights)
+		losses = append(losses, loss)
+		if track {
+			// Per-epoch accuracy of this epoch's forward output (the
+			// embeddings the loss was computed on, before the update).
+			counts := e.ops.reduce(e.ops.correctCounts(hOut, cache, e.trainMask, e.valMask))
+			trainAcc = append(trainAcc, counts[0]/float64(trainTotal))
+			valAcc = append(valAcc, counts[1]/float64(valTotal))
+		}
+		e.ops.endEpoch()
+	}
+
+	full := e.ops.gatherOutput(e.forward(weights))
+	if full == nil {
+		return nil
+	}
+	return &Result{
+		Weights:       weights,
+		Output:        full,
+		Losses:        losses,
+		Accuracy:      nn.Accuracy(full, e.labels),
+		TrainAccuracy: trainAcc,
+		ValAccuracy:   valAcc,
+	}
+}
+
+// argmaxCorrect counts, per mask, the rows of logp (holding full feature
+// rows) whose argmax matches the label; rowOffset maps local row i to
+// global vertex rowOffset+i. It is the shared per-block accuracy kernel
+// behind correctCounts.
+func argmaxCorrect(logp *dense.Matrix, labels []int, rowOffset int, masks ...[]bool) []float64 {
+	counts := make([]float64, len(masks))
+	for i := 0; i < logp.Rows; i++ {
+		row := logp.Row(i)
+		best := 0
+		for j, v := range row {
+			if v > row[best] {
+				best = j
+			}
+		}
+		if best != labels[rowOffset+i] {
+			continue
+		}
+		for m, mask := range masks {
+			if mask == nil || mask[rowOffset+i] {
+				counts[m]++
+			}
+		}
+	}
+	return counts
+}
+
+// cfgWeightWords returns the modeled resident footprint of the replicated
+// weight matrices implied by cfg.
+func cfgWeightWords(cfg nn.Config) int64 {
+	var s int64
+	for l := 0; l < cfg.Layers(); l++ {
+		s += int64(cfg.Widths[l]) * int64(cfg.Widths[l+1])
+	}
+	return s
+}

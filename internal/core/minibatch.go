@@ -73,6 +73,9 @@ func (t *MiniBatch) Train(ds *graph.Dataset, cfg nn.Config, mask []bool) (*Resul
 
 	rng := rand.New(rand.NewSource(t.Seed))
 	weights := nn.InitWeights(cfg)
+	// One optimizer for the whole run: stateful rules (momentum, Adam)
+	// accumulate across batch steps, as in standard SGD training.
+	opt := cfg.NewOptimizer()
 	losses := make([]float64, 0, cfg.Epochs)
 
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
@@ -97,15 +100,26 @@ func (t *MiniBatch) Train(ds *graph.Dataset, cfg nn.Config, mask []bool) (*Resul
 				subLabels[newID] = ds.Labels[origID]
 			}
 			// Each step averages the loss over its own batch (standard
-			// SGD normalization).
-			epochLoss += serialEpoch(cfg, subA, subH, subLabels, seedMask, len(seeds), weights)
+			// SGD normalization) and runs one engine epoch on the sampled
+			// subproblem.
+			ops := &serialOps{
+				cfg: cfg, a: subA, h0: subH,
+				labels: subLabels, mask: seedMask, norm: len(seeds),
+			}
+			eng := &engine{ops: ops, cfg: cfg, opt: opt}
+			loss, _, _ := eng.epoch(weights)
+			epochLoss += loss
 			steps++
 		}
 		losses = append(losses, epochLoss/float64(steps))
 	}
 
 	// Inference is exact full-graph propagation with the trained weights.
-	out := serialForward(cfg, ds.Graph.NormalizedAdjacency(), ds.Features, weights)
+	fullOps := &serialOps{
+		cfg: cfg, a: ds.Graph.NormalizedAdjacency(), h0: ds.Features,
+		labels: ds.Labels, mask: mask, norm: len(trainIdx),
+	}
+	out := (&engine{ops: fullOps, cfg: cfg}).forward(weights)
 	return &Result{
 		Weights:  weights,
 		Output:   out,

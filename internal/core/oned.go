@@ -43,6 +43,7 @@ func (t *OneD) Cluster() *comm.Cluster { return t.cluster }
 
 // Train implements Trainer.
 func (t *OneD) Train(p Problem) (*Result, error) {
+	p = p.normalized()
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -55,13 +56,12 @@ func (t *OneD) Train(p Problem) (*Result, error) {
 	blk := partition.NewBlock1D(n, t.p)
 	var result Result
 	err := t.cluster.Run(func(c *comm.Comm) error {
-		r := oneDRank{
+		r := &oneDRank{
 			comm: c, mach: t.mach, cfg: cfg, blk: blk,
 			labels: p.Labels, mask: p.TrainMask, norm: p.lossNormalizer(), n: n,
 		}
 		r.setup(at, p.Features)
-		out := r.train()
-		if c.Rank() == 0 {
+		if out := newEngine(r, cfg, p).run(); out != nil {
 			result = *out
 		}
 		return nil
@@ -72,7 +72,8 @@ func (t *OneD) Train(p Problem) (*Result, error) {
 	return &result, nil
 }
 
-// oneDRank holds one rank's state during 1D training.
+// oneDRank holds one rank's state during 1D training and implements
+// layerOps with the 1D collective choreography.
 type oneDRank struct {
 	comm   *comm.Comm
 	mach   costmodel.Machine
@@ -87,7 +88,6 @@ type oneDRank struct {
 	atBlk   []*sparse.CSR // atBlk[j] = Aᵀ(my rows, rows of block j)
 	atLocal *sparse.CSR   // Aᵀ(my rows, :) for the backward outer product
 	h0      *dense.Matrix
-	weights []*dense.Matrix
 	memBase int64
 }
 
@@ -106,136 +106,123 @@ func (r *oneDRank) setup(at *sparse.CSR, features *dense.Matrix) {
 		r.atBlk[j] = r.atLocal.ExtractBlock(0, r.hi-r.lo, r.blk.Lo(j), r.blk.Hi(j))
 	}
 	r.h0 = features.RowSlice(r.lo, r.hi)
-	r.weights = nn.InitWeights(r.cfg)
-	r.memBase = csrWords(r.atLocal) + matWords(r.h0) + weightWords(r.weights)
+	r.memBase = csrWords(r.atLocal) + matWords(r.h0) + cfgWeightWords(r.cfg)
 	r.recordMem(0)
 }
 
-func (r *oneDRank) train() *Result {
-	L := r.cfg.Layers()
-	world := r.comm.World()
+func (r *oneDRank) input() *dense.Matrix { return r.h0 }
 
-	H := make([]*dense.Matrix, L+1)
-	Z := make([]*dense.Matrix, L+1)
-	H[0] = r.h0
-	losses := make([]float64, 0, r.cfg.Epochs)
-
-	for epoch := 0; epoch < r.cfg.Epochs; epoch++ {
-		for l := 1; l <= L; l++ {
-			H[l], Z[l] = r.forwardLayer(H[l-1], l)
-		}
-		losses = append(losses, r.globalLoss(H[L]))
-		r.backward(H, Z)
-		r.comm.ChargeTime(comm.CatMisc, r.mach.MiscOverhead)
-	}
-
-	// Final forward pass for the reported embeddings.
-	out := H[0]
-	for l := 1; l <= L; l++ {
-		out, _ = r.forwardLayer(out, l)
-	}
-	// Assemble the global output on rank 0.
-	parts := world.Gather(0, matPayload(out), comm.CatMisc)
-	if r.comm.Rank() != 0 {
-		return nil
-	}
-	full := dense.New(r.n, r.cfg.Widths[L])
-	for j, part := range parts {
-		full.SetSubMatrix(r.blk.Lo(j), 0, payloadMat(part))
-	}
-	return &Result{
-		Weights:  r.weights,
-		Output:   full,
-		Losses:   losses,
-		Accuracy: nn.Accuracy(full, r.labels),
-	}
-}
-
-// forwardLayer computes H^l, Z^l from H^{l-1} via Algorithm 1.
-func (r *oneDRank) forwardLayer(hPrev *dense.Matrix, l int) (h, z *dense.Matrix) {
+// forwardAggregate computes T_i = Σ_j Aᵀ_ij X_j with a broadcast per block
+// row of X (Algorithm 1).
+func (r *oneDRank) forwardAggregate(x *dense.Matrix, l int) *dense.Matrix {
 	world := r.comm.World()
 	rows := r.hi - r.lo
-	fPrev, fNext := r.cfg.Widths[l-1], r.cfg.Widths[l]
-
-	// T_i = Σ_j Aᵀ_ij H_j with a broadcast per block row of H.
+	fPrev := r.cfg.Widths[l-1]
 	T := dense.New(rows, fPrev)
 	for j := 0; j < r.comm.Size(); j++ {
 		var in comm.Payload
 		if j == r.comm.Rank() {
-			in = matPayload(hPrev)
+			in = matPayload(x)
 		}
-		hj := payloadMat(world.Broadcast(j, in, comm.CatDenseComm))
-		r.recordMem(matWords(T) + matWords(hj))
-		sparse.SpMMAdd(T, r.atBlk[j], hj)
+		xj := payloadMat(world.Broadcast(j, in, comm.CatDenseComm))
+		r.recordMem(matWords(T) + matWords(xj))
+		sparse.SpMMAdd(T, r.atBlk[j], xj)
 		r.comm.ChargeTime(comm.CatSpMM, r.mach.SpMMTime(int64(r.atBlk[j].NNZ()), rows, fPrev))
 	}
-	// Z_i = T_i W (W replicated: no communication).
-	z = dense.New(rows, fNext)
-	dense.Mul(z, T, r.weights[l-1])
-	r.comm.ChargeTime(comm.CatMisc, r.mach.GEMMTime(rows, fPrev, fNext))
-	// H^l = σ(Z^l): H is row-partitioned, so even row-wise activations
-	// such as log_softmax need no communication in 1D (§IV-A-2).
-	h = dense.New(rows, fNext)
-	r.cfg.Activation(l).Forward(h, z)
-	return h, z
+	return T
 }
 
-// globalLoss computes the full-batch NLL via a scalar all-reduce.
-func (r *oneDRank) globalLoss(hOut *dense.Matrix) float64 {
-	local, _ := nn.NLLLossMasked(hOut, r.labels, r.mask, r.lo, r.norm)
-	sum := r.comm.World().AllReduce([]float64{local}, comm.CatMisc)
-	return sum[0]
+// multiplyWeight computes Z_i = T_i W (W replicated: no communication).
+func (r *oneDRank) multiplyWeight(t, w *dense.Matrix, l int) *dense.Matrix {
+	z := dense.New(t.Rows, r.cfg.Widths[l])
+	dense.Mul(z, t, w)
+	r.comm.ChargeTime(comm.CatMisc, r.mach.GEMMTime(t.Rows, r.cfg.Widths[l-1], r.cfg.Widths[l]))
+	return z
 }
 
-// backward runs the §III-D equations under the 1D layout and applies the
-// gradient step.
-func (r *oneDRank) backward(H, Z []*dense.Matrix) {
+// activationForward: H is row-partitioned, so even row-wise activations
+// such as log_softmax need no communication in 1D (§IV-A-2).
+func (r *oneDRank) activationForward(act dense.Activation, z *dense.Matrix, l int) (*dense.Matrix, *actCache) {
+	h := dense.New(z.Rows, z.Cols)
+	act.Forward(h, z)
+	return h, nil
+}
+
+func (r *oneDRank) lossGrad(hOut *dense.Matrix) (float64, *dense.Matrix) {
+	return nn.NLLLossMasked(hOut, r.labels, r.mask, r.lo, r.norm)
+}
+
+func (r *oneDRank) beforeBackward() {}
+
+// activationBackward: local, like the forward (row-partitioned).
+func (r *oneDRank) activationBackward(act dense.Activation, dH, z *dense.Matrix, _ *actCache, l int) *dense.Matrix {
+	g := dense.New(z.Rows, z.Cols)
+	act.Backward(g, dH, z)
+	return g
+}
+
+// backwardAggregate is the large 1D outer product (§IV-A-3): each rank
+// forms the low-rank n x f product A(:, my rows)·G_i = (Aᵀ_i)ᵀ G_i, then
+// the partial sums are reduce-scattered back to block rows. The outer
+// product materializes an n x f dense intermediate per rank — the memory
+// cost §IV-A-3 discusses.
+func (r *oneDRank) backwardAggregate(g *dense.Matrix, l int) *dense.Matrix {
 	world := r.comm.World()
-	L := r.cfg.Layers()
 	rows := r.hi - r.lo
-
-	_, dH := nn.NLLLossMasked(H[L], r.labels, r.mask, r.lo, r.norm)
+	fl := r.cfg.Widths[l]
+	agFull := dense.New(r.n, fl)
+	r.recordMem(matWords(agFull))
+	sparse.SpMMTAdd(agFull, r.atLocal, g)
+	r.comm.ChargeTime(comm.CatSpMM, r.mach.SpMMTime(int64(r.atLocal.NNZ()), rows, fl))
 	counts := make([]int, r.comm.Size())
-	dW := make([]*dense.Matrix, L)
-	for l := L; l >= 1; l-- {
-		fl := r.cfg.Widths[l]
-		// G^l = act'(∂L/∂H^l, Z^l): local (row-partitioned).
-		g := dense.New(rows, fl)
-		r.cfg.Activation(l).Backward(g, dH, Z[l])
-
-		// Large 1D outer product (§IV-A-3): each rank forms the low-rank
-		// n x f product A(:, my rows)·G_i = (Aᵀ_i)ᵀ G_i, then the partial
-		// sums are reduce-scattered back to block rows.
-		// The 1D outer product materializes an n x f dense intermediate per
-		// rank — the memory cost §IV-A-3 discusses.
-		agFull := dense.New(r.n, fl)
-		r.recordMem(matWords(agFull))
-		sparse.SpMMTAdd(agFull, r.atLocal, g)
-		r.comm.ChargeTime(comm.CatSpMM, r.mach.SpMMTime(int64(r.atLocal.NNZ()), rows, fl))
-		for j := range counts {
-			counts[j] = r.blk.Size(j) * fl
-		}
-		agLocal := dense.FromSlice(rows, fl,
-			world.ReduceScatter(agFull.Data, counts, comm.CatDenseComm))
-
-		// Small 1D outer product (§IV-A-4): Y^l = (H^{l-1})ᵀ(A G^l),
-		// reusing the intermediate product, finished with an f×f
-		// all-reduce.
-		yLocal := dense.New(r.cfg.Widths[l-1], fl)
-		dense.TMul(yLocal, H[l-1], agLocal)
-		r.comm.ChargeTime(comm.CatMisc, r.mach.GEMMTime(r.cfg.Widths[l-1], rows, fl))
-		dW[l-1] = dense.FromSlice(r.cfg.Widths[l-1], fl,
-			world.AllReduce(yLocal.Data, comm.CatDenseComm))
-
-		// ∂L/∂H^{l-1} = (A G^l)(W^l)ᵀ: local (W replicated).
-		if l > 1 {
-			dH = dense.New(rows, r.cfg.Widths[l-1])
-			dense.MulT(dH, agLocal, r.weights[l-1])
-			r.comm.ChargeTime(comm.CatMisc, r.mach.GEMMTime(rows, fl, r.cfg.Widths[l-1]))
-		}
+	for j := range counts {
+		counts[j] = r.blk.Size(j) * fl
 	}
-	// Gradient step: no communication (§III-D).
-	for l := 0; l < L; l++ {
-		dense.AXPY(r.weights[l], -r.cfg.LR, dW[l])
+	return dense.FromSlice(rows, fl,
+		world.ReduceScatter(agFull.Data, counts, comm.CatDenseComm))
+}
+
+// weightGrad is the small 1D outer product (§IV-A-4): Y^l = (H^{l-1})ᵀ(A G^l),
+// reusing the aggregated product, finished with an f×f all-reduce.
+func (r *oneDRank) weightGrad(hPrev, ag *dense.Matrix, l int) *dense.Matrix {
+	fPrev, fl := r.cfg.Widths[l-1], r.cfg.Widths[l]
+	yLocal := dense.New(fPrev, fl)
+	dense.TMul(yLocal, hPrev, ag)
+	r.comm.ChargeTime(comm.CatMisc, r.mach.GEMMTime(fPrev, hPrev.Rows, fl))
+	return dense.FromSlice(fPrev, fl,
+		r.comm.World().AllReduce(yLocal.Data, comm.CatDenseComm))
+}
+
+// inputGrad computes ∂L/∂H^{l-1} = (A G^l)(W^l)ᵀ: local (W replicated).
+func (r *oneDRank) inputGrad(ag, w *dense.Matrix, l int) *dense.Matrix {
+	fPrev, fl := r.cfg.Widths[l-1], r.cfg.Widths[l]
+	dH := dense.New(ag.Rows, fPrev)
+	dense.MulT(dH, ag, w)
+	r.comm.ChargeTime(comm.CatMisc, r.mach.GEMMTime(ag.Rows, fl, fPrev))
+	return dH
+}
+
+func (r *oneDRank) endEpoch() {
+	r.comm.ChargeTime(comm.CatMisc, r.mach.MiscOverhead)
+}
+
+func (r *oneDRank) correctCounts(hOut *dense.Matrix, _ *actCache, masks ...[]bool) []float64 {
+	return argmaxCorrect(hOut, r.labels, r.lo, masks...)
+}
+
+func (r *oneDRank) reduce(vals []float64) []float64 {
+	return r.comm.World().AllReduce(vals, comm.CatMisc)
+}
+
+// gatherOutput assembles the global output on rank 0.
+func (r *oneDRank) gatherOutput(hOut *dense.Matrix) *dense.Matrix {
+	parts := r.comm.World().Gather(0, matPayload(hOut), comm.CatMisc)
+	if r.comm.Rank() != 0 {
+		return nil
 	}
+	full := dense.New(r.n, r.cfg.Widths[r.cfg.Layers()])
+	for j, part := range parts {
+		full.SetSubMatrix(r.blk.Lo(j), 0, payloadMat(part))
+	}
+	return full
 }

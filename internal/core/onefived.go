@@ -54,6 +54,7 @@ func (t *OneFiveD) ReplicationFactor() int { return t.c }
 
 // Train implements Trainer.
 func (t *OneFiveD) Train(p Problem) (*Result, error) {
+	p = p.normalized()
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -68,15 +69,14 @@ func (t *OneFiveD) Train(p Problem) (*Result, error) {
 	cfg := p.Config.WithDefaults()
 	var result Result
 	err := t.cluster.Run(func(c *comm.Comm) error {
-		r := oneFiveDRank{
+		r := &oneFiveDRank{
 			comm: c, mach: t.mach, cfg: cfg,
 			labels: p.Labels, mask: p.TrainMask, norm: p.lossNormalizer(),
 			n: n, c: t.c, teams: teams,
 			blk: partition.NewBlock1D(n, teams),
 		}
 		r.setup(p.A, p.Features)
-		out := r.train()
-		if c.Rank() == 0 {
+		if out := newEngine(r, cfg, p).run(); out != nil {
 			result = *out
 		}
 		return nil
@@ -87,6 +87,8 @@ func (t *OneFiveD) Train(p Problem) (*Result, error) {
 	return &result, nil
 }
 
+// oneFiveDRank holds one rank's state during 1.5D training and implements
+// layerOps with the 1.5D collective choreography.
 type oneFiveDRank struct {
 	comm   *comm.Comm
 	mach   costmodel.Machine
@@ -104,7 +106,6 @@ type oneFiveDRank struct {
 	layerGroup  *comm.Group         // one member per team, all at my layer index
 	atBlk       map[int]*sparse.CSR // s -> Aᵀ(my team rows, team-s cols), s ≡ layer (mod c)
 	h0          *dense.Matrix
-	weights     []*dense.Matrix
 	memBase     int64
 }
 
@@ -136,9 +137,8 @@ func (r *oneFiveDRank) setup(a *sparse.CSR, features *dense.Matrix) {
 		r.atBlk[s] = a.ExtractBlock(lo, hi, r.blk.Lo(s), r.blk.Hi(s))
 	}
 	r.h0 = features.RowSlice(lo, hi)
-	r.weights = nn.InitWeights(r.cfg)
 	// h0 is the c-fold replicated dense block — the §IV-B memory overhead.
-	r.memBase = matWords(r.h0) + weightWords(r.weights)
+	r.memBase = matWords(r.h0) + cfgWeightWords(r.cfg)
 	for _, blk := range r.atBlk {
 		r.memBase += csrWords(blk)
 	}
@@ -170,101 +170,102 @@ func (r *oneFiveDRank) blockMul(x *dense.Matrix) *dense.Matrix {
 		r.teamGroup.AllReduce(partial.Data, comm.CatDenseComm))
 }
 
-func (r *oneFiveDRank) train() *Result {
-	L := r.cfg.Layers()
-	H := make([]*dense.Matrix, L+1)
-	Z := make([]*dense.Matrix, L+1)
-	H[0] = r.h0
-	losses := make([]float64, 0, r.cfg.Epochs)
+func (r *oneFiveDRank) input() *dense.Matrix { return r.h0 }
 
-	for epoch := 0; epoch < r.cfg.Epochs; epoch++ {
-		for l := 1; l <= L; l++ {
-			H[l], Z[l] = r.forwardLayer(H[l-1], l)
-		}
-		losses = append(losses, r.globalLoss(H[L]))
-		r.backward(H, Z)
-		r.comm.ChargeTime(comm.CatMisc, r.mach.MiscOverhead)
-	}
+func (r *oneFiveDRank) forwardAggregate(x *dense.Matrix, l int) *dense.Matrix {
+	return r.blockMul(x)
+}
 
-	out := H[0]
-	for l := 1; l <= L; l++ {
-		out, _ = r.forwardLayer(out, l)
+func (r *oneFiveDRank) multiplyWeight(t, w *dense.Matrix, l int) *dense.Matrix {
+	z := dense.New(t.Rows, r.cfg.Widths[l])
+	dense.Mul(z, t, w)
+	r.comm.ChargeTime(comm.CatMisc, r.mach.GEMMTime(t.Rows, r.cfg.Widths[l-1], r.cfg.Widths[l]))
+	return z
+}
+
+// activationForward: row-partitioned, so local even for row-wise
+// activations.
+func (r *oneFiveDRank) activationForward(act dense.Activation, z *dense.Matrix, l int) (*dense.Matrix, *actCache) {
+	h := dense.New(z.Rows, z.Cols)
+	act.Forward(h, z)
+	return h, nil
+}
+
+// lossGrad: every team member computes the (replicated) gradient block, but
+// only layer-0 members contribute to the loss sum so each replicated block
+// is counted once.
+func (r *oneFiveDRank) lossGrad(hOut *dense.Matrix) (float64, *dense.Matrix) {
+	loss, dH := nn.NLLLossMasked(hOut, r.labels, r.mask, r.blk.Lo(r.team), r.norm)
+	if r.layer != 0 {
+		loss = 0
 	}
-	parts := r.comm.World().Gather(0, matPayload(out), comm.CatMisc)
+	return loss, dH
+}
+
+func (r *oneFiveDRank) beforeBackward() {}
+
+func (r *oneFiveDRank) activationBackward(act dense.Activation, dH, z *dense.Matrix, _ *actCache, l int) *dense.Matrix {
+	g := dense.New(z.Rows, z.Cols)
+	act.Backward(g, dH, z)
+	return g
+}
+
+// backwardAggregate: AG = A·G = Aᵀ·G by symmetry — same pattern as
+// forward, no outer product and no transpose needed.
+func (r *oneFiveDRank) backwardAggregate(g *dense.Matrix, l int) *dense.Matrix {
+	return r.blockMul(g)
+}
+
+// weightGrad: Y^l = Σ_teams (H_j)ᵀ(AG_j): layer-0 members contribute their
+// team's term once; the world all-reduce replicates Y everywhere.
+func (r *oneFiveDRank) weightGrad(hPrev, ag *dense.Matrix, l int) *dense.Matrix {
+	fPrev, fl := r.cfg.Widths[l-1], r.cfg.Widths[l]
+	partial := dense.New(fPrev, fl)
+	if r.layer == 0 {
+		dense.TMul(partial, hPrev, ag)
+		r.comm.ChargeTime(comm.CatMisc, r.mach.GEMMTime(fPrev, hPrev.Rows, fl))
+	}
+	return dense.FromSlice(fPrev, fl,
+		r.comm.World().AllReduce(partial.Data, comm.CatDenseComm))
+}
+
+func (r *oneFiveDRank) inputGrad(ag, w *dense.Matrix, l int) *dense.Matrix {
+	fPrev, fl := r.cfg.Widths[l-1], r.cfg.Widths[l]
+	dH := dense.New(ag.Rows, fPrev)
+	dense.MulT(dH, ag, w)
+	r.comm.ChargeTime(comm.CatMisc, r.mach.GEMMTime(ag.Rows, fl, fPrev))
+	return dH
+}
+
+func (r *oneFiveDRank) endEpoch() {
+	r.comm.ChargeTime(comm.CatMisc, r.mach.MiscOverhead)
+}
+
+// correctCounts: layer-0 members count their team's row block once.
+func (r *oneFiveDRank) correctCounts(hOut *dense.Matrix, _ *actCache, masks ...[]bool) []float64 {
+	if r.layer != 0 {
+		return make([]float64, len(masks))
+	}
+	return argmaxCorrect(hOut, r.labels, r.blk.Lo(r.team), masks...)
+}
+
+func (r *oneFiveDRank) reduce(vals []float64) []float64 {
+	return r.comm.World().AllReduce(vals, comm.CatMisc)
+}
+
+// gatherOutput assembles the global output on rank 0, keeping layer 0's
+// copy of each replicated block.
+func (r *oneFiveDRank) gatherOutput(hOut *dense.Matrix) *dense.Matrix {
+	parts := r.comm.World().Gather(0, matPayload(hOut), comm.CatMisc)
 	if r.comm.Rank() != 0 {
 		return nil
 	}
-	full := dense.New(r.n, r.cfg.Widths[L])
+	full := dense.New(r.n, r.cfg.Widths[r.cfg.Layers()])
 	for rank, part := range parts {
 		if rank%r.c != 0 {
 			continue // replicas carry identical blocks; keep layer 0's
 		}
 		full.SetSubMatrix(r.blk.Lo(rank/r.c), 0, payloadMat(part))
 	}
-	return &Result{
-		Weights:  r.weights,
-		Output:   full,
-		Losses:   losses,
-		Accuracy: nn.Accuracy(full, r.labels),
-	}
-}
-
-func (r *oneFiveDRank) forwardLayer(hPrev *dense.Matrix, l int) (h, z *dense.Matrix) {
-	rows := r.blk.Size(r.team)
-	fPrev, fNext := r.cfg.Widths[l-1], r.cfg.Widths[l]
-	t := r.blockMul(hPrev)
-	z = dense.New(rows, fNext)
-	dense.Mul(z, t, r.weights[l-1])
-	r.comm.ChargeTime(comm.CatMisc, r.mach.GEMMTime(rows, fPrev, fNext))
-	h = dense.New(rows, fNext)
-	r.cfg.Activation(l).Forward(h, z) // row-partitioned: local even row-wise
-	return h, z
-}
-
-// globalLoss sums per-team losses, counting each replicated block once
-// (layer-0 members only).
-func (r *oneFiveDRank) globalLoss(hOut *dense.Matrix) float64 {
-	var local float64
-	if r.layer == 0 {
-		local, _ = nn.NLLLossMasked(hOut, r.labels, r.mask, r.blk.Lo(r.team), r.norm)
-	}
-	sum := r.comm.World().AllReduce([]float64{local}, comm.CatMisc)
-	return sum[0]
-}
-
-func (r *oneFiveDRank) backward(H, Z []*dense.Matrix) {
-	L := r.cfg.Layers()
-	rows := r.blk.Size(r.team)
-	_, dH := nn.NLLLossMasked(H[L], r.labels, r.mask, r.blk.Lo(r.team), r.norm)
-
-	dW := make([]*dense.Matrix, L)
-	for l := L; l >= 1; l-- {
-		fl := r.cfg.Widths[l]
-		fPrev := r.cfg.Widths[l-1]
-		g := dense.New(rows, fl)
-		r.cfg.Activation(l).Backward(g, dH, Z[l])
-
-		// AG = A·G = Aᵀ·G by symmetry: same pattern as forward, no outer
-		// product and no transpose needed.
-		ag := r.blockMul(g)
-
-		// Y^l = Σ_teams (H_j)ᵀ(AG_j): layer-0 members contribute their
-		// team's term once; the world all-reduce replicates Y everywhere.
-		partial := dense.New(fPrev, fl)
-		if r.layer == 0 {
-			dense.TMul(partial, H[l-1], ag)
-			r.comm.ChargeTime(comm.CatMisc, r.mach.GEMMTime(fPrev, rows, fl))
-		}
-		dW[l-1] = dense.FromSlice(fPrev, fl,
-			r.comm.World().AllReduce(partial.Data, comm.CatDenseComm))
-
-		if l > 1 {
-			dH = dense.New(rows, fPrev)
-			dense.MulT(dH, ag, r.weights[l-1])
-			r.comm.ChargeTime(comm.CatMisc, r.mach.GEMMTime(rows, fl, fPrev))
-		}
-	}
-	for l := 0; l < L; l++ {
-		dense.AXPY(r.weights[l], -r.cfg.LR, dW[l])
-	}
+	return full
 }

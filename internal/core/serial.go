@@ -18,88 +18,90 @@ func NewSerial() *Serial { return &Serial{} }
 // Name implements Trainer.
 func (*Serial) Name() string { return "serial" }
 
-// serialEpoch runs one full forward+backward pass over (A, h0) and applies
-// the gradient step to weights in place, returning the epoch loss. It is
-// shared by the Serial trainer and the mini-batch trainer (which calls it
-// on sampled subproblems).
-func serialEpoch(cfg nn.Config, a *sparse.CSR, h0 *dense.Matrix, labels []int,
-	mask []bool, normalizer int, weights []*dense.Matrix) float64 {
-	L := cfg.Layers()
-	n := a.Rows
-	H := make([]*dense.Matrix, L+1)
-	Z := make([]*dense.Matrix, L+1)
-	H[0] = h0
-
-	// Forward: Z^l = Aᵀ H^{l-1} W^l; H^l = σ(Z^l). Activations are
-	// retained for backpropagation — the O(nfL) memory cost the paper's
-	// conclusion discusses.
-	for l := 1; l <= L; l++ {
-		t := dense.New(n, cfg.Widths[l-1])
-		sparse.SpMMT(t, a, H[l-1])
-		Z[l] = dense.New(n, cfg.Widths[l])
-		dense.Mul(Z[l], t, weights[l-1])
-		H[l] = dense.New(n, cfg.Widths[l])
-		cfg.Activation(l).Forward(H[l], Z[l])
-	}
-
-	loss, dH := nn.NLLLossMasked(H[L], labels, mask, 0, normalizer)
-
-	// Backward (§III-D):
-	//   G^l   = act.Backward(∂L/∂H^l, Z^l)
-	//   Y^l   = (H^{l-1})ᵀ (A G^l)
-	//   ∂L/∂H^{l-1} = (A G^l)(W^l)ᵀ
-	dW := make([]*dense.Matrix, L)
-	for l := L; l >= 1; l-- {
-		g := dense.New(n, cfg.Widths[l])
-		cfg.Activation(l).Backward(g, dH, Z[l])
-		ag := dense.New(n, cfg.Widths[l])
-		sparse.SpMM(ag, a, g) // reused for both Y and ∂L/∂H (§IV-A-4)
-		dW[l-1] = dense.New(cfg.Widths[l-1], cfg.Widths[l])
-		dense.TMul(dW[l-1], H[l-1], ag)
-		if l > 1 {
-			dH = dense.New(n, cfg.Widths[l-1])
-			dense.MulT(dH, ag, weights[l-1])
-		}
-	}
-	for l := 0; l < L; l++ {
-		dense.AXPY(weights[l], -cfg.LR, dW[l])
-	}
-	return loss
-}
-
-// serialForward runs inference with fixed weights and returns H^L.
-func serialForward(cfg nn.Config, a *sparse.CSR, h0 *dense.Matrix, weights []*dense.Matrix) *dense.Matrix {
-	n := a.Rows
-	out := h0
-	for l := 1; l <= cfg.Layers(); l++ {
-		t := dense.New(n, cfg.Widths[l-1])
-		sparse.SpMMT(t, a, out)
-		z := dense.New(n, cfg.Widths[l])
-		dense.Mul(z, t, weights[l-1])
-		out = dense.New(n, cfg.Widths[l])
-		cfg.Activation(l).Forward(out, z)
-	}
-	return out
-}
-
 // Train implements Trainer.
 func (*Serial) Train(p Problem) (*Result, error) {
+	p = p.normalized()
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	cfg := p.Config.WithDefaults()
-	weights := nn.InitWeights(cfg)
-	losses := make([]float64, 0, cfg.Epochs)
-	norm := p.lossNormalizer()
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
-		losses = append(losses,
-			serialEpoch(cfg, p.A, p.Features, p.Labels, p.TrainMask, norm, weights))
+	ops := &serialOps{
+		cfg: cfg, a: p.A, h0: p.Features,
+		labels: p.Labels, mask: p.TrainMask, norm: p.lossNormalizer(),
 	}
-	out := serialForward(cfg, p.A, p.Features, weights)
-	return &Result{
-		Weights:  weights,
-		Output:   out,
-		Losses:   losses,
-		Accuracy: nn.Accuracy(out, p.Labels),
-	}, nil
+	return newEngine(ops, cfg, p).run(), nil
 }
+
+// serialOps implements layerOps for the single-process reference: every
+// matrix is whole, every "collective" is the identity. It doubles as the
+// per-step worker of the mini-batch trainer, which drives it over sampled
+// subproblems.
+type serialOps struct {
+	cfg    nn.Config
+	a      *sparse.CSR
+	h0     *dense.Matrix
+	labels []int
+	mask   []bool
+	norm   int
+}
+
+func (s *serialOps) input() *dense.Matrix { return s.h0 }
+
+func (s *serialOps) forwardAggregate(x *dense.Matrix, l int) *dense.Matrix {
+	t := dense.New(s.a.Rows, s.cfg.Widths[l-1])
+	sparse.SpMMT(t, s.a, x)
+	return t
+}
+
+func (s *serialOps) multiplyWeight(t, w *dense.Matrix, l int) *dense.Matrix {
+	z := dense.New(t.Rows, s.cfg.Widths[l])
+	dense.Mul(z, t, w)
+	return z
+}
+
+func (s *serialOps) activationForward(act dense.Activation, z *dense.Matrix, l int) (*dense.Matrix, *actCache) {
+	h := dense.New(z.Rows, z.Cols)
+	act.Forward(h, z)
+	return h, nil
+}
+
+func (s *serialOps) lossGrad(hOut *dense.Matrix) (float64, *dense.Matrix) {
+	return nn.NLLLossMasked(hOut, s.labels, s.mask, 0, s.norm)
+}
+
+func (s *serialOps) beforeBackward() {}
+
+func (s *serialOps) activationBackward(act dense.Activation, dH, z *dense.Matrix, _ *actCache, l int) *dense.Matrix {
+	g := dense.New(z.Rows, z.Cols)
+	act.Backward(g, dH, z)
+	return g
+}
+
+func (s *serialOps) backwardAggregate(g *dense.Matrix, l int) *dense.Matrix {
+	// AG = A·G, reused for both Y and ∂L/∂H (§IV-A-4).
+	ag := dense.New(s.a.Rows, s.cfg.Widths[l])
+	sparse.SpMM(ag, s.a, g)
+	return ag
+}
+
+func (s *serialOps) weightGrad(hPrev, ag *dense.Matrix, l int) *dense.Matrix {
+	dW := dense.New(s.cfg.Widths[l-1], s.cfg.Widths[l])
+	dense.TMul(dW, hPrev, ag)
+	return dW
+}
+
+func (s *serialOps) inputGrad(ag, w *dense.Matrix, l int) *dense.Matrix {
+	dH := dense.New(ag.Rows, s.cfg.Widths[l-1])
+	dense.MulT(dH, ag, w)
+	return dH
+}
+
+func (s *serialOps) endEpoch() {}
+
+func (s *serialOps) correctCounts(hOut *dense.Matrix, _ *actCache, masks ...[]bool) []float64 {
+	return argmaxCorrect(hOut, s.labels, 0, masks...)
+}
+
+func (s *serialOps) reduce(vals []float64) []float64 { return vals }
+
+func (s *serialOps) gatherOutput(hOut *dense.Matrix) *dense.Matrix { return hOut }

@@ -47,6 +47,7 @@ func (t *ThreeD) Cluster() *comm.Cluster { return t.cluster }
 
 // Train implements Trainer.
 func (t *ThreeD) Train(p Problem) (*Result, error) {
+	p = p.normalized()
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -61,14 +62,13 @@ func (t *ThreeD) Train(p Problem) (*Result, error) {
 	}
 	var result Result
 	err := t.cluster.Run(func(c *comm.Comm) error {
-		r := threeDRank{
+		r := &threeDRank{
 			comm: c, mach: t.mach, cfg: cfg, mesh: mesh,
 			labels: p.Labels, mask: p.TrainMask, norm: p.lossNormalizer(), n: n,
 			vBlk: partition.NewBlock1D(n, mesh.C),
 		}
 		r.setup(p.A, p.Features)
-		out := r.train()
-		if c.Rank() == 0 {
+		if out := newEngine(r, cfg, p).run(); out != nil {
 			result = *out
 		}
 		return nil
@@ -79,7 +79,8 @@ func (t *ThreeD) Train(p Problem) (*Result, error) {
 	return &result, nil
 }
 
-// threeDRank holds one rank's state during 3D training.
+// threeDRank holds one rank's state during 3D training and implements
+// layerOps with the Split-3D-SpMM collective choreography.
 type threeDRank struct {
 	comm   *comm.Comm
 	mach   costmodel.Machine
@@ -98,8 +99,12 @@ type threeDRank struct {
 	planeGroup *comm.Group // (*, pj, *): all ranks sharing grid column pj
 	atBlk      *sparse.CSR // Aᵀ(rows of pi, column sub-slice (pj, pk))
 	h0         *dense.Matrix
-	weights    []*dense.Matrix
 	memBase    int64
+
+	// agRow caches the full-row gather of the latest backwardAggregate
+	// result, reused by the weightGrad and inputGrad calls that follow it
+	// (§IV-D-4 gathers AG once for both products).
+	agRow *dense.Matrix
 }
 
 // recordMem reports the resident footprint: persistent blocks plus the
@@ -142,50 +147,8 @@ func (r *threeDRank) setup(a *sparse.CSR, features *dense.Matrix) {
 	rLo, rHi := r.subRange(r.pi, r.pk)
 	f0 := r.fBlk(r.cfg.Widths[0])
 	r.h0 = features.SubMatrix(rLo, rHi, f0.Lo(r.pj), f0.Hi(r.pj))
-	r.weights = nn.InitWeights(r.cfg)
-	r.memBase = csrWords(r.atBlk) + matWords(r.h0) + weightWords(r.weights)
+	r.memBase = csrWords(r.atBlk) + matWords(r.h0) + cfgWeightWords(r.cfg)
 	r.recordMem(0)
-}
-
-func (r *threeDRank) train() *Result {
-	L := r.cfg.Layers()
-	H := make([]*dense.Matrix, L+1)
-	Z := make([]*dense.Matrix, L+1)
-	zRow := make([]*dense.Matrix, L+1)
-	H[0] = r.h0
-	losses := make([]float64, 0, r.cfg.Epochs)
-
-	for epoch := 0; epoch < r.cfg.Epochs; epoch++ {
-		for l := 1; l <= L; l++ {
-			H[l], Z[l], zRow[l] = r.forwardLayer(H[l-1], l)
-		}
-		losses = append(losses, r.globalLoss(H[L]))
-		r.backward(H, Z, zRow)
-		r.comm.ChargeTime(comm.CatMisc, r.mach.MiscOverhead)
-	}
-
-	out := H[0]
-	for l := 1; l <= L; l++ {
-		h, _, _ := r.forwardLayer(out, l)
-		out = h
-	}
-	parts := r.comm.World().Gather(0, matPayload(out), comm.CatMisc)
-	if r.comm.Rank() != 0 {
-		return nil
-	}
-	fL := r.fBlk(r.cfg.Widths[L])
-	full := dense.New(r.n, r.cfg.Widths[L])
-	for rank, part := range parts {
-		gi, gj, gk := r.mesh.Coords(rank)
-		rLo, _ := r.subRange(gi, gk)
-		full.SetSubMatrix(rLo, fL.Lo(gj), payloadMat(part))
-	}
-	return &Result{
-		Weights:  r.weights,
-		Output:   full,
-		Losses:   losses,
-		Accuracy: nn.Accuracy(full, r.labels),
-	}
 }
 
 // split3DSpMM computes my block of Aᵀ·X (X distributed like H) via the
@@ -259,32 +222,45 @@ func (r *threeDRank) gatherRows(x *dense.Matrix, f int) *dense.Matrix {
 	return out
 }
 
-func (r *threeDRank) forwardLayer(hPrev *dense.Matrix, l int) (h, z, zRowCache *dense.Matrix) {
-	fNext := r.cfg.Widths[l]
-	t := r.split3DSpMM(hPrev)
-	z = r.partialSplit3D(t, r.weights[l-1])
-	act := r.cfg.Activation(l)
-	h = dense.New(z.Rows, z.Cols)
+func (r *threeDRank) input() *dense.Matrix { return r.h0 }
+
+// forwardAggregate computes T = Aᵀ X via Split-3D-SpMM.
+func (r *threeDRank) forwardAggregate(x *dense.Matrix, l int) *dense.Matrix {
+	return r.split3DSpMM(x)
+}
+
+// multiplyWeight computes Z = T W within each mesh layer.
+func (r *threeDRank) multiplyWeight(t, w *dense.Matrix, l int) *dense.Matrix {
+	return r.partialSplit3D(t, w)
+}
+
+// activationForward applies σ. Row-wise activations all-gather along the
+// layer row to complete each row; no cross-layer or cross-row
+// communication is needed (§IV-D-2).
+func (r *threeDRank) activationForward(act dense.Activation, z *dense.Matrix, l int) (*dense.Matrix, *actCache) {
 	if !act.RowWise() {
+		h := dense.New(z.Rows, z.Cols)
 		act.Forward(h, z)
-		return h, z, nil
+		return h, nil
 	}
-	// Row-wise activation: all-gather along the layer row completes each
-	// row; no cross-layer or cross-row communication is needed (§IV-D-2).
-	zR := r.gatherRows(z, fNext)
-	hR := dense.New(zR.Rows, zR.Cols)
-	act.Forward(hR, zR)
+	fNext := r.cfg.Widths[l]
+	zRow := r.gatherRows(z, fNext)
+	hRow := dense.New(zRow.Rows, zRow.Cols)
+	act.Forward(hRow, zRow)
 	fB := r.fBlk(fNext)
-	h = hR.SubMatrix(0, hR.Rows, fB.Lo(r.pj), fB.Hi(r.pj))
-	return h, z, zR
+	h := hRow.SubMatrix(0, hRow.Rows, fB.Lo(r.pj), fB.Hi(r.pj))
+	return h, &actCache{zRow: zRow, hRow: hRow}
 }
 
-func (r *threeDRank) globalLoss(hOut *dense.Matrix) float64 {
-	local := r.localLossGrad(hOut, nil)
-	sum := r.comm.World().AllReduce([]float64{local}, comm.CatMisc)
-	return sum[0]
+// lossGrad computes this block's loss contribution and ∂L/∂H^L: each rank
+// owns the labels whose class index falls in its column block.
+func (r *threeDRank) lossGrad(hOut *dense.Matrix) (float64, *dense.Matrix) {
+	grad := dense.New(hOut.Rows, hOut.Cols)
+	return r.localLossGrad(hOut, grad), grad
 }
 
+// localLossGrad computes this block's loss contribution and, if grad is
+// non-nil, writes -1/n into the label positions owned by this block.
 func (r *threeDRank) localLossGrad(hOut *dense.Matrix, grad *dense.Matrix) float64 {
 	fB := r.fBlk(r.cfg.Widths[r.cfg.Layers()])
 	cLo, cHi := fB.Lo(r.pj), fB.Hi(r.pj)
@@ -307,58 +283,101 @@ func (r *threeDRank) localLossGrad(hOut *dense.Matrix, grad *dense.Matrix) float
 	return loss
 }
 
-func (r *threeDRank) backward(H, Z, zRow []*dense.Matrix) {
-	L := r.cfg.Layers()
-	dH := dense.New(H[L].Rows, H[L].Cols)
-	r.localLossGrad(H[L], dH)
+func (r *threeDRank) beforeBackward() {}
 
-	dW := make([]*dense.Matrix, L)
-	for l := L; l >= 1; l-- {
-		fl := r.cfg.Widths[l]
-		fPrev := r.cfg.Widths[l-1]
-		act := r.cfg.Activation(l)
-
+// activationBackward computes G = act'(∂L/∂H, Z); row-wise activations
+// gather dH along the layer row and reuse the cached full-row Z.
+func (r *threeDRank) activationBackward(act dense.Activation, dH, z *dense.Matrix, cache *actCache, l int) *dense.Matrix {
+	if !act.RowWise() {
 		g := dense.New(dH.Rows, dH.Cols)
-		if !act.RowWise() {
-			act.Backward(g, dH, Z[l])
-		} else {
-			dHRow := r.gatherRows(dH, fl)
-			gRow := dense.New(dHRow.Rows, dHRow.Cols)
-			act.Backward(gRow, dHRow, zRow[l])
-			fB := r.fBlk(fl)
-			g = gRow.SubMatrix(0, gRow.Rows, fB.Lo(r.pj), fB.Hi(r.pj))
-		}
-
-		// AG = A·G^l. A is symmetric, so the Aᵀ blocks serve directly —
-		// the 3D trainer's structural shortcut for undirected graphs.
-		ag := r.split3DSpMM(g)
-
-		// Y^l = (H^{l-1})ᵀ(AG): gather AG rows along the layer row, local
-		// partial, all-reduce over the plane of ranks sharing my feature
-		// column (summing over both grid rows and layers), then all-gather
-		// along the layer row to replicate Y (§IV-D-4).
-		agRow := r.gatherRows(ag, fl)
-		partial := dense.New(H[l-1].Cols, fl)
-		dense.TMul(partial, H[l-1], agRow)
-		r.comm.ChargeTime(comm.CatMisc, r.mach.GEMMTime(H[l-1].Cols, H[l-1].Rows, fl))
-		planeSum := r.planeGroup.AllReduce(partial.Data, comm.CatDenseComm)
-		yParts := r.rowGroup.AllGather(
-			comm.Payload{Floats: planeSum, Ints: []int{partial.Rows, partial.Cols}},
-			comm.CatDenseComm)
-		dW[l-1] = dense.New(fPrev, fl)
-		fPB := r.fBlk(fPrev)
-		for j, part := range yParts {
-			dW[l-1].SetSubMatrix(fPB.Lo(j), 0, payloadMat(part))
-		}
-
-		if l > 1 {
-			wRowBlk := r.weights[l-1].SubMatrix(fPB.Lo(r.pj), fPB.Hi(r.pj), 0, fl)
-			dH = dense.New(agRow.Rows, wRowBlk.Rows)
-			dense.MulT(dH, agRow, wRowBlk)
-			r.comm.ChargeTime(comm.CatMisc, r.mach.GEMMTime(agRow.Rows, fl, wRowBlk.Rows))
-		}
+		act.Backward(g, dH, z)
+		return g
 	}
-	for l := 0; l < L; l++ {
-		dense.AXPY(r.weights[l], -r.cfg.LR, dW[l])
+	fl := r.cfg.Widths[l]
+	dHRow := r.gatherRows(dH, fl)
+	gRow := dense.New(dHRow.Rows, dHRow.Cols)
+	act.Backward(gRow, dHRow, cache.zRow)
+	fB := r.fBlk(fl)
+	return gRow.SubMatrix(0, gRow.Rows, fB.Lo(r.pj), fB.Hi(r.pj))
+}
+
+// backwardAggregate computes AG = A·G^l. A is symmetric, so the Aᵀ blocks
+// serve directly — the 3D trainer's structural shortcut for undirected
+// graphs. The full-row gather is cached for weightGrad/inputGrad.
+func (r *threeDRank) backwardAggregate(g *dense.Matrix, l int) *dense.Matrix {
+	ag := r.split3DSpMM(g)
+	r.agRow = r.gatherRows(ag, r.cfg.Widths[l])
+	return ag
+}
+
+// weightGrad computes Y^l = (H^{l-1})ᵀ(AG): local partial from the
+// gathered AG rows, all-reduce over the plane of ranks sharing my feature
+// column (summing over both grid rows and layers), then all-gather along
+// the layer row to replicate Y (§IV-D-4).
+func (r *threeDRank) weightGrad(hPrev, ag *dense.Matrix, l int) *dense.Matrix {
+	fPrev, fl := r.cfg.Widths[l-1], r.cfg.Widths[l]
+	partial := dense.New(hPrev.Cols, fl)
+	dense.TMul(partial, hPrev, r.agRow)
+	r.comm.ChargeTime(comm.CatMisc, r.mach.GEMMTime(hPrev.Cols, hPrev.Rows, fl))
+	planeSum := r.planeGroup.AllReduce(partial.Data, comm.CatDenseComm)
+	yParts := r.rowGroup.AllGather(
+		comm.Payload{Floats: planeSum, Ints: []int{partial.Rows, partial.Cols}},
+		comm.CatDenseComm)
+	dW := dense.New(fPrev, fl)
+	fPB := r.fBlk(fPrev)
+	for j, part := range yParts {
+		dW.SetSubMatrix(fPB.Lo(j), 0, payloadMat(part))
 	}
+	return dW
+}
+
+// inputGrad computes ∂L/∂H^{l-1} = AG·(W^l)ᵀ from the already-gathered
+// full-row AG with no extra communication.
+func (r *threeDRank) inputGrad(ag, w *dense.Matrix, l int) *dense.Matrix {
+	fl := r.cfg.Widths[l]
+	fPB := r.fBlk(r.cfg.Widths[l-1])
+	wRowBlk := w.SubMatrix(fPB.Lo(r.pj), fPB.Hi(r.pj), 0, fl)
+	dH := dense.New(r.agRow.Rows, wRowBlk.Rows)
+	dense.MulT(dH, r.agRow, wRowBlk)
+	r.comm.ChargeTime(comm.CatMisc, r.mach.GEMMTime(r.agRow.Rows, fl, wRowBlk.Rows))
+	return dH
+}
+
+func (r *threeDRank) endEpoch() {
+	r.comm.ChargeTime(comm.CatMisc, r.mach.MiscOverhead)
+}
+
+// correctCounts needs full output rows: it reuses the row-wise
+// activation's gathered H when available and all-gathers once (for all
+// masks) otherwise. Only column-0 ranks count, so each (pi, pk) row
+// sub-slice is counted once.
+func (r *threeDRank) correctCounts(hOut *dense.Matrix, cache *actCache, masks ...[]bool) []float64 {
+	hRow := cache.hRowOr(func() *dense.Matrix {
+		return r.gatherRows(hOut, r.cfg.Widths[r.cfg.Layers()])
+	})
+	if r.pj != 0 {
+		return make([]float64, len(masks))
+	}
+	rLo, _ := r.subRange(r.pi, r.pk)
+	return argmaxCorrect(hRow, r.labels, rLo, masks...)
+}
+
+func (r *threeDRank) reduce(vals []float64) []float64 {
+	return r.comm.World().AllReduce(vals, comm.CatMisc)
+}
+
+// gatherOutput assembles the global output on rank 0.
+func (r *threeDRank) gatherOutput(hOut *dense.Matrix) *dense.Matrix {
+	parts := r.comm.World().Gather(0, matPayload(hOut), comm.CatMisc)
+	if r.comm.Rank() != 0 {
+		return nil
+	}
+	fL := r.fBlk(r.cfg.Widths[r.cfg.Layers()])
+	full := dense.New(r.n, r.cfg.Widths[r.cfg.Layers()])
+	for rank, part := range parts {
+		gi, gj, gk := r.mesh.Coords(rank)
+		rLo, _ := r.subRange(gi, gk)
+		full.SetSubMatrix(rLo, fL.Lo(gj), payloadMat(part))
+	}
+	return full
 }

@@ -1,7 +1,13 @@
 // Package core implements the paper's contribution: full-batch GCN training
-// under the 1D, 2D (SUMMA), and 3D (Split-3D-SpMM) parallel decompositions
-// of §IV, plus the serial reference every distributed trainer is verified
-// against.
+// under the 1D, 1.5D, 2D (SUMMA), and 3D (Split-3D-SpMM) parallel
+// decompositions of §IV, plus the serial reference every distributed
+// trainer is verified against.
+//
+// A single shared engine (engine.go) owns the training loop — epochs,
+// activation bookkeeping, loss normalization, optimizer steps, accuracy
+// tracking, output assembly — and drives a small layerOps interface that
+// each decomposition implements with only its layout-specific SpMM and
+// collective choreography.
 //
 // All trainers compute the same mathematics (§III-C/D):
 //
@@ -47,7 +53,29 @@ type Problem struct {
 	// split of §V-C); nil trains on the whole graph, as the paper does for
 	// Amazon and Protein.
 	TrainMask []bool
-	Config    nn.Config
+	// ValMask marks held-out vertices. When set, the engine tracks
+	// train/validation accuracy per epoch (Result.TrainAccuracy,
+	// Result.ValAccuracy); validation vertices never contribute to the
+	// loss. If TrainMask is nil, it is derived as ValMask's complement; an
+	// explicit TrainMask is used as given.
+	ValMask []bool
+	Config  nn.Config
+}
+
+// normalized returns p with the documented mask contract applied: a
+// ValMask without an explicit TrainMask trains on the complement, so
+// held-out vertices never leak into the loss. Every trainer calls this
+// right after Validate.
+func (p Problem) normalized() Problem {
+	if p.ValMask == nil || p.TrainMask != nil {
+		return p
+	}
+	train := make([]bool, len(p.ValMask))
+	for i, v := range p.ValMask {
+		train[i] = !v
+	}
+	p.TrainMask = train
+	return p
 }
 
 // lossNormalizer returns the global count of supervised vertices.
@@ -81,6 +109,12 @@ func (p Problem) Validate() error {
 	if p.TrainMask != nil && nn.CountMask(p.TrainMask, 0) == 0 {
 		return fmt.Errorf("core: train mask selects no vertices")
 	}
+	if p.ValMask != nil && len(p.ValMask) != p.A.Rows {
+		return fmt.Errorf("core: val mask covers %d vertices, graph has %d", len(p.ValMask), p.A.Rows)
+	}
+	if p.ValMask != nil && nn.CountMask(p.ValMask, 0) == 0 {
+		return fmt.Errorf("core: val mask selects no vertices")
+	}
 	k := p.Config.Widths[len(p.Config.Widths)-1]
 	for i, l := range p.Labels {
 		if l < 0 || l >= k {
@@ -100,12 +134,18 @@ type Result struct {
 	Losses []float64
 	// Accuracy is the training accuracy of the final output.
 	Accuracy float64
+	// TrainAccuracy and ValAccuracy hold per-epoch accuracies over
+	// Problem.TrainMask and Problem.ValMask, evaluated on each epoch's
+	// forward output. They are populated only when ValMask is set.
+	TrainAccuracy []float64
+	ValAccuracy   []float64
 }
 
 // Trainer runs full-batch GCN training on a problem. Implementations:
-// Serial, OneD, TwoD, ThreeD.
+// Serial, OneD, OneFiveD, TwoD, ThreeD — all driving the shared engine
+// with their own layerOps.
 type Trainer interface {
-	// Name identifies the algorithm ("serial", "1d", "2d", "3d").
+	// Name identifies the algorithm ("serial", "1d", "1.5d", "2d", "3d").
 	Name() string
 	// Train runs Config.Epochs epochs and returns the result.
 	Train(p Problem) (*Result, error)
@@ -120,17 +160,35 @@ type DistTrainer interface {
 }
 
 // NewTrainer constructs a trainer by algorithm name. p is the rank count
-// (ignored for "serial"); mach supplies the cost constants.
+// (ignored for "serial"); mach supplies the cost constants. The 1.5D
+// replication factor takes its default (2, falling back to 1 on odd p);
+// use NewTrainerReplicated to choose it.
 func NewTrainer(name string, p int, mach costmodel.Machine) (Trainer, error) {
+	return NewTrainerReplicated(name, p, 0, mach)
+}
+
+// NewTrainerReplicated is NewTrainer with an explicit 1.5D replication
+// factor c: 0 selects the default (2, falling back to 1 on odd p);
+// otherwise c must divide p. Algorithms other than "1.5d" reject c > 1,
+// which would silently do nothing.
+func NewTrainerReplicated(name string, p, c int, mach costmodel.Machine) (Trainer, error) {
+	if name != "1.5d" && c > 1 {
+		return nil, fmt.Errorf("core: replication factor %d only applies to the 1.5d trainer, not %q", c, name)
+	}
 	switch name {
 	case "serial":
 		return NewSerial(), nil
 	case "1d":
 		return NewOneD(p, mach), nil
 	case "1.5d":
-		c := 2
-		if p%2 != 0 {
-			c = 1
+		if c == 0 {
+			c = 2
+			if p%2 != 0 {
+				c = 1
+			}
+		}
+		if c < 1 || p%c != 0 {
+			return nil, fmt.Errorf("core: 1.5d replication factor must satisfy c ≥ 1 and p %% c == 0, got P=%d c=%d", p, c)
 		}
 		return NewOneFiveD(p, c, mach), nil
 	case "2d":

@@ -45,6 +45,7 @@ func (t *TwoD) Cluster() *comm.Cluster { return t.cluster }
 
 // Train implements Trainer.
 func (t *TwoD) Train(p Problem) (*Result, error) {
+	p = p.normalized()
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -60,14 +61,13 @@ func (t *TwoD) Train(p Problem) (*Result, error) {
 	at := p.A.Transpose()
 	var result Result
 	err := t.cluster.Run(func(c *comm.Comm) error {
-		r := twoDRank{
+		r := &twoDRank{
 			comm: c, mach: t.mach, cfg: cfg, grid: grid,
 			labels: p.Labels, mask: p.TrainMask, norm: p.lossNormalizer(), n: n,
 			vBlk: partition.NewBlock1D(n, grid.Pr),
 		}
 		r.setup(at, p.Features)
-		out := r.train()
-		if c.Rank() == 0 {
+		if out := newEngine(r, cfg, p).run(); out != nil {
 			result = *out
 		}
 		return nil
@@ -78,7 +78,8 @@ func (t *TwoD) Train(p Problem) (*Result, error) {
 	return &result, nil
 }
 
-// twoDRank holds one rank's state during 2D training.
+// twoDRank holds one rank's state during 2D training and implements
+// layerOps with the SUMMA collective choreography.
 type twoDRank struct {
 	comm   *comm.Comm
 	mach   costmodel.Machine
@@ -96,8 +97,12 @@ type twoDRank struct {
 	atBlk    *sparse.CSR // Aᵀ(rows of pi, cols of pj)
 	aBlk     *sparse.CSR // A(rows of pi, cols of pj), built by transpose exchange
 	h0       *dense.Matrix
-	weights  []*dense.Matrix
 	memBase  int64
+
+	// agRow caches the full-row gather of the latest backwardAggregate
+	// result, reused by the weightGrad and inputGrad calls that follow it
+	// (§IV-C-4 gathers AG once for both products).
+	agRow *dense.Matrix
 }
 
 // recordMem reports the resident footprint: persistent blocks plus the
@@ -119,9 +124,8 @@ func (r *twoDRank) setup(at *sparse.CSR, features *dense.Matrix) {
 	r.atBlk = at.ExtractBlock(r.vBlk.Lo(r.pi), r.vBlk.Hi(r.pi), r.vBlk.Lo(r.pj), r.vBlk.Hi(r.pj))
 	f0 := r.fBlk(r.cfg.Widths[0])
 	r.h0 = features.SubMatrix(r.vBlk.Lo(r.pi), r.vBlk.Hi(r.pi), f0.Lo(r.pj), f0.Hi(r.pj))
-	r.weights = nn.InitWeights(r.cfg)
 	// The A block appears twice once the transpose exchange runs.
-	r.memBase = 2*csrWords(r.atBlk) + matWords(r.h0) + weightWords(r.weights)
+	r.memBase = 2*csrWords(r.atBlk) + matWords(r.h0) + cfgWeightWords(r.cfg)
 	r.recordMem(0)
 }
 
@@ -139,50 +143,6 @@ func (r *twoDRank) transposeExchange() {
 	peer := r.grid.Rank(r.pj, r.pi)
 	got := r.comm.Exchange(peer, csrPayload(localT), comm.CatTranspose)
 	r.aBlk = payloadCSR(got)
-}
-
-func (r *twoDRank) train() *Result {
-	L := r.cfg.Layers()
-
-	H := make([]*dense.Matrix, L+1)
-	Z := make([]*dense.Matrix, L+1)
-	// zRow[l] caches the full-row gather of Z^l when the layer's
-	// activation is row-wise, for reuse in backward.
-	zRow := make([]*dense.Matrix, L+1)
-	H[0] = r.h0
-	losses := make([]float64, 0, r.cfg.Epochs)
-
-	for epoch := 0; epoch < r.cfg.Epochs; epoch++ {
-		for l := 1; l <= L; l++ {
-			H[l], Z[l], zRow[l] = r.forwardLayer(H[l-1], l)
-		}
-		losses = append(losses, r.globalLoss(H[L]))
-		r.transposeExchange()
-		r.backward(H, Z, zRow)
-		r.comm.ChargeTime(comm.CatMisc, r.mach.MiscOverhead)
-	}
-
-	out := H[0]
-	for l := 1; l <= L; l++ {
-		h, _, _ := r.forwardLayer(out, l)
-		out = h
-	}
-	parts := r.comm.World().Gather(0, matPayload(out), comm.CatMisc)
-	if r.comm.Rank() != 0 {
-		return nil
-	}
-	fL := r.fBlk(r.cfg.Widths[L])
-	full := dense.New(r.n, r.cfg.Widths[L])
-	for rank, part := range parts {
-		gi, gj := r.grid.Coords(rank)
-		full.SetSubMatrix(r.vBlk.Lo(gi), fL.Lo(gj), payloadMat(part))
-	}
-	return &Result{
-		Weights:  r.weights,
-		Output:   full,
-		Losses:   losses,
-		Accuracy: nn.Accuracy(full, r.labels),
-	}
 }
 
 // summaSpMM computes my block of op(A)·X where aBlk is my block of op(A)
@@ -210,9 +170,8 @@ func (r *twoDRank) summaSpMM(aBlk *sparse.CSR, x *dense.Matrix) *dense.Matrix {
 }
 
 // partialSumma computes my block of T·W for the replicated W: T blocks
-// broadcast along process rows (Algorithm 2, second phase). wRows and
-// wCols give W's global dimensions; the k-th stage multiplies T's k-th
-// column block against W[rowBlk(k), colBlk(pj)].
+// broadcast along process rows (Algorithm 2, second phase). The k-th stage
+// multiplies T's k-th column block against W[rowBlk(k), colBlk(pj)].
 func (r *twoDRank) partialSumma(tBlk *dense.Matrix, w *dense.Matrix) *dense.Matrix {
 	rowsB := r.fBlk(w.Rows) // W rows = T's feature dimension, split by pc
 	colsB := r.fBlk(w.Cols)
@@ -244,35 +203,43 @@ func (r *twoDRank) gatherRows(x *dense.Matrix, f int) *dense.Matrix {
 	return out
 }
 
-// forwardLayer computes H^l, Z^l (2D blocks) and, for row-wise
-// activations, the full-row Z cache used again in backward.
-func (r *twoDRank) forwardLayer(hPrev *dense.Matrix, l int) (h, z, zRowCache *dense.Matrix) {
-	fNext := r.cfg.Widths[l]
-	t := r.summaSpMM(r.atBlk, hPrev)      // T = Aᵀ H^{l-1}
-	z = r.partialSumma(t, r.weights[l-1]) // Z = T W
-	act := r.cfg.Activation(l)
-	h = dense.New(z.Rows, z.Cols)
+func (r *twoDRank) input() *dense.Matrix { return r.h0 }
+
+// forwardAggregate computes T = Aᵀ X via SUMMA SpMM.
+func (r *twoDRank) forwardAggregate(x *dense.Matrix, l int) *dense.Matrix {
+	return r.summaSpMM(r.atBlk, x)
+}
+
+// multiplyWeight computes Z = T W via the partial SUMMA.
+func (r *twoDRank) multiplyWeight(t, w *dense.Matrix, l int) *dense.Matrix {
+	return r.partialSumma(t, w)
+}
+
+// activationForward applies σ. Element-wise activations need no
+// communication; row-wise activations all-gather Z along the process row,
+// apply, and keep my column block, caching the gathered rows for backward
+// (§IV-C-2).
+func (r *twoDRank) activationForward(act dense.Activation, z *dense.Matrix, l int) (*dense.Matrix, *actCache) {
 	if !act.RowWise() {
-		act.Forward(h, z) // element-wise: no communication (§IV-C-2)
-		return h, z, nil
+		h := dense.New(z.Rows, z.Cols)
+		act.Forward(h, z)
+		return h, nil
 	}
-	// Row-wise activation: all-gather Z along the process row, apply,
-	// keep my column block (§IV-C-2).
+	fNext := r.cfg.Widths[l]
 	zRow := r.gatherRows(z, fNext)
 	hRow := dense.New(zRow.Rows, zRow.Cols)
 	act.Forward(hRow, zRow)
 	fB := r.fBlk(fNext)
-	h = hRow.SubMatrix(0, hRow.Rows, fB.Lo(r.pj), fB.Hi(r.pj))
-	return h, z, zRow
+	h := hRow.SubMatrix(0, hRow.Rows, fB.Lo(r.pj), fB.Hi(r.pj))
+	return h, &actCache{zRow: zRow, hRow: hRow}
 }
 
-// globalLoss computes the full-batch NLL. Each rank contributes the labels
-// whose class index falls in its column block, so nothing is double
-// counted.
-func (r *twoDRank) globalLoss(hOut *dense.Matrix) float64 {
-	local := r.localLossGrad(hOut, nil)
-	sum := r.comm.World().AllReduce([]float64{local}, comm.CatMisc)
-	return sum[0]
+// lossGrad computes this block's loss contribution and ∂L/∂H^L: each rank
+// owns the labels whose class index falls in its column block, so nothing
+// is double counted.
+func (r *twoDRank) lossGrad(hOut *dense.Matrix) (float64, *dense.Matrix) {
+	grad := dense.New(hOut.Rows, hOut.Cols)
+	return r.localLossGrad(hOut, grad), grad
 }
 
 // localLossGrad computes this block's loss contribution and, if grad is
@@ -299,62 +266,102 @@ func (r *twoDRank) localLossGrad(hOut *dense.Matrix, grad *dense.Matrix) float64
 	return loss
 }
 
-func (r *twoDRank) backward(H, Z, zRow []*dense.Matrix) {
-	L := r.cfg.Layers()
-	dH := dense.New(H[L].Rows, H[L].Cols)
-	r.localLossGrad(H[L], dH)
+// beforeBackward runs the per-epoch transpose exchange that builds A from
+// the Aᵀ blocks.
+func (r *twoDRank) beforeBackward() {
+	r.transposeExchange()
+}
 
-	dW := make([]*dense.Matrix, L)
-	for l := L; l >= 1; l-- {
-		fl := r.cfg.Widths[l]
-		fPrev := r.cfg.Widths[l-1]
-		act := r.cfg.Activation(l)
-
-		// G^l = act'(∂L/∂H^l, Z^l). Row-wise activations need full rows:
-		// all-gather dH along the row and reuse the cached full-row Z
-		// (the σ' all-gather of §IV-C-3).
+// activationBackward computes G = act'(∂L/∂H, Z). Row-wise activations
+// need full rows: all-gather dH along the row and reuse the cached
+// full-row Z (the σ' all-gather of §IV-C-3).
+func (r *twoDRank) activationBackward(act dense.Activation, dH, z *dense.Matrix, cache *actCache, l int) *dense.Matrix {
+	if !act.RowWise() {
 		g := dense.New(dH.Rows, dH.Cols)
-		if !act.RowWise() {
-			act.Backward(g, dH, Z[l])
-		} else {
-			dHRow := r.gatherRows(dH, fl)
-			gRow := dense.New(dHRow.Rows, dHRow.Cols)
-			act.Backward(gRow, dHRow, zRow[l])
-			fB := r.fBlk(fl)
-			g = gRow.SubMatrix(0, gRow.Rows, fB.Lo(r.pj), fB.Hi(r.pj))
-		}
-
-		// AG = A·G^l via SUMMA SpMM; reused for both Y and ∂L/∂H
-		// (§IV-C-4).
-		ag := r.summaSpMM(r.aBlk, g)
-
-		// Y^l = (H^{l-1})ᵀ(AG): all-gather AG along the process row, form
-		// the local partial, sum down process columns, then replicate
-		// along rows (2D dense SUMMA + all-gather, §IV-C-4).
-		agRow := r.gatherRows(ag, fl)
-		partial := dense.New(H[l-1].Cols, fl)
-		dense.TMul(partial, H[l-1], agRow)
-		r.comm.ChargeTime(comm.CatMisc, r.mach.GEMMTime(H[l-1].Cols, H[l-1].Rows, fl))
-		colSum := r.colGroup.AllReduce(partial.Data, comm.CatDenseComm)
-		yParts := r.rowGroup.AllGather(
-			comm.Payload{Floats: colSum, Ints: []int{partial.Rows, partial.Cols}},
-			comm.CatDenseComm)
-		dW[l-1] = dense.New(fPrev, fl)
-		fPB := r.fBlk(fPrev)
-		for j, part := range yParts {
-			dW[l-1].SetSubMatrix(fPB.Lo(j), 0, payloadMat(part))
-		}
-
-		// ∂L/∂H^{l-1} = AG·(W^l)ᵀ, computed from the already-gathered
-		// full-row AG with no extra communication.
-		if l > 1 {
-			wRowBlk := r.weights[l-1].SubMatrix(fPB.Lo(r.pj), fPB.Hi(r.pj), 0, fl)
-			dH = dense.New(agRow.Rows, wRowBlk.Rows)
-			dense.MulT(dH, agRow, wRowBlk)
-			r.comm.ChargeTime(comm.CatMisc, r.mach.GEMMTime(agRow.Rows, fl, wRowBlk.Rows))
-		}
+		act.Backward(g, dH, z)
+		return g
 	}
-	for l := 0; l < L; l++ {
-		dense.AXPY(r.weights[l], -r.cfg.LR, dW[l])
+	fl := r.cfg.Widths[l]
+	dHRow := r.gatherRows(dH, fl)
+	gRow := dense.New(dHRow.Rows, dHRow.Cols)
+	act.Backward(gRow, dHRow, cache.zRow)
+	fB := r.fBlk(fl)
+	return gRow.SubMatrix(0, gRow.Rows, fB.Lo(r.pj), fB.Hi(r.pj))
+}
+
+// backwardAggregate computes AG = A·G^l via SUMMA SpMM and caches its
+// full-row gather for the weightGrad/inputGrad pair (§IV-C-4).
+func (r *twoDRank) backwardAggregate(g *dense.Matrix, l int) *dense.Matrix {
+	ag := r.summaSpMM(r.aBlk, g)
+	r.agRow = r.gatherRows(ag, r.cfg.Widths[l])
+	return ag
+}
+
+// weightGrad computes Y^l = (H^{l-1})ᵀ(AG): local partial from the
+// gathered AG rows, sum down process columns, then replicate along rows
+// (2D dense SUMMA + all-gather, §IV-C-4).
+func (r *twoDRank) weightGrad(hPrev, ag *dense.Matrix, l int) *dense.Matrix {
+	fPrev, fl := r.cfg.Widths[l-1], r.cfg.Widths[l]
+	partial := dense.New(hPrev.Cols, fl)
+	dense.TMul(partial, hPrev, r.agRow)
+	r.comm.ChargeTime(comm.CatMisc, r.mach.GEMMTime(hPrev.Cols, hPrev.Rows, fl))
+	colSum := r.colGroup.AllReduce(partial.Data, comm.CatDenseComm)
+	yParts := r.rowGroup.AllGather(
+		comm.Payload{Floats: colSum, Ints: []int{partial.Rows, partial.Cols}},
+		comm.CatDenseComm)
+	dW := dense.New(fPrev, fl)
+	fPB := r.fBlk(fPrev)
+	for j, part := range yParts {
+		dW.SetSubMatrix(fPB.Lo(j), 0, payloadMat(part))
 	}
+	return dW
+}
+
+// inputGrad computes ∂L/∂H^{l-1} = AG·(W^l)ᵀ from the already-gathered
+// full-row AG with no extra communication.
+func (r *twoDRank) inputGrad(ag, w *dense.Matrix, l int) *dense.Matrix {
+	fl := r.cfg.Widths[l]
+	fPB := r.fBlk(r.cfg.Widths[l-1])
+	wRowBlk := w.SubMatrix(fPB.Lo(r.pj), fPB.Hi(r.pj), 0, fl)
+	dH := dense.New(r.agRow.Rows, wRowBlk.Rows)
+	dense.MulT(dH, r.agRow, wRowBlk)
+	r.comm.ChargeTime(comm.CatMisc, r.mach.GEMMTime(r.agRow.Rows, fl, wRowBlk.Rows))
+	return dH
+}
+
+func (r *twoDRank) endEpoch() {
+	r.comm.ChargeTime(comm.CatMisc, r.mach.MiscOverhead)
+}
+
+// correctCounts needs full output rows: it reuses the row-wise
+// activation's gathered H when available and all-gathers once (for all
+// masks) otherwise. Only column-0 ranks count, so each global row is
+// counted once.
+func (r *twoDRank) correctCounts(hOut *dense.Matrix, cache *actCache, masks ...[]bool) []float64 {
+	hRow := cache.hRowOr(func() *dense.Matrix {
+		return r.gatherRows(hOut, r.cfg.Widths[r.cfg.Layers()])
+	})
+	if r.pj != 0 {
+		return make([]float64, len(masks))
+	}
+	return argmaxCorrect(hRow, r.labels, r.vBlk.Lo(r.pi), masks...)
+}
+
+func (r *twoDRank) reduce(vals []float64) []float64 {
+	return r.comm.World().AllReduce(vals, comm.CatMisc)
+}
+
+// gatherOutput assembles the global output on rank 0.
+func (r *twoDRank) gatherOutput(hOut *dense.Matrix) *dense.Matrix {
+	parts := r.comm.World().Gather(0, matPayload(hOut), comm.CatMisc)
+	if r.comm.Rank() != 0 {
+		return nil
+	}
+	fL := r.fBlk(r.cfg.Widths[r.cfg.Layers()])
+	full := dense.New(r.n, r.cfg.Widths[r.cfg.Layers()])
+	for rank, part := range parts {
+		gi, gj := r.grid.Coords(rank)
+		full.SetSubMatrix(r.vBlk.Lo(gi), fL.Lo(gj), payloadMat(part))
+	}
+	return full
 }

@@ -33,12 +33,20 @@ type Options struct {
 	Machine costmodel.Machine
 	// Quick shrinks datasets (for tests and smoke runs).
 	Quick bool
+	// Optimizer selects the weight-update rule for the convergence
+	// experiment ("sgd" default, "momentum", "adam"). Communication
+	// experiments ignore it: optimizer state is replicated, so the rule
+	// moves no words.
+	Optimizer string
 }
 
 // WithDefaults fills zero fields.
 func (o Options) WithDefaults() Options {
 	if o.Machine.Name == "" {
 		o.Machine = costmodel.SummitSim
+	}
+	if o.Optimizer == "" {
+		o.Optimizer = "sgd"
 	}
 	return o
 }
@@ -397,7 +405,12 @@ func Convergence(o Options) ([]ConvergenceRow, error) {
 		return nil, err
 	}
 	epochs := 40
-	cfg := nn.Config{Widths: []int{12, 16, 8}, LR: 0.5, Epochs: epochs, Seed: 12}
+	cfg := nn.Config{Widths: []int{12, 16, 8}, LR: 0.5, Optimizer: o.Optimizer, Epochs: epochs, Seed: 12}
+	if o.Optimizer == "adam" {
+		// Adam's per-parameter scaling makes LR=0.5 wildly unstable; use
+		// its conventional step size.
+		cfg.LR = 0.01
+	}
 
 	full, err := core.NewSerial().Train(core.Problem{
 		A:        ds.Graph.NormalizedAdjacency(),

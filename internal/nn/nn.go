@@ -24,6 +24,10 @@ type Config struct {
 	Output dense.Activation
 	// LR is the gradient-descent step size.
 	LR float64
+	// Optimizer names the weight-update rule: "sgd" (default), "momentum",
+	// or "adam". Optimizer state is replicated on every rank, so the choice
+	// adds no communication (§III-D).
+	Optimizer string
 	// Epochs is the number of full-batch epochs to run.
 	Epochs int
 	// Seed drives the deterministic weight initialization; every rank of a
@@ -50,6 +54,9 @@ func (c Config) Validate() error {
 	if c.Epochs < 0 {
 		return fmt.Errorf("nn: negative epoch count %d", c.Epochs)
 	}
+	if !ValidOptimizer(c.Optimizer) {
+		return fmt.Errorf("nn: unknown optimizer %q (want %v)", c.Optimizer, Optimizers)
+	}
 	return nil
 }
 
@@ -65,6 +72,9 @@ func (c Config) WithDefaults() Config {
 	}
 	if out.LR == 0 {
 		out.LR = 0.01
+	}
+	if out.Optimizer == "" {
+		out.Optimizer = "sgd"
 	}
 	return out
 }

@@ -1,0 +1,153 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dense"
+)
+
+// Optimizer applies one gradient step to the weight matrices in place.
+//
+// Every trainer keeps W replicated across ranks and produces fully reduced,
+// replicated gradients (§III-D), so optimizer state — momentum buffers,
+// Adam moment estimates — is replicated too: each rank constructs its own
+// instance from the same Config and performs identical deterministic
+// updates, adding zero communication regardless of the decomposition.
+type Optimizer interface {
+	// Name identifies the update rule ("sgd", "momentum", "adam").
+	Name() string
+	// Step applies grads to weights in place. Both slices are indexed by
+	// layer; shapes must match across calls (state buffers are allocated on
+	// first use).
+	Step(weights, grads []*dense.Matrix)
+}
+
+// Optimizers lists the selectable update rules.
+var Optimizers = []string{"sgd", "momentum", "adam"}
+
+// Default hyperparameters for the stateful optimizers. They are fixed (not
+// Config knobs) so every rank of a distributed run agrees on them by
+// construction.
+const (
+	// MomentumMu is the velocity decay of the momentum optimizer.
+	MomentumMu = 0.9
+	// AdamBeta1 and AdamBeta2 are Adam's moment decays; AdamEps guards the
+	// denominator.
+	AdamBeta1 = 0.9
+	AdamBeta2 = 0.999
+	AdamEps   = 1e-8
+)
+
+// SGD is plain gradient descent: W ← W − lr·∇W, the paper's update rule.
+type SGD struct {
+	LR float64
+}
+
+// Name implements Optimizer.
+func (o *SGD) Name() string { return "sgd" }
+
+// Step implements Optimizer.
+func (o *SGD) Step(weights, grads []*dense.Matrix) {
+	for l := range weights {
+		dense.AXPY(weights[l], -o.LR, grads[l])
+	}
+}
+
+// Momentum is SGD with heavy-ball momentum:
+//
+//	v ← μ·v + ∇W,  W ← W − lr·v
+type Momentum struct {
+	LR float64
+	Mu float64
+
+	vel []*dense.Matrix
+}
+
+// Name implements Optimizer.
+func (o *Momentum) Name() string { return "momentum" }
+
+// Step implements Optimizer.
+func (o *Momentum) Step(weights, grads []*dense.Matrix) {
+	if o.vel == nil {
+		o.vel = zerosLike(weights)
+	}
+	for l := range weights {
+		v, w, g := o.vel[l].Data, weights[l].Data, grads[l].Data
+		for i := range v {
+			v[i] = o.Mu*v[i] + g[i]
+			w[i] -= o.LR * v[i]
+		}
+	}
+}
+
+// Adam is the Kingma-Ba adaptive-moment optimizer with bias correction:
+//
+//	m ← β₁·m + (1−β₁)·∇W,  v ← β₂·v + (1−β₂)·∇W²
+//	W ← W − lr·m̂ / (√v̂ + ε)
+type Adam struct {
+	LR    float64
+	Beta1 float64
+	Beta2 float64
+	Eps   float64
+
+	m, v []*dense.Matrix
+	t    int
+}
+
+// Name implements Optimizer.
+func (o *Adam) Name() string { return "adam" }
+
+// Step implements Optimizer.
+func (o *Adam) Step(weights, grads []*dense.Matrix) {
+	if o.m == nil {
+		o.m = zerosLike(weights)
+		o.v = zerosLike(weights)
+	}
+	o.t++
+	c1 := 1 - math.Pow(o.Beta1, float64(o.t))
+	c2 := 1 - math.Pow(o.Beta2, float64(o.t))
+	for l := range weights {
+		m, v, w, g := o.m[l].Data, o.v[l].Data, weights[l].Data, grads[l].Data
+		for i := range w {
+			m[i] = o.Beta1*m[i] + (1-o.Beta1)*g[i]
+			v[i] = o.Beta2*v[i] + (1-o.Beta2)*g[i]*g[i]
+			w[i] -= o.LR * (m[i] / c1) / (math.Sqrt(v[i]/c2) + o.Eps)
+		}
+	}
+}
+
+// zerosLike allocates zero matrices with the shapes of ms.
+func zerosLike(ms []*dense.Matrix) []*dense.Matrix {
+	out := make([]*dense.Matrix, len(ms))
+	for i, m := range ms {
+		out[i] = dense.New(m.Rows, m.Cols)
+	}
+	return out
+}
+
+// ValidOptimizer reports whether name selects a known update rule; the
+// empty string selects the default (SGD).
+func ValidOptimizer(name string) bool {
+	switch name {
+	case "", "sgd", "momentum", "adam":
+		return true
+	}
+	return false
+}
+
+// NewOptimizer constructs a fresh optimizer instance for this Config. Every
+// rank of a distributed trainer calls it independently, keeping optimizer
+// state replicated without communication. It panics on an unknown name;
+// Config.Validate rejects those upfront.
+func (c Config) NewOptimizer() Optimizer {
+	switch c.Optimizer {
+	case "", "sgd":
+		return &SGD{LR: c.LR}
+	case "momentum":
+		return &Momentum{LR: c.LR, Mu: MomentumMu}
+	case "adam":
+		return &Adam{LR: c.LR, Beta1: AdamBeta1, Beta2: AdamBeta2, Eps: AdamEps}
+	}
+	panic(fmt.Sprintf("nn: unknown optimizer %q", c.Optimizer))
+}

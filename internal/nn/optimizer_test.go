@@ -1,0 +1,140 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dense"
+)
+
+func randMats(rng *rand.Rand, shapes [][2]int) []*dense.Matrix {
+	out := make([]*dense.Matrix, len(shapes))
+	for i, s := range shapes {
+		m := dense.New(s[0], s[1])
+		for j := range m.Data {
+			m.Data[j] = rng.NormFloat64()
+		}
+		out[i] = m
+	}
+	return out
+}
+
+func cloneMats(ms []*dense.Matrix) []*dense.Matrix {
+	out := make([]*dense.Matrix, len(ms))
+	for i, m := range ms {
+		c := dense.New(m.Rows, m.Cols)
+		copy(c.Data, m.Data)
+		out[i] = c
+	}
+	return out
+}
+
+func TestSGDMatchesAXPY(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	shapes := [][2]int{{4, 3}, {3, 2}}
+	w := randMats(rng, shapes)
+	g := randMats(rng, shapes)
+	want := cloneMats(w)
+	for l := range want {
+		dense.AXPY(want[l], -0.05, g[l])
+	}
+	(&SGD{LR: 0.05}).Step(w, g)
+	for l := range w {
+		if dense.MaxAbsDiff(w[l], want[l]) != 0 {
+			t.Fatalf("layer %d: SGD step differs from AXPY", l)
+		}
+	}
+}
+
+// TestOptimizersDeterministic: two independent instances fed the same
+// gradient sequence produce bit-identical weights — the replication
+// invariant distributed ranks rely on.
+func TestOptimizersDeterministic(t *testing.T) {
+	shapes := [][2]int{{5, 4}, {4, 3}}
+	for _, name := range Optimizers {
+		cfg := Config{Widths: []int{5, 4, 3}, LR: 0.1, Optimizer: name, Epochs: 1}
+		a := cfg.NewOptimizer()
+		b := cfg.NewOptimizer()
+		rngA := rand.New(rand.NewSource(7))
+		rngB := rand.New(rand.NewSource(7))
+		wa := randMats(rand.New(rand.NewSource(8)), shapes)
+		wb := cloneMats(wa)
+		for step := 0; step < 5; step++ {
+			a.Step(wa, randMats(rngA, shapes))
+			b.Step(wb, randMats(rngB, shapes))
+		}
+		for l := range wa {
+			if dense.MaxAbsDiff(wa[l], wb[l]) != 0 {
+				t.Fatalf("%s: replicated instances diverged at layer %d", name, l)
+			}
+		}
+	}
+}
+
+// TestMomentumAccumulates: with a constant gradient, the momentum step
+// size grows geometrically toward lr/(1-mu) per step.
+func TestMomentumAccumulates(t *testing.T) {
+	w := []*dense.Matrix{dense.New(1, 1)}
+	g := []*dense.Matrix{dense.FromRows([][]float64{{1}})}
+	o := &Momentum{LR: 1, Mu: 0.5}
+	o.Step(w, g) // v=1, w=-1
+	if w[0].Data[0] != -1 {
+		t.Fatalf("after step 1: w = %v, want -1", w[0].Data[0])
+	}
+	o.Step(w, g) // v=1.5, w=-2.5
+	if w[0].Data[0] != -2.5 {
+		t.Fatalf("after step 2: w = %v, want -2.5", w[0].Data[0])
+	}
+}
+
+// TestAdamFirstStepMagnitude: bias correction makes the first Adam step
+// ≈ lr regardless of gradient scale.
+func TestAdamFirstStepMagnitude(t *testing.T) {
+	for _, scale := range []float64{1e-3, 1.0, 1e3} {
+		w := []*dense.Matrix{dense.New(1, 1)}
+		g := []*dense.Matrix{dense.FromRows([][]float64{{scale}})}
+		cfg := Config{Widths: []int{1, 1}, LR: 0.01, Optimizer: "adam", Epochs: 1}
+		cfg.NewOptimizer().Step(w, g)
+		if d := math.Abs(math.Abs(w[0].Data[0]) - 0.01); d > 1e-5 {
+			t.Fatalf("gradient scale %v: first Adam step %v, want ≈ ±0.01", scale, w[0].Data[0])
+		}
+	}
+}
+
+func TestOptimizerNamesAndFactory(t *testing.T) {
+	for _, name := range append([]string{""}, Optimizers...) {
+		cfg := Config{Widths: []int{2, 2}, LR: 0.1, Optimizer: name, Epochs: 1}
+		o := cfg.NewOptimizer()
+		want := name
+		if want == "" {
+			want = "sgd"
+		}
+		if o.Name() != want {
+			t.Fatalf("Name() = %q, want %q", o.Name(), want)
+		}
+	}
+}
+
+func TestConfigValidatesOptimizer(t *testing.T) {
+	cfg := Config{Widths: []int{2, 2}, LR: 0.1, Epochs: 1, Optimizer: "adagrad"}
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("expected unknown-optimizer error")
+	}
+	cfg.Optimizer = "adam"
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := (Config{}).WithDefaults().Optimizer; got != "sgd" {
+		t.Fatalf("default optimizer = %q, want sgd", got)
+	}
+}
+
+func TestNewOptimizerPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Config{Optimizer: "nope"}.NewOptimizer()
+}

@@ -5,6 +5,7 @@ import (
 	"os"
 	"runtime"
 	"strconv"
+	"sync"
 	"sync/atomic"
 )
 
@@ -72,11 +73,52 @@ func init() {
 }
 
 // SetBackend selects the process-wide backend. Both backends produce
-// bit-identical results, so this only affects execution speed.
+// bit-identical results, so this only affects execution speed. Prefer
+// AcquireBackend for run-scoped overrides.
 func SetBackend(b Backend) { current.Store(int32(b)) }
 
 // CurrentBackend returns the process-wide backend.
 func CurrentBackend() Backend { return Backend(current.Load()) }
+
+var (
+	overrideMu    sync.Mutex
+	overrideCond  = sync.NewCond(&overrideMu)
+	overrideDepth int
+	overrideSaved Backend
+)
+
+// AcquireBackend scopes a backend override to a run: it sets the
+// process-wide backend to b and returns a release function that restores
+// the previous setting once the last outstanding acquisition releases.
+// Overlapping acquisitions of the same backend share the override;
+// acquiring a different backend blocks until the current overrides
+// release, so concurrent runs never race on the global setting (both
+// backends are bit-identical, so callers that never acquire observe at
+// worst a different speed). The release function is idempotent.
+func AcquireBackend(b Backend) (release func()) {
+	overrideMu.Lock()
+	for overrideDepth > 0 && CurrentBackend() != b {
+		overrideCond.Wait()
+	}
+	if overrideDepth == 0 {
+		overrideSaved = CurrentBackend()
+		SetBackend(b)
+	}
+	overrideDepth++
+	overrideMu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			overrideMu.Lock()
+			overrideDepth--
+			if overrideDepth == 0 {
+				SetBackend(overrideSaved)
+				overrideCond.Broadcast()
+			}
+			overrideMu.Unlock()
+		})
+	}
+}
 
 // SetWorkers replaces the shared pool with one of n workers. It is meant
 // for process startup and tests; kernels already in flight finish on the

@@ -216,3 +216,75 @@ func TestParseBackend(t *testing.T) {
 		t.Error("Backend.String mismatch")
 	}
 }
+
+// TestAcquireBackendScopesOverride: the override applies while held and the
+// previous setting returns after the last release.
+func TestAcquireBackendScopesOverride(t *testing.T) {
+	withConfig(t, BackendParallel, 2, func() {
+		release := AcquireBackend(BackendSerial)
+		if CurrentBackend() != BackendSerial {
+			t.Fatal("override not applied")
+		}
+		release()
+		release() // idempotent
+		if CurrentBackend() != BackendParallel {
+			t.Fatal("previous backend not restored")
+		}
+	})
+}
+
+// TestAcquireBackendSharedAndExclusive: same-backend acquisitions overlap;
+// a different backend waits for all of them, so no run ever executes under
+// a backend it did not ask for.
+func TestAcquireBackendSharedAndExclusive(t *testing.T) {
+	withConfig(t, BackendParallel, 2, func() {
+		r1 := AcquireBackend(BackendSerial)
+		r2 := AcquireBackend(BackendSerial) // shared: must not block
+		if CurrentBackend() != BackendSerial {
+			t.Fatal("shared override lost")
+		}
+
+		got := make(chan Backend)
+		go func() {
+			r := AcquireBackend(BackendParallel) // conflicting: blocks
+			got <- CurrentBackend()
+			r()
+		}()
+		r1()
+		r2()
+		if b := <-got; b != BackendParallel {
+			t.Fatalf("conflicting acquire observed backend %v", b)
+		}
+		if CurrentBackend() != BackendParallel {
+			t.Fatal("backend not restored after all releases")
+		}
+	})
+}
+
+// TestAcquireBackendConcurrentRuns hammers conflicting overrides from many
+// goroutines: every holder must observe its own backend for its whole
+// critical section (run with -race).
+func TestAcquireBackendConcurrentRuns(t *testing.T) {
+	withConfig(t, BackendParallel, 2, func() {
+		var wg sync.WaitGroup
+		for i := 0; i < 32; i++ {
+			b := BackendSerial
+			if i%2 == 0 {
+				b = BackendParallel
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				release := AcquireBackend(b)
+				defer release()
+				for k := 0; k < 10; k++ {
+					if CurrentBackend() != b {
+						t.Errorf("observed %v while holding %v", CurrentBackend(), b)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	})
+}
