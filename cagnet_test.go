@@ -278,3 +278,76 @@ func TestTrainConcurrentBackends(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestTrainHaloExchange: the API-level halo wiring — identical training
+// results (to float tolerance, with output mapped back to the original
+// vertex order under a partitioner) and strictly fewer dense words.
+func TestTrainHaloExchange(t *testing.T) {
+	ds := RandomDataset(7, 5, 8, 4, 3, 9)
+	for _, opts := range []TrainOptions{
+		{Algorithm: "1d", Ranks: 4, Epochs: 3, HaloExchange: true},
+		{Algorithm: "1d", Ranks: 4, Epochs: 3, HaloExchange: true, Partitioner: "random"},
+		{Algorithm: "1d", Ranks: 4, Epochs: 3, HaloExchange: true, Partitioner: "ldg"},
+		{Algorithm: "1.5d", Ranks: 4, Epochs: 3, HaloExchange: true, Partitioner: "ldg"},
+	} {
+		baseOpts := opts
+		baseOpts.HaloExchange, baseOpts.Partitioner = false, ""
+		base, err := Train(ds, baseOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Train(ds, opts)
+		if err != nil {
+			t.Fatalf("%+v: %v", opts, err)
+		}
+		for e := range base.Losses {
+			if math.Abs(got.Losses[e]-base.Losses[e]) > 1e-8 {
+				t.Fatalf("%+v: loss diverges at epoch %d: %v vs %v",
+					opts, e, got.Losses[e], base.Losses[e])
+			}
+		}
+		// Output rows must be back in original vertex order: compare the
+		// full matrices, not just shapes.
+		wantOut := base.Result().Output
+		gotOut := got.Result().Output
+		for i := 0; i < wantOut.Rows; i++ {
+			for j := 0; j < wantOut.Cols; j++ {
+				if math.Abs(gotOut.At(i, j)-wantOut.At(i, j)) > 1e-8 {
+					t.Fatalf("%+v: output (%d,%d) deviates", opts, i, j)
+				}
+			}
+		}
+		if got.WordsByCategory["dcomm"] >= base.WordsByCategory["dcomm"] {
+			t.Fatalf("%+v: halo dcomm %d should be below broadcast %d",
+				opts, got.WordsByCategory["dcomm"], base.WordsByCategory["dcomm"])
+		}
+	}
+}
+
+// TestTrainHaloOptionValidation: halo/partitioner options are rejected for
+// algorithms without a 1D row decomposition.
+func TestTrainHaloOptionValidation(t *testing.T) {
+	ds := RandomDataset(6, 4, 6, 4, 3, 11)
+	if _, err := Train(ds, TrainOptions{Algorithm: "2d", Ranks: 4, HaloExchange: true}); err == nil {
+		t.Fatal("expected error for halo on 2d")
+	}
+	if _, err := Train(ds, TrainOptions{Algorithm: "serial", Partitioner: "ldg"}); err == nil {
+		t.Fatal("expected error for partitioner on serial")
+	}
+	if _, err := Train(ds, TrainOptions{Algorithm: "2d", Ranks: 4, Partitioner: "block"}); err == nil {
+		t.Fatal("expected error for explicit partitioner on 2d, even the identity one")
+	}
+	if _, err := Train(ds, TrainOptions{Algorithm: "1d", Ranks: 4, Partitioner: "metis"}); err == nil {
+		t.Fatal("expected error for unknown partitioner")
+	}
+	// "block" is the default layout and composes with any row algorithm.
+	if _, err := Train(ds, TrainOptions{Algorithm: "1d", Ranks: 4, Epochs: 1, Partitioner: "block", HaloExchange: true}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionersList(t *testing.T) {
+	if len(Partitioners) != 3 {
+		t.Fatalf("got %v", Partitioners)
+	}
+}

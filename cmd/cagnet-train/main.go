@@ -6,8 +6,8 @@
 //
 //	cagnet-train [-dataset reddit-sim] [-algo 2d] [-ranks 16] [-epochs 10]
 //	             [-lr 0.01] [-optimizer sgd] [-replication 0] [-val 0]
-//	             [-machine summit-v100] [-backend parallel]
-//	             [-workers 0] [-quick]
+//	             [-halo] [-partitioner block] [-machine summit-v100]
+//	             [-backend parallel] [-workers 0] [-quick]
 package main
 
 import (
@@ -30,6 +30,8 @@ func main() {
 	lr := flag.Float64("lr", 0.01, "learning rate")
 	optimizer := flag.String("optimizer", "sgd", "weight-update rule: sgd, momentum, adam")
 	replication := flag.Int("replication", 0, "1.5d replication factor c (0 = default; must divide ranks)")
+	halo := flag.Bool("halo", false, "1d/1.5d: fetch only the rows each rank's adjacency block touches instead of broadcasting dense blocks")
+	partitioner := flag.String("partitioner", "", "1d/1.5d vertex partitioner: block (default), random, ldg")
 	valFrac := flag.Float64("val", 0, "fraction of vertices held out for validation tracking (0 disables)")
 	machine := flag.String("machine", "summit-v100", "cost-model machine profile")
 	backend := flag.String("backend", "", "compute backend: serial or parallel (default: parallel, or $CAGNET_BACKEND)")
@@ -94,6 +96,8 @@ func main() {
 		LR:                *lr,
 		Optimizer:         *optimizer,
 		ReplicationFactor: *replication,
+		Partitioner:       *partitioner,
+		HaloExchange:      *halo,
 		ValMask:           valMask,
 		Machine:           *machine,
 		Backend:           *backend,

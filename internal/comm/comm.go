@@ -230,6 +230,20 @@ func (c *Cluster) MaxWordsByCategory() map[Category]int64 {
 	return out
 }
 
+// SumWordsByCategory returns per-category modeled words summed over all
+// ranks: the total communication volume, as opposed to the per-rank
+// maximum that bounds bulk-synchronous runtime — the §IV-A-8 distinction
+// between total and max edgecut.
+func (c *Cluster) SumWordsByCategory() map[Category]int64 {
+	out := make(map[Category]int64)
+	for _, l := range c.ledgers {
+		for k, v := range l.ModelWords {
+			out[k] += v
+		}
+	}
+	return out
+}
+
 // MaxPeakMemWords returns the largest per-rank peak resident word count.
 func (c *Cluster) MaxPeakMemWords() int64 {
 	var mx int64

@@ -1,0 +1,59 @@
+package comm
+
+import "fmt"
+
+// ExchangeIndexed performs a sparse point-to-point exchange within the
+// group — the halo-exchange collective of §IV-A-1. Member i sends parts[j]
+// to every member j for which parts[j] is non-empty, and receives one
+// payload from exactly the members marked true in from. The received
+// payloads are returned indexed by group member (zero value where from[j]
+// is false). parts[me] must be empty and from[me] false: ranks never
+// exchange with themselves.
+//
+// Unlike AllToAll, nothing is transmitted for an empty part — the point of
+// a sparsity-aware exchange is that most pairs move nothing. Every member
+// is charged α·(messages it receives) + β·(words it receives): with
+// row-payloads of f words per row that is α·msgs + β·rows·f, the inbound
+// critical path, matching the §IV-A-1 convention that edgecut_P(A) counts
+// the rows a process must fetch. (Outbound traffic still shows up in the
+// sender's physical ledger via PhysWordsSent.)
+//
+// The pattern must agree across the group: from[i] is true at member j
+// exactly when member i passes a non-empty parts[j]. Callers typically
+// negotiate it once with an AllToAll of index lists and reuse it every
+// epoch.
+func (g *Group) ExchangeIndexed(parts []Payload, from []bool, cat Category) []Payload {
+	q := len(g.ranks)
+	if len(parts) != q || len(from) != q {
+		panic(fmt.Sprintf("comm: ExchangeIndexed needs %d parts and flags, got %d and %d", q, len(parts), len(from)))
+	}
+	if parts[g.me].Words() != 0 || from[g.me] {
+		panic(fmt.Sprintf("comm: ExchangeIndexed member %d exchanging with itself", g.me))
+	}
+	out := make([]Payload, q)
+	// Launch sends concurrently (as in AllToAll) so a simultaneous
+	// send+receive between a pair cannot rendezvous-deadlock; each pair
+	// moves at most one message per call, well under the mailbox depth.
+	done := make(chan struct{})
+	go func() {
+		for i := 1; i < q; i++ {
+			dst := (g.me + i) % q
+			if parts[dst].Words() > 0 {
+				g.comm.sendRaw(g.ranks[dst], parts[dst])
+			}
+		}
+		close(done)
+	}()
+	var msgs, words int64
+	for i := 1; i < q; i++ {
+		src := (g.me - i + q) % q
+		if from[src] {
+			out[src] = g.comm.recvRaw(g.ranks[src])
+			msgs++
+			words += out[src].Words()
+		}
+	}
+	<-done
+	g.charge(cat, msgs, words)
+	return out
+}

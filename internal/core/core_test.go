@@ -17,8 +17,9 @@ var testMach = costmodel.Machine{
 	Name: "test", Alpha: 1e-6, Beta: 1e-9, GEMMRate: 1e9, SpMMRate: 1e9, MiscOverhead: 0,
 }
 
-// testProblem builds a deterministic small training problem.
-func testProblem(t *testing.T, n, f, hidden, labels, epochs int, seed int64) Problem {
+// testProblemGraph builds a deterministic small training problem and also
+// returns the underlying (symmetrized) graph for partitioner-driven tests.
+func testProblemGraph(t *testing.T, n, f, hidden, labels, epochs int, seed int64) (Problem, *graph.Graph) {
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
 	g := graph.ErdosRenyi(n, 6, rng)
@@ -38,7 +39,14 @@ func testProblem(t *testing.T, n, f, hidden, labels, epochs int, seed int64) Pro
 			Epochs: epochs,
 			Seed:   seed + 2,
 		},
-	}
+	}, sym
+}
+
+// testProblem builds a deterministic small training problem.
+func testProblem(t *testing.T, n, f, hidden, labels, epochs int, seed int64) Problem {
+	t.Helper()
+	p, _ := testProblemGraph(t, n, f, hidden, labels, epochs, seed)
+	return p
 }
 
 func TestProblemValidate(t *testing.T) {

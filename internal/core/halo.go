@@ -1,0 +1,70 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/dense"
+	"repro/internal/partition"
+)
+
+// This file holds the halo-exchange plumbing shared by the 1D and 1.5D
+// trainers: layout resolution, the one-time negotiation of fetch lists,
+// and the per-product indexed row exchange.
+
+// layout1DFor resolves a trainer's row layout: the explicit one when set
+// (validated against the item and block counts), else near-equal blocks.
+func layout1DFor(custom partition.Layout1D, n, blocks int) (partition.Layout1D, error) {
+	if custom == nil {
+		return partition.NewBlock1D(n, blocks), nil
+	}
+	if custom.Blocks() != blocks {
+		return nil, fmt.Errorf("core: layout has %d blocks, trainer needs %d", custom.Blocks(), blocks)
+	}
+	if custom.Items() != n {
+		return nil, fmt.Errorf("core: layout covers %d items, problem has %d vertices", custom.Items(), n)
+	}
+	return custom, nil
+}
+
+// exchangeHaloPlan negotiates a halo plan across a group, once per
+// training run: every member announces the rows it needs from each peer
+// (need[j], block-relative), and learns in return which of its own rows
+// each peer requested. The index lists travel as sparse-structure words
+// (CatSparseComm). It returns sendIdx — sendIdx[i] lists this member's
+// local rows peer i will fetch every exchange — and recvFrom, the peers
+// this member receives a payload from (those it needs at least one row
+// of).
+func exchangeHaloPlan(g *comm.Group, need [][]int) (sendIdx [][]int, recvFrom []bool) {
+	q := g.Size()
+	parts := make([]comm.Payload, q)
+	for j := 0; j < q; j++ {
+		parts[j] = comm.Payload{Ints: need[j]}
+	}
+	requests := g.AllToAll(parts, comm.CatSparseComm)
+	sendIdx = make([][]int, q)
+	recvFrom = make([]bool, q)
+	for i := 0; i < q; i++ {
+		if i == g.Rank() {
+			continue // own block is gathered locally, never exchanged
+		}
+		sendIdx[i] = requests[i].Ints
+		recvFrom[i] = len(need[i]) > 0
+	}
+	return sendIdx, recvFrom
+}
+
+// haloFetch runs one indexed row exchange over a negotiated plan: this
+// member sends the requested rows of its block x to each peer and
+// receives the rows it needs, charged α·msgs + β·rows·f under
+// CatDenseComm. Payloads carry bare floats; receivers reshape them from
+// the plan's row counts.
+func haloFetch(g *comm.Group, x *dense.Matrix, sendIdx [][]int, recvFrom []bool) []comm.Payload {
+	parts := make([]comm.Payload, g.Size())
+	for i, idx := range sendIdx {
+		if len(idx) > 0 {
+			parts[i] = comm.Payload{Floats: dense.GatherRows(x, idx).Data}
+		}
+	}
+	return g.ExchangeIndexed(parts, recvFrom, comm.CatDenseComm)
+}

@@ -1,0 +1,260 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/costmodel"
+	"repro/internal/dense"
+	"repro/internal/graph"
+	"repro/internal/nn"
+	"repro/internal/partition"
+)
+
+// rmatProblem builds a fixed symmetrized R-MAT training problem with
+// uniform layer widths (so the average-f costmodel formulas are exact).
+func rmatProblem(t *testing.T, scale, edgeFactor, f, epochs int, seed int64) (Problem, *graph.Graph) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.RMAT(scale, edgeFactor, graph.DefaultRMAT, rng)
+	sym := graph.New(g.NumVertices)
+	for _, e := range g.Edges {
+		sym.AddUndirectedEdge(e[0], e[1])
+	}
+	ds := graph.Synthetic("rmat", sym, f, f, f, seed+1)
+	return Problem{
+		A:        ds.Graph.NormalizedAdjacency(),
+		Features: ds.Features,
+		Labels:   ds.Labels,
+		Config: nn.Config{
+			Widths: []int{f, f, f},
+			LR:     0.05,
+			Epochs: epochs,
+			Seed:   seed + 2,
+		},
+	}, sym
+}
+
+// TestHaloLedgerMatchesEdgecutBound is the ledger-vs-analytic contract:
+// for a fixed R-MAT graph, the dense-comm words every rank of the
+// sparsity-aware 1D trainer accrues must equal the costmodel.OneD
+// edgecut-based prediction exactly — per rank (hence per-rank max via
+// edgecut_P(A) = MaxRecvRows) and in total over ranks.
+func TestHaloLedgerMatchesEdgecutBound(t *testing.T) {
+	const f, epochs = 8, 3
+	p, g := rmatProblem(t, 7, 8, f, epochs, 71)
+	n := g.NumVertices
+	widths := p.Config.Widths
+	for _, ranks := range []int{2, 4, 7} {
+		tr := NewOneD(ranks, testMach)
+		tr.Halo = true
+		if _, err := tr.Train(p); err != nil {
+			t.Fatal(err)
+		}
+		stats := partition.Edgecut(g, partition.BlockAssignment(n, ranks))
+
+		var total, predTotal, maxGot, predMax int64
+		for r := 0; r < ranks; r++ {
+			got := tr.Cluster().Ledger(r).ModelWords[comm.CatDenseComm]
+			want := costmodel.OneDHaloDenseWords(widths, n, ranks, stats.PerPartRecvRows[r], epochs)
+			if got != want {
+				t.Fatalf("P=%d rank %d: ledger dcomm %d words, edgecut bound predicts %d (r_i=%d)",
+					ranks, r, got, want, stats.PerPartRecvRows[r])
+			}
+			total += got
+			predTotal += want
+			if got > maxGot {
+				maxGot = got
+			}
+		}
+		// Per-rank max is the MaxRecvRows (= edgecut_P(A)) prediction.
+		predMax = costmodel.OneDHaloDenseWords(widths, n, ranks, stats.MaxRecvRows, epochs)
+		if maxGot != predMax {
+			t.Fatalf("P=%d: max dcomm %d words, edgecut_P(A)=%d predicts %d",
+				ranks, maxGot, stats.MaxRecvRows, predMax)
+		}
+		if got := tr.Cluster().SumWordsByCategory()[comm.CatDenseComm]; got != predTotal || total != predTotal {
+			t.Fatalf("P=%d: total dcomm %d words, prediction %d", ranks, got, predTotal)
+		}
+
+		// Tie to the published formula: with uniform widths, the halo
+		// component of the ledger equals the edgecut·f term of
+		// costmodel.OneD (per training forward plus the final inference
+		// forward), L·rᵢ·f per epoch.
+		w := costmodel.Workload{N: n, NNZ: int64(p.A.NNZ()), F: f, Layers: len(widths) - 1}
+		for r := 0; r < ranks; r++ {
+			got := tr.Cluster().Ledger(r).ModelWords[comm.CatDenseComm] -
+				costmodel.OneDHaloDenseWords(widths, n, ranks, 0, epochs)
+			ri := float64(stats.PerPartRecvRows[r])
+			perEpoch := costmodel.OneD(w, ranks, ri).Words - costmodel.OneD(w, ranks, 0).Words
+			want := int64(math.Round(float64(epochs+1) * perEpoch))
+			if got != want {
+				t.Fatalf("P=%d rank %d: halo component %d words, costmodel.OneD edgecut term %d",
+					ranks, r, got, want)
+			}
+		}
+	}
+}
+
+// TestHaloReducesDenseWords: the point of the exchange — per-epoch
+// dense-comm words drop strictly below the dense-broadcast baseline for
+// both row decompositions, on the same problem.
+func TestHaloReducesDenseWords(t *testing.T) {
+	p, _ := rmatProblem(t, 7, 4, 8, 1, 73)
+	mk := func(algo string, halo bool) func() DistTrainer {
+		return func() DistTrainer {
+			if algo == "1d" {
+				tr := NewOneD(8, testMach)
+				tr.Halo = halo
+				return tr
+			}
+			tr := NewOneFiveD(8, 2, testMach)
+			tr.Halo = halo
+			return tr
+		}
+	}
+	for _, algo := range []string{"1d", "1.5d"} {
+		dense := perEpochWords(t, mk(algo, false), p)
+		halo := perEpochWords(t, mk(algo, true), p)
+		if halo[comm.CatDenseComm] >= dense[comm.CatDenseComm] {
+			t.Fatalf("%s: halo dcomm %d words should be strictly below broadcast %d",
+				algo, halo[comm.CatDenseComm], dense[comm.CatDenseComm])
+		}
+		// The per-epoch setup categories must not leak into the diff: the
+		// plan exchange is one-time sparse traffic.
+		if halo[comm.CatSparseComm] != 0 {
+			t.Fatalf("%s: halo moves %d sparse words per epoch, want 0", algo, halo[comm.CatSparseComm])
+		}
+	}
+}
+
+// TestHaloSmartPartitionShrinksHalo: wiring a lower-edgecut partition into
+// the trainer must shrink the measured halo words — the §IV-A-8 claim on
+// a real trainer. The ring graph makes the contrast extreme: contiguous
+// blocks cut 2 rows per rank, a random assignment cuts almost everything.
+func TestHaloSmartPartitionShrinksHalo(t *testing.T) {
+	n, f := 64, 6
+	g := graph.Ring(n)
+	ds := graph.Synthetic("ring", g, f, f, f, 5)
+	base := Problem{
+		A:        ds.Graph.NormalizedAdjacency(),
+		Features: ds.Features,
+		Labels:   ds.Labels,
+		Config:   nn.Config{Widths: []int{f, f, f}, LR: 0.05, Epochs: 1, Seed: 6},
+	}
+	words := func(assign partition.Assignment) int64 {
+		p, layout, _, err := PartitionProblem(base, assign)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := NewOneD(8, testMach)
+		tr.Halo, tr.Layout = true, layout
+		if _, err := tr.Train(p); err != nil {
+			t.Fatal(err)
+		}
+		return tr.Cluster().SumWordsByCategory()[comm.CatDenseComm]
+	}
+	rng := rand.New(rand.NewSource(8))
+	smart := words(partition.BlockAssignment(n, 8))
+	random := words(partition.RandomAssignment(n, 8, rng))
+	if smart >= random {
+		t.Fatalf("block partition on a ring should beat random: %d vs %d words", smart, random)
+	}
+}
+
+// TestHaloDefaultLayoutBitIdentical covers the no-partitioner path at
+// several rank counts, including uneven blocks and a single rank.
+func TestHaloDefaultLayoutBitIdentical(t *testing.T) {
+	p := testProblem(t, 41, 5, 4, 3, 3, 75)
+	for _, ranks := range []int{1, 2, 6} {
+		halo := NewOneD(ranks, testMach)
+		halo.Halo = true
+		got, err := halo.Train(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := NewOneD(ranks, testMach).Train(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := dense.MaxAbsDiff(got.Output, want.Output); d != 0 {
+			t.Fatalf("1d halo (P=%d) deviates from broadcast by %v", ranks, d)
+		}
+	}
+	for _, cfg := range [][2]int{{4, 1}, {6, 3}, {4, 4}} {
+		halo := NewOneFiveD(cfg[0], cfg[1], testMach)
+		halo.Halo = true
+		got, err := halo.Train(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := NewOneFiveD(cfg[0], cfg[1], testMach).Train(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := dense.MaxAbsDiff(got.Output, want.Output); d != 0 {
+			t.Fatalf("1.5d halo (P=%d c=%d) deviates from broadcast by %v", cfg[0], cfg[1], d)
+		}
+	}
+}
+
+// TestLayoutValidation: mismatched layouts are rejected before any rank
+// starts.
+func TestLayoutValidation(t *testing.T) {
+	p := testProblem(t, 30, 5, 4, 3, 1, 76)
+	tr := NewOneD(4, testMach)
+	tr.Layout = partition.NewContig1D([]int{0, 10, 30}) // 2 blocks for 4 ranks
+	if _, err := tr.Train(p); err == nil {
+		t.Fatal("expected block-count mismatch error")
+	}
+	tr = NewOneD(2, testMach)
+	tr.Layout = partition.NewContig1D([]int{0, 10, 29}) // covers 29 of 30
+	if _, err := tr.Train(p); err == nil {
+		t.Fatal("expected item-count mismatch error")
+	}
+	tf := NewOneFiveD(4, 2, testMach)
+	tf.Layout = partition.NewContig1D([]int{0, 10, 20, 30}) // 3 blocks for 2 teams
+	if _, err := tf.Train(p); err == nil {
+		t.Fatal("expected team-count mismatch error")
+	}
+}
+
+// TestPartitionProblemRoundTrip: relabeling plus RestoreRows reproduces
+// the original-ordering output within float tolerance, and the masks and
+// labels stay aligned with their vertices.
+func TestPartitionProblemRoundTrip(t *testing.T) {
+	base, g := testProblemGraph(t, 45, 6, 5, 4, 3, 77)
+	mask := make([]bool, 45)
+	for i := 0; i < 45; i += 2 {
+		mask[i] = true
+	}
+	base.TrainMask = mask
+	assign := partition.LDG(g, 4, rand.New(rand.NewSource(9)))
+	relabeled, layout, order, err := PartitionProblem(base, assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if layout.Blocks() != 4 || layout.Items() != 45 {
+		t.Fatalf("layout %d blocks / %d items", layout.Blocks(), layout.Items())
+	}
+	for newIdx, oldIdx := range order {
+		if relabeled.Labels[newIdx] != base.Labels[oldIdx] ||
+			relabeled.TrainMask[newIdx] != base.TrainMask[oldIdx] {
+			t.Fatalf("vertex %d->%d lost its label or mask", oldIdx, newIdx)
+		}
+	}
+	want, err := NewSerial().Train(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewSerial().Train(relabeled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := RestoreRows(got.Output, order)
+	if d := dense.MaxAbsDiff(restored, want.Output); d > equivTol {
+		t.Fatalf("restored output deviates from original ordering by %v", d)
+	}
+}

@@ -24,6 +24,18 @@ type OneD struct {
 	p       int
 	mach    costmodel.Machine
 	cluster *comm.Cluster
+
+	// Halo enables the sparsity-aware halo exchange (§IV-A-1): instead of
+	// broadcasting whole dense blocks (≈ n·f words per product), each rank
+	// fetches point-to-point only the rows its local Aᵀ block references
+	// (edgecut·f words), with bit-identical results. Set before Train.
+	Halo bool
+	// Layout optionally replaces the default near-equal Block1D row
+	// distribution with explicit contiguous block boundaries — typically
+	// partition.Assignment.ContigLayout output after PartitionProblem
+	// relabeling. Must cover the problem's vertices with exactly p blocks.
+	// Set before Train; nil keeps the default.
+	Layout partition.Layout1D
 }
 
 // NewOneD returns a 1D trainer over p simulated ranks.
@@ -37,6 +49,9 @@ func NewOneD(p int, mach costmodel.Machine) *OneD {
 
 // Name implements Trainer.
 func (t *OneD) Name() string { return "1d" }
+
+// Ranks returns the simulated rank count.
+func (t *OneD) Ranks() int { return t.p }
 
 // Cluster implements DistTrainer.
 func (t *OneD) Cluster() *comm.Cluster { return t.cluster }
@@ -53,11 +68,14 @@ func (t *OneD) Train(p Problem) (*Result, error) {
 		return nil, fmt.Errorf("core: 1d trainer with %d ranks needs at least %d vertices, got %d", t.p, t.p, n)
 	}
 	at := p.A.Transpose() // read-only global view; ranks extract blocks
-	blk := partition.NewBlock1D(n, t.p)
+	blk, err := layout1DFor(t.Layout, n, t.p)
+	if err != nil {
+		return nil, err
+	}
 	var result Result
-	err := t.cluster.Run(func(c *comm.Comm) error {
+	err = t.cluster.Run(func(c *comm.Comm) error {
 		r := &oneDRank{
-			comm: c, mach: t.mach, cfg: cfg, blk: blk,
+			comm: c, mach: t.mach, cfg: cfg, blk: blk, halo: t.Halo,
 			labels: p.Labels, mask: p.TrainMask, norm: p.lossNormalizer(), n: n,
 		}
 		r.setup(at, p.Features)
@@ -78,17 +96,25 @@ type oneDRank struct {
 	comm   *comm.Comm
 	mach   costmodel.Machine
 	cfg    nn.Config
-	blk    partition.Block1D
+	blk    partition.Layout1D
+	halo   bool
 	labels []int
 	mask   []bool
 	norm   int
 	n      int
 
 	lo, hi  int
-	atBlk   []*sparse.CSR // atBlk[j] = Aᵀ(my rows, rows of block j)
+	atBlk   []*sparse.CSR // atBlk[j] = Aᵀ(my rows, rows of block j); dense-broadcast mode
 	atLocal *sparse.CSR   // Aᵀ(my rows, :) for the backward outer product
 	h0      *dense.Matrix
 	memBase int64
+
+	// Halo-exchange state (r.halo only), built once in setup: the fetch
+	// plan over the column blocking, the row indices each peer requested
+	// from this rank, and the peers this rank receives from per exchange.
+	plan     *sparse.HaloPlan
+	sendIdx  [][]int
+	recvFrom []bool
 }
 
 // recordMem reports the resident footprint: persistent blocks plus the
@@ -101,9 +127,16 @@ func (r *oneDRank) setup(at *sparse.CSR, features *dense.Matrix) {
 	me := r.comm.Rank()
 	r.lo, r.hi = r.blk.Lo(me), r.blk.Hi(me)
 	r.atLocal = at.ExtractBlock(r.lo, r.hi, 0, r.n)
-	r.atBlk = make([]*sparse.CSR, r.comm.Size())
-	for j := 0; j < r.comm.Size(); j++ {
-		r.atBlk[j] = r.atLocal.ExtractBlock(0, r.hi-r.lo, r.blk.Lo(j), r.blk.Hi(j))
+	if r.halo {
+		// The diagonal block (skip = me) stays uncompacted: it multiplies
+		// the local x directly, so no fetch list and no row gather.
+		r.plan = sparse.BuildHaloPlan(r.atLocal, partition.Offsets1D(r.blk), me)
+		r.sendIdx, r.recvFrom = exchangeHaloPlan(r.comm.World(), r.plan.Need)
+	} else {
+		r.atBlk = make([]*sparse.CSR, r.comm.Size())
+		for j := 0; j < r.comm.Size(); j++ {
+			r.atBlk[j] = r.atLocal.ExtractBlock(0, r.hi-r.lo, r.blk.Lo(j), r.blk.Hi(j))
+		}
 	}
 	r.h0 = features.RowSlice(r.lo, r.hi)
 	r.memBase = csrWords(r.atLocal) + matWords(r.h0) + cfgWeightWords(r.cfg)
@@ -112,13 +145,32 @@ func (r *oneDRank) setup(at *sparse.CSR, features *dense.Matrix) {
 
 func (r *oneDRank) input() *dense.Matrix { return r.h0 }
 
-// forwardAggregate computes T_i = Σ_j Aᵀ_ij X_j with a broadcast per block
-// row of X (Algorithm 1).
+// forwardAggregate computes T_i = Σ_j Aᵀ_ij X_j — with a broadcast per
+// block row of X (Algorithm 1), or, in halo mode, with an indexed
+// point-to-point exchange of only the rows this rank's Aᵀ blocks touch
+// (§IV-A-1). Both paths accumulate blocks in the same order with the same
+// nonzeros, so the results are bit-identical.
 func (r *oneDRank) forwardAggregate(x *dense.Matrix, l int) *dense.Matrix {
 	world := r.comm.World()
 	rows := r.hi - r.lo
 	fPrev := r.cfg.Widths[l-1]
 	T := dense.New(rows, fPrev)
+	if r.halo {
+		recvd := haloFetch(world, x, r.sendIdx, r.recvFrom)
+		for j := 0; j < r.comm.Size(); j++ {
+			blk := r.plan.Blocks[j]
+			var xj *dense.Matrix
+			if j == r.comm.Rank() {
+				xj = x // uncompacted diagonal block, no gather
+			} else {
+				xj = dense.FromSlice(len(r.plan.Need[j]), fPrev, recvd[j].Floats)
+			}
+			r.recordMem(matWords(T) + matWords(xj))
+			sparse.SpMMAdd(T, blk, xj)
+			r.comm.ChargeTime(comm.CatSpMM, r.mach.SpMMTime(int64(blk.NNZ()), rows, fPrev))
+		}
+		return T
+	}
 	for j := 0; j < r.comm.Size(); j++ {
 		var in comm.Payload
 		if j == r.comm.Rank() {

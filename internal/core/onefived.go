@@ -30,6 +30,16 @@ type OneFiveD struct {
 	c       int
 	mach    costmodel.Machine
 	cluster *comm.Cluster
+
+	// Halo enables the sparsity-aware halo exchange (§IV-A-1) within each
+	// layer group: instead of broadcasting whole team blocks per SUMMA
+	// stage, each member fetches only the rows its stage blocks reference,
+	// with bit-identical results. Set before Train.
+	Halo bool
+	// Layout optionally replaces the default near-equal Block1D team-row
+	// distribution with explicit contiguous boundaries (one block per
+	// team, i.e. P/c blocks). Set before Train; nil keeps the default.
+	Layout partition.Layout1D
 }
 
 // NewOneFiveD returns a 1.5D trainer over p ranks with replication factor
@@ -45,6 +55,9 @@ func NewOneFiveD(p, c int, mach costmodel.Machine) *OneFiveD {
 
 // Name implements Trainer.
 func (t *OneFiveD) Name() string { return "1.5d" }
+
+// Ranks returns the simulated rank count.
+func (t *OneFiveD) Ranks() int { return t.p }
 
 // Cluster implements DistTrainer.
 func (t *OneFiveD) Cluster() *comm.Cluster { return t.cluster }
@@ -67,13 +80,17 @@ func (t *OneFiveD) Train(p Problem) (*Result, error) {
 		return nil, fmt.Errorf("core: 1.5d trainer with %d teams needs at least %d vertices, got %d", teams, teams, n)
 	}
 	cfg := p.Config.WithDefaults()
+	blk, err := layout1DFor(t.Layout, n, teams)
+	if err != nil {
+		return nil, err
+	}
 	var result Result
-	err := t.cluster.Run(func(c *comm.Comm) error {
+	err = t.cluster.Run(func(c *comm.Comm) error {
 		r := &oneFiveDRank{
-			comm: c, mach: t.mach, cfg: cfg,
+			comm: c, mach: t.mach, cfg: cfg, halo: t.Halo,
 			labels: p.Labels, mask: p.TrainMask, norm: p.lossNormalizer(),
 			n: n, c: t.c, teams: teams,
-			blk: partition.NewBlock1D(n, teams),
+			blk: blk,
 		}
 		r.setup(p.A, p.Features)
 		if out := newEngine(r, cfg, p).run(); out != nil {
@@ -99,7 +116,8 @@ type oneFiveDRank struct {
 	n      int
 	c      int // replication factor
 	teams  int // P/c
-	blk    partition.Block1D
+	blk    partition.Layout1D
+	halo   bool
 
 	team, layer int
 	teamGroup   *comm.Group         // the c replicas of my row block
@@ -107,6 +125,15 @@ type oneFiveDRank struct {
 	atBlk       map[int]*sparse.CSR // s -> Aᵀ(my team rows, team-s cols), s ≡ layer (mod c)
 	h0          *dense.Matrix
 	memBase     int64
+
+	// Halo-exchange state (r.halo only), negotiated once over layerGroup
+	// (group index = team index): the column support of each stage block,
+	// the stage blocks compacted onto it, the rows each layer-group peer
+	// requested from this rank, and the peers it receives from.
+	haloNeed [][]int
+	haloBlk  map[int]*sparse.CSR
+	sendIdx  [][]int
+	recvFrom []bool
 }
 
 // recordMem reports the resident footprint: persistent blocks plus the
@@ -136,10 +163,29 @@ func (r *oneFiveDRank) setup(a *sparse.CSR, features *dense.Matrix) {
 	for s := r.layer; s < r.teams; s += r.c {
 		r.atBlk[s] = a.ExtractBlock(lo, hi, r.blk.Lo(s), r.blk.Hi(s))
 	}
+	if r.halo {
+		// Column support and compaction per remote stage block; the own
+		// team's block multiplies the local x directly, and non-stage
+		// teams contribute empty need lists, so nothing is fetched from
+		// either. The compacted copy replaces the uncompacted one, which
+		// the halo path never multiplies.
+		r.haloNeed = make([][]int, r.teams)
+		r.haloBlk = make(map[int]*sparse.CSR)
+		for s, blk := range r.atBlk {
+			if s != r.team {
+				r.haloNeed[s], r.haloBlk[s] = sparse.CompactCols(blk)
+				delete(r.atBlk, s)
+			}
+		}
+		r.sendIdx, r.recvFrom = exchangeHaloPlan(r.layerGroup, r.haloNeed)
+	}
 	r.h0 = features.RowSlice(lo, hi)
 	// h0 is the c-fold replicated dense block — the §IV-B memory overhead.
 	r.memBase = matWords(r.h0) + cfgWeightWords(r.cfg)
 	for _, blk := range r.atBlk {
+		r.memBase += csrWords(blk)
+	}
+	for _, blk := range r.haloBlk {
 		r.memBase += csrWords(blk)
 	}
 	r.recordMem(0)
@@ -147,18 +193,31 @@ func (r *oneFiveDRank) setup(a *sparse.CSR, features *dense.Matrix) {
 
 // blockMul computes my team's row block of Aᵀ·X, where x is my team's
 // (replicated) row block of X: each member sums its s ≡ layer stages, then
-// an intra-team all-reduce completes and re-replicates the product.
+// an intra-team all-reduce completes and re-replicates the product. Stage
+// blocks move by layer-group broadcast, or, in halo mode, by an indexed
+// exchange of only the rows each stage block references — same stage
+// order and nonzeros, so the two paths are bit-identical.
 func (r *oneFiveDRank) blockMul(x *dense.Matrix) *dense.Matrix {
 	rows := r.blk.Size(r.team)
 	partial := dense.New(rows, x.Cols)
+	var recvd []comm.Payload
+	if r.halo {
+		recvd = haloFetch(r.layerGroup, x, r.sendIdx, r.recvFrom)
+	}
 	for s := r.layer; s < r.teams; s += r.c {
-		var in comm.Payload
-		if s == r.team {
-			in = matPayload(x)
+		var blk, xs = r.atBlk[s], (*dense.Matrix)(nil)
+		switch {
+		case r.halo && s == r.team:
+			xs = x // uncompacted own block, no gather
+		case r.halo:
+			blk = r.haloBlk[s]
+			xs = dense.FromSlice(len(r.haloNeed[s]), x.Cols, recvd[s].Floats)
+		case s == r.team:
+			xs = payloadMat(r.layerGroup.Broadcast(s, matPayload(x), comm.CatDenseComm))
+		default:
+			// Broadcast within my layer: root is the member of team s.
+			xs = payloadMat(r.layerGroup.Broadcast(s, comm.Payload{}, comm.CatDenseComm))
 		}
-		// Broadcast within my layer: root is the member of team s.
-		xs := payloadMat(r.layerGroup.Broadcast(s, in, comm.CatDenseComm))
-		blk := r.atBlk[s]
 		r.recordMem(matWords(partial) + matWords(xs))
 		sparse.SpMMAdd(partial, blk, xs)
 		r.comm.ChargeTime(comm.CatSpMM, r.mach.SpMMTime(int64(blk.NNZ()), rows, x.Cols))

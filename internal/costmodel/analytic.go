@@ -69,6 +69,35 @@ func OneDRandomEdgecut(n, p int) float64 {
 	return float64(n) * float64(p-1) / float64(p)
 }
 
+// OneDHaloDenseWords returns the exact dense-comm word count one rank of
+// the sparsity-aware (halo-exchange) 1D trainer accrues over a full
+// training run of `epochs` epochs plus the final inference forward pass.
+// widths are the layer widths f⁰..f^L, n the global vertex count, p the
+// rank count, and recvRows the rank's rᵢ — the number of distinct remote
+// rows it fetches per product (§IV-A-1; partition.Edgecut's
+// PerPartRecvRows). Plugging in max_i rᵢ = edgecut_P(A) gives the
+// per-rank maximum; summing over per-rank values gives the total volume.
+//
+// It is the implementable, exact counterpart of OneD's per-epoch bound
+// L·(edgecut·f + n·f + f²): per forward layer the halo exchange charges
+// recvRows·f^{l-1} (replacing the broadcast's ≈ n·f^{l-1}); per backward
+// layer the reduce-scatter charges n·f^l and the weight all-reduce
+// 2·f^{l-1}·f^l — reduce plus broadcast, the constant-factor rounding
+// noted on Group.AllReduce (1·f^{l-1}·f^l when p = 1, where the broadcast
+// half is free).
+func OneDHaloDenseWords(widths []int, n, p, recvRows, epochs int) int64 {
+	allReduce := int64(2)
+	if p <= 1 {
+		allReduce = 1
+	}
+	var fwd, bwd int64
+	for l := 1; l < len(widths); l++ {
+		fwd += int64(recvRows) * int64(widths[l-1])
+		bwd += int64(n)*int64(widths[l]) + allReduce*int64(widths[l-1])*int64(widths[l])
+	}
+	return int64(epochs)*(fwd+bwd) + fwd
+}
+
 // OneDSymmetric returns the bound for the symmetric case (§IV-A-6, Eq. 2)
 // where A can stand in for Aᵀ, trading the big outer product for a second
 // block-row multiply:

@@ -314,3 +314,38 @@ func TestGcdLg(t *testing.T) {
 		t.Fatal("lgf wrong")
 	}
 }
+
+// TestOneDHaloDenseWords pins the exact ledger predictor: hand-computed
+// small case, the p=1 all-reduce degeneration, and consistency with the
+// published OneD bound — with uniform widths, the recvRows-dependent part
+// is exactly the L·edgecut·f term of §IV-A-5.
+func TestOneDHaloDenseWords(t *testing.T) {
+	widths := []int{3, 2} // L = 1
+	// One epoch + final forward, p ≥ 2: fwd = r·3, bwd = n·2 + 2·3·2.
+	if got, want := OneDHaloDenseWords(widths, 10, 4, 5, 1), int64(2*(5*3)+10*2+12); got != want {
+		t.Fatalf("p=4: got %d, want %d", got, want)
+	}
+	// p = 1: no halo rows, all-reduce collapses to a single reduce charge.
+	if got, want := OneDHaloDenseWords(widths, 10, 1, 0, 1), int64(10*2+6); got != want {
+		t.Fatalf("p=1: got %d, want %d", got, want)
+	}
+	// Uniform widths: pred(r) − pred(0) per epoch = OneD's edgecut·f term.
+	uniform := []int{8, 8, 8}
+	w := Workload{N: 100, NNZ: 600, F: 8, Layers: 2}
+	for _, r := range []int{0, 7, 99} {
+		epochs := 3
+		haloPart := OneDHaloDenseWords(uniform, 100, 4, r, epochs) -
+			OneDHaloDenseWords(uniform, 100, 4, 0, epochs)
+		edgeTerm := OneD(w, 4, float64(r)).Words - OneD(w, 4, 0).Words
+		if float64(haloPart) != float64(epochs+1)*edgeTerm {
+			t.Fatalf("r=%d: halo part %d vs (epochs+1)·edgecut term %v", r, haloPart, edgeTerm)
+		}
+	}
+	// More epochs cost more; more recv rows cost more.
+	if OneDHaloDenseWords(widths, 10, 4, 5, 2) <= OneDHaloDenseWords(widths, 10, 4, 5, 1) {
+		t.Fatal("words must grow with epochs")
+	}
+	if OneDHaloDenseWords(widths, 10, 4, 6, 1) <= OneDHaloDenseWords(widths, 10, 4, 5, 1) {
+		t.Fatal("words must grow with recv rows")
+	}
+}

@@ -148,6 +148,17 @@ func (m *Matrix) RowSlice(r0, r1 int) *Matrix {
 	return m.SubMatrix(r0, r1, 0, m.Cols)
 }
 
+// GatherRows returns the matrix whose row k is a copy of m's row idx[k] —
+// the row-gather behind the sparsity-aware halo exchange, which sends
+// only the rows a peer's adjacency block references.
+func GatherRows(m *Matrix, idx []int) *Matrix {
+	out := New(len(idx), m.Cols)
+	for k, i := range idx {
+		copy(out.Row(k), m.Row(i))
+	}
+	return out
+}
+
 // ColSlice returns a copy of columns [c0, c1).
 func (m *Matrix) ColSlice(c0, c1 int) *Matrix {
 	return m.SubMatrix(0, m.Rows, c0, c1)

@@ -148,6 +148,61 @@ func TestPartitionExperiment(t *testing.T) {
 		t.Fatalf("total reduction (%.2f) should exceed max reduction (%.2f)",
 			res.TotalReduction, res.MaxReduction)
 	}
+	// End-to-end training acceptance: the sparsity-aware exchange moves
+	// strictly fewer dense words than the broadcast baseline under either
+	// partition, and the smart partition beats random in total words.
+	if res.RandomHaloTotalWords >= res.BroadcastTotalWords ||
+		res.GreedyHaloTotalWords >= res.BroadcastTotalWords ||
+		res.RandomHaloMaxWords >= res.BroadcastMaxWords ||
+		res.GreedyHaloMaxWords >= res.BroadcastMaxWords {
+		t.Fatalf("halo words must be strictly below the broadcast baseline: %+v", res)
+	}
+	if res.GreedyHaloTotalWords >= res.RandomHaloTotalWords {
+		t.Fatalf("LDG greedy total halo words (%d) should be below random blocks (%d)",
+			res.GreedyHaloTotalWords, res.RandomHaloTotalWords)
+	}
+	// The measured ledger must equal the costmodel.OneD edgecut-based
+	// prediction exactly (per-rank max and total).
+	if !res.LedgerMatchesAnalytic {
+		t.Fatalf("halo ledger deviates from the edgecut bound: %+v", res)
+	}
+	// §IV-A-8's asymmetry on a real trainer: the total-volume saving of
+	// the smart partition exceeds the per-rank-max saving that bounds
+	// bulk-synchronous runtime.
+	if res.HaloTotalReduction < res.HaloMaxReduction-0.05 {
+		t.Fatalf("halo total reduction (%.2f) should exceed max reduction (%.2f)",
+			res.HaloTotalReduction, res.HaloMaxReduction)
+	}
+}
+
+// TestMeasureEpochOptsHalo: the option-aware measurement path must show
+// the halo exchange moving fewer dense words than the broadcast default,
+// for both row algorithms and under a smart partition.
+func TestMeasureEpochOptsHalo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness sweep in -short mode")
+	}
+	spec, err := quick.dataset("amazon-sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := spec.Build()
+	for _, algo := range []string{"1d", "1.5d"} {
+		base, err := MeasureEpochOpts(ds, algo, 4, quick)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := quick
+		o.Halo, o.Partitioner = true, "ldg"
+		halo, err := MeasureEpochOpts(ds, algo, 4, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if halo.WordsByCat[comm.CatDenseComm] >= base.WordsByCat[comm.CatDenseComm] {
+			t.Fatalf("%s: halo dcomm %d should be below broadcast %d",
+				algo, halo.WordsByCat[comm.CatDenseComm], base.WordsByCat[comm.CatDenseComm])
+		}
+	}
 }
 
 func TestCrossoverQuick(t *testing.T) {

@@ -5,6 +5,23 @@ package partition
 
 import "fmt"
 
+// Layout1D abstracts a contiguous 1D block layout: Blocks() blocks tile
+// the index range [0, Items()), block i holding [Lo(i), Hi(i)). Block1D
+// (near-equal blocks) and Contig1D (arbitrary partitioner-chosen
+// boundaries) implement it; the 1D and 1.5D trainers accept either.
+type Layout1D interface {
+	// Blocks returns the number of blocks.
+	Blocks() int
+	// Items returns the total number of items laid out.
+	Items() int
+	// Lo returns the first index of block i.
+	Lo(i int) int
+	// Hi returns one past the last index of block i.
+	Hi(i int) int
+	// Size returns the number of items in block i.
+	Size(i int) int
+}
+
 // Block1D describes splitting n items into p consecutive blocks, block i
 // holding [Lo(i), Hi(i)). Blocks differ in size by at most one item.
 type Block1D struct {
@@ -52,6 +69,61 @@ func (b Block1D) Sizes() []int {
 	out := make([]int, b.P)
 	for i := range out {
 		out[i] = b.Size(i)
+	}
+	return out
+}
+
+// Blocks implements Layout1D.
+func (b Block1D) Blocks() int { return b.P }
+
+// Items implements Layout1D.
+func (b Block1D) Items() int { return b.N }
+
+// Contig1D is a contiguous 1D layout with explicit block boundaries:
+// block i holds [Offsets[i], Offsets[i+1]). Unlike Block1D the block
+// sizes are arbitrary — typically the part sizes a graph partitioner
+// produced, after relabeling vertices so each part is contiguous.
+type Contig1D struct {
+	// Offsets has one entry per block plus one: non-decreasing, starting
+	// at 0, ending at the item count.
+	Offsets []int
+}
+
+// NewContig1D validates and builds a contiguous layout from boundaries.
+func NewContig1D(offsets []int) Contig1D {
+	if len(offsets) < 2 || offsets[0] != 0 {
+		panic(fmt.Sprintf("partition: invalid Contig1D offsets %v", offsets))
+	}
+	for i := 1; i < len(offsets); i++ {
+		if offsets[i] < offsets[i-1] {
+			panic(fmt.Sprintf("partition: Contig1D offsets %v decrease at %d", offsets, i))
+		}
+	}
+	return Contig1D{Offsets: offsets}
+}
+
+// Blocks implements Layout1D.
+func (c Contig1D) Blocks() int { return len(c.Offsets) - 1 }
+
+// Items implements Layout1D.
+func (c Contig1D) Items() int { return c.Offsets[len(c.Offsets)-1] }
+
+// Lo implements Layout1D.
+func (c Contig1D) Lo(i int) int { return c.Offsets[i] }
+
+// Hi implements Layout1D.
+func (c Contig1D) Hi(i int) int { return c.Offsets[i+1] }
+
+// Size implements Layout1D.
+func (c Contig1D) Size(i int) int { return c.Offsets[i+1] - c.Offsets[i] }
+
+// Offsets1D returns the block boundaries of any Layout1D as the offsets
+// slice BuildHaloPlan-style consumers expect: len Blocks()+1, starting at
+// 0, ending at Items().
+func Offsets1D(l Layout1D) []int {
+	out := make([]int, l.Blocks()+1)
+	for i := 0; i < l.Blocks(); i++ {
+		out[i+1] = l.Hi(i)
 	}
 	return out
 }

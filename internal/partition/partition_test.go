@@ -317,3 +317,89 @@ func TestEdgecutMismatchedSizesPanics(t *testing.T) {
 	}()
 	Edgecut(g, Assignment{Parts: []int{0}, P: 1})
 }
+
+func TestContig1DLayout(t *testing.T) {
+	c := NewContig1D([]int{0, 3, 3, 10})
+	if c.Blocks() != 3 || c.Items() != 10 {
+		t.Fatalf("Blocks=%d Items=%d", c.Blocks(), c.Items())
+	}
+	if c.Lo(1) != 3 || c.Hi(1) != 3 || c.Size(1) != 0 {
+		t.Fatal("empty middle block mishandled")
+	}
+	if c.Lo(2) != 3 || c.Hi(2) != 10 || c.Size(2) != 7 {
+		t.Fatal("last block mishandled")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for decreasing offsets")
+		}
+	}()
+	NewContig1D([]int{0, 5, 2})
+}
+
+func TestOffsets1D(t *testing.T) {
+	b := NewBlock1D(10, 3)
+	got := Offsets1D(b)
+	want := []int{0, 3, 6, 10}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("offsets %v, want %v", got, want)
+		}
+	}
+	c := NewContig1D([]int{0, 4, 9})
+	got = Offsets1D(c)
+	for i, w := range []int{0, 4, 9} {
+		if got[i] != w {
+			t.Fatalf("contig offsets %v", got)
+		}
+	}
+}
+
+// TestContigLayoutRelabeling: ContigLayout orders vertices by part with
+// original order preserved within each part, and the layout sizes match
+// the part sizes.
+func TestContigLayoutRelabeling(t *testing.T) {
+	a := Assignment{Parts: []int{2, 0, 1, 0, 2, 1, 0}, P: 3}
+	layout, order := a.ContigLayout()
+	wantOrder := []int{1, 3, 6, 2, 5, 0, 4}
+	for i := range wantOrder {
+		if order[i] != wantOrder[i] {
+			t.Fatalf("order %v, want %v", order, wantOrder)
+		}
+	}
+	sizes := a.PartSizes()
+	for i := 0; i < a.P; i++ {
+		if layout.Size(i) != sizes[i] {
+			t.Fatalf("layout block %d has %d items, part has %d", i, layout.Size(i), sizes[i])
+		}
+	}
+	// Every relabeled vertex must land inside its part's block.
+	for newIdx, oldIdx := range order {
+		part := a.Parts[oldIdx]
+		if newIdx < layout.Lo(part) || newIdx >= layout.Hi(part) {
+			t.Fatalf("vertex %d (part %d) relabeled to %d outside [%d, %d)",
+				oldIdx, part, newIdx, layout.Lo(part), layout.Hi(part))
+		}
+	}
+}
+
+func TestPartitionerByName(t *testing.T) {
+	g := graph.Ring(12)
+	rng := rand.New(rand.NewSource(3))
+	for _, name := range Partitioners {
+		fn, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := fn(g, 4, rng)
+		if err := a.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(a.Parts) != 12 || a.P != 4 {
+			t.Fatalf("%s produced %d parts over %d vertices", name, a.P, len(a.Parts))
+		}
+	}
+	if _, err := ByName("metis"); err == nil {
+		t.Fatal("expected error for unknown partitioner")
+	}
+}

@@ -48,6 +48,51 @@ func (a Assignment) Imbalance() float64 {
 	return float64(mx) / ideal
 }
 
+// ContigLayout relabels the assignment's vertices so every part becomes a
+// contiguous index block: vertices are ordered by part, original order
+// preserved within each part. It returns the resulting layout and the
+// relabeling order, order[new] = old. Callers apply order to the problem
+// matrices (rows, labels, masks) before training with the layout.
+func (a Assignment) ContigLayout() (Contig1D, []int) {
+	sizes := a.PartSizes()
+	offsets := make([]int, a.P+1)
+	for i, s := range sizes {
+		offsets[i+1] = offsets[i] + s
+	}
+	order := make([]int, len(a.Parts))
+	next := append([]int(nil), offsets[:a.P]...)
+	for old, p := range a.Parts {
+		order[next[p]] = old
+		next[p]++
+	}
+	return NewContig1D(offsets), order
+}
+
+// Partitioners lists the selectable 1D vertex partitioners in the order
+// ByName accepts them.
+var Partitioners = []string{"block", "random", "ldg"}
+
+// ByName returns the named vertex partitioner: "block" (contiguous index
+// blocks — the identity layout), "random" (balanced random assignment,
+// the paper's random vertex partitioning), or "ldg" (Stanton–Kliot linear
+// deterministic greedy streaming — the Metis stand-in of §IV-A-8).
+func ByName(name string) (func(g *graph.Graph, p int, rng *rand.Rand) Assignment, error) {
+	switch name {
+	case "block":
+		return func(g *graph.Graph, p int, _ *rand.Rand) Assignment {
+			return BlockAssignment(g.NumVertices, p)
+		}, nil
+	case "random":
+		return func(g *graph.Graph, p int, rng *rand.Rand) Assignment {
+			return RandomAssignment(g.NumVertices, p, rng)
+		}, nil
+	case "ldg":
+		return LDG, nil
+	default:
+		return nil, fmt.Errorf("partition: unknown partitioner %q (want block, random, ldg)", name)
+	}
+}
+
 // BlockAssignment assigns vertices to parts in consecutive blocks — the
 // paper's random 1D block-row distribution (after an optional random vertex
 // permutation upstream).

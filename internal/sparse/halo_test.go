@@ -1,0 +1,198 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dense"
+)
+
+// randomPattern builds a CSR with each cell nonzero with probability
+// density — including, at low densities, fully empty rows and columns.
+func randomPattern(rows, cols int, density float64, rng *rand.Rand) *CSR {
+	var entries []Coord
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if rng.Float64() < density {
+				entries = append(entries, Coord{Row: i, Col: j, Val: rng.NormFloat64()})
+			}
+		}
+	}
+	return NewCSR(rows, cols, entries)
+}
+
+// denseColSupport is the brute-force reference: columns of [c0, c1) with
+// any nonzero in the dense materialization.
+func denseColSupport(m *CSR, c0, c1 int) []int {
+	d := m.ToDense()
+	support := []int{}
+	for c := c0; c < c1; c++ {
+		for i := 0; i < m.Rows; i++ {
+			if d.At(i, c) != 0 {
+				support = append(support, c-c0)
+				break
+			}
+		}
+	}
+	return support
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestColSupportMatchesDenseReference is the randomized property test:
+// over random sparsity patterns (including very sparse ones with empty
+// rows and columns) and random column windows, ColSupport must agree with
+// the brute-force dense reference.
+func TestColSupportMatchesDenseReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 200; trial++ {
+		rows, cols := 1+rng.Intn(12), 1+rng.Intn(12)
+		density := []float64{0, 0.05, 0.3, 0.9}[rng.Intn(4)]
+		m := randomPattern(rows, cols, density, rng)
+		c0 := rng.Intn(cols + 1)
+		c1 := c0 + rng.Intn(cols+1-c0)
+		got := ColSupport(m, c0, c1)
+		want := denseColSupport(m, c0, c1)
+		if !intsEqual(got, want) {
+			t.Fatalf("trial %d (%dx%d d=%.2f [%d:%d)): support %v, want %v",
+				trial, rows, cols, density, c0, c1, got, want)
+		}
+	}
+}
+
+// TestCompactColsRoundTrip: compaction preserves every nonzero at its
+// support-mapped column and drops only empty columns.
+func TestCompactColsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	for trial := 0; trial < 100; trial++ {
+		m := randomPattern(1+rng.Intn(10), 1+rng.Intn(10), 0.2, rng)
+		support, compact := CompactCols(m)
+		if compact.Cols != len(support) || compact.NNZ() != m.NNZ() || compact.Rows != m.Rows {
+			t.Fatalf("compact shape %dx%d nnz %d vs support %d, m nnz %d",
+				compact.Rows, compact.Cols, compact.NNZ(), len(support), m.NNZ())
+		}
+		for i := 0; i < m.Rows; i++ {
+			for k := compact.RowPtr[i]; k < compact.RowPtr[i+1]; k++ {
+				orig := support[compact.ColIdx[k]]
+				if m.At(i, orig) != compact.Val[k] {
+					t.Fatalf("entry (%d,%d) maps to (%d,%d) with value %v, want %v",
+						i, compact.ColIdx[k], i, orig, compact.Val[k], m.At(i, orig))
+				}
+			}
+		}
+		// Every support column must really be non-empty.
+		for k := range support {
+			found := false
+			for _, c := range compact.ColIdx {
+				if c == k {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("support column %d has no nonzero", k)
+			}
+		}
+	}
+}
+
+// TestBuildHaloPlanMatchesDenseSpMM is the end-to-end halo property: for
+// random matrices, random contiguous blockings (including empty blocks
+// and the single-block P=1 edge case), multiplying the compacted blocks
+// against the support-gathered rows of X must reproduce the full product.
+func TestBuildHaloPlanMatchesDenseSpMM(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	for trial := 0; trial < 100; trial++ {
+		rows, n, f := 1+rng.Intn(10), 1+rng.Intn(16), 1+rng.Intn(5)
+		at := randomPattern(rows, n, 0.15, rng)
+		// Random partition of [0, n) into p blocks, empty blocks allowed.
+		p := 1 + rng.Intn(4)
+		offsets := make([]int, p+1)
+		offsets[p] = n
+		for j := 1; j < p; j++ {
+			offsets[j] = rng.Intn(n + 1)
+		}
+		for j := 1; j < p; j++ { // sort boundaries
+			for i := j; i > 0 && offsets[i] < offsets[i-1]; i-- {
+				offsets[i], offsets[i-1] = offsets[i-1], offsets[i]
+			}
+		}
+		plan := BuildHaloPlan(at, offsets, -1)
+
+		x := dense.New(n, f)
+		x.RandomInit(rng, 1.0)
+		want := dense.New(rows, f)
+		SpMM(want, at, x)
+
+		got := dense.New(rows, f)
+		for j := 0; j < p; j++ {
+			xj := dense.New(len(plan.Need[j]), f)
+			for k, c := range plan.Need[j] {
+				copy(xj.Row(k), x.Row(offsets[j]+c))
+			}
+			SpMMAdd(got, plan.Blocks[j], xj)
+		}
+		if d := dense.MaxAbsDiff(got, want); d != 0 {
+			t.Fatalf("trial %d: halo-plan product deviates by %v", trial, d)
+		}
+	}
+}
+
+// TestBuildHaloPlanEdgeCases pins the corner cases the randomized test
+// may miss: an all-zero matrix needs nothing from anyone, and a
+// single-block (1-rank) plan covers the whole column space.
+func TestBuildHaloPlanEdgeCases(t *testing.T) {
+	empty := NewCSR(4, 6, nil)
+	plan := BuildHaloPlan(empty, []int{0, 3, 6}, -1)
+	for j, need := range plan.Need {
+		if len(need) != 0 || plan.Blocks[j].NNZ() != 0 {
+			t.Fatalf("empty matrix requests %v from block %d", need, j)
+		}
+	}
+	m := NewCSR(2, 3, []Coord{{Row: 0, Col: 2, Val: 1}, {Row: 1, Col: 0, Val: 2}})
+	plan = BuildHaloPlan(m, []int{0, 3}, -1) // single rank
+	if !intsEqual(plan.Need[0], []int{0, 2}) {
+		t.Fatalf("single-block support = %v, want [0 2]", plan.Need[0])
+	}
+	if plan.Blocks[0].Cols != 2 {
+		t.Fatalf("single-block compaction has %d cols, want 2", plan.Blocks[0].Cols)
+	}
+	// A skipped block keeps its original column space and no fetch list.
+	plan = BuildHaloPlan(m, []int{0, 2, 3}, 0)
+	if plan.Need[0] != nil || plan.Blocks[0].Cols != 2 {
+		t.Fatalf("skipped block compacted: need %v, cols %d", plan.Need[0], plan.Blocks[0].Cols)
+	}
+	if !intsEqual(plan.Need[1], []int{0}) || plan.Blocks[1].Cols != 1 {
+		t.Fatalf("non-skipped block mishandled: need %v", plan.Need[1])
+	}
+}
+
+// TestReorderSym: the symmetric permutation property B[i][j] =
+// m[order[i]][order[j]] on random square matrices.
+func TestReorderSym(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(12)
+		m := randomPattern(n, n, 0.25, rng)
+		order := rng.Perm(n)
+		b := ReorderSym(m, order)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if b.At(i, j) != m.At(order[i], order[j]) {
+					t.Fatalf("B[%d][%d] = %v, want m[%d][%d] = %v",
+						i, j, b.At(i, j), order[i], order[j], m.At(order[i], order[j]))
+				}
+			}
+		}
+	}
+}
