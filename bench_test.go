@@ -20,10 +20,12 @@ import (
 	"testing"
 
 	"repro/internal/comm"
+	"repro/internal/core"
 	"repro/internal/costmodel"
 	"repro/internal/dense"
 	"repro/internal/graph"
 	"repro/internal/harness"
+	"repro/internal/nn"
 	"repro/internal/parallel"
 	"repro/internal/sparse"
 )
@@ -297,6 +299,86 @@ func BenchmarkGEMM(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkSpMMTPlan pairs the binary-search SpMMT kernel against the
+// precomputed TransposePlan gather on the same operands, serial vs
+// parallel. The plan pays its index work once at build time (outside the
+// timer, as in training where it is built at setup), so the pair measures
+// the steady-state win of replacing per-call sort.SearchInts partitioning
+// and scattered writes with sequential gathers. Outputs are bit-identical.
+func BenchmarkSpMMTPlan(b *testing.B) {
+	ds := benchDataset(b, "reddit-sim")
+	a := ds.Graph.NormalizedAdjacency()
+	rng := rand.New(rand.NewSource(2))
+	x := dense.New(a.Rows, ds.FeatureLen())
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	dst := dense.New(a.Cols, x.Cols)
+	flops := sparse.SpMMFlops(a, x.Cols)
+	plan := sparse.NewTransposePlan(a)
+	for _, backend := range kernelBackends {
+		b.Run("search/"+backend.String(), func(b *testing.B) {
+			withKernelBackend(b, backend, func() {
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					sparse.SpMMT(dst, a, x)
+				}
+				b.ReportMetric(float64(flops)*float64(b.N)/b.Elapsed().Seconds()/1e9, "gflops")
+			})
+		})
+		b.Run("plan/"+backend.String(), func(b *testing.B) {
+			withKernelBackend(b, backend, func() {
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					plan.SpMMT(dst, x)
+				}
+				b.ReportMetric(float64(flops)*float64(b.N)/b.Elapsed().Seconds()/1e9, "gflops")
+			})
+		})
+	}
+}
+
+// benchmarkEpochs trains with Epochs = b.N so time/op converges to the
+// per-epoch wall-clock cost as N grows; b.ReportAllocs shows the
+// amortized allocation count trending to the one-time setup cost divided
+// by N (the steady-state epochs themselves allocate nothing — the strict
+// zero is asserted by internal/core's AllocsPerRun tests and shown by its
+// warmed BenchmarkEngineEpoch* benchmarks).
+func benchmarkEpochs(b *testing.B, algo string, ranks int) {
+	ds := benchDataset(b, "reddit-sim")
+	problem := core.Problem{
+		A:        ds.Graph.NormalizedAdjacency(),
+		Features: ds.Features,
+		Labels:   ds.Labels,
+		Config: nn.Config{
+			Widths: ds.LayerWidths(), LR: 0.01, Seed: 1, Epochs: b.N,
+		},
+	}
+	tr, err := core.NewTrainer(algo, ranks, costmodel.SummitSim)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := tr.Train(problem); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkEpochSerial measures full-epoch wall-clock of the serial
+// reference trainer at reddit-sim scale.
+func BenchmarkEpochSerial(b *testing.B) { benchmarkEpochs(b, "serial", 1) }
+
+// BenchmarkEpochOneD measures full-epoch wall-clock of the simulated 1D
+// trainer (4 ranks).
+func BenchmarkEpochOneD(b *testing.B) { benchmarkEpochs(b, "1d", 4) }
+
+// BenchmarkEpochTwoD measures full-epoch wall-clock of the simulated 2D
+// trainer (4 ranks).
+func BenchmarkEpochTwoD(b *testing.B) { benchmarkEpochs(b, "2d", 4) }
 
 // BenchmarkScaling regenerates the §VI-a/b/c observations as measured
 // ratios next to the paper's reported values.

@@ -8,12 +8,20 @@
 //	cagnet-bench [-exp all|tableVI|fig2|fig3|partition|crossover|algo3d|scaling|convergence]
 //	             [-quick] [-machine summit-v100] [-optimizer sgd]
 //	             [-halo] [-partitioner block] [-backend parallel] [-workers 0]
+//	             [-json path]
+//
+// With -json, the structured per-experiment results (timings, words,
+// reductions — the same numbers the text tables print) are additionally
+// written to the given file as a single JSON document, so benchmark
+// trajectories (BENCH_*.json) can be committed and diffed across PRs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strconv"
 
 	"repro/internal/comm"
@@ -21,6 +29,17 @@ import (
 	"repro/internal/harness"
 	"repro/internal/parallel"
 )
+
+// benchSnapshot is the -json document: the options the run used plus one
+// entry per executed experiment.
+type benchSnapshot struct {
+	Machine     string         `json:"machine"`
+	Quick       bool           `json:"quick"`
+	Optimizer   string         `json:"optimizer"`
+	Halo        bool           `json:"halo"`
+	Partitioner string         `json:"partitioner,omitempty"`
+	Experiments map[string]any `json:"experiments"`
+}
 
 func main() {
 	log.SetFlags(0)
@@ -33,6 +52,7 @@ func main() {
 	partitioner := flag.String("partitioner", "", "vertex partitioner for 1d/1.5d measurements: block, random, ldg")
 	backendFlag := flag.String("backend", "", "compute backend: serial or parallel (default: parallel, or $CAGNET_BACKEND)")
 	workers := flag.Int("workers", 0, "parallel backend worker count (0 = runtime.NumCPU or $CAGNET_WORKERS)")
+	jsonPath := flag.String("json", "", "also write the structured results to this file as JSON")
 	flag.Parse()
 
 	if *backendFlag != "" {
@@ -55,7 +75,7 @@ func main() {
 		Halo: *halo, Partitioner: *partitioner,
 	}
 
-	runners := map[string]func(harness.Options) error{
+	runners := map[string]func(harness.Options) (any, error){
 		"tableVI":     runTableVI,
 		"fig2":        runFig2,
 		"fig3":        runFig3,
@@ -67,27 +87,47 @@ func main() {
 	}
 	order := []string{"tableVI", "fig2", "fig3", "partition", "crossover", "algo3d", "scaling", "convergence"}
 
-	if *exp == "all" {
-		for _, name := range order {
-			if err := runners[name](opts); err != nil {
-				log.Fatalf("%s: %v", name, err)
-			}
+	snapshot := benchSnapshot{
+		Machine: mach.Name, Quick: *quick, Optimizer: *optimizer,
+		Halo: *halo, Partitioner: *partitioner,
+		Experiments: map[string]any{},
+	}
+	selected := order
+	if *exp != "all" {
+		if _, ok := runners[*exp]; !ok {
+			log.Fatalf("unknown experiment %q (want all, %v)", *exp, order)
 		}
-		return
+		selected = []string{*exp}
 	}
-	run, ok := runners[*exp]
-	if !ok {
-		log.Fatalf("unknown experiment %q (want all, %v)", *exp, order)
+	for _, name := range selected {
+		data, err := runners[name](opts)
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		snapshot.Experiments[name] = data
 	}
-	if err := run(opts); err != nil {
-		log.Fatal(err)
+	if *jsonPath != "" {
+		if err := writeSnapshot(*jsonPath, snapshot); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", *jsonPath)
 	}
 }
 
-func runTableVI(o harness.Options) error {
-	rows, err := harness.TableVI(o)
+// writeSnapshot marshals the snapshot with stable indentation so committed
+// trajectory points (BENCH_*.json) diff cleanly run to run.
+func writeSnapshot(path string, s benchSnapshot) error {
+	buf, err := json.MarshalIndent(s, "", "  ")
 	if err != nil {
 		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+func runTableVI(o harness.Options) (any, error) {
+	rows, err := harness.TableVI(o)
+	if err != nil {
+		return nil, err
 	}
 	fmt.Println("== Table VI: datasets (paper scale vs simulated analog) ==")
 	var cells [][]string
@@ -104,13 +144,13 @@ func runTableVI(o harness.Options) error {
 	fmt.Println(harness.Table(
 		[]string{"dataset", "paper-n", "paper-nnz", "paper-f", "paper-lab",
 			"sim-n", "sim-nnz", "sim-d", "sim-f", "sim-lab"}, cells))
-	return nil
+	return rows, nil
 }
 
-func runFig2(o harness.Options) error {
+func runFig2(o harness.Options) (any, error) {
 	ms, err := harness.Fig2(o)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	harness.SortMeasurements(ms)
 	fmt.Println("== Figure 2: epoch throughput of the 2D implementation ==")
@@ -123,13 +163,13 @@ func runFig2(o harness.Options) error {
 		})
 	}
 	fmt.Println(harness.Table([]string{"dataset", "P", "sec/epoch", "epochs/sec"}, cells))
-	return nil
+	return ms, nil
 }
 
-func runFig3(o harness.Options) error {
+func runFig3(o harness.Options) (any, error) {
 	ms, err := harness.Fig3(o)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	harness.SortMeasurements(ms)
 	fmt.Println("== Figure 3: per-epoch time breakdown of the 2D implementation ==")
@@ -148,13 +188,13 @@ func runFig3(o harness.Options) error {
 	}
 	header = append(header, "total")
 	fmt.Println(harness.Table(header, cells))
-	return nil
+	return ms, nil
 }
 
-func runPartition(o harness.Options) error {
+func runPartition(o harness.Options) (any, error) {
 	r, err := harness.PartitionExperiment(o)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Println("== §IV-A-8: smart partitioner vs random block partitioning ==")
 	fmt.Println(harness.Table(
@@ -184,13 +224,13 @@ func runPartition(o harness.Options) error {
 	fmt.Println("paper (Metis on Reddit, P=64): total 72%, max 29% — bulk-synchronous")
 	fmt.Println("runtime is bounded by the max, so smart partitioning underdelivers.")
 	fmt.Println()
-	return nil
+	return r, nil
 }
 
-func runCrossover(o harness.Options) error {
+func runCrossover(o harness.Options) (any, error) {
 	rows, err := harness.Crossover(o)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Println("== §VI-d: 1D vs 2D words per epoch (crossover at √P ≥ 5) ==")
 	var cells [][]string
@@ -208,13 +248,13 @@ func runCrossover(o harness.Options) error {
 	}
 	fmt.Println(harness.Table(
 		[]string{"P", "1d-words", "2d-words", "2d/1d", "5/sqrtP", "winner"}, cells))
-	return nil
+	return rows, nil
 }
 
-func runAlgo3D(o harness.Options) error {
+func runAlgo3D(o harness.Options) (any, error) {
 	rows, err := harness.Algo3D(o)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Println("== §IV-D: algorithm family comparison at equal rank count ==")
 	var cells [][]string
@@ -229,13 +269,13 @@ func runAlgo3D(o harness.Options) error {
 	}
 	fmt.Println(harness.Table(
 		[]string{"algorithm", "P", "comm-words/epoch", "sec/epoch", "mem-replication", "peak-words/rank"}, cells))
-	return nil
+	return rows, nil
 }
 
-func runConvergence(o harness.Options) error {
+func runConvergence(o harness.Options) (any, error) {
 	rows, err := harness.Convergence(o)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Println("== §I: full-batch vs sampled mini-batch training ==")
 	var cells [][]string
@@ -248,13 +288,13 @@ func runConvergence(o harness.Options) error {
 	}
 	fmt.Println(harness.Table(
 		[]string{"method", "epochs", "accuracy", "final-loss", "peak-vertices/step"}, cells))
-	return nil
+	return rows, nil
 }
 
-func runScaling(o harness.Options) error {
+func runScaling(o harness.Options) (any, error) {
 	rows, err := harness.Scaling(o)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Println("== §VI: scaling observations (measured vs paper) ==")
 	var cells [][]string
@@ -264,5 +304,5 @@ func runScaling(o harness.Options) error {
 		})
 	}
 	fmt.Println(harness.Table([]string{"claim", "measured", "paper"}, cells))
-	return nil
+	return rows, nil
 }

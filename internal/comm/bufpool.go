@@ -1,0 +1,145 @@
+package comm
+
+import "sync"
+
+// bufPool is the cluster-wide arena behind the fabric's transient buffers:
+// payload clones made by sendRaw, collective accumulators, and the
+// []Payload result slices of gather-style operations. Buffers are keyed by
+// capacity class (next power of two), checked out under a mutex (any rank
+// goroutine may allocate), and recycled all at once by Comm.EpochDone —
+// the point where every rank has agreed, via barrier, that no buffer
+// handed out during the epoch is still referenced.
+//
+// Steady state is allocation-free: after the first epoch has sized the
+// free lists, every checkout pops an existing buffer and every recycle
+// pushes it back within the lists' existing capacity.
+//
+// Nothing is recycled for callers that never invoke EpochDone (tests,
+// one-shot collectives): the pool then degrades to tracked plain
+// allocation, and received payloads stay valid indefinitely.
+type bufPool struct {
+	mu    sync.Mutex
+	freeF map[int][][]float64
+	freeI map[int][][]int
+	freeP map[int][][]Payload
+	usedF [][]float64
+	usedI [][]int
+	usedP [][]Payload
+}
+
+func newBufPool() *bufPool {
+	return &bufPool{
+		freeF: make(map[int][][]float64),
+		freeI: make(map[int][][]int),
+		freeP: make(map[int][][]Payload),
+	}
+}
+
+// getFloats checks out a length-n float64 buffer with unspecified contents
+// (callers fully overwrite it). n = 0 returns nil, preserving the
+// nil-ness conventions of Payload fields.
+func (b *bufPool) getFloats(n int) []float64 {
+	if n == 0 {
+		return nil
+	}
+	k := nextPow2(n)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if list := b.freeF[k]; len(list) > 0 {
+		buf := list[len(list)-1][:n]
+		b.freeF[k] = list[:len(list)-1]
+		b.usedF = append(b.usedF, buf)
+		return buf
+	}
+	buf := make([]float64, n, k)
+	b.usedF = append(b.usedF, buf)
+	return buf
+}
+
+// getInts checks out a length-n int buffer with unspecified contents.
+func (b *bufPool) getInts(n int) []int {
+	if n == 0 {
+		return nil
+	}
+	k := nextPow2(n)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if list := b.freeI[k]; len(list) > 0 {
+		buf := list[len(list)-1][:n]
+		b.freeI[k] = list[:len(list)-1]
+		b.usedI = append(b.usedI, buf)
+		return buf
+	}
+	buf := make([]int, n, k)
+	b.usedI = append(b.usedI, buf)
+	return buf
+}
+
+// getPayloads checks out a length-n zeroed []Payload (collective results
+// rely on untouched slots being the zero Payload).
+func (b *bufPool) getPayloads(n int) []Payload {
+	if n == 0 {
+		return nil
+	}
+	k := nextPow2(n)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var buf []Payload
+	if list := b.freeP[k]; len(list) > 0 {
+		buf = list[len(list)-1][:n]
+		b.freeP[k] = list[:len(list)-1]
+	} else {
+		buf = make([]Payload, n, k)
+	}
+	for i := range buf {
+		buf[i] = Payload{}
+	}
+	b.usedP = append(b.usedP, buf)
+	return buf
+}
+
+// cloneFloats checks out a copy of x (nil stays nil).
+func (b *bufPool) cloneFloats(x []float64) []float64 {
+	if x == nil {
+		return nil
+	}
+	out := b.getFloats(len(x))
+	copy(out, x)
+	return out
+}
+
+// cloneInts checks out a copy of x (nil stays nil).
+func (b *bufPool) cloneInts(x []int) []int {
+	if x == nil {
+		return nil
+	}
+	out := b.getInts(len(x))
+	copy(out, x)
+	return out
+}
+
+// recycle returns every checked-out buffer to the free lists. The caller
+// must guarantee no checked-out buffer is still referenced — EpochDone
+// establishes this with its surrounding barriers.
+func (b *bufPool) recycle() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i, buf := range b.usedF {
+		k := nextPow2(cap(buf))
+		b.freeF[k] = append(b.freeF[k], buf[:cap(buf)])
+		b.usedF[i] = nil
+	}
+	b.usedF = b.usedF[:0]
+	for i, buf := range b.usedI {
+		k := nextPow2(cap(buf))
+		b.freeI[k] = append(b.freeI[k], buf[:cap(buf)])
+		b.usedI[i] = nil
+	}
+	b.usedI = b.usedI[:0]
+	for i, buf := range b.usedP {
+		k := nextPow2(cap(buf))
+		b.freeP[k] = append(b.freeP[k], buf[:cap(buf)])
+		b.usedP[i] = nil
+	}
+	b.usedP = b.usedP[:0]
+}

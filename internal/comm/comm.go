@@ -65,17 +65,6 @@ type Payload struct {
 // counting nnz-proportional sparse traffic.
 func (p Payload) Words() int64 { return int64(len(p.Floats)) + int64(len(p.Ints)) }
 
-func (p Payload) clone() Payload {
-	out := Payload{}
-	if p.Floats != nil {
-		out.Floats = append([]float64(nil), p.Floats...)
-	}
-	if p.Ints != nil {
-		out.Ints = append([]int(nil), p.Ints...)
-	}
-	return out
-}
-
 // Ledger accumulates per-rank accounting. Each rank owns its ledger
 // exclusively during Run, so no locking is needed; read it after Run
 // returns.
@@ -159,6 +148,7 @@ type Cluster struct {
 	mailbox [][]chan Payload // mailbox[src][dst]
 	ledgers []*Ledger
 	barrier *centralBarrier
+	pool    *bufPool
 }
 
 // mailboxDepth bounds in-flight messages per (src, dst) pair. Collectives
@@ -170,7 +160,7 @@ func NewCluster(p int, cost CostParams) *Cluster {
 	if p <= 0 {
 		panic(fmt.Sprintf("comm: cluster size must be positive, got %d", p))
 	}
-	c := &Cluster{p: p, cost: cost, barrier: newCentralBarrier(p)}
+	c := &Cluster{p: p, cost: cost, barrier: newCentralBarrier(p), pool: newBufPool()}
 	c.mailbox = make([][]chan Payload, p)
 	c.ledgers = make([]*Ledger, p)
 	for i := 0; i < p; i++ {
@@ -314,6 +304,7 @@ type Comm struct {
 	cluster *Cluster
 	rank    int
 	ledger  *Ledger
+	world   *Group // lazily built, cached: World is called on every epoch
 }
 
 // Rank returns this rank's id in [0, Size).
@@ -327,7 +318,8 @@ func (c *Comm) Ledger() *Ledger { return c.ledger }
 
 // sendRaw moves a payload through the fabric without model charging
 // (collectives charge analytically). The payload is deep-copied so sender
-// and receiver never share backing arrays.
+// and receiver never share backing arrays; the copy's buffers come from the
+// cluster pool and stay valid until the next EpochDone recycle.
 func (c *Comm) sendRaw(dst int, p Payload) {
 	if dst < 0 || dst >= c.cluster.p {
 		panic(fmt.Sprintf("comm: rank %d sending to invalid rank %d", c.rank, dst))
@@ -337,7 +329,11 @@ func (c *Comm) sendRaw(dst int, p Payload) {
 	}
 	c.ledger.PhysWordsSent += p.Words()
 	c.ledger.PhysMsgsSent++
-	c.cluster.mailbox[c.rank][dst] <- p.clone()
+	clone := Payload{
+		Floats: c.cluster.pool.cloneFloats(p.Floats),
+		Ints:   c.cluster.pool.cloneInts(p.Ints),
+	}
+	c.cluster.mailbox[c.rank][dst] <- clone
 }
 
 // recvRaw receives the next payload from src.
@@ -378,17 +374,31 @@ func (c *Comm) Recv(src int) Payload {
 }
 
 // Exchange performs a simultaneous send+receive with peer, charging one
-// message each way.
+// message each way. Mailboxes are buffered, so both sides sending before
+// receiving cannot rendezvous-deadlock and no helper goroutine is needed
+// (one message per direction per call, well under the mailbox depth).
 func (c *Comm) Exchange(peer int, p Payload, cat Category) Payload {
 	c.Charge(cat, 1, p.Words())
-	done := make(chan struct{})
-	go func() {
-		c.sendRaw(peer, p)
-		close(done)
-	}()
-	out := c.recvRaw(peer)
-	<-done
-	return out
+	c.sendRaw(peer, p)
+	return c.recvRaw(peer)
+}
+
+// EpochDone marks a cluster-wide epoch boundary: all ranks synchronize,
+// rank 0 recycles the cluster's payload-buffer pool, and all ranks
+// synchronize again before continuing. Every rank must call it at the same
+// point (it is a collective, like Barrier).
+//
+// After EpochDone returns, payloads received earlier — including the float
+// slices of collective results — must not be read again: their buffers are
+// reused for the next epoch's traffic. The training engine calls this at
+// the end of every epoch, after all epoch state has been consumed, which is
+// what makes the steady-state epoch loop allocation-free.
+func (c *Comm) EpochDone() {
+	c.cluster.barrier.await()
+	if c.rank == 0 {
+		c.cluster.pool.recycle()
+	}
+	c.cluster.barrier.await()
 }
 
 // Barrier blocks until every rank in the cluster has entered the barrier.

@@ -15,13 +15,18 @@ type Group struct {
 	me    int // index of comm.rank within ranks
 }
 
-// World returns the group of all ranks.
+// World returns the group of all ranks. The group is built once per Comm
+// and cached: trainers call World on every epoch, and group construction
+// must not show up in the steady-state allocation profile.
 func (c *Comm) World() *Group {
-	ranks := make([]int, c.Size())
-	for i := range ranks {
-		ranks[i] = i
+	if c.world == nil {
+		ranks := make([]int, c.Size())
+		for i := range ranks {
+			ranks[i] = i
+		}
+		c.world = c.NewGroup(ranks)
 	}
-	return c.NewGroup(ranks)
+	return c.world
 }
 
 // NewGroup builds a group from an ordered list of cluster ranks; the
@@ -102,11 +107,10 @@ func (g *Group) Reduce(root int, x []float64, cat Category) []float64 {
 	}
 	g.charge(cat, lg2(q), int64(len(x)))
 	if q == 1 {
-		out := append([]float64(nil), x...)
-		return out
+		return g.comm.cluster.pool.cloneFloats(x)
 	}
 	vrank := (g.me - root + q) % q
-	acc := append([]float64(nil), x...)
+	acc := g.comm.cluster.pool.cloneFloats(x)
 	// Binomial-tree reduction: receive from children, then send to parent.
 	for mask := 1; mask < nextPow2(q); mask <<= 1 {
 		if vrank&(mask-1) != 0 {
@@ -175,7 +179,7 @@ func (g *Group) ReduceScatter(x []float64, counts []int, cat Category) []float64
 			g.comm.sendRaw(g.ranks[i], Payload{Floats: acc[off : off+counts[i]]})
 			off += counts[i]
 		}
-		return append([]float64(nil), acc[:counts[0]]...)
+		return g.comm.cluster.pool.cloneFloats(acc[:counts[0]])
 	}
 	return g.comm.recvRaw(g.ranks[0]).Floats
 }
@@ -185,10 +189,10 @@ func (g *Group) ReduceScatter(x []float64, counts []int, cat Category) []float64
 func (g *Group) reduceUncharged(root int, x []float64) []float64 {
 	q := len(g.ranks)
 	if q == 1 {
-		return append([]float64(nil), x...)
+		return g.comm.cluster.pool.cloneFloats(x)
 	}
 	vrank := (g.me - root + q) % q
-	acc := append([]float64(nil), x...)
+	acc := g.comm.cluster.pool.cloneFloats(x)
 	for mask := 1; mask < nextPow2(q); mask <<= 1 {
 		if vrank&(mask-1) != 0 {
 			continue
@@ -224,7 +228,7 @@ func (g *Group) AllGather(p Payload, cat Category) []Payload {
 	}
 	// Broadcast the concatenation. To keep payload boundaries, broadcast
 	// each part (physical); charge once with the all-gather bound.
-	out := make([]Payload, q)
+	out := g.comm.cluster.pool.getPayloads(q)
 	if g.me == 0 {
 		copy(out, parts)
 	}
@@ -249,10 +253,12 @@ func (g *Group) Gather(root int, p Payload, cat Category) []Payload {
 func (g *Group) gatherUncharged(root int, p Payload) []Payload {
 	q := len(g.ranks)
 	if q == 1 {
-		return []Payload{p}
+		out := g.comm.cluster.pool.getPayloads(1)
+		out[0] = p
+		return out
 	}
 	if g.me == root {
-		out := make([]Payload, q)
+		out := g.comm.cluster.pool.getPayloads(q)
 		out[root] = p
 		for i := 0; i < q; i++ {
 			if i != root {
@@ -322,23 +328,20 @@ func (g *Group) AllToAll(parts []Payload, cat Category) []Payload {
 		}
 	}
 	g.charge(cat, int64(q-1), sendWords)
-	out := make([]Payload, q)
+	out := g.comm.cluster.pool.getPayloads(q)
 	out[g.me] = parts[g.me]
-	// Pairwise exchange with XOR-style pairing over rounds to bound
-	// mailbox pressure; send concurrently to avoid rendezvous deadlock.
-	done := make(chan struct{})
-	go func() {
-		for i := 1; i < q; i++ {
-			dst := (g.me + i) % q
-			g.comm.sendRaw(g.ranks[dst], parts[dst])
-		}
-		close(done)
-	}()
+	// Pairwise exchange, rotated so rank pairs stay staggered. All sends
+	// complete before the receives: each (src, dst) pair moves exactly one
+	// message per call, and the buffered mailboxes absorb it, so sending
+	// first cannot rendezvous-deadlock and needs no helper goroutine.
+	for i := 1; i < q; i++ {
+		dst := (g.me + i) % q
+		g.comm.sendRaw(g.ranks[dst], parts[dst])
+	}
 	for i := 1; i < q; i++ {
 		src := (g.me - i + q) % q
 		out[src] = g.comm.recvRaw(g.ranks[src])
 	}
-	<-done
 	return out
 }
 

@@ -30,20 +30,17 @@ func (g *Group) ExchangeIndexed(parts []Payload, from []bool, cat Category) []Pa
 	if parts[g.me].Words() != 0 || from[g.me] {
 		panic(fmt.Sprintf("comm: ExchangeIndexed member %d exchanging with itself", g.me))
 	}
-	out := make([]Payload, q)
-	// Launch sends concurrently (as in AllToAll) so a simultaneous
-	// send+receive between a pair cannot rendezvous-deadlock; each pair
-	// moves at most one message per call, well under the mailbox depth.
-	done := make(chan struct{})
-	go func() {
-		for i := 1; i < q; i++ {
-			dst := (g.me + i) % q
-			if parts[dst].Words() > 0 {
-				g.comm.sendRaw(g.ranks[dst], parts[dst])
-			}
+	out := g.comm.cluster.pool.getPayloads(q)
+	// All sends complete before the receives (as in AllToAll): each pair
+	// moves at most one message per call, well under the buffered mailbox
+	// depth, so a simultaneous send+receive between a pair cannot
+	// rendezvous-deadlock and no helper goroutine is needed.
+	for i := 1; i < q; i++ {
+		dst := (g.me + i) % q
+		if parts[dst].Words() > 0 {
+			g.comm.sendRaw(g.ranks[dst], parts[dst])
 		}
-		close(done)
-	}()
+	}
 	var msgs, words int64
 	for i := 1; i < q; i++ {
 		src := (g.me - i + q) % q
@@ -53,7 +50,6 @@ func (g *Group) ExchangeIndexed(parts []Payload, from []bool, cat Category) []Pa
 			words += out[src].Words()
 		}
 	}
-	<-done
 	g.charge(cat, msgs, words)
 	return out
 }

@@ -19,7 +19,7 @@ var testMach = costmodel.Machine{
 
 // testProblemGraph builds a deterministic small training problem and also
 // returns the underlying (symmetrized) graph for partitioner-driven tests.
-func testProblemGraph(t *testing.T, n, f, hidden, labels, epochs int, seed int64) (Problem, *graph.Graph) {
+func testProblemGraph(t testing.TB, n, f, hidden, labels, epochs int, seed int64) (Problem, *graph.Graph) {
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
 	g := graph.ErdosRenyi(n, 6, rng)
@@ -43,7 +43,7 @@ func testProblemGraph(t *testing.T, n, f, hidden, labels, epochs int, seed int64
 }
 
 // testProblem builds a deterministic small training problem.
-func testProblem(t *testing.T, n, f, hidden, labels, epochs int, seed int64) Problem {
+func testProblem(t testing.TB, n, f, hidden, labels, epochs int, seed int64) Problem {
 	t.Helper()
 	p, _ := testProblemGraph(t, n, f, hidden, labels, epochs, seed)
 	return p

@@ -100,6 +100,12 @@ func (c *actCache) hRowOr(gather func() *dense.Matrix) *dense.Matrix {
 // engine runs per-rank GCN training over a layerOps implementation. One
 // engine instance executes on every rank; all five trainers (and the
 // mini-batch trainer's inner steps) share it.
+//
+// The per-epoch activation/gradient bookkeeping slices live on the engine
+// and are reused across epochs: together with the layerOps drawing their
+// matrix temporaries from a dense.Workspace (released at endEpoch) and the
+// comm fabric recycling its payload buffers at the same boundary, the
+// steady-state epoch loop performs zero heap allocations after epoch one.
 type engine struct {
 	ops layerOps
 	cfg nn.Config
@@ -110,6 +116,16 @@ type engine struct {
 	labels    []int
 	trainMask []bool
 	valMask   []bool
+
+	// Reused per-epoch bookkeeping, sized on first use: activations,
+	// pre-activations, activation caches, weight gradients, the 1-slot
+	// loss-reduction buffer, and the accuracy mask list.
+	h      []*dense.Matrix
+	z      []*dense.Matrix
+	caches []*actCache
+	dW     []*dense.Matrix
+	scalar []float64
+	masks  [][]bool
 }
 
 // newEngine builds the engine for one full training run of p.
@@ -130,9 +146,14 @@ func newEngine(ops layerOps, cfg nn.Config, p Problem) *engine {
 // tracking).
 func (e *engine) epoch(weights []*dense.Matrix) (float64, *dense.Matrix, *actCache) {
 	L := e.cfg.Layers()
-	H := make([]*dense.Matrix, L+1)
-	Z := make([]*dense.Matrix, L+1)
-	caches := make([]*actCache, L+1)
+	if len(e.h) != L+1 {
+		e.h = make([]*dense.Matrix, L+1)
+		e.z = make([]*dense.Matrix, L+1)
+		e.caches = make([]*actCache, L+1)
+		e.dW = make([]*dense.Matrix, L)
+		e.scalar = make([]float64, 1)
+	}
+	H, Z, caches, dW := e.h, e.z, e.caches, e.dW
 	H[0] = e.ops.input()
 
 	// Forward: Z^l = Aᵀ H^{l-1} W^l, H^l = σ(Z^l). Activations are
@@ -145,14 +166,14 @@ func (e *engine) epoch(weights []*dense.Matrix) (float64, *dense.Matrix, *actCac
 	}
 
 	local, dH := e.ops.lossGrad(H[L])
-	loss := e.ops.reduce([]float64{local})[0]
+	e.scalar[0] = local
+	loss := e.ops.reduce(e.scalar)[0]
 
 	// Backward (§III-D):
 	//   G^l   = act.Backward(∂L/∂H^l, Z^l)
 	//   Y^l   = (H^{l-1})ᵀ (A G^l)
 	//   ∂L/∂H^{l-1} = (A G^l)(W^l)ᵀ
 	e.ops.beforeBackward()
-	dW := make([]*dense.Matrix, L)
 	for l := L; l >= 1; l-- {
 		g := e.ops.activationBackward(e.cfg.Activation(l), dH, Z[l], caches[l], l)
 		ag := e.ops.backwardAggregate(g, l)
@@ -190,6 +211,11 @@ func (e *engine) run() *Result {
 	track := e.valMask != nil
 	trainTotal := nn.CountMask(e.trainMask, len(e.labels))
 	valTotal := nn.CountMask(e.valMask, 0)
+	if track {
+		trainAcc = make([]float64, 0, e.cfg.Epochs)
+		valAcc = make([]float64, 0, e.cfg.Epochs)
+		e.masks = [][]bool{e.trainMask, e.valMask}
+	}
 
 	for epoch := 0; epoch < e.cfg.Epochs; epoch++ {
 		loss, hOut, cache := e.epoch(weights)
@@ -197,7 +223,7 @@ func (e *engine) run() *Result {
 		if track {
 			// Per-epoch accuracy of this epoch's forward output (the
 			// embeddings the loss was computed on, before the update).
-			counts := e.ops.reduce(e.ops.correctCounts(hOut, cache, e.trainMask, e.valMask))
+			counts := e.ops.reduce(e.ops.correctCounts(hOut, cache, e.masks...))
 			trainAcc = append(trainAcc, counts[0]/float64(trainTotal))
 			valAcc = append(valAcc, counts[1]/float64(valTotal))
 		}
@@ -218,12 +244,13 @@ func (e *engine) run() *Result {
 	}
 }
 
-// argmaxCorrect counts, per mask, the rows of logp (holding full feature
-// rows) whose argmax matches the label; rowOffset maps local row i to
-// global vertex rowOffset+i. It is the shared per-block accuracy kernel
-// behind correctCounts.
-func argmaxCorrect(logp *dense.Matrix, labels []int, rowOffset int, masks ...[]bool) []float64 {
-	counts := make([]float64, len(masks))
+// argmaxCorrectInto counts, per mask (nil = all vertices), the rows of logp
+// (holding full feature rows) whose argmax matches the label, writing into
+// counts (len(masks) long, zeroed by the caller); rowOffset maps local row
+// i to global vertex rowOffset+i. It is the shared per-block accuracy
+// kernel behind correctCounts; ranks pass a persistent buffer so the
+// accuracy path stays allocation-free.
+func argmaxCorrectInto(counts []float64, logp *dense.Matrix, labels []int, rowOffset int, masks [][]bool) {
 	for i := 0; i < logp.Rows; i++ {
 		row := logp.Row(i)
 		best := 0
@@ -241,7 +268,15 @@ func argmaxCorrect(logp *dense.Matrix, labels []int, rowOffset int, masks ...[]b
 			}
 		}
 	}
-	return counts
+}
+
+// countBuf reslices a rank's persistent count buffer to n zeroed slots.
+func countBuf(buf []float64, n int) []float64 {
+	out := buf[:n]
+	for i := range out {
+		out[i] = 0
+	}
+	return out
 }
 
 // cfgWeightWords returns the modeled resident footprint of the replicated

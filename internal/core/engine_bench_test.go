@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/parallel"
+)
+
+// Engine-level epoch benchmarks: unlike the Train-based benchmarks in the
+// repository root, these warm the workspaces, kernel plans, and payload
+// pool before the timer starts, so the reported time and allocs/op are the
+// pure steady-state epoch cost. Under the serial backend allocs/op is
+// exactly 0 (the tentpole claim of PR 4); the parallel backend adds only
+// the pool-dispatch closures.
+
+var benchBackends = []parallel.Backend{parallel.BackendSerial, parallel.BackendParallel}
+
+func benchEngineEpochSerial(b *testing.B, backend parallel.Backend) {
+	release := parallel.AcquireBackend(backend)
+	defer release()
+	p := testProblem(b, 2048, 32, 32, 8, 1, 81)
+	cfg := p.Config.WithDefaults()
+	ops := newSerialOps(cfg, p.A, p.Features, p.Labels, p.TrainMask, p.lossNormalizer())
+	eng := newEngine(ops, cfg, p)
+	weights := nn.InitWeights(cfg)
+	for i := 0; i < 2; i++ {
+		eng.epoch(weights)
+		ops.endEpoch()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.epoch(weights)
+		ops.endEpoch()
+	}
+}
+
+func BenchmarkEngineEpochSerial(b *testing.B) {
+	for _, backend := range benchBackends {
+		b.Run(backend.String(), func(b *testing.B) {
+			benchEngineEpochSerial(b, backend)
+		})
+	}
+}
+
+// benchEngineEpochDist measures steady-state epochs of a distributed
+// trainer, driving all ranks in lockstep from the benchmark goroutine.
+func benchEngineEpochDist(b *testing.B, tr rankRunner, ranks int, backend parallel.Backend) {
+	release := parallel.AcquireBackend(backend)
+	defer release()
+	p := testProblem(b, 2048, 32, 32, 8, 1, 82)
+	const warmup = 2
+	start := make(chan struct{}, ranks)
+	done := make(chan struct{}, ranks)
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- tr.runRanks(p, func(ops layerOps, cfg nn.Config, prob Problem) error {
+			eng := newEngine(ops, cfg, prob)
+			weights := nn.InitWeights(cfg)
+			for i := 0; i < warmup+b.N; i++ {
+				<-start
+				eng.epoch(weights)
+				ops.endEpoch()
+				done <- struct{}{}
+			}
+			return nil
+		})
+	}()
+	step := func() {
+		for i := 0; i < ranks; i++ {
+			start <- struct{}{}
+		}
+		for i := 0; i < ranks; i++ {
+			<-done
+		}
+	}
+	for i := 0; i < warmup; i++ {
+		step()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		step()
+	}
+	b.StopTimer()
+	if err := <-errCh; err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkEngineEpochOneD(b *testing.B) {
+	for _, backend := range benchBackends {
+		b.Run(backend.String(), func(b *testing.B) {
+			benchEngineEpochDist(b, NewOneD(4, testMach), 4, backend)
+		})
+	}
+}
+
+func BenchmarkEngineEpochTwoD(b *testing.B) {
+	for _, backend := range benchBackends {
+		b.Run(backend.String(), func(b *testing.B) {
+			benchEngineEpochDist(b, NewTwoD(4, testMach), 4, backend)
+		})
+	}
+}
+
+func BenchmarkEngineEpochThreeD(b *testing.B) {
+	b.Run(parallel.BackendSerial.String(), func(b *testing.B) {
+		benchEngineEpochDist(b, NewThreeD(8, testMach), 8, parallel.BackendSerial)
+	})
+}
+
+// BenchmarkHaloEpochOneD pairs broadcast vs halo exchange at the epoch
+// level, steady state.
+func BenchmarkHaloEpochOneD(b *testing.B) {
+	for _, halo := range []bool{false, true} {
+		b.Run(fmt.Sprintf("halo=%v", halo), func(b *testing.B) {
+			tr := NewOneD(4, testMach)
+			tr.Halo = halo
+			benchEngineEpochDist(b, tr, 4, parallel.BackendSerial)
+		})
+	}
+}

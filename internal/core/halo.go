@@ -48,7 +48,10 @@ func exchangeHaloPlan(g *comm.Group, need [][]int) (sendIdx [][]int, recvFrom []
 		if i == g.Rank() {
 			continue // own block is gathered locally, never exchanged
 		}
-		sendIdx[i] = requests[i].Ints
+		// Deep-copy the request lists: received payload buffers belong to
+		// the fabric's pool and are recycled at the first epoch boundary,
+		// while the plan must survive the whole training run.
+		sendIdx[i] = append([]int(nil), requests[i].Ints...)
 		recvFrom[i] = len(need[i]) > 0
 	}
 	return sendIdx, recvFrom
@@ -59,11 +62,19 @@ func exchangeHaloPlan(g *comm.Group, need [][]int) (sendIdx [][]int, recvFrom []
 // receives the rows it needs, charged α·msgs + β·rows·f under
 // CatDenseComm. Payloads carry bare floats; receivers reshape them from
 // the plan's row counts.
-func haloFetch(g *comm.Group, x *dense.Matrix, sendIdx [][]int, recvFrom []bool) []comm.Payload {
-	parts := make([]comm.Payload, g.Size())
+//
+// The outbound row gathers draw from ws and the parts list is the caller's
+// persistent scratch (len g.Size()), so steady-state exchanges allocate
+// nothing.
+func haloFetch(g *comm.Group, x *dense.Matrix, sendIdx [][]int, recvFrom []bool, ws *dense.Workspace, parts []comm.Payload) []comm.Payload {
+	for i := range parts {
+		parts[i] = comm.Payload{}
+	}
 	for i, idx := range sendIdx {
 		if len(idx) > 0 {
-			parts[i] = comm.Payload{Floats: dense.GatherRows(x, idx).Data}
+			rows := ws.GetUninit(len(idx), x.Cols)
+			dense.GatherRowsInto(rows, x, idx)
+			parts[i] = comm.Payload{Floats: rows.Data}
 		}
 	}
 	return g.ExchangeIndexed(parts, recvFrom, comm.CatDenseComm)

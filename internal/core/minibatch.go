@@ -78,6 +78,13 @@ func (t *MiniBatch) Train(ds *graph.Dataset, cfg nn.Config, mask []bool) (*Resul
 	opt := cfg.NewOptimizer()
 	losses := make([]float64, 0, cfg.Epochs)
 
+	// One ops/engine pair for the whole run: each step retargets the ops
+	// at its sampled subproblem, so the engine bookkeeping and the
+	// workspace buffers (sized by the largest subgraph seen) are reused
+	// across steps instead of reallocated.
+	ops := &serialOps{cfg: cfg, ws: dense.NewWorkspace(), cnt: make([]float64, 8)}
+	eng := &engine{ops: ops, cfg: cfg, opt: opt}
+
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		perm := rng.Perm(len(trainIdx))
 		var epochLoss float64
@@ -102,12 +109,9 @@ func (t *MiniBatch) Train(ds *graph.Dataset, cfg nn.Config, mask []bool) (*Resul
 			// Each step averages the loss over its own batch (standard
 			// SGD normalization) and runs one engine epoch on the sampled
 			// subproblem.
-			ops := &serialOps{
-				cfg: cfg, a: subA, h0: subH,
-				labels: subLabels, mask: seedMask, norm: len(seeds),
-			}
-			eng := &engine{ops: ops, cfg: cfg, opt: opt}
+			ops.retarget(subA, subH, subLabels, seedMask, len(seeds))
 			loss, _, _ := eng.epoch(weights)
+			ops.endEpoch() // release the step's workspace checkouts
 			epochLoss += loss
 			steps++
 		}
@@ -115,10 +119,7 @@ func (t *MiniBatch) Train(ds *graph.Dataset, cfg nn.Config, mask []bool) (*Resul
 	}
 
 	// Inference is exact full-graph propagation with the trained weights.
-	fullOps := &serialOps{
-		cfg: cfg, a: ds.Graph.NormalizedAdjacency(), h0: ds.Features,
-		labels: ds.Labels, mask: mask, norm: len(trainIdx),
-	}
+	fullOps := newSerialOps(cfg, ds.Graph.NormalizedAdjacency(), ds.Features, ds.Labels, mask, len(trainIdx))
 	out := (&engine{ops: fullOps, cfg: cfg}).forward(weights)
 	return &Result{
 		Weights:  weights,

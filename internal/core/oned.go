@@ -56,30 +56,39 @@ func (t *OneD) Ranks() int { return t.p }
 // Cluster implements DistTrainer.
 func (t *OneD) Cluster() *comm.Cluster { return t.cluster }
 
-// Train implements Trainer.
-func (t *OneD) Train(p Problem) (*Result, error) {
+// runRanks validates p, builds each rank's layerOps, and executes body on
+// every simulated rank. Train drives it with the standard engine run; the
+// steady-state allocation tests drive a custom epoch loop through it.
+func (t *OneD) runRanks(p Problem, body func(ops layerOps, cfg nn.Config, prob Problem) error) error {
 	p = p.normalized()
 	if err := p.Validate(); err != nil {
-		return nil, err
+		return err
 	}
 	cfg := p.Config.WithDefaults()
 	n := p.A.Rows
 	if t.p > n {
-		return nil, fmt.Errorf("core: 1d trainer with %d ranks needs at least %d vertices, got %d", t.p, t.p, n)
+		return fmt.Errorf("core: 1d trainer with %d ranks needs at least %d vertices, got %d", t.p, t.p, n)
 	}
 	at := p.A.Transpose() // read-only global view; ranks extract blocks
 	blk, err := layout1DFor(t.Layout, n, t.p)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	var result Result
-	err = t.cluster.Run(func(c *comm.Comm) error {
+	return t.cluster.Run(func(c *comm.Comm) error {
 		r := &oneDRank{
 			comm: c, mach: t.mach, cfg: cfg, blk: blk, halo: t.Halo,
 			labels: p.Labels, mask: p.TrainMask, norm: p.lossNormalizer(), n: n,
 		}
 		r.setup(at, p.Features)
-		if out := newEngine(r, cfg, p).run(); out != nil {
+		return body(r, cfg, p)
+	})
+}
+
+// Train implements Trainer.
+func (t *OneD) Train(p Problem) (*Result, error) {
+	var result Result
+	err := t.runRanks(p, func(ops layerOps, cfg nn.Config, prob Problem) error {
+		if out := newEngine(ops, cfg, prob).run(); out != nil {
 			result = *out
 		}
 		return nil
@@ -91,7 +100,8 @@ func (t *OneD) Train(p Problem) (*Result, error) {
 }
 
 // oneDRank holds one rank's state during 1D training and implements
-// layerOps with the 1D collective choreography.
+// layerOps with the 1D collective choreography. Per-epoch temporaries come
+// from ws (reset at endEpoch, together with the fabric's payload pool).
 type oneDRank struct {
 	comm   *comm.Comm
 	mach   costmodel.Machine
@@ -104,10 +114,17 @@ type oneDRank struct {
 	n      int
 
 	lo, hi  int
-	atBlk   []*sparse.CSR // atBlk[j] = Aᵀ(my rows, rows of block j); dense-broadcast mode
-	atLocal *sparse.CSR   // Aᵀ(my rows, :) for the backward outer product
+	atBlk   []*sparse.CSR         // atBlk[j] = Aᵀ(my rows, rows of block j); dense-broadcast mode
+	atLocal *sparse.CSR           // Aᵀ(my rows, :) for the backward outer product
+	atPlan  *sparse.TransposePlan // gather plan for (Aᵀ(my rows, :))ᵀ·G — no per-call searches
 	h0      *dense.Matrix
 	memBase int64
+
+	ws        *dense.Workspace
+	dims      []int     // scratch shape header for outbound payloads
+	rsCounts  []int     // reduce-scatter counts, refilled per layer
+	cnt       []float64 // correctCounts buffer
+	haloParts []comm.Payload
 
 	// Halo-exchange state (r.halo only), built once in setup: the fetch
 	// plan over the column blocking, the row indices each peer requested
@@ -127,11 +144,13 @@ func (r *oneDRank) setup(at *sparse.CSR, features *dense.Matrix) {
 	me := r.comm.Rank()
 	r.lo, r.hi = r.blk.Lo(me), r.blk.Hi(me)
 	r.atLocal = at.ExtractBlock(r.lo, r.hi, 0, r.n)
+	r.atPlan = sparse.NewTransposePlan(r.atLocal)
 	if r.halo {
 		// The diagonal block (skip = me) stays uncompacted: it multiplies
 		// the local x directly, so no fetch list and no row gather.
 		r.plan = sparse.BuildHaloPlan(r.atLocal, partition.Offsets1D(r.blk), me)
 		r.sendIdx, r.recvFrom = exchangeHaloPlan(r.comm.World(), r.plan.Need)
+		r.haloParts = make([]comm.Payload, r.comm.Size())
 	} else {
 		r.atBlk = make([]*sparse.CSR, r.comm.Size())
 		for j := 0; j < r.comm.Size(); j++ {
@@ -139,6 +158,10 @@ func (r *oneDRank) setup(at *sparse.CSR, features *dense.Matrix) {
 		}
 	}
 	r.h0 = features.RowSlice(r.lo, r.hi)
+	r.ws = dense.NewWorkspace()
+	r.dims = make([]int, 2)
+	r.rsCounts = make([]int, r.comm.Size())
+	r.cnt = make([]float64, 8)
 	r.memBase = csrWords(r.atLocal) + matWords(r.h0) + cfgWeightWords(r.cfg)
 	r.recordMem(0)
 }
@@ -154,16 +177,16 @@ func (r *oneDRank) forwardAggregate(x *dense.Matrix, l int) *dense.Matrix {
 	world := r.comm.World()
 	rows := r.hi - r.lo
 	fPrev := r.cfg.Widths[l-1]
-	T := dense.New(rows, fPrev)
+	T := r.ws.Get(rows, fPrev)
 	if r.halo {
-		recvd := haloFetch(world, x, r.sendIdx, r.recvFrom)
+		recvd := haloFetch(world, x, r.sendIdx, r.recvFrom, r.ws, r.haloParts)
 		for j := 0; j < r.comm.Size(); j++ {
 			blk := r.plan.Blocks[j]
 			var xj *dense.Matrix
 			if j == r.comm.Rank() {
 				xj = x // uncompacted diagonal block, no gather
 			} else {
-				xj = dense.FromSlice(len(r.plan.Need[j]), fPrev, recvd[j].Floats)
+				xj = r.ws.Wrap(len(r.plan.Need[j]), fPrev, recvd[j].Floats)
 			}
 			r.recordMem(matWords(T) + matWords(xj))
 			sparse.SpMMAdd(T, blk, xj)
@@ -174,9 +197,9 @@ func (r *oneDRank) forwardAggregate(x *dense.Matrix, l int) *dense.Matrix {
 	for j := 0; j < r.comm.Size(); j++ {
 		var in comm.Payload
 		if j == r.comm.Rank() {
-			in = matPayload(x)
+			in = matPayloadInto(x, r.dims)
 		}
-		xj := payloadMat(world.Broadcast(j, in, comm.CatDenseComm))
+		xj := wrapMat(r.ws, world.Broadcast(j, in, comm.CatDenseComm))
 		r.recordMem(matWords(T) + matWords(xj))
 		sparse.SpMMAdd(T, r.atBlk[j], xj)
 		r.comm.ChargeTime(comm.CatSpMM, r.mach.SpMMTime(int64(r.atBlk[j].NNZ()), rows, fPrev))
@@ -186,7 +209,7 @@ func (r *oneDRank) forwardAggregate(x *dense.Matrix, l int) *dense.Matrix {
 
 // multiplyWeight computes Z_i = T_i W (W replicated: no communication).
 func (r *oneDRank) multiplyWeight(t, w *dense.Matrix, l int) *dense.Matrix {
-	z := dense.New(t.Rows, r.cfg.Widths[l])
+	z := r.ws.GetUninit(t.Rows, r.cfg.Widths[l])
 	dense.Mul(z, t, w)
 	r.comm.ChargeTime(comm.CatMisc, r.mach.GEMMTime(t.Rows, r.cfg.Widths[l-1], r.cfg.Widths[l]))
 	return z
@@ -195,71 +218,78 @@ func (r *oneDRank) multiplyWeight(t, w *dense.Matrix, l int) *dense.Matrix {
 // activationForward: H is row-partitioned, so even row-wise activations
 // such as log_softmax need no communication in 1D (§IV-A-2).
 func (r *oneDRank) activationForward(act dense.Activation, z *dense.Matrix, l int) (*dense.Matrix, *actCache) {
-	h := dense.New(z.Rows, z.Cols)
+	h := r.ws.GetUninit(z.Rows, z.Cols)
 	act.Forward(h, z)
 	return h, nil
 }
 
 func (r *oneDRank) lossGrad(hOut *dense.Matrix) (float64, *dense.Matrix) {
-	return nn.NLLLossMasked(hOut, r.labels, r.mask, r.lo, r.norm)
+	grad := r.ws.Get(hOut.Rows, hOut.Cols)
+	return nn.NLLLossMaskedInto(grad, hOut, r.labels, r.mask, r.lo, r.norm), grad
 }
 
 func (r *oneDRank) beforeBackward() {}
 
 // activationBackward: local, like the forward (row-partitioned).
 func (r *oneDRank) activationBackward(act dense.Activation, dH, z *dense.Matrix, _ *actCache, l int) *dense.Matrix {
-	g := dense.New(z.Rows, z.Cols)
+	g := r.ws.GetUninit(z.Rows, z.Cols)
 	act.Backward(g, dH, z)
 	return g
 }
 
 // backwardAggregate is the large 1D outer product (§IV-A-3): each rank
-// forms the low-rank n x f product A(:, my rows)·G_i = (Aᵀ_i)ᵀ G_i, then
-// the partial sums are reduce-scattered back to block rows. The outer
-// product materializes an n x f dense intermediate per rank — the memory
-// cost §IV-A-3 discusses.
+// forms the low-rank n x f product A(:, my rows)·G_i = (Aᵀ_i)ᵀ G_i over the
+// precomputed transpose plan, then the partial sums are reduce-scattered
+// back to block rows. The outer product materializes an n x f dense
+// intermediate per rank — the memory cost §IV-A-3 discusses.
 func (r *oneDRank) backwardAggregate(g *dense.Matrix, l int) *dense.Matrix {
 	world := r.comm.World()
 	rows := r.hi - r.lo
 	fl := r.cfg.Widths[l]
-	agFull := dense.New(r.n, fl)
+	agFull := r.ws.Get(r.n, fl)
 	r.recordMem(matWords(agFull))
-	sparse.SpMMTAdd(agFull, r.atLocal, g)
+	r.atPlan.SpMMTAdd(agFull, g)
 	r.comm.ChargeTime(comm.CatSpMM, r.mach.SpMMTime(int64(r.atLocal.NNZ()), rows, fl))
-	counts := make([]int, r.comm.Size())
-	for j := range counts {
-		counts[j] = r.blk.Size(j) * fl
+	for j := range r.rsCounts {
+		r.rsCounts[j] = r.blk.Size(j) * fl
 	}
-	return dense.FromSlice(rows, fl,
-		world.ReduceScatter(agFull.Data, counts, comm.CatDenseComm))
+	return r.ws.Wrap(rows, fl,
+		world.ReduceScatter(agFull.Data, r.rsCounts, comm.CatDenseComm))
 }
 
 // weightGrad is the small 1D outer product (§IV-A-4): Y^l = (H^{l-1})ᵀ(A G^l),
 // reusing the aggregated product, finished with an f×f all-reduce.
 func (r *oneDRank) weightGrad(hPrev, ag *dense.Matrix, l int) *dense.Matrix {
 	fPrev, fl := r.cfg.Widths[l-1], r.cfg.Widths[l]
-	yLocal := dense.New(fPrev, fl)
+	yLocal := r.ws.GetUninit(fPrev, fl)
 	dense.TMul(yLocal, hPrev, ag)
 	r.comm.ChargeTime(comm.CatMisc, r.mach.GEMMTime(fPrev, hPrev.Rows, fl))
-	return dense.FromSlice(fPrev, fl,
+	return r.ws.Wrap(fPrev, fl,
 		r.comm.World().AllReduce(yLocal.Data, comm.CatDenseComm))
 }
 
 // inputGrad computes ∂L/∂H^{l-1} = (A G^l)(W^l)ᵀ: local (W replicated).
 func (r *oneDRank) inputGrad(ag, w *dense.Matrix, l int) *dense.Matrix {
 	fPrev, fl := r.cfg.Widths[l-1], r.cfg.Widths[l]
-	dH := dense.New(ag.Rows, fPrev)
+	dH := r.ws.GetUninit(ag.Rows, fPrev)
 	dense.MulT(dH, ag, w)
 	r.comm.ChargeTime(comm.CatMisc, r.mach.GEMMTime(ag.Rows, fl, fPrev))
 	return dH
 }
 
+// endEpoch charges the per-epoch overhead and releases every epoch-scoped
+// buffer: the rank's workspace, then (collectively) the fabric's payload
+// pool.
 func (r *oneDRank) endEpoch() {
 	r.comm.ChargeTime(comm.CatMisc, r.mach.MiscOverhead)
+	r.ws.Reset()
+	r.comm.EpochDone()
 }
 
 func (r *oneDRank) correctCounts(hOut *dense.Matrix, _ *actCache, masks ...[]bool) []float64 {
-	return argmaxCorrect(hOut, r.labels, r.lo, masks...)
+	counts := countBuf(r.cnt, len(masks))
+	argmaxCorrectInto(counts, hOut, r.labels, r.lo, masks)
+	return counts
 }
 
 func (r *oneDRank) reduce(vals []float64) []float64 {

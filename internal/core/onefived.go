@@ -65,27 +65,28 @@ func (t *OneFiveD) Cluster() *comm.Cluster { return t.cluster }
 // ReplicationFactor returns c.
 func (t *OneFiveD) ReplicationFactor() int { return t.c }
 
-// Train implements Trainer.
-func (t *OneFiveD) Train(p Problem) (*Result, error) {
+// runRanks validates p, builds each rank's layerOps, and executes body on
+// every simulated rank. Train drives it with the standard engine run; the
+// steady-state allocation tests drive a custom epoch loop through it.
+func (t *OneFiveD) runRanks(p Problem, body func(ops layerOps, cfg nn.Config, prob Problem) error) error {
 	p = p.normalized()
 	if err := p.Validate(); err != nil {
-		return nil, err
+		return err
 	}
 	if t.c < 1 || t.p%t.c != 0 {
-		return nil, fmt.Errorf("core: 1.5d trainer needs c ≥ 1 dividing P, got P=%d c=%d", t.p, t.c)
+		return fmt.Errorf("core: 1.5d trainer needs c ≥ 1 dividing P, got P=%d c=%d", t.p, t.c)
 	}
 	teams := t.p / t.c
 	n := p.A.Rows
 	if teams > n {
-		return nil, fmt.Errorf("core: 1.5d trainer with %d teams needs at least %d vertices, got %d", teams, teams, n)
+		return fmt.Errorf("core: 1.5d trainer with %d teams needs at least %d vertices, got %d", teams, teams, n)
 	}
 	cfg := p.Config.WithDefaults()
 	blk, err := layout1DFor(t.Layout, n, teams)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	var result Result
-	err = t.cluster.Run(func(c *comm.Comm) error {
+	return t.cluster.Run(func(c *comm.Comm) error {
 		r := &oneFiveDRank{
 			comm: c, mach: t.mach, cfg: cfg, halo: t.Halo,
 			labels: p.Labels, mask: p.TrainMask, norm: p.lossNormalizer(),
@@ -93,7 +94,15 @@ func (t *OneFiveD) Train(p Problem) (*Result, error) {
 			blk: blk,
 		}
 		r.setup(p.A, p.Features)
-		if out := newEngine(r, cfg, p).run(); out != nil {
+		return body(r, cfg, p)
+	})
+}
+
+// Train implements Trainer.
+func (t *OneFiveD) Train(p Problem) (*Result, error) {
+	var result Result
+	err := t.runRanks(p, func(ops layerOps, cfg nn.Config, prob Problem) error {
+		if out := newEngine(ops, cfg, prob).run(); out != nil {
 			result = *out
 		}
 		return nil
@@ -105,7 +114,9 @@ func (t *OneFiveD) Train(p Problem) (*Result, error) {
 }
 
 // oneFiveDRank holds one rank's state during 1.5D training and implements
-// layerOps with the 1.5D collective choreography.
+// layerOps with the 1.5D collective choreography. Per-epoch temporaries
+// come from ws (reset at endEpoch, together with the fabric's payload
+// pool).
 type oneFiveDRank struct {
 	comm   *comm.Comm
 	mach   costmodel.Machine
@@ -126,14 +137,19 @@ type oneFiveDRank struct {
 	h0          *dense.Matrix
 	memBase     int64
 
+	ws   *dense.Workspace
+	dims []int
+	cnt  []float64
+
 	// Halo-exchange state (r.halo only), negotiated once over layerGroup
 	// (group index = team index): the column support of each stage block,
 	// the stage blocks compacted onto it, the rows each layer-group peer
 	// requested from this rank, and the peers it receives from.
-	haloNeed [][]int
-	haloBlk  map[int]*sparse.CSR
-	sendIdx  [][]int
-	recvFrom []bool
+	haloNeed  [][]int
+	haloBlk   map[int]*sparse.CSR
+	sendIdx   [][]int
+	recvFrom  []bool
+	haloParts []comm.Payload
 }
 
 // recordMem reports the resident footprint: persistent blocks plus the
@@ -178,8 +194,12 @@ func (r *oneFiveDRank) setup(a *sparse.CSR, features *dense.Matrix) {
 			}
 		}
 		r.sendIdx, r.recvFrom = exchangeHaloPlan(r.layerGroup, r.haloNeed)
+		r.haloParts = make([]comm.Payload, r.layerGroup.Size())
 	}
 	r.h0 = features.RowSlice(lo, hi)
+	r.ws = dense.NewWorkspace()
+	r.dims = make([]int, 2)
+	r.cnt = make([]float64, 8)
 	// h0 is the c-fold replicated dense block — the §IV-B memory overhead.
 	r.memBase = matWords(r.h0) + cfgWeightWords(r.cfg)
 	for _, blk := range r.atBlk {
@@ -199,10 +219,10 @@ func (r *oneFiveDRank) setup(a *sparse.CSR, features *dense.Matrix) {
 // order and nonzeros, so the two paths are bit-identical.
 func (r *oneFiveDRank) blockMul(x *dense.Matrix) *dense.Matrix {
 	rows := r.blk.Size(r.team)
-	partial := dense.New(rows, x.Cols)
+	partial := r.ws.Get(rows, x.Cols)
 	var recvd []comm.Payload
 	if r.halo {
-		recvd = haloFetch(r.layerGroup, x, r.sendIdx, r.recvFrom)
+		recvd = haloFetch(r.layerGroup, x, r.sendIdx, r.recvFrom, r.ws, r.haloParts)
 	}
 	for s := r.layer; s < r.teams; s += r.c {
 		var blk, xs = r.atBlk[s], (*dense.Matrix)(nil)
@@ -211,12 +231,12 @@ func (r *oneFiveDRank) blockMul(x *dense.Matrix) *dense.Matrix {
 			xs = x // uncompacted own block, no gather
 		case r.halo:
 			blk = r.haloBlk[s]
-			xs = dense.FromSlice(len(r.haloNeed[s]), x.Cols, recvd[s].Floats)
+			xs = r.ws.Wrap(len(r.haloNeed[s]), x.Cols, recvd[s].Floats)
 		case s == r.team:
-			xs = payloadMat(r.layerGroup.Broadcast(s, matPayload(x), comm.CatDenseComm))
+			xs = wrapMat(r.ws, r.layerGroup.Broadcast(s, matPayloadInto(x, r.dims), comm.CatDenseComm))
 		default:
 			// Broadcast within my layer: root is the member of team s.
-			xs = payloadMat(r.layerGroup.Broadcast(s, comm.Payload{}, comm.CatDenseComm))
+			xs = wrapMat(r.ws, r.layerGroup.Broadcast(s, comm.Payload{}, comm.CatDenseComm))
 		}
 		r.recordMem(matWords(partial) + matWords(xs))
 		sparse.SpMMAdd(partial, blk, xs)
@@ -225,7 +245,7 @@ func (r *oneFiveDRank) blockMul(x *dense.Matrix) *dense.Matrix {
 	if r.c == 1 {
 		return partial
 	}
-	return dense.FromSlice(rows, x.Cols,
+	return r.ws.Wrap(rows, x.Cols,
 		r.teamGroup.AllReduce(partial.Data, comm.CatDenseComm))
 }
 
@@ -236,7 +256,7 @@ func (r *oneFiveDRank) forwardAggregate(x *dense.Matrix, l int) *dense.Matrix {
 }
 
 func (r *oneFiveDRank) multiplyWeight(t, w *dense.Matrix, l int) *dense.Matrix {
-	z := dense.New(t.Rows, r.cfg.Widths[l])
+	z := r.ws.GetUninit(t.Rows, r.cfg.Widths[l])
 	dense.Mul(z, t, w)
 	r.comm.ChargeTime(comm.CatMisc, r.mach.GEMMTime(t.Rows, r.cfg.Widths[l-1], r.cfg.Widths[l]))
 	return z
@@ -245,7 +265,7 @@ func (r *oneFiveDRank) multiplyWeight(t, w *dense.Matrix, l int) *dense.Matrix {
 // activationForward: row-partitioned, so local even for row-wise
 // activations.
 func (r *oneFiveDRank) activationForward(act dense.Activation, z *dense.Matrix, l int) (*dense.Matrix, *actCache) {
-	h := dense.New(z.Rows, z.Cols)
+	h := r.ws.GetUninit(z.Rows, z.Cols)
 	act.Forward(h, z)
 	return h, nil
 }
@@ -254,7 +274,8 @@ func (r *oneFiveDRank) activationForward(act dense.Activation, z *dense.Matrix, 
 // only layer-0 members contribute to the loss sum so each replicated block
 // is counted once.
 func (r *oneFiveDRank) lossGrad(hOut *dense.Matrix) (float64, *dense.Matrix) {
-	loss, dH := nn.NLLLossMasked(hOut, r.labels, r.mask, r.blk.Lo(r.team), r.norm)
+	dH := r.ws.Get(hOut.Rows, hOut.Cols)
+	loss := nn.NLLLossMaskedInto(dH, hOut, r.labels, r.mask, r.blk.Lo(r.team), r.norm)
 	if r.layer != 0 {
 		loss = 0
 	}
@@ -264,7 +285,7 @@ func (r *oneFiveDRank) lossGrad(hOut *dense.Matrix) (float64, *dense.Matrix) {
 func (r *oneFiveDRank) beforeBackward() {}
 
 func (r *oneFiveDRank) activationBackward(act dense.Activation, dH, z *dense.Matrix, _ *actCache, l int) *dense.Matrix {
-	g := dense.New(z.Rows, z.Cols)
+	g := r.ws.GetUninit(z.Rows, z.Cols)
 	act.Backward(g, dH, z)
 	return g
 }
@@ -279,33 +300,40 @@ func (r *oneFiveDRank) backwardAggregate(g *dense.Matrix, l int) *dense.Matrix {
 // team's term once; the world all-reduce replicates Y everywhere.
 func (r *oneFiveDRank) weightGrad(hPrev, ag *dense.Matrix, l int) *dense.Matrix {
 	fPrev, fl := r.cfg.Widths[l-1], r.cfg.Widths[l]
-	partial := dense.New(fPrev, fl)
+	partial := r.ws.Get(fPrev, fl)
 	if r.layer == 0 {
 		dense.TMul(partial, hPrev, ag)
 		r.comm.ChargeTime(comm.CatMisc, r.mach.GEMMTime(fPrev, hPrev.Rows, fl))
 	}
-	return dense.FromSlice(fPrev, fl,
+	return r.ws.Wrap(fPrev, fl,
 		r.comm.World().AllReduce(partial.Data, comm.CatDenseComm))
 }
 
 func (r *oneFiveDRank) inputGrad(ag, w *dense.Matrix, l int) *dense.Matrix {
 	fPrev, fl := r.cfg.Widths[l-1], r.cfg.Widths[l]
-	dH := dense.New(ag.Rows, fPrev)
+	dH := r.ws.GetUninit(ag.Rows, fPrev)
 	dense.MulT(dH, ag, w)
 	r.comm.ChargeTime(comm.CatMisc, r.mach.GEMMTime(ag.Rows, fl, fPrev))
 	return dH
 }
 
+// endEpoch charges the per-epoch overhead and releases every epoch-scoped
+// buffer: the rank's workspace, then (collectively) the fabric's payload
+// pool.
 func (r *oneFiveDRank) endEpoch() {
 	r.comm.ChargeTime(comm.CatMisc, r.mach.MiscOverhead)
+	r.ws.Reset()
+	r.comm.EpochDone()
 }
 
 // correctCounts: layer-0 members count their team's row block once.
 func (r *oneFiveDRank) correctCounts(hOut *dense.Matrix, _ *actCache, masks ...[]bool) []float64 {
+	counts := countBuf(r.cnt, len(masks))
 	if r.layer != 0 {
-		return make([]float64, len(masks))
+		return counts
 	}
-	return argmaxCorrect(hOut, r.labels, r.blk.Lo(r.team), masks...)
+	argmaxCorrectInto(counts, hOut, r.labels, r.blk.Lo(r.team), masks)
+	return counts
 }
 
 func (r *oneFiveDRank) reduce(vals []float64) []float64 {

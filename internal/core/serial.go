@@ -25,81 +25,112 @@ func (*Serial) Train(p Problem) (*Result, error) {
 		return nil, err
 	}
 	cfg := p.Config.WithDefaults()
-	ops := &serialOps{
-		cfg: cfg, a: p.A, h0: p.Features,
-		labels: p.Labels, mask: p.TrainMask, norm: p.lossNormalizer(),
-	}
+	ops := newSerialOps(cfg, p.A, p.Features, p.Labels, p.TrainMask, p.lossNormalizer())
 	return newEngine(ops, cfg, p).run(), nil
 }
 
 // serialOps implements layerOps for the single-process reference: every
 // matrix is whole, every "collective" is the identity. It doubles as the
 // per-step worker of the mini-batch trainer, which drives it over sampled
-// subproblems.
+// subproblems via retarget.
+//
+// Per-layer temporaries come from the workspace (released at endEpoch) and
+// the forward aggregation runs over a precomputed transpose plan, so a
+// steady-state epoch allocates nothing.
 type serialOps struct {
 	cfg    nn.Config
 	a      *sparse.CSR
+	at     *sparse.TransposePlan // plan for the Aᵀ·X forward products
 	h0     *dense.Matrix
 	labels []int
 	mask   []bool
 	norm   int
+	ws     *dense.Workspace
+	cnt    []float64
+}
+
+// newSerialOps builds the serial layerOps with a fresh workspace and the
+// transpose plan for a.
+func newSerialOps(cfg nn.Config, a *sparse.CSR, h0 *dense.Matrix, labels []int, mask []bool, norm int) *serialOps {
+	return &serialOps{
+		cfg: cfg, a: a, at: sparse.NewTransposePlan(a), h0: h0,
+		labels: labels, mask: mask, norm: norm,
+		ws: dense.NewWorkspace(), cnt: make([]float64, 8),
+	}
+}
+
+// retarget points the ops at a new subproblem (the mini-batch trainer's
+// per-step sampled subgraph), keeping the workspace so buffer capacity is
+// reused across steps. It clears the transpose plan: a plan amortizes its
+// O(nnz) build only when the same A is multiplied across many epochs, so
+// per-step subgraphs use the direct scatter kernel instead.
+func (s *serialOps) retarget(a *sparse.CSR, h0 *dense.Matrix, labels []int, mask []bool, norm int) {
+	s.a, s.at, s.h0 = a, nil, h0
+	s.labels, s.mask, s.norm = labels, mask, norm
 }
 
 func (s *serialOps) input() *dense.Matrix { return s.h0 }
 
 func (s *serialOps) forwardAggregate(x *dense.Matrix, l int) *dense.Matrix {
-	t := dense.New(s.a.Rows, s.cfg.Widths[l-1])
-	sparse.SpMMT(t, s.a, x)
+	t := s.ws.GetUninit(s.a.Rows, s.cfg.Widths[l-1])
+	if s.at != nil {
+		s.at.SpMMT(t, x)
+	} else {
+		sparse.SpMMT(t, s.a, x)
+	}
 	return t
 }
 
 func (s *serialOps) multiplyWeight(t, w *dense.Matrix, l int) *dense.Matrix {
-	z := dense.New(t.Rows, s.cfg.Widths[l])
+	z := s.ws.GetUninit(t.Rows, s.cfg.Widths[l])
 	dense.Mul(z, t, w)
 	return z
 }
 
 func (s *serialOps) activationForward(act dense.Activation, z *dense.Matrix, l int) (*dense.Matrix, *actCache) {
-	h := dense.New(z.Rows, z.Cols)
+	h := s.ws.GetUninit(z.Rows, z.Cols)
 	act.Forward(h, z)
 	return h, nil
 }
 
 func (s *serialOps) lossGrad(hOut *dense.Matrix) (float64, *dense.Matrix) {
-	return nn.NLLLossMasked(hOut, s.labels, s.mask, 0, s.norm)
+	grad := s.ws.Get(hOut.Rows, hOut.Cols)
+	return nn.NLLLossMaskedInto(grad, hOut, s.labels, s.mask, 0, s.norm), grad
 }
 
 func (s *serialOps) beforeBackward() {}
 
 func (s *serialOps) activationBackward(act dense.Activation, dH, z *dense.Matrix, _ *actCache, l int) *dense.Matrix {
-	g := dense.New(z.Rows, z.Cols)
+	g := s.ws.GetUninit(z.Rows, z.Cols)
 	act.Backward(g, dH, z)
 	return g
 }
 
 func (s *serialOps) backwardAggregate(g *dense.Matrix, l int) *dense.Matrix {
 	// AG = A·G, reused for both Y and ∂L/∂H (§IV-A-4).
-	ag := dense.New(s.a.Rows, s.cfg.Widths[l])
+	ag := s.ws.GetUninit(s.a.Rows, s.cfg.Widths[l])
 	sparse.SpMM(ag, s.a, g)
 	return ag
 }
 
 func (s *serialOps) weightGrad(hPrev, ag *dense.Matrix, l int) *dense.Matrix {
-	dW := dense.New(s.cfg.Widths[l-1], s.cfg.Widths[l])
+	dW := s.ws.GetUninit(s.cfg.Widths[l-1], s.cfg.Widths[l])
 	dense.TMul(dW, hPrev, ag)
 	return dW
 }
 
 func (s *serialOps) inputGrad(ag, w *dense.Matrix, l int) *dense.Matrix {
-	dH := dense.New(ag.Rows, s.cfg.Widths[l-1])
+	dH := s.ws.GetUninit(ag.Rows, s.cfg.Widths[l-1])
 	dense.MulT(dH, ag, w)
 	return dH
 }
 
-func (s *serialOps) endEpoch() {}
+func (s *serialOps) endEpoch() { s.ws.Reset() }
 
 func (s *serialOps) correctCounts(hOut *dense.Matrix, _ *actCache, masks ...[]bool) []float64 {
-	return argmaxCorrect(hOut, s.labels, 0, masks...)
+	counts := countBuf(s.cnt, len(masks))
+	argmaxCorrectInto(counts, hOut, s.labels, 0, masks)
+	return counts
 }
 
 func (s *serialOps) reduce(vals []float64) []float64 { return vals }

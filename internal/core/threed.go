@@ -45,30 +45,39 @@ func (t *ThreeD) Name() string { return "3d" }
 // Cluster implements DistTrainer.
 func (t *ThreeD) Cluster() *comm.Cluster { return t.cluster }
 
-// Train implements Trainer.
-func (t *ThreeD) Train(p Problem) (*Result, error) {
+// runRanks validates p, builds each rank's layerOps, and executes body on
+// every simulated rank. Train drives it with the standard engine run; the
+// steady-state allocation tests drive a custom epoch loop through it.
+func (t *ThreeD) runRanks(p Problem, body func(ops layerOps, cfg nn.Config, prob Problem) error) error {
 	p = p.normalized()
 	if err := p.Validate(); err != nil {
-		return nil, err
+		return err
 	}
 	if !partition.IsPerfectCube(t.p) {
-		return nil, fmt.Errorf("core: 3d trainer needs a perfect-cube rank count, got %d", t.p)
+		return fmt.Errorf("core: 3d trainer needs a perfect-cube rank count, got %d", t.p)
 	}
 	cfg := p.Config.WithDefaults()
 	n := p.A.Rows
 	mesh := partition.NewGrid3D(t.p)
 	if mesh.C*mesh.C > n {
-		return nil, fmt.Errorf("core: 3d mesh needs n ≥ ∛P² (%d), got %d vertices", mesh.C*mesh.C, n)
+		return fmt.Errorf("core: 3d mesh needs n ≥ ∛P² (%d), got %d vertices", mesh.C*mesh.C, n)
 	}
-	var result Result
-	err := t.cluster.Run(func(c *comm.Comm) error {
+	return t.cluster.Run(func(c *comm.Comm) error {
 		r := &threeDRank{
 			comm: c, mach: t.mach, cfg: cfg, mesh: mesh,
 			labels: p.Labels, mask: p.TrainMask, norm: p.lossNormalizer(), n: n,
 			vBlk: partition.NewBlock1D(n, mesh.C),
 		}
 		r.setup(p.A, p.Features)
-		if out := newEngine(r, cfg, p).run(); out != nil {
+		return body(r, cfg, p)
+	})
+}
+
+// Train implements Trainer.
+func (t *ThreeD) Train(p Problem) (*Result, error) {
+	var result Result
+	err := t.runRanks(p, func(ops layerOps, cfg nn.Config, prob Problem) error {
+		if out := newEngine(ops, cfg, prob).run(); out != nil {
 			result = *out
 		}
 		return nil
@@ -80,7 +89,9 @@ func (t *ThreeD) Train(p Problem) (*Result, error) {
 }
 
 // threeDRank holds one rank's state during 3D training and implements
-// layerOps with the Split-3D-SpMM collective choreography.
+// layerOps with the Split-3D-SpMM collective choreography. Per-epoch
+// temporaries come from ws and the csrs header arena, both reset at
+// endEpoch together with the fabric's payload pool.
 type threeDRank struct {
 	comm   *comm.Comm
 	mach   costmodel.Machine
@@ -98,8 +109,16 @@ type threeDRank struct {
 	fiberGroup *comm.Group // (pi, pj, *)
 	planeGroup *comm.Group // (*, pj, *): all ranks sharing grid column pj
 	atBlk      *sparse.CSR // Aᵀ(rows of pi, column sub-slice (pj, pk))
+	atPay      comm.Payload
 	h0         *dense.Matrix
 	memBase    int64
+
+	ws       *dense.Workspace
+	csrs     csrArena
+	dims     []int
+	rsCounts []int
+	cnt      []float64
+	cacheBuf []actCache
 
 	// agRow caches the full-row gather of the latest backwardAggregate
 	// result, reused by the weightGrad and inputGrad calls that follow it
@@ -143,10 +162,16 @@ func (r *threeDRank) setup(a *sparse.CSR, features *dense.Matrix) {
 	// is required symmetric, Aᵀ = A and we read blocks from a directly.
 	cLo, cHi := r.subRange(r.pj, r.pk)
 	r.atBlk = a.ExtractBlock(r.vBlk.Lo(r.pi), r.vBlk.Hi(r.pi), cLo, cHi)
+	r.atPay = csrPayload(r.atBlk)
 	// H block: rows = sub-slice (pi, pk), feature columns of pj.
 	rLo, rHi := r.subRange(r.pi, r.pk)
 	f0 := r.fBlk(r.cfg.Widths[0])
 	r.h0 = features.SubMatrix(rLo, rHi, f0.Lo(r.pj), f0.Hi(r.pj))
+	r.ws = dense.NewWorkspace()
+	r.dims = make([]int, 2)
+	r.rsCounts = make([]int, r.mesh.C)
+	r.cnt = make([]float64, 8)
+	r.cacheBuf = make([]actCache, r.cfg.Layers()+1)
 	r.memBase = csrWords(r.atBlk) + matWords(r.h0) + cfgWeightWords(r.cfg)
 	r.recordMem(0)
 }
@@ -157,20 +182,20 @@ func (r *threeDRank) setup(a *sparse.CSR, features *dense.Matrix) {
 // the same n/∛P² x f/∛P layout as X (§IV-D-1).
 func (r *threeDRank) split3DSpMM(x *dense.Matrix) *dense.Matrix {
 	myRows := r.vBlk.Size(r.pi)
-	partial := dense.New(myRows, x.Cols)
+	partial := r.ws.Get(myRows, x.Cols)
 	for q := 0; q < r.mesh.C; q++ {
 		var aIn, xIn comm.Payload
 		if q == r.pj {
-			aIn = csrPayload(r.atBlk)
+			aIn = r.atPay
 		}
 		if q == r.pi {
-			xIn = matPayload(x)
+			xIn = matPayloadInto(x, r.dims)
 		}
 		// Sparse block Aᵀ(row pi, sub-slice (q, pk)) broadcasts along the
 		// layer row; dense block X(sub-slice (q, pk), fcols pj) along the
 		// layer column.
-		aQ := payloadCSR(r.rowGroup.Broadcast(q, aIn, comm.CatSparseComm))
-		xQ := payloadMat(r.colGroup.Broadcast(q, xIn, comm.CatDenseComm))
+		aQ := r.csrs.wrap(r.rowGroup.Broadcast(q, aIn, comm.CatSparseComm))
+		xQ := wrapMat(r.ws, r.colGroup.Broadcast(q, xIn, comm.CatDenseComm))
 		// partial is the layer's pre-reduction sum: the P^{1/3}-replicated
 		// intermediate of §IV-D-1.
 		r.recordMem(matWords(partial) + csrWords(aQ) + matWords(xQ))
@@ -179,14 +204,13 @@ func (r *threeDRank) split3DSpMM(x *dense.Matrix) *dense.Matrix {
 	}
 	// Fiber reduce-scatter: partial sums for T(row block pi) are summed
 	// across layers and scattered so layer k keeps row sub-slice (pi, k).
-	counts := make([]int, r.mesh.C)
 	for k := 0; k < r.mesh.C; k++ {
 		lo, hi := r.subRange(r.pi, k)
-		counts[k] = (hi - lo) * x.Cols
+		r.rsCounts[k] = (hi - lo) * x.Cols
 	}
 	myLo, myHi := r.subRange(r.pi, r.pk)
-	return dense.FromSlice(myHi-myLo, x.Cols,
-		r.fiberGroup.ReduceScatter(partial.Data, counts, comm.CatDenseComm))
+	return r.ws.Wrap(myHi-myLo, x.Cols,
+		r.fiberGroup.ReduceScatter(partial.Data, r.rsCounts, comm.CatDenseComm))
 }
 
 // partialSplit3D computes my block of T·W for replicated W: T blocks
@@ -195,14 +219,15 @@ func (r *threeDRank) split3DSpMM(x *dense.Matrix) *dense.Matrix {
 func (r *threeDRank) partialSplit3D(tBlk *dense.Matrix, w *dense.Matrix) *dense.Matrix {
 	rowsB := r.fBlk(w.Rows)
 	colsB := r.fBlk(w.Cols)
-	out := dense.New(tBlk.Rows, colsB.Size(r.pj))
+	out := r.ws.Get(tBlk.Rows, colsB.Size(r.pj))
 	for q := 0; q < r.mesh.C; q++ {
 		var tIn comm.Payload
 		if q == r.pj {
-			tIn = matPayload(tBlk)
+			tIn = matPayloadInto(tBlk, r.dims)
 		}
-		tQ := payloadMat(r.rowGroup.Broadcast(q, tIn, comm.CatDenseComm))
-		wSlice := w.SubMatrix(rowsB.Lo(q), rowsB.Hi(q), colsB.Lo(r.pj), colsB.Hi(r.pj))
+		tQ := wrapMat(r.ws, r.rowGroup.Broadcast(q, tIn, comm.CatDenseComm))
+		wSlice := r.ws.GetUninit(rowsB.Size(q), colsB.Size(r.pj))
+		w.SubMatrixInto(wSlice, rowsB.Lo(q), rowsB.Hi(q), colsB.Lo(r.pj), colsB.Hi(r.pj))
 		dense.MulAdd(out, tQ, wSlice)
 		r.comm.ChargeTime(comm.CatMisc, r.mach.GEMMTime(tQ.Rows, tQ.Cols, wSlice.Cols))
 	}
@@ -213,10 +238,10 @@ func (r *threeDRank) partialSplit3D(tBlk *dense.Matrix, w *dense.Matrix) *dense.
 // returning full rows (n/∛P² x f).
 func (r *threeDRank) gatherRows(x *dense.Matrix, f int) *dense.Matrix {
 	fB := r.fBlk(f)
-	parts := r.rowGroup.AllGather(matPayload(x), comm.CatDenseComm)
-	out := dense.New(x.Rows, f)
+	parts := r.rowGroup.AllGather(matPayloadInto(x, r.dims), comm.CatDenseComm)
+	out := r.ws.GetUninit(x.Rows, f)
 	for j, part := range parts {
-		out.SetSubMatrix(0, fB.Lo(j), payloadMat(part))
+		out.SetSubMatrix(0, fB.Lo(j), wrapMat(r.ws, part))
 	}
 	r.recordMem(matWords(out))
 	return out
@@ -239,23 +264,26 @@ func (r *threeDRank) multiplyWeight(t, w *dense.Matrix, l int) *dense.Matrix {
 // communication is needed (§IV-D-2).
 func (r *threeDRank) activationForward(act dense.Activation, z *dense.Matrix, l int) (*dense.Matrix, *actCache) {
 	if !act.RowWise() {
-		h := dense.New(z.Rows, z.Cols)
+		h := r.ws.GetUninit(z.Rows, z.Cols)
 		act.Forward(h, z)
 		return h, nil
 	}
 	fNext := r.cfg.Widths[l]
 	zRow := r.gatherRows(z, fNext)
-	hRow := dense.New(zRow.Rows, zRow.Cols)
+	hRow := r.ws.GetUninit(zRow.Rows, zRow.Cols)
 	act.Forward(hRow, zRow)
 	fB := r.fBlk(fNext)
-	h := hRow.SubMatrix(0, hRow.Rows, fB.Lo(r.pj), fB.Hi(r.pj))
-	return h, &actCache{zRow: zRow, hRow: hRow}
+	h := r.ws.GetUninit(hRow.Rows, fB.Size(r.pj))
+	hRow.SubMatrixInto(h, 0, hRow.Rows, fB.Lo(r.pj), fB.Hi(r.pj))
+	cache := &r.cacheBuf[l]
+	cache.zRow, cache.hRow = zRow, hRow
+	return h, cache
 }
 
 // lossGrad computes this block's loss contribution and ∂L/∂H^L: each rank
 // owns the labels whose class index falls in its column block.
 func (r *threeDRank) lossGrad(hOut *dense.Matrix) (float64, *dense.Matrix) {
-	grad := dense.New(hOut.Rows, hOut.Cols)
+	grad := r.ws.Get(hOut.Rows, hOut.Cols)
 	return r.localLossGrad(hOut, grad), grad
 }
 
@@ -289,16 +317,18 @@ func (r *threeDRank) beforeBackward() {}
 // gather dH along the layer row and reuse the cached full-row Z.
 func (r *threeDRank) activationBackward(act dense.Activation, dH, z *dense.Matrix, cache *actCache, l int) *dense.Matrix {
 	if !act.RowWise() {
-		g := dense.New(dH.Rows, dH.Cols)
+		g := r.ws.GetUninit(dH.Rows, dH.Cols)
 		act.Backward(g, dH, z)
 		return g
 	}
 	fl := r.cfg.Widths[l]
 	dHRow := r.gatherRows(dH, fl)
-	gRow := dense.New(dHRow.Rows, dHRow.Cols)
+	gRow := r.ws.GetUninit(dHRow.Rows, dHRow.Cols)
 	act.Backward(gRow, dHRow, cache.zRow)
 	fB := r.fBlk(fl)
-	return gRow.SubMatrix(0, gRow.Rows, fB.Lo(r.pj), fB.Hi(r.pj))
+	g := r.ws.GetUninit(gRow.Rows, fB.Size(r.pj))
+	gRow.SubMatrixInto(g, 0, gRow.Rows, fB.Lo(r.pj), fB.Hi(r.pj))
+	return g
 }
 
 // backwardAggregate computes AG = A·G^l. A is symmetric, so the Aᵀ blocks
@@ -316,17 +346,18 @@ func (r *threeDRank) backwardAggregate(g *dense.Matrix, l int) *dense.Matrix {
 // the layer row to replicate Y (§IV-D-4).
 func (r *threeDRank) weightGrad(hPrev, ag *dense.Matrix, l int) *dense.Matrix {
 	fPrev, fl := r.cfg.Widths[l-1], r.cfg.Widths[l]
-	partial := dense.New(hPrev.Cols, fl)
+	partial := r.ws.GetUninit(hPrev.Cols, fl)
 	dense.TMul(partial, hPrev, r.agRow)
 	r.comm.ChargeTime(comm.CatMisc, r.mach.GEMMTime(hPrev.Cols, hPrev.Rows, fl))
 	planeSum := r.planeGroup.AllReduce(partial.Data, comm.CatDenseComm)
+	r.dims[0], r.dims[1] = partial.Rows, partial.Cols
 	yParts := r.rowGroup.AllGather(
-		comm.Payload{Floats: planeSum, Ints: []int{partial.Rows, partial.Cols}},
+		comm.Payload{Floats: planeSum, Ints: r.dims[:2]},
 		comm.CatDenseComm)
-	dW := dense.New(fPrev, fl)
+	dW := r.ws.GetUninit(fPrev, fl)
 	fPB := r.fBlk(fPrev)
 	for j, part := range yParts {
-		dW.SetSubMatrix(fPB.Lo(j), 0, payloadMat(part))
+		dW.SetSubMatrix(fPB.Lo(j), 0, wrapMat(r.ws, part))
 	}
 	return dW
 }
@@ -336,15 +367,22 @@ func (r *threeDRank) weightGrad(hPrev, ag *dense.Matrix, l int) *dense.Matrix {
 func (r *threeDRank) inputGrad(ag, w *dense.Matrix, l int) *dense.Matrix {
 	fl := r.cfg.Widths[l]
 	fPB := r.fBlk(r.cfg.Widths[l-1])
-	wRowBlk := w.SubMatrix(fPB.Lo(r.pj), fPB.Hi(r.pj), 0, fl)
-	dH := dense.New(r.agRow.Rows, wRowBlk.Rows)
+	wRowBlk := r.ws.GetUninit(fPB.Size(r.pj), fl)
+	w.SubMatrixInto(wRowBlk, fPB.Lo(r.pj), fPB.Hi(r.pj), 0, fl)
+	dH := r.ws.GetUninit(r.agRow.Rows, wRowBlk.Rows)
 	dense.MulT(dH, r.agRow, wRowBlk)
 	r.comm.ChargeTime(comm.CatMisc, r.mach.GEMMTime(r.agRow.Rows, fl, wRowBlk.Rows))
 	return dH
 }
 
+// endEpoch charges the per-epoch overhead and releases every epoch-scoped
+// buffer: the rank's workspace and CSR headers, then (collectively) the
+// fabric's payload pool.
 func (r *threeDRank) endEpoch() {
 	r.comm.ChargeTime(comm.CatMisc, r.mach.MiscOverhead)
+	r.ws.Reset()
+	r.csrs.reset()
+	r.comm.EpochDone()
 }
 
 // correctCounts needs full output rows: it reuses the row-wise
@@ -355,11 +393,13 @@ func (r *threeDRank) correctCounts(hOut *dense.Matrix, cache *actCache, masks ..
 	hRow := cache.hRowOr(func() *dense.Matrix {
 		return r.gatherRows(hOut, r.cfg.Widths[r.cfg.Layers()])
 	})
+	counts := countBuf(r.cnt, len(masks))
 	if r.pj != 0 {
-		return make([]float64, len(masks))
+		return counts
 	}
 	rLo, _ := r.subRange(r.pi, r.pk)
-	return argmaxCorrect(hRow, r.labels, rLo, masks...)
+	argmaxCorrectInto(counts, hRow, r.labels, rLo, masks)
+	return counts
 }
 
 func (r *threeDRank) reduce(vals []float64) []float64 {

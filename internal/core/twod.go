@@ -43,31 +43,40 @@ func (t *TwoD) Name() string { return "2d" }
 // Cluster implements DistTrainer.
 func (t *TwoD) Cluster() *comm.Cluster { return t.cluster }
 
-// Train implements Trainer.
-func (t *TwoD) Train(p Problem) (*Result, error) {
+// runRanks validates p, builds each rank's layerOps, and executes body on
+// every simulated rank. Train drives it with the standard engine run; the
+// steady-state allocation tests drive a custom epoch loop through it.
+func (t *TwoD) runRanks(p Problem, body func(ops layerOps, cfg nn.Config, prob Problem) error) error {
 	p = p.normalized()
 	if err := p.Validate(); err != nil {
-		return nil, err
+		return err
 	}
 	if !partition.IsPerfectSquare(t.p) {
-		return nil, fmt.Errorf("core: 2d trainer needs a perfect-square rank count, got %d", t.p)
+		return fmt.Errorf("core: 2d trainer needs a perfect-square rank count, got %d", t.p)
 	}
 	cfg := p.Config.WithDefaults()
 	n := p.A.Rows
 	grid := partition.NewSquareGrid(t.p)
 	if grid.Pr > n {
-		return nil, fmt.Errorf("core: 2d grid dimension %d exceeds vertex count %d", grid.Pr, n)
+		return fmt.Errorf("core: 2d grid dimension %d exceeds vertex count %d", grid.Pr, n)
 	}
 	at := p.A.Transpose()
-	var result Result
-	err := t.cluster.Run(func(c *comm.Comm) error {
+	return t.cluster.Run(func(c *comm.Comm) error {
 		r := &twoDRank{
 			comm: c, mach: t.mach, cfg: cfg, grid: grid,
 			labels: p.Labels, mask: p.TrainMask, norm: p.lossNormalizer(), n: n,
 			vBlk: partition.NewBlock1D(n, grid.Pr),
 		}
 		r.setup(at, p.Features)
-		if out := newEngine(r, cfg, p).run(); out != nil {
+		return body(r, cfg, p)
+	})
+}
+
+// Train implements Trainer.
+func (t *TwoD) Train(p Problem) (*Result, error) {
+	var result Result
+	err := t.runRanks(p, func(ops layerOps, cfg nn.Config, prob Problem) error {
+		if out := newEngine(ops, cfg, prob).run(); out != nil {
 			result = *out
 		}
 		return nil
@@ -79,7 +88,9 @@ func (t *TwoD) Train(p Problem) (*Result, error) {
 }
 
 // twoDRank holds one rank's state during 2D training and implements
-// layerOps with the SUMMA collective choreography.
+// layerOps with the SUMMA collective choreography. Per-epoch temporaries
+// come from ws and the csrs header arena, both reset at endEpoch together
+// with the fabric's payload pool.
 type twoDRank struct {
 	comm   *comm.Comm
 	mach   costmodel.Machine
@@ -91,13 +102,23 @@ type twoDRank struct {
 	n      int
 	vBlk   partition.Block1D // vertex dimension split √P ways
 
-	pi, pj   int // grid coordinates
-	rowGroup *comm.Group
-	colGroup *comm.Group
-	atBlk    *sparse.CSR // Aᵀ(rows of pi, cols of pj)
-	aBlk     *sparse.CSR // A(rows of pi, cols of pj), built by transpose exchange
-	h0       *dense.Matrix
-	memBase  int64
+	pi, pj    int // grid coordinates
+	rowGroup  *comm.Group
+	colGroup  *comm.Group
+	atBlk     *sparse.CSR  // Aᵀ(rows of pi, cols of pj)
+	atPay     comm.Payload // atBlk pre-serialized for the SUMMA broadcasts
+	localT    *sparse.CSR  // (Aᵀ block)ᵀ, the diagonal exchange contribution
+	localTPay comm.Payload
+	aBlk      *sparse.CSR  // A(rows of pi, cols of pj), built by transpose exchange
+	aPay      comm.Payload // aBlk pre-serialized
+	h0        *dense.Matrix
+	memBase   int64
+
+	ws       *dense.Workspace
+	csrs     csrArena
+	dims     []int
+	cnt      []float64
+	cacheBuf []actCache // per-layer actCache storage, reused every epoch
 
 	// agRow caches the full-row gather of the latest backwardAggregate
 	// result, reused by the weightGrad and inputGrad calls that follow it
@@ -122,8 +143,18 @@ func (r *twoDRank) setup(at *sparse.CSR, features *dense.Matrix) {
 	r.rowGroup = r.comm.NewGroup(r.grid.RowRanks(r.pi))
 	r.colGroup = r.comm.NewGroup(r.grid.ColRanks(r.pj))
 	r.atBlk = at.ExtractBlock(r.vBlk.Lo(r.pi), r.vBlk.Hi(r.pi), r.vBlk.Lo(r.pj), r.vBlk.Hi(r.pj))
+	r.atPay = csrPayload(r.atBlk)
+	// The transposed local block is static across epochs; the per-epoch
+	// exchange resends it (and recharges the transpose work) without
+	// recomputing it.
+	r.localT = r.atBlk.Transpose()
+	r.localTPay = csrPayload(r.localT)
 	f0 := r.fBlk(r.cfg.Widths[0])
 	r.h0 = features.SubMatrix(r.vBlk.Lo(r.pi), r.vBlk.Hi(r.pi), f0.Lo(r.pj), f0.Hi(r.pj))
+	r.ws = dense.NewWorkspace()
+	r.dims = make([]int, 2)
+	r.cnt = make([]float64, 8)
+	r.cacheBuf = make([]actCache, r.cfg.Layers()+1)
 	// The A block appears twice once the transpose exchange runs.
 	r.memBase = 2*csrWords(r.atBlk) + matWords(r.h0) + cfgWeightWords(r.cfg)
 	r.recordMem(0)
@@ -132,36 +163,44 @@ func (r *twoDRank) setup(at *sparse.CSR, features *dense.Matrix) {
 // transposeExchange builds this rank's A block from the Aᵀ blocks by a
 // pairwise exchange across the grid diagonal: A_ij = (Aᵀ_ji)ᵀ. This is the
 // paper's "trpose" cost (Figure 3); it also charges the local transpose
-// work.
+// work. The exchange repeats every epoch — the payload still crosses the
+// fabric and every cost is recharged — but since A is static, the received
+// block is materialized only once and reused thereafter.
 func (r *twoDRank) transposeExchange() {
-	localT := r.atBlk.Transpose()
-	r.comm.ChargeTime(comm.CatTranspose, float64(localT.NNZ())*4/r.mach.SpMMRate)
+	r.comm.ChargeTime(comm.CatTranspose, float64(r.localT.NNZ())*4/r.mach.SpMMRate)
 	if r.pi == r.pj {
-		r.aBlk = localT
+		r.aBlk = r.localT
+		r.aPay = r.localTPay
 		return
 	}
 	peer := r.grid.Rank(r.pj, r.pi)
-	got := r.comm.Exchange(peer, csrPayload(localT), comm.CatTranspose)
-	r.aBlk = payloadCSR(got)
+	got := r.comm.Exchange(peer, r.localTPay, comm.CatTranspose)
+	if r.aBlk == nil {
+		// Deep-copy out of the received payload: its buffers belong to the
+		// fabric's pool and are recycled at the epoch boundary, while the
+		// A block must survive the whole run.
+		r.aBlk = payloadCSR(got).Clone()
+		r.aPay = csrPayload(r.aBlk)
+	}
 }
 
 // summaSpMM computes my block of op(A)·X where aBlk is my block of op(A)
-// and x is my block of the 2D-partitioned dense operand. Sparse blocks
-// broadcast along process rows, dense blocks along process columns
-// (Algorithm 2, first phase).
-func (r *twoDRank) summaSpMM(aBlk *sparse.CSR, x *dense.Matrix) *dense.Matrix {
+// (pre-serialized as aPay) and x is my block of the 2D-partitioned dense
+// operand. Sparse blocks broadcast along process rows, dense blocks along
+// process columns (Algorithm 2, first phase).
+func (r *twoDRank) summaSpMM(aBlk *sparse.CSR, aPay comm.Payload, x *dense.Matrix) *dense.Matrix {
 	rows := r.vBlk.Size(r.pi)
-	out := dense.New(rows, x.Cols)
+	out := r.ws.Get(rows, x.Cols)
 	for k := 0; k < r.grid.Pc; k++ {
 		var aIn, xIn comm.Payload
 		if k == r.pj {
-			aIn = csrPayload(aBlk)
+			aIn = aPay
 		}
 		if k == r.pi {
-			xIn = matPayload(x)
+			xIn = matPayloadInto(x, r.dims)
 		}
-		aK := payloadCSR(r.rowGroup.Broadcast(k, aIn, comm.CatSparseComm))
-		xK := payloadMat(r.colGroup.Broadcast(k, xIn, comm.CatDenseComm))
+		aK := r.csrs.wrap(r.rowGroup.Broadcast(k, aIn, comm.CatSparseComm))
+		xK := wrapMat(r.ws, r.colGroup.Broadcast(k, xIn, comm.CatDenseComm))
 		r.recordMem(matWords(out) + csrWords(aK) + matWords(xK))
 		sparse.SpMMAdd(out, aK, xK)
 		r.comm.ChargeTime(comm.CatSpMM, r.mach.SpMMTime(int64(aK.NNZ()), aK.Rows, xK.Cols))
@@ -176,14 +215,15 @@ func (r *twoDRank) partialSumma(tBlk *dense.Matrix, w *dense.Matrix) *dense.Matr
 	rowsB := r.fBlk(w.Rows) // W rows = T's feature dimension, split by pc
 	colsB := r.fBlk(w.Cols)
 	rows := r.vBlk.Size(r.pi)
-	out := dense.New(rows, colsB.Size(r.pj))
+	out := r.ws.Get(rows, colsB.Size(r.pj))
 	for k := 0; k < r.grid.Pc; k++ {
 		var tIn comm.Payload
 		if k == r.pj {
-			tIn = matPayload(tBlk)
+			tIn = matPayloadInto(tBlk, r.dims)
 		}
-		tK := payloadMat(r.rowGroup.Broadcast(k, tIn, comm.CatDenseComm))
-		wSlice := w.SubMatrix(rowsB.Lo(k), rowsB.Hi(k), colsB.Lo(r.pj), colsB.Hi(r.pj))
+		tK := wrapMat(r.ws, r.rowGroup.Broadcast(k, tIn, comm.CatDenseComm))
+		wSlice := r.ws.GetUninit(rowsB.Size(k), colsB.Size(r.pj))
+		w.SubMatrixInto(wSlice, rowsB.Lo(k), rowsB.Hi(k), colsB.Lo(r.pj), colsB.Hi(r.pj))
 		dense.MulAdd(out, tK, wSlice)
 		r.comm.ChargeTime(comm.CatMisc, r.mach.GEMMTime(rows, tK.Cols, wSlice.Cols))
 	}
@@ -194,10 +234,10 @@ func (r *twoDRank) partialSumma(tBlk *dense.Matrix, w *dense.Matrix) *dense.Matr
 // process row, returning my full rows (n/√P x f).
 func (r *twoDRank) gatherRows(x *dense.Matrix, f int) *dense.Matrix {
 	fB := r.fBlk(f)
-	parts := r.rowGroup.AllGather(matPayload(x), comm.CatDenseComm)
-	out := dense.New(r.vBlk.Size(r.pi), f)
+	parts := r.rowGroup.AllGather(matPayloadInto(x, r.dims), comm.CatDenseComm)
+	out := r.ws.GetUninit(r.vBlk.Size(r.pi), f)
 	for j, part := range parts {
-		out.SetSubMatrix(0, fB.Lo(j), payloadMat(part))
+		out.SetSubMatrix(0, fB.Lo(j), wrapMat(r.ws, part))
 	}
 	r.recordMem(matWords(out))
 	return out
@@ -207,7 +247,7 @@ func (r *twoDRank) input() *dense.Matrix { return r.h0 }
 
 // forwardAggregate computes T = Aᵀ X via SUMMA SpMM.
 func (r *twoDRank) forwardAggregate(x *dense.Matrix, l int) *dense.Matrix {
-	return r.summaSpMM(r.atBlk, x)
+	return r.summaSpMM(r.atBlk, r.atPay, x)
 }
 
 // multiplyWeight computes Z = T W via the partial SUMMA.
@@ -221,24 +261,27 @@ func (r *twoDRank) multiplyWeight(t, w *dense.Matrix, l int) *dense.Matrix {
 // (§IV-C-2).
 func (r *twoDRank) activationForward(act dense.Activation, z *dense.Matrix, l int) (*dense.Matrix, *actCache) {
 	if !act.RowWise() {
-		h := dense.New(z.Rows, z.Cols)
+		h := r.ws.GetUninit(z.Rows, z.Cols)
 		act.Forward(h, z)
 		return h, nil
 	}
 	fNext := r.cfg.Widths[l]
 	zRow := r.gatherRows(z, fNext)
-	hRow := dense.New(zRow.Rows, zRow.Cols)
+	hRow := r.ws.GetUninit(zRow.Rows, zRow.Cols)
 	act.Forward(hRow, zRow)
 	fB := r.fBlk(fNext)
-	h := hRow.SubMatrix(0, hRow.Rows, fB.Lo(r.pj), fB.Hi(r.pj))
-	return h, &actCache{zRow: zRow, hRow: hRow}
+	h := r.ws.GetUninit(hRow.Rows, fB.Size(r.pj))
+	hRow.SubMatrixInto(h, 0, hRow.Rows, fB.Lo(r.pj), fB.Hi(r.pj))
+	cache := &r.cacheBuf[l]
+	cache.zRow, cache.hRow = zRow, hRow
+	return h, cache
 }
 
 // lossGrad computes this block's loss contribution and ∂L/∂H^L: each rank
 // owns the labels whose class index falls in its column block, so nothing
 // is double counted.
 func (r *twoDRank) lossGrad(hOut *dense.Matrix) (float64, *dense.Matrix) {
-	grad := dense.New(hOut.Rows, hOut.Cols)
+	grad := r.ws.Get(hOut.Rows, hOut.Cols)
 	return r.localLossGrad(hOut, grad), grad
 }
 
@@ -277,22 +320,24 @@ func (r *twoDRank) beforeBackward() {
 // full-row Z (the σ' all-gather of §IV-C-3).
 func (r *twoDRank) activationBackward(act dense.Activation, dH, z *dense.Matrix, cache *actCache, l int) *dense.Matrix {
 	if !act.RowWise() {
-		g := dense.New(dH.Rows, dH.Cols)
+		g := r.ws.GetUninit(dH.Rows, dH.Cols)
 		act.Backward(g, dH, z)
 		return g
 	}
 	fl := r.cfg.Widths[l]
 	dHRow := r.gatherRows(dH, fl)
-	gRow := dense.New(dHRow.Rows, dHRow.Cols)
+	gRow := r.ws.GetUninit(dHRow.Rows, dHRow.Cols)
 	act.Backward(gRow, dHRow, cache.zRow)
 	fB := r.fBlk(fl)
-	return gRow.SubMatrix(0, gRow.Rows, fB.Lo(r.pj), fB.Hi(r.pj))
+	g := r.ws.GetUninit(gRow.Rows, fB.Size(r.pj))
+	gRow.SubMatrixInto(g, 0, gRow.Rows, fB.Lo(r.pj), fB.Hi(r.pj))
+	return g
 }
 
 // backwardAggregate computes AG = A·G^l via SUMMA SpMM and caches its
 // full-row gather for the weightGrad/inputGrad pair (§IV-C-4).
 func (r *twoDRank) backwardAggregate(g *dense.Matrix, l int) *dense.Matrix {
-	ag := r.summaSpMM(r.aBlk, g)
+	ag := r.summaSpMM(r.aBlk, r.aPay, g)
 	r.agRow = r.gatherRows(ag, r.cfg.Widths[l])
 	return ag
 }
@@ -302,17 +347,18 @@ func (r *twoDRank) backwardAggregate(g *dense.Matrix, l int) *dense.Matrix {
 // (2D dense SUMMA + all-gather, §IV-C-4).
 func (r *twoDRank) weightGrad(hPrev, ag *dense.Matrix, l int) *dense.Matrix {
 	fPrev, fl := r.cfg.Widths[l-1], r.cfg.Widths[l]
-	partial := dense.New(hPrev.Cols, fl)
+	partial := r.ws.GetUninit(hPrev.Cols, fl)
 	dense.TMul(partial, hPrev, r.agRow)
 	r.comm.ChargeTime(comm.CatMisc, r.mach.GEMMTime(hPrev.Cols, hPrev.Rows, fl))
 	colSum := r.colGroup.AllReduce(partial.Data, comm.CatDenseComm)
+	r.dims[0], r.dims[1] = partial.Rows, partial.Cols
 	yParts := r.rowGroup.AllGather(
-		comm.Payload{Floats: colSum, Ints: []int{partial.Rows, partial.Cols}},
+		comm.Payload{Floats: colSum, Ints: r.dims[:2]},
 		comm.CatDenseComm)
-	dW := dense.New(fPrev, fl)
+	dW := r.ws.GetUninit(fPrev, fl)
 	fPB := r.fBlk(fPrev)
 	for j, part := range yParts {
-		dW.SetSubMatrix(fPB.Lo(j), 0, payloadMat(part))
+		dW.SetSubMatrix(fPB.Lo(j), 0, wrapMat(r.ws, part))
 	}
 	return dW
 }
@@ -322,15 +368,22 @@ func (r *twoDRank) weightGrad(hPrev, ag *dense.Matrix, l int) *dense.Matrix {
 func (r *twoDRank) inputGrad(ag, w *dense.Matrix, l int) *dense.Matrix {
 	fl := r.cfg.Widths[l]
 	fPB := r.fBlk(r.cfg.Widths[l-1])
-	wRowBlk := w.SubMatrix(fPB.Lo(r.pj), fPB.Hi(r.pj), 0, fl)
-	dH := dense.New(r.agRow.Rows, wRowBlk.Rows)
+	wRowBlk := r.ws.GetUninit(fPB.Size(r.pj), fl)
+	w.SubMatrixInto(wRowBlk, fPB.Lo(r.pj), fPB.Hi(r.pj), 0, fl)
+	dH := r.ws.GetUninit(r.agRow.Rows, wRowBlk.Rows)
 	dense.MulT(dH, r.agRow, wRowBlk)
 	r.comm.ChargeTime(comm.CatMisc, r.mach.GEMMTime(r.agRow.Rows, fl, wRowBlk.Rows))
 	return dH
 }
 
+// endEpoch charges the per-epoch overhead and releases every epoch-scoped
+// buffer: the rank's workspace and CSR headers, then (collectively) the
+// fabric's payload pool.
 func (r *twoDRank) endEpoch() {
 	r.comm.ChargeTime(comm.CatMisc, r.mach.MiscOverhead)
+	r.ws.Reset()
+	r.csrs.reset()
+	r.comm.EpochDone()
 }
 
 // correctCounts needs full output rows: it reuses the row-wise
@@ -341,10 +394,12 @@ func (r *twoDRank) correctCounts(hOut *dense.Matrix, cache *actCache, masks ...[
 	hRow := cache.hRowOr(func() *dense.Matrix {
 		return r.gatherRows(hOut, r.cfg.Widths[r.cfg.Layers()])
 	})
+	counts := countBuf(r.cnt, len(masks))
 	if r.pj != 0 {
-		return make([]float64, len(masks))
+		return counts
 	}
-	return argmaxCorrect(hRow, r.labels, r.vBlk.Lo(r.pi), masks...)
+	argmaxCorrectInto(counts, hRow, r.labels, r.vBlk.Lo(r.pi), masks)
+	return counts
 }
 
 func (r *twoDRank) reduce(vals []float64) []float64 {

@@ -10,8 +10,17 @@ import (
 // activationRows dispatches a rowwise activation sweep over z through the
 // parallel backend. Each row is written by exactly one worker, so parallel
 // execution stays bit-identical to the serial sweep.
+//
+// Kernels call their row-range helper directly when parallel.Inline reports
+// the sweep would run inline anyway; the func literal here escapes to the
+// pool workers and would otherwise heap-allocate on every call.
 func activationRows(z *Matrix, fn func(lo, hi int)) {
 	parallel.Rows(z.Rows, int64(len(z.Data)), fn)
+}
+
+// activationInline reports whether a sweep over z runs inline.
+func activationInline(z *Matrix) bool {
+	return parallel.Inline(z.Rows, int64(len(z.Data)))
 }
 
 // Activation is a differentiable elementwise-or-rowwise nonlinearity used
@@ -47,29 +56,45 @@ func (ReLU) RowWise() bool { return false }
 // Forward implements Activation.
 func (ReLU) Forward(dst, z *Matrix) {
 	sameShape2(dst, z, "ReLU.Forward")
+	if activationInline(z) {
+		reluForwardRows(dst, z, 0, z.Rows)
+		return
+	}
 	activationRows(z, func(lo, hi int) {
-		for i := lo * z.Cols; i < hi*z.Cols; i++ {
-			if v := z.Data[i]; v > 0 {
-				dst.Data[i] = v
-			} else {
-				dst.Data[i] = 0
-			}
-		}
+		reluForwardRows(dst, z, lo, hi)
 	})
+}
+
+func reluForwardRows(dst, z *Matrix, lo, hi int) {
+	for i := lo * z.Cols; i < hi*z.Cols; i++ {
+		if v := z.Data[i]; v > 0 {
+			dst.Data[i] = v
+		} else {
+			dst.Data[i] = 0
+		}
+	}
 }
 
 // Backward implements Activation: dst = grad ⊙ 1[z > 0].
 func (ReLU) Backward(dst, grad, z *Matrix) {
 	sameShape3(dst, grad, z, "ReLU.Backward")
+	if activationInline(z) {
+		reluBackwardRows(dst, grad, z, 0, z.Rows)
+		return
+	}
 	activationRows(z, func(lo, hi int) {
-		for i := lo * z.Cols; i < hi*z.Cols; i++ {
-			if z.Data[i] > 0 {
-				dst.Data[i] = grad.Data[i]
-			} else {
-				dst.Data[i] = 0
-			}
-		}
+		reluBackwardRows(dst, grad, z, lo, hi)
 	})
+}
+
+func reluBackwardRows(dst, grad, z *Matrix, lo, hi int) {
+	for i := lo * z.Cols; i < hi*z.Cols; i++ {
+		if z.Data[i] > 0 {
+			dst.Data[i] = grad.Data[i]
+		} else {
+			dst.Data[i] = 0
+		}
+	}
 }
 
 // Identity is the no-op activation, useful for testing the pure linear
@@ -85,6 +110,10 @@ func (Identity) RowWise() bool { return false }
 // Forward implements Activation.
 func (Identity) Forward(dst, z *Matrix) {
 	sameShape2(dst, z, "Identity.Forward")
+	if activationInline(z) {
+		copy(dst.Data, z.Data)
+		return
+	}
 	activationRows(z, func(lo, hi int) {
 		copy(dst.Data[lo*z.Cols:hi*z.Cols], z.Data[lo*z.Cols:hi*z.Cols])
 	})
@@ -93,6 +122,10 @@ func (Identity) Forward(dst, z *Matrix) {
 // Backward implements Activation.
 func (Identity) Backward(dst, grad, z *Matrix) {
 	sameShape3(dst, grad, z, "Identity.Backward")
+	if activationInline(z) {
+		copy(dst.Data, grad.Data)
+		return
+	}
 	activationRows(z, func(lo, hi int) {
 		copy(dst.Data[lo*z.Cols:hi*z.Cols], grad.Data[lo*z.Cols:hi*z.Cols])
 	})
@@ -113,14 +146,30 @@ func (LogSoftmax) RowWise() bool { return true }
 // computed with the max-subtraction trick for numerical stability.
 func (LogSoftmax) Forward(dst, z *Matrix) {
 	sameShape2(dst, z, "LogSoftmax.Forward")
+	if activationInline(z) {
+		logSoftmaxForwardRows(dst, z, 0, z.Rows)
+		return
+	}
 	activationRows(z, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			logSoftmaxRow(dst.Row(i), z.Row(i))
-		}
+		logSoftmaxForwardRows(dst, z, lo, hi)
 	})
 }
 
+func logSoftmaxForwardRows(dst, z *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		logSoftmaxRow(dst.Row(i), z.Row(i))
+	}
+}
+
 func logSoftmaxRow(dst, z []float64) {
+	lse := logSumExp(z)
+	for j, v := range z {
+		dst[j] = v - lse
+	}
+}
+
+// logSumExp returns log(sum_j exp(z[j])) with the max-subtraction trick.
+func logSumExp(z []float64) float64 {
 	mx := math.Inf(-1)
 	for _, v := range z {
 		if v > mx {
@@ -131,32 +180,42 @@ func logSoftmaxRow(dst, z []float64) {
 	for _, v := range z {
 		sum += math.Exp(v - mx)
 	}
-	lse := mx + math.Log(sum)
-	for j, v := range z {
-		dst[j] = v - lse
-	}
+	return mx + math.Log(sum)
 }
 
 // Backward implements Activation. For y = log_softmax(z),
 // dL/dz[i,j] = grad[i,j] - softmax(z)[i,j] * sum_k grad[i,k].
+//
+// softmax(z)[i,j] is recomputed per element as exp(z[i,j] - lse(z[i,:])) —
+// the exact value the former scratch row held — so the kernel needs no
+// per-call scratch allocation and remains bit-identical to the buffered
+// form. Reads of z[i,j] and grad[i,j] happen before the dst[i,j] write, so
+// dst may alias grad (or z) as documented.
 func (LogSoftmax) Backward(dst, grad, z *Matrix) {
 	sameShape3(dst, grad, z, "LogSoftmax.Backward")
+	if activationInline(z) {
+		logSoftmaxBackwardRows(dst, grad, z, 0, z.Rows)
+		return
+	}
 	activationRows(z, func(lo, hi int) {
-		tmp := make([]float64, z.Cols)
-		for i := lo; i < hi; i++ {
-			zrow := z.Row(i)
-			grow := grad.Row(i)
-			drow := dst.Row(i)
-			logSoftmaxRow(tmp, zrow)
-			var gsum float64
-			for _, g := range grow {
-				gsum += g
-			}
-			for j := range drow {
-				drow[j] = grow[j] - math.Exp(tmp[j])*gsum
-			}
-		}
+		logSoftmaxBackwardRows(dst, grad, z, lo, hi)
 	})
+}
+
+func logSoftmaxBackwardRows(dst, grad, z *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		zrow := z.Row(i)
+		grow := grad.Row(i)
+		drow := dst.Row(i)
+		lse := logSumExp(zrow)
+		var gsum float64
+		for _, g := range grow {
+			gsum += g
+		}
+		for j := range drow {
+			drow[j] = grow[j] - math.Exp(zrow[j]-lse)*gsum
+		}
+	}
 }
 
 // ActivationByName returns the activation registered under name.

@@ -4,6 +4,8 @@ import (
 	"math"
 	"math/rand"
 	"testing"
+
+	"repro/internal/parallel"
 )
 
 func TestReLUForward(t *testing.T) {
@@ -158,5 +160,65 @@ func TestRowWiseFlags(t *testing.T) {
 	ls := LogSoftmax{}
 	if !ls.RowWise() {
 		t.Fatal("log_softmax must report RowWise() == true")
+	}
+}
+
+// TestLogSoftmaxBackwardScratchFree: the backward kernel recomputes
+// softmax per element instead of buffering a scratch row; this regression
+// test pins the allocation count at zero (satellite of PR 4) and checks
+// the recomputed form against an explicitly buffered reference.
+func TestLogSoftmaxBackwardScratchFree(t *testing.T) {
+	release := parallel.AcquireBackend(parallel.BackendSerial)
+	defer release()
+	rng := rand.New(rand.NewSource(21))
+	z := New(40, 9)
+	grad := New(40, 9)
+	for i := range z.Data {
+		z.Data[i] = rng.NormFloat64()
+		grad.Data[i] = rng.NormFloat64()
+	}
+	dst := New(40, 9)
+	LogSoftmax{}.Backward(dst, grad, z)
+
+	// Buffered reference: the pre-PR-4 implementation with a scratch row.
+	want := New(40, 9)
+	tmp := make([]float64, z.Cols)
+	for i := 0; i < z.Rows; i++ {
+		zrow, grow, drow := z.Row(i), grad.Row(i), want.Row(i)
+		logSoftmaxRow(tmp, zrow)
+		var gsum float64
+		for _, g := range grow {
+			gsum += g
+		}
+		for j := range drow {
+			drow[j] = grow[j] - math.Exp(tmp[j])*gsum
+		}
+	}
+	if MaxAbsDiff(dst, want) != 0 {
+		t.Fatalf("scratch-free backward differs from buffered reference")
+	}
+
+	if avg := testing.AllocsPerRun(10, func() {
+		LogSoftmax{}.Backward(dst, grad, z)
+	}); avg != 0 {
+		t.Fatalf("LogSoftmax.Backward allocates %.1f times per call, want 0", avg)
+	}
+}
+
+// TestActivationsAllocFreeSerial: every activation kernel must be
+// allocation-free under the serial backend (the inline fast paths).
+func TestActivationsAllocFreeSerial(t *testing.T) {
+	release := parallel.AcquireBackend(parallel.BackendSerial)
+	defer release()
+	z := New(32, 16)
+	g := New(32, 16)
+	dst := New(32, 16)
+	for _, act := range []Activation{ReLU{}, Identity{}, LogSoftmax{}} {
+		if avg := testing.AllocsPerRun(10, func() {
+			act.Forward(dst, z)
+			act.Backward(dst, g, z)
+		}); avg != 0 {
+			t.Fatalf("%s allocates %.1f times per sweep, want 0", act.Name(), avg)
+		}
 	}
 }

@@ -40,7 +40,12 @@ func MulAdd(dst, a, b *Matrix) {
 	if dst.Rows != a.Rows || dst.Cols != b.Cols {
 		panic(fmt.Sprintf("dense: MulAdd dst shape %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
 	}
-	parallel.Rows(a.Rows, gemmFlops(a.Rows, a.Cols, b.Cols), func(lo, hi int) {
+	work := gemmFlops(a.Rows, a.Cols, b.Cols)
+	if parallel.Inline(a.Rows, work) {
+		mulAddRows(dst, a, b, 0, a.Rows)
+		return
+	}
+	parallel.Rows(a.Rows, work, func(lo, hi int) {
 		mulAddRows(dst, a, b, lo, hi)
 	})
 }
@@ -78,7 +83,12 @@ func MulT(dst, a, b *Matrix) {
 	if dst.Rows != a.Rows || dst.Cols != b.Rows {
 		panic(fmt.Sprintf("dense: MulT dst shape %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Rows))
 	}
-	parallel.Rows(a.Rows, gemmFlops(a.Rows, a.Cols, b.Rows), func(lo, hi int) {
+	work := gemmFlops(a.Rows, a.Cols, b.Rows)
+	if parallel.Inline(a.Rows, work) {
+		mulTRows(dst, a, b, 0, a.Rows)
+		return
+	}
+	parallel.Rows(a.Rows, work, func(lo, hi int) {
 		mulTRows(dst, a, b, lo, hi)
 	})
 }
@@ -126,7 +136,12 @@ func TMulAdd(dst, a, b *Matrix) {
 	if dst.Rows != a.Cols || dst.Cols != b.Cols {
 		panic(fmt.Sprintf("dense: TMulAdd dst shape %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Cols, b.Cols))
 	}
-	parallel.Rows(a.Cols, gemmFlops(a.Rows, a.Cols, b.Cols), func(lo, hi int) {
+	work := gemmFlops(a.Rows, a.Cols, b.Cols)
+	if parallel.Inline(a.Cols, work) {
+		tMulAddCols(dst, a, b, 0, a.Cols)
+		return
+	}
+	parallel.Rows(a.Cols, work, func(lo, hi int) {
 		tMulAddCols(dst, a, b, lo, hi)
 	})
 }

@@ -132,6 +132,21 @@ func (m *Matrix) SubMatrix(r0, r1, c0, c1 int) *Matrix {
 	return out
 }
 
+// SubMatrixInto copies the block with rows [r0, r1) and columns [c0, c1)
+// into dst, which must be (r1-r0) x (c1-c0). It is the allocation-free form
+// of SubMatrix for callers that draw dst from a Workspace.
+func (m *Matrix) SubMatrixInto(dst *Matrix, r0, r1, c0, c1 int) {
+	if r0 < 0 || r1 > m.Rows || c0 < 0 || c1 > m.Cols || r0 > r1 || c0 > c1 {
+		panic(fmt.Sprintf("dense: SubMatrixInto [%d:%d, %d:%d] out of range for %dx%d", r0, r1, c0, c1, m.Rows, m.Cols))
+	}
+	if dst.Rows != r1-r0 || dst.Cols != c1-c0 {
+		panic(fmt.Sprintf("dense: SubMatrixInto dst %dx%d, want %dx%d", dst.Rows, dst.Cols, r1-r0, c1-c0))
+	}
+	for i := r0; i < r1; i++ {
+		copy(dst.Row(i-r0), m.Data[i*m.Cols+c0:i*m.Cols+c1])
+	}
+}
+
 // SetSubMatrix copies block into m starting at (r0, c0).
 func (m *Matrix) SetSubMatrix(r0, c0 int, block *Matrix) {
 	if r0 < 0 || r0+block.Rows > m.Rows || c0 < 0 || c0+block.Cols > m.Cols {
@@ -153,10 +168,19 @@ func (m *Matrix) RowSlice(r0, r1 int) *Matrix {
 // only the rows a peer's adjacency block references.
 func GatherRows(m *Matrix, idx []int) *Matrix {
 	out := New(len(idx), m.Cols)
-	for k, i := range idx {
-		copy(out.Row(k), m.Row(i))
-	}
+	GatherRowsInto(out, m, idx)
 	return out
+}
+
+// GatherRowsInto is the allocation-free form of GatherRows: dst must be
+// len(idx) x m.Cols and is overwritten.
+func GatherRowsInto(dst, m *Matrix, idx []int) {
+	if dst.Rows != len(idx) || dst.Cols != m.Cols {
+		panic(fmt.Sprintf("dense: GatherRowsInto dst %dx%d, want %dx%d", dst.Rows, dst.Cols, len(idx), m.Cols))
+	}
+	for k, i := range idx {
+		copy(dst.Row(k), m.Row(i))
+	}
 }
 
 // ColSlice returns a copy of columns [c0, c1).

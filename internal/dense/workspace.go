@@ -1,0 +1,142 @@
+package dense
+
+// Workspace is a per-rank arena of reusable Matrix buffers for the
+// steady-state training loop. Trainers check temporaries out with Get (or
+// wrap foreign float buffers with Wrap) during an epoch and return
+// everything at once with Reset at the epoch boundary; after the first
+// epoch has populated the free lists, Get/Wrap/Reset perform zero heap
+// allocations, so an epoch that draws all its temporaries from the
+// workspace runs allocation-free.
+//
+// Buffers are keyed by capacity class (next power of two of the element
+// count), so shape changes across checkouts — layers of different widths,
+// mini-batch subgraphs of varying size — reuse the same backing arrays
+// instead of growing a free list per exact shape.
+//
+// A Workspace is owned by a single goroutine (one simulated rank); it is
+// not safe for concurrent use. All methods are nil-safe: a nil Workspace
+// degrades to plain allocation (Get = New, Wrap = FromSlice, Reset = no-op)
+// so call sites need no branching when no arena is configured.
+type Workspace struct {
+	free    map[int][]*Matrix // capacity class -> idle buffers
+	used    []*Matrix         // checked out by Get this epoch
+	hdrFree []*Matrix         // idle headers for Wrap (no owned data)
+	wrapped []*Matrix         // checked out by Wrap this epoch
+}
+
+// NewWorkspace returns an empty arena.
+func NewWorkspace() *Workspace {
+	return &Workspace{free: make(map[int][]*Matrix)}
+}
+
+// capClass returns the capacity class for n elements: the smallest power of
+// two ≥ n.
+func capClass(n int) int {
+	c := 1
+	for c < n {
+		c <<= 1
+	}
+	return c
+}
+
+// Get checks out a zeroed r-by-c matrix, exactly like New but drawing the
+// header and backing array from the arena when a large-enough buffer is
+// free. The matrix is valid until the next Reset.
+func (w *Workspace) Get(r, c int) *Matrix {
+	m := w.GetUninit(r, c)
+	if w != nil { // a nil workspace returned a fresh, already-zeroed New
+		for i := range m.Data {
+			m.Data[i] = 0
+		}
+	}
+	return m
+}
+
+// GetUninit is Get without the zero fill: the returned matrix holds
+// whatever a previous checkout left in the recycled buffer. Use it only
+// where every element is written before being read — overwriting kernels
+// (Mul, MulT, TMul, SpMM, SpMMT, activation Forward/Backward) and full
+// copies (SubMatrixInto, GatherRowsInto, complete SetSubMatrix tilings).
+// Accumulating kernels (SpMMAdd and friends) and sparse writers (the loss
+// gradient) need Get. Skipping the fill matters on the bandwidth-bound
+// epoch path: it is one full pass over the largest temporaries per layer.
+func (w *Workspace) GetUninit(r, c int) *Matrix {
+	if w == nil {
+		return New(r, c)
+	}
+	n := r * c
+	k := capClass(n)
+	list := w.free[k]
+	if len(list) == 0 {
+		m := &Matrix{Rows: r, Cols: c, Data: make([]float64, n, k)}
+		w.used = append(w.used, m)
+		return m
+	}
+	m := list[len(list)-1]
+	w.free[k] = list[:len(list)-1]
+	m.Rows, m.Cols, m.Data = r, c, m.Data[:n]
+	w.used = append(w.used, m)
+	return m
+}
+
+// Wrap checks out a header-only r-by-c matrix around data (not copied),
+// exactly like FromSlice but reusing headers from the arena. The caller
+// retains ownership of data; Reset reclaims only the header.
+func (w *Workspace) Wrap(r, c int, data []float64) *Matrix {
+	if w == nil {
+		return FromSlice(r, c, data)
+	}
+	if len(data) != r*c {
+		return FromSlice(r, c, data) // delegate for the panic message
+	}
+	var m *Matrix
+	if n := len(w.hdrFree); n > 0 {
+		m = w.hdrFree[n-1]
+		w.hdrFree = w.hdrFree[:n-1]
+	} else {
+		m = &Matrix{}
+	}
+	m.Rows, m.Cols, m.Data = r, c, data
+	w.wrapped = append(w.wrapped, m)
+	return m
+}
+
+// Reset returns every matrix checked out since the previous Reset to the
+// arena. Callers must not touch previously checked-out matrices afterwards:
+// Get buffers will be recycled (and re-zeroed) for later checkouts, and
+// Wrap headers are detached from their data.
+func (w *Workspace) Reset() {
+	if w == nil {
+		return
+	}
+	for i, m := range w.used {
+		k := capClass(cap(m.Data))
+		w.free[k] = append(w.free[k], m)
+		w.used[i] = nil
+	}
+	w.used = w.used[:0]
+	for i, m := range w.wrapped {
+		m.Data = nil
+		w.hdrFree = append(w.hdrFree, m)
+		w.wrapped[i] = nil
+	}
+	w.wrapped = w.wrapped[:0]
+}
+
+// FootprintWords returns the total float64 capacity owned by the arena
+// (free and checked-out Get buffers), for tests and memory accounting.
+func (w *Workspace) FootprintWords() int64 {
+	if w == nil {
+		return 0
+	}
+	var s int64
+	for _, list := range w.free {
+		for _, m := range list {
+			s += int64(cap(m.Data))
+		}
+	}
+	for _, m := range w.used {
+		s += int64(cap(m.Data))
+	}
+	return s
+}

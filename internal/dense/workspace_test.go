@@ -1,0 +1,119 @@
+package dense
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestWorkspaceGetZeroedAndShaped(t *testing.T) {
+	ws := NewWorkspace()
+	m := ws.Get(3, 4)
+	if m.Rows != 3 || m.Cols != 4 || len(m.Data) != 12 {
+		t.Fatalf("Get(3,4) = %dx%d len %d", m.Rows, m.Cols, len(m.Data))
+	}
+	m.Fill(7)
+	ws.Reset()
+	// The recycled buffer must come back zeroed, like dense.New.
+	m2 := ws.Get(3, 4)
+	for _, v := range m2.Data {
+		if v != 0 {
+			t.Fatalf("recycled Get buffer not zeroed: %v", m2.Data)
+		}
+	}
+	if m2 != m {
+		t.Fatalf("same-shape Get after Reset should reuse the buffer")
+	}
+}
+
+func TestWorkspaceReusesAcrossShapes(t *testing.T) {
+	ws := NewWorkspace()
+	a := ws.Get(8, 8) // 64 elements, class 64
+	ws.Reset()
+	b := ws.Get(4, 16) // also 64 elements: must reuse the same backing array
+	if &a.Data[0] != &b.Data[0] {
+		t.Fatalf("capacity-compatible shapes should share a backing array")
+	}
+	if b.Rows != 4 || b.Cols != 16 {
+		t.Fatalf("reused buffer has wrong shape %dx%d", b.Rows, b.Cols)
+	}
+	ws.Reset()
+	c := ws.Get(5, 10) // 50 elements, class 64: reuse again
+	if &a.Data[0] != &c.Data[0] || len(c.Data) != 50 {
+		t.Fatalf("smaller same-class shape should reuse the array resliced")
+	}
+}
+
+func TestWorkspaceWrap(t *testing.T) {
+	ws := NewWorkspace()
+	data := []float64{1, 2, 3, 4, 5, 6}
+	m := ws.Wrap(2, 3, data)
+	if m.At(1, 2) != 6 {
+		t.Fatalf("Wrap must alias the given data")
+	}
+	ws.Reset()
+	data2 := []float64{9}
+	m2 := ws.Wrap(1, 1, data2)
+	if m2 != m {
+		t.Fatalf("Wrap after Reset should reuse the header")
+	}
+	if m2.At(0, 0) != 9 {
+		t.Fatalf("reused header must point at the new data")
+	}
+	// The original data must be untouched by header recycling.
+	if data[5] != 6 {
+		t.Fatalf("Wrap/Reset corrupted wrapped data")
+	}
+}
+
+func TestWorkspaceNilSafe(t *testing.T) {
+	var ws *Workspace
+	m := ws.Get(2, 2)
+	if m.Rows != 2 || m.Cols != 2 {
+		t.Fatalf("nil Get should fall back to New")
+	}
+	w := ws.Wrap(1, 2, []float64{1, 2})
+	if w.At(0, 1) != 2 {
+		t.Fatalf("nil Wrap should fall back to FromSlice")
+	}
+	ws.Reset() // must not panic
+	if ws.FootprintWords() != 0 {
+		t.Fatalf("nil workspace has no footprint")
+	}
+}
+
+// TestWorkspaceSteadyStateAllocs: after one warm cycle, a checkout/reset
+// cycle of mixed shapes allocates nothing.
+func TestWorkspaceSteadyStateAllocs(t *testing.T) {
+	ws := NewWorkspace()
+	data := make([]float64, 32)
+	cycle := func() {
+		ws.Get(16, 16)
+		ws.Get(7, 3)
+		ws.Get(1, 130)
+		ws.Wrap(4, 8, data)
+		ws.Reset()
+	}
+	cycle()
+	if avg := testing.AllocsPerRun(10, cycle); avg != 0 {
+		t.Fatalf("steady-state workspace cycle allocates %.1f times, want 0", avg)
+	}
+}
+
+// TestWorkspaceMatricesBehaveLikeNew: random shapes checked out of a
+// workspace must be indistinguishable from fresh matrices for kernel use.
+func TestWorkspaceMatricesBehaveLikeNew(t *testing.T) {
+	ws := NewWorkspace()
+	rng := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 50; iter++ {
+		r, c := 1+rng.Intn(20), 1+rng.Intn(20)
+		m := ws.Get(r, c)
+		ref := New(r, c)
+		if !EqualWithin(m, ref, 0) {
+			t.Fatalf("Get(%d,%d) differs from New", r, c)
+		}
+		m.Fill(rng.Float64()) // dirty it for the next cycle
+		if iter%7 == 0 {
+			ws.Reset()
+		}
+	}
+}

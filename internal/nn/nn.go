@@ -126,10 +126,17 @@ func NLLLoss(logp *dense.Matrix, labels []int, rowOffset, totalRows int) (float6
 // every vertex. normalizer must be the global count of masked vertices
 // (totalRows when mask is nil) so distributed ranks normalize identically.
 func NLLLossMasked(logp *dense.Matrix, labels []int, mask []bool, rowOffset, normalizer int) (float64, *dense.Matrix) {
+	grad := dense.New(logp.Rows, logp.Cols)
+	return NLLLossMaskedInto(grad, logp, labels, mask, rowOffset, normalizer), grad
+}
+
+// NLLLossMaskedInto is the allocation-free form of NLLLossMasked: the
+// gradient is written into grad, which must be zeroed and shaped like logp
+// (training loops draw it from a dense.Workspace). It returns the loss.
+func NLLLossMaskedInto(grad, logp *dense.Matrix, labels []int, mask []bool, rowOffset, normalizer int) float64 {
 	if normalizer <= 0 {
 		panic(fmt.Sprintf("nn: loss normalizer = %d", normalizer))
 	}
-	grad := dense.New(logp.Rows, logp.Cols)
 	var loss float64
 	inv := 1.0 / float64(normalizer)
 	for i := 0; i < logp.Rows; i++ {
@@ -143,7 +150,7 @@ func NLLLossMasked(logp *dense.Matrix, labels []int, mask []bool, rowOffset, nor
 		loss -= logp.At(i, lab) * inv
 		grad.Set(i, lab, -inv)
 	}
-	return loss, grad
+	return loss
 }
 
 // CountMask returns the number of true entries, or fallback for a nil

@@ -146,6 +146,22 @@ func EnterRanks(p int) (leave func()) {
 	return func() { activeRanks.Add(-int64(p)) }
 }
 
+// Inline reports whether a Rows call with the same arguments would run its
+// function inline on the calling goroutine (serial backend, tiny kernels,
+// or a pool fully divided among simulated ranks).
+//
+// Hot kernels check Inline first and call their row-range helper directly
+// when it returns true: a func literal passed to Rows escapes to the pool
+// workers and is therefore heap-allocated at every call site, even when the
+// dispatch ends up inline. The explicit fast path keeps the steady-state
+// training epoch allocation-free under the serial backend.
+func Inline(rows int, work int64) bool {
+	if CurrentBackend() != BackendParallel || rows <= 1 || work < minParallelWork {
+		return true
+	}
+	return pool.Load().effective() <= 1
+}
+
 // Rows runs fn over row ranges covering [0, rows). Under the parallel
 // backend, when rows > 1 and the estimated total work is large enough, the
 // range is split into contiguous chunks across the shared pool; otherwise

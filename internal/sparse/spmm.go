@@ -8,6 +8,19 @@ import (
 	"repro/internal/parallel"
 )
 
+// spmmFeatureBlock is the column-tile width for the feature-blocked SpMM
+// loop. Dense operands wider than this are processed one 256-column tile at
+// a time (256 float64 = 2 KiB per x row), so the set of x rows a CSR row
+// block touches stays cache-resident instead of streaming whole wide rows
+// through L1 for every nonzero.
+const spmmFeatureBlock = 256
+
+// spmmRowBlock is the CSR row-block height of the feature-blocked loop: all
+// feature tiles of one row block complete before the next block starts, so
+// the x rows referenced by the block are reused across tiles while still
+// hot.
+const spmmRowBlock = 64
+
 // SpMM computes dst = a * x where a is sparse and x is dense (the SpMM
 // kernel the paper identifies as the dominant GNN training cost). dst must
 // be a.Rows x x.Cols and is overwritten.
@@ -27,14 +40,27 @@ func SpMM(dst *dense.Matrix, a *CSR, x *dense.Matrix) {
 // the same output tile.
 func SpMMAdd(dst *dense.Matrix, a *CSR, x *dense.Matrix) {
 	checkSpMM(dst, a, x, "SpMMAdd")
-	parallel.Rows(a.Rows, SpMMFlops(a, x.Cols), func(lo, hi int) {
+	work := SpMMFlops(a, x.Cols)
+	if parallel.Inline(a.Rows, work) {
+		spMMAddRows(dst, a, x, 0, a.Rows)
+		return
+	}
+	parallel.Rows(a.Rows, work, func(lo, hi int) {
 		spMMAddRows(dst, a, x, lo, hi)
 	})
 }
 
 // spMMAddRows accumulates rows [lo, hi) of a*x into dst. For each output
-// row the accumulation order is identical to the full serial loop.
+// row the accumulation order is identical to the full serial loop: wide
+// operands take the feature-blocked path, which visits the same
+// (nonzero, column) pairs in the same per-element order (for a fixed output
+// element (i, j), contributions arrive in nonzero order k in both loops —
+// column tiling only reorders across j, never across k).
 func spMMAddRows(dst *dense.Matrix, a *CSR, x *dense.Matrix, lo, hi int) {
+	if x.Cols > spmmFeatureBlock {
+		spMMAddRowsBlocked(dst, a, x, lo, hi)
+		return
+	}
 	f := x.Cols
 	for i := lo; i < hi; i++ {
 		drow := dst.Data[i*f : (i+1)*f]
@@ -48,9 +74,45 @@ func spMMAddRows(dst *dense.Matrix, a *CSR, x *dense.Matrix, lo, hi int) {
 	}
 }
 
+// spMMAddRowsBlocked is the cache-blocked SpMM loop for wide dense
+// operands: CSR rows are processed in blocks of spmmRowBlock, and within a
+// row block the feature dimension is tiled in spmmFeatureBlock columns, so
+// each x row referenced by the block contributes one tile-sized slice at a
+// time and is revisited while its lines are still cached.
+func spMMAddRowsBlocked(dst *dense.Matrix, a *CSR, x *dense.Matrix, lo, hi int) {
+	f := x.Cols
+	for i0 := lo; i0 < hi; i0 += spmmRowBlock {
+		i1 := i0 + spmmRowBlock
+		if i1 > hi {
+			i1 = hi
+		}
+		for j0 := 0; j0 < f; j0 += spmmFeatureBlock {
+			j1 := j0 + spmmFeatureBlock
+			if j1 > f {
+				j1 = f
+			}
+			for i := i0; i < i1; i++ {
+				drow := dst.Data[i*f+j0 : i*f+j1]
+				for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+					v := a.Val[k]
+					xrow := x.Data[a.ColIdx[k]*f+j0 : a.ColIdx[k]*f+j1]
+					for j, xv := range xrow {
+						drow[j] += v * xv
+					}
+				}
+			}
+		}
+	}
+}
+
 // SpMMT computes dst = aᵀ * x without materializing aᵀ, by scattering each
 // stored row of a into the rows of dst indexed by its column indices. dst
 // must be a.Cols x x.Cols and is overwritten.
+//
+// Callers that multiply by the same aᵀ repeatedly should build a
+// TransposePlan once and use its methods instead: the plan turns the
+// scatter (plus the per-call binary searches of the parallel path) into
+// sequential gathers with identical output.
 func SpMMT(dst *dense.Matrix, a *CSR, x *dense.Matrix) {
 	checkSpMMT(dst, a, x, "SpMMT")
 	dst.Zero()
@@ -68,7 +130,12 @@ func SpMMT(dst *dense.Matrix, a *CSR, x *dense.Matrix) {
 // result bit-identical.
 func SpMMTAdd(dst *dense.Matrix, a *CSR, x *dense.Matrix) {
 	checkSpMMT(dst, a, x, "SpMMTAdd")
-	parallel.Rows(a.Cols, SpMMFlops(a, x.Cols), func(lo, hi int) {
+	work := SpMMFlops(a, x.Cols)
+	if parallel.Inline(a.Cols, work) {
+		spMMTAddCols(dst, a, x, 0, a.Cols)
+		return
+	}
+	parallel.Rows(a.Cols, work, func(lo, hi int) {
 		spMMTAddCols(dst, a, x, lo, hi)
 	})
 }
