@@ -346,6 +346,81 @@ func TestTrainHaloOptionValidation(t *testing.T) {
 	}
 }
 
+// TestTrainOverlap: the Overlap option must leave every training number
+// bit-identical while strictly shrinking the modeled time, for every
+// distributed algorithm and in composition with the halo exchange.
+func TestTrainOverlap(t *testing.T) {
+	ds := RandomDataset(7, 5, 8, 4, 3, 9)
+	for _, tc := range []struct {
+		opts TrainOptions
+		// strict marks configurations with guaranteed pipeline stages; the
+		// halo variant only hides time when the partition leaves interior
+		// rows, which a plain R-MAT graph barely has, so it asserts
+		// no-worse (core's overlap tests cover its strict win on a
+		// community graph).
+		strict bool
+	}{
+		{TrainOptions{Algorithm: "1d", Ranks: 4, Epochs: 3, Overlap: true}, true},
+		// 8 ranks at c=2 give 4 teams, so each member pipelines 2 stages
+		// (4 ranks would leave one stage per member — nothing to prefetch).
+		{TrainOptions{Algorithm: "1.5d", Ranks: 8, Epochs: 3, Overlap: true}, true},
+		{TrainOptions{Algorithm: "2d", Ranks: 4, Epochs: 3, Overlap: true}, true},
+		{TrainOptions{Algorithm: "3d", Ranks: 8, Epochs: 3, Overlap: true}, true},
+		{TrainOptions{Algorithm: "1d", Ranks: 4, Epochs: 3, Overlap: true, HaloExchange: true, Partitioner: "ldg"}, false},
+	} {
+		opts := tc.opts
+		baseOpts := opts
+		baseOpts.Overlap = false
+		base, err := Train(ds, baseOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Train(ds, opts)
+		if err != nil {
+			t.Fatalf("%+v: %v", opts, err)
+		}
+		for e := range base.Losses {
+			if got.Losses[e] != base.Losses[e] {
+				t.Fatalf("%+v: loss diverges at epoch %d: %v vs %v",
+					opts, e, got.Losses[e], base.Losses[e])
+			}
+		}
+		wantOut := base.Result().Output
+		gotOut := got.Result().Output
+		for i := 0; i < wantOut.Rows; i++ {
+			for j := 0; j < wantOut.Cols; j++ {
+				if gotOut.At(i, j) != wantOut.At(i, j) {
+					t.Fatalf("%+v: output (%d,%d) deviates", opts, i, j)
+				}
+			}
+		}
+		for cat, words := range base.WordsByCategory {
+			if got.WordsByCategory[cat] != words {
+				t.Fatalf("%+v: %s words changed: %d vs %d",
+					opts, cat, got.WordsByCategory[cat], words)
+			}
+		}
+		if tc.strict {
+			if got.ModeledSeconds >= base.ModeledSeconds {
+				t.Fatalf("%+v: overlapped %v not below bulk-synchronous %v",
+					opts, got.ModeledSeconds, base.ModeledSeconds)
+			}
+			if got.HiddenCommSeconds <= 0 {
+				t.Fatalf("%+v: no communication hidden", opts)
+			}
+		} else if got.ModeledSeconds > base.ModeledSeconds {
+			t.Fatalf("%+v: overlapped %v above bulk-synchronous %v",
+				opts, got.ModeledSeconds, base.ModeledSeconds)
+		}
+		if base.HiddenCommSeconds != 0 {
+			t.Fatalf("%+v: synchronous run reports hidden time", baseOpts)
+		}
+	}
+	if _, err := Train(ds, TrainOptions{Algorithm: "serial", Overlap: true}); err == nil {
+		t.Fatal("expected error for overlap on serial")
+	}
+}
+
 func TestPartitionersList(t *testing.T) {
 	if len(Partitioners) != 3 {
 		t.Fatalf("got %v", Partitioners)

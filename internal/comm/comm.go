@@ -68,6 +68,17 @@ func (p Payload) Words() int64 { return int64(len(p.Floats)) + int64(len(p.Ints)
 // Ledger accumulates per-rank accounting. Each rank owns its ledger
 // exclusively during Run, so no locking is needed; read it after Run
 // returns.
+//
+// Besides the per-category scalar totals, the ledger keeps an interval
+// *timeline*: every charge occupies a span of modeled time on one of two
+// per-rank resources — the compute core (ChargeTime) or the network link
+// (α–β charges). Synchronous charges advance the rank's clock past their
+// span; asynchronous charges (ChargeAsync, the I-collectives) only reserve
+// the network and advance the clock when their Request is waited on, so
+// compute issued between initiation and Wait overlaps the in-flight span.
+// Elapsed is therefore the critical path max(comp, comm) of the pipeline
+// the rank actually executed, while TotalTime remains the bulk-synchronous
+// sum of all spans.
 type Ledger struct {
 	// ModelTime is modeled seconds per category (α–β charges plus compute
 	// charges from ChargeTime).
@@ -84,6 +95,24 @@ type Ledger struct {
 	// reported by the algorithm via RecordMem — the basis for the paper's
 	// §IV-D replication-factor comparison.
 	PeakMemWords int64
+
+	// clock is the rank's timeline position: the end of the last span the
+	// rank synchronously completed or waited for.
+	clock float64
+	// netBusy is when the rank's network link frees up: in-flight
+	// collectives occupy it serially (one NIC per rank), so a second
+	// initiation — or a synchronous collective — queues behind the first
+	// even while both hide behind compute.
+	netBusy float64
+	// hidden accumulates the async communication seconds that overlapped
+	// compute: per waited request, the part of its span the clock covered
+	// with compute (not with queued synchronous transfers) before the
+	// Wait.
+	hidden float64
+	// compTime is cumulative ChargeTime seconds; requests snapshot it at
+	// initiation so Wait can tell compute-covered span from span covered
+	// by other transfers dragging the clock.
+	compTime float64
 }
 
 // RecordMem reports the current modeled resident word count; the ledger
@@ -102,7 +131,8 @@ func newLedger() *Ledger {
 	}
 }
 
-// TotalTime returns the sum of modeled time across categories.
+// TotalTime returns the sum of modeled time across categories — the
+// bulk-synchronous cost, as if no communication overlapped compute.
 func (l *Ledger) TotalTime() float64 {
 	var s float64
 	for _, v := range l.ModelTime {
@@ -110,6 +140,17 @@ func (l *Ledger) TotalTime() float64 {
 	}
 	return s
 }
+
+// Elapsed returns the rank's timeline clock: the critical-path modeled
+// time of everything charged so far. When every charge was synchronous it
+// equals TotalTime (up to float summation order); asynchronous charges
+// waited on after intervening compute shrink it by the hidden overlap.
+func (l *Ledger) Elapsed() float64 { return l.clock }
+
+// HiddenCommTime returns the asynchronous communication seconds that were
+// hidden behind compute: the total span length of waited requests minus
+// their exposed remainders. It is the overlap headroom actually realized.
+func (l *Ledger) HiddenCommTime() float64 { return l.hidden }
 
 // CommTime returns modeled time in communication categories only.
 func (l *Ledger) CommTime() float64 {
@@ -139,6 +180,10 @@ func (l *Ledger) Reset() {
 	l.PhysWordsSent = 0
 	l.PhysMsgsSent = 0
 	l.PeakMemWords = 0
+	l.clock = 0
+	l.netBusy = 0
+	l.hidden = 0
+	l.compTime = 0
 }
 
 // Cluster is the in-process fabric connecting P ranks.
@@ -179,12 +224,27 @@ func (c *Cluster) Size() int { return c.p }
 // Ledger returns rank's accounting ledger. Read it only after Run returns.
 func (c *Cluster) Ledger(rank int) *Ledger { return c.ledgers[rank] }
 
-// MaxTotalTime returns the bulk-synchronous epoch time: the maximum over
-// ranks of total modeled time.
+// MaxTotalTime returns the modeled run time: the maximum over ranks of
+// the critical-path timeline clock. Under purely synchronous execution it
+// equals the classic per-rank sum of all charges; when trainers run with
+// communication/computation overlap, in-flight collective spans hide
+// behind compute and the maximum shrinks accordingly.
 func (c *Cluster) MaxTotalTime() float64 {
 	var mx float64
 	for _, l := range c.ledgers {
-		if t := l.TotalTime(); t > mx {
+		if t := l.Elapsed(); t > mx {
+			mx = t
+		}
+	}
+	return mx
+}
+
+// MaxHiddenCommTime returns the largest per-rank hidden communication
+// time: the async collective seconds that overlapped compute.
+func (c *Cluster) MaxHiddenCommTime() float64 {
+	var mx float64
+	for _, l := range c.ledgers {
+		if t := l.HiddenCommTime(); t > mx {
 			mx = t
 		}
 	}
@@ -305,6 +365,12 @@ type Comm struct {
 	rank    int
 	ledger  *Ledger
 	world   *Group // lazily built, cached: World is called on every epoch
+
+	// reqs is the rank's Request arena: requests are checked out in issue
+	// order and recycled all at once by EpochDone, so the steady-state
+	// epoch loop issues collectives without allocating.
+	reqs    []*Request
+	reqNext int
 }
 
 // Rank returns this rank's id in [0, Size).
@@ -347,18 +413,39 @@ func (c *Comm) recvRaw(src int) Payload {
 	return <-c.cluster.mailbox[src][c.rank]
 }
 
-// Charge adds an explicit α–β charge: msgs α-units and words β-units under
-// cat.
+// Charge adds an explicit synchronous α–β charge: msgs α-units and words
+// β-units under cat. The span occupies the network link and the clock
+// advances past it — the rank blocks until the transfer completes.
 func (c *Comm) Charge(cat Category, msgs int64, words int64) {
+	l := c.ledger
+	cost := c.chargeStats(cat, msgs, words)
+	start := l.clock
+	if l.netBusy > start {
+		start = l.netBusy
+	}
+	l.netBusy = start + cost
+	l.clock = l.netBusy
+}
+
+// chargeStats updates the per-category scalar totals for an α–β charge and
+// returns its span length. Timeline placement is the caller's business:
+// Charge blocks the clock on it, ChargeAsync hands it to a Request.
+func (c *Comm) chargeStats(cat Category, msgs, words int64) float64 {
+	cost := float64(msgs)*c.cluster.cost.Alpha + float64(words)*c.cluster.cost.Beta
 	c.ledger.ModelMsgs[cat] += msgs
 	c.ledger.ModelWords[cat] += words
-	c.ledger.ModelTime[cat] += float64(msgs)*c.cluster.cost.Alpha + float64(words)*c.cluster.cost.Beta
+	c.ledger.ModelTime[cat] += cost
+	return cost
 }
 
 // ChargeTime adds modeled compute seconds under cat (used for local SpMM /
-// GEMM work, which has no α–β decomposition).
+// GEMM work, which has no α–β decomposition). Compute occupies the rank's
+// core, not its network link: it runs concurrently with any in-flight
+// asynchronous collective.
 func (c *Comm) ChargeTime(cat Category, seconds float64) {
 	c.ledger.ModelTime[cat] += seconds
+	c.ledger.clock += seconds
+	c.ledger.compTime += seconds
 }
 
 // Send transmits a payload point-to-point and charges α + β·words.
@@ -393,7 +480,13 @@ func (c *Comm) Exchange(peer int, p Payload, cat Category) Payload {
 // reused for the next epoch's traffic. The training engine calls this at
 // the end of every epoch, after all epoch state has been consumed, which is
 // what makes the steady-state epoch loop allocation-free.
+//
+// EpochDone also recycles the rank's Request arena; every request issued
+// during the epoch must have been waited on by now (an unwaited request
+// would silently drop its communication span from the timeline, so it
+// panics instead).
 func (c *Comm) EpochDone() {
+	c.recycleRequests()
 	c.cluster.barrier.await()
 	if c.rank == 0 {
 		c.cluster.pool.recycle()

@@ -69,32 +69,10 @@ func (g *Group) charge(cat Category, msgs, words int64) {
 // Broadcast distributes root's payload to all members and returns it.
 // Non-root members pass an ignored payload (conventionally the zero value).
 // Physical transport uses a binomial tree; every member is charged
-// α·⌈lg q⌉ + β·m per the pipelined-broadcast bound.
+// α·⌈lg q⌉ + β·m per the pipelined-broadcast bound. It is IBroadcast
+// joined immediately, so the span blocks the member's timeline.
 func (g *Group) Broadcast(root int, p Payload, cat Category) Payload {
-	q := len(g.ranks)
-	if root < 0 || root >= q {
-		panic(fmt.Sprintf("comm: broadcast root %d out of range for group of %d", root, q))
-	}
-	if q == 1 {
-		return p
-	}
-	// Rotate so the root is virtual rank 0.
-	vrank := (g.me - root + q) % q
-	if vrank != 0 {
-		src := g.ranks[((vrank-(vrank&-vrank))+root)%q]
-		p = g.comm.recvRaw(src)
-	}
-	// Forward down the binomial tree: highest bit first.
-	for mask := nextPow2(q) >> 1; mask > 0; mask >>= 1 {
-		if vrank&(mask-1) == 0 && vrank&mask == 0 {
-			child := vrank | mask
-			if child < q {
-				g.comm.sendRaw(g.ranks[(child+root)%q], p)
-			}
-		}
-	}
-	g.charge(cat, lg2(q), p.Words())
-	return p
+	return g.IBroadcast(root, p, cat).Wait()
 }
 
 // Reduce performs an elementwise float64 sum onto root and returns the
@@ -216,31 +194,12 @@ func (g *Group) reduceUncharged(root int, x []float64) []float64 {
 
 // AllGather collects each member's payload and returns them ordered by
 // group index. Charged α·⌈lg q⌉ + β·(total words received), the standard
-// large-message all-gather bound.
+// large-message all-gather bound. It is IAllGather joined immediately.
+//
+// Physically the parts gather onto member 0 and broadcast back one by one
+// to keep payload boundaries; the charge is the single all-gather bound.
 func (g *Group) AllGather(p Payload, cat Category) []Payload {
-	q := len(g.ranks)
-	parts := g.gatherUncharged(0, p)
-	var total int64
-	if g.me == 0 {
-		for _, part := range parts {
-			total += part.Words()
-		}
-	}
-	// Broadcast the concatenation. To keep payload boundaries, broadcast
-	// each part (physical); charge once with the all-gather bound.
-	out := g.comm.cluster.pool.getPayloads(q)
-	if g.me == 0 {
-		copy(out, parts)
-	}
-	for i := 0; i < q; i++ {
-		out[i] = g.broadcastUncharged(0, out[i])
-	}
-	var myTotal int64
-	for _, part := range out {
-		myTotal += part.Words()
-	}
-	g.charge(cat, lg2(q), myTotal)
-	return out
+	return g.IAllGather(p, cat).WaitAll()
 }
 
 // Gather collects payloads onto root, ordered by group index (nil

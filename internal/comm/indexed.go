@@ -1,7 +1,5 @@
 package comm
 
-import "fmt"
-
 // ExchangeIndexed performs a sparse point-to-point exchange within the
 // group — the halo-exchange collective of §IV-A-1. Member i sends parts[j]
 // to every member j for which parts[j] is non-empty, and receives one
@@ -21,35 +19,7 @@ import "fmt"
 // The pattern must agree across the group: from[i] is true at member j
 // exactly when member i passes a non-empty parts[j]. Callers typically
 // negotiate it once with an AllToAll of index lists and reuse it every
-// epoch.
+// epoch. It is IExchangeIndexed joined immediately.
 func (g *Group) ExchangeIndexed(parts []Payload, from []bool, cat Category) []Payload {
-	q := len(g.ranks)
-	if len(parts) != q || len(from) != q {
-		panic(fmt.Sprintf("comm: ExchangeIndexed needs %d parts and flags, got %d and %d", q, len(parts), len(from)))
-	}
-	if parts[g.me].Words() != 0 || from[g.me] {
-		panic(fmt.Sprintf("comm: ExchangeIndexed member %d exchanging with itself", g.me))
-	}
-	out := g.comm.cluster.pool.getPayloads(q)
-	// All sends complete before the receives (as in AllToAll): each pair
-	// moves at most one message per call, well under the buffered mailbox
-	// depth, so a simultaneous send+receive between a pair cannot
-	// rendezvous-deadlock and no helper goroutine is needed.
-	for i := 1; i < q; i++ {
-		dst := (g.me + i) % q
-		if parts[dst].Words() > 0 {
-			g.comm.sendRaw(g.ranks[dst], parts[dst])
-		}
-	}
-	var msgs, words int64
-	for i := 1; i < q; i++ {
-		src := (g.me - i + q) % q
-		if from[src] {
-			out[src] = g.comm.recvRaw(g.ranks[src])
-			msgs++
-			words += out[src].Words()
-		}
-	}
-	g.charge(cat, msgs, words)
-	return out
+	return g.IExchangeIndexed(parts, from, cat).WaitAll()
 }

@@ -1,0 +1,215 @@
+package comm
+
+import "fmt"
+
+// This file implements the non-blocking side of the fabric: asynchronous
+// α–β charges whose spans overlap subsequent compute, and the Request
+// handle that joins them back into the rank's timeline. It is the model
+// analog of NCCL's asynchronous collectives, which CAGNET's Summit
+// implementation uses to hide dense broadcasts behind local SpMM (§V–VI);
+// the double-buffered trainer pipelines in internal/core are built on it.
+//
+// Timeline semantics (see the Ledger doc): an async charge reserves the
+// network link starting at max(clock, netBusy) — in-flight collectives
+// queue behind each other on the rank's single link — but leaves the clock
+// where it is. Compute charged before the matching Wait runs concurrently
+// with the span; Wait advances the clock to the span's end if compute has
+// not already covered it. Per pipeline stage the rank therefore pays
+// max(compute, communication) instead of their sum.
+
+// Request is a handle on an in-flight asynchronous operation. It is issued
+// by ChargeAsync or one of the I-collectives (IBroadcast, IAllGather,
+// IExchangeIndexed) and joined with Wait or WaitAll, which advance the
+// rank's timeline clock past the operation's span and return its result.
+//
+// Requests are owned by the issuing rank, pooled per Comm, and recycled at
+// EpochDone: do not retain one across an epoch boundary. Waiting twice is
+// harmless (the second wait is a no-op returning the same result); leaving
+// a request unwaited at EpochDone panics, since its span would otherwise
+// vanish from the timeline.
+type Request struct {
+	comm        *Comm
+	start       float64 // span start on the network link
+	ready       float64 // span end: when the data is modeled to arrive
+	compAtIssue float64 // ledger compTime snapshot, for hidden accounting
+	waited      bool
+	payload     Payload
+	payloads    []Payload
+}
+
+// Wait joins the operation into the timeline and returns its single-payload
+// result (the zero Payload for multi-payload operations; use WaitAll).
+func (r *Request) Wait() Payload {
+	r.complete()
+	return r.payload
+}
+
+// WaitAll joins the operation into the timeline and returns its per-member
+// payload list (nil for single-payload operations; use Wait).
+func (r *Request) WaitAll() []Payload {
+	r.complete()
+	return r.payloads
+}
+
+// complete advances the clock past the span (idempotently) and accounts the
+// hidden portion: whatever part of the span the clock had already covered
+// with compute by the time of the wait.
+func (r *Request) complete() {
+	if r.waited {
+		return
+	}
+	r.waited = true
+	l := r.comm.ledger
+	// Hidden portion: how much of [start, ready] the clock had already
+	// covered by the time of the wait — capped by the compute actually
+	// charged since initiation, so a synchronous transfer dragging the
+	// clock while this span was in flight (the rank blocked on the NIC,
+	// not computing) claims no overlap credit.
+	covered := l.clock
+	if r.ready < covered {
+		covered = r.ready
+	}
+	covered -= r.start
+	if compSince := l.compTime - r.compAtIssue; covered > compSince {
+		covered = compSince
+	}
+	if covered > 0 {
+		l.hidden += covered
+	}
+	if r.ready > l.clock {
+		l.clock = r.ready
+	}
+}
+
+// takeRequest checks a request out of the rank's arena with the given span,
+// clearing any result left by a previous epoch's use.
+func (c *Comm) takeRequest(start, ready float64) *Request {
+	var r *Request
+	if c.reqNext < len(c.reqs) {
+		r = c.reqs[c.reqNext]
+	} else {
+		r = &Request{comm: c}
+		c.reqs = append(c.reqs, r)
+	}
+	c.reqNext++
+	r.start, r.ready = start, ready
+	r.compAtIssue = c.ledger.compTime
+	r.waited = false
+	r.payload = Payload{}
+	r.payloads = nil
+	return r
+}
+
+// recycleRequests returns every request issued this epoch to the arena,
+// panicking on any that was never waited (its span would be lost).
+func (c *Comm) recycleRequests() {
+	for i, r := range c.reqs[:c.reqNext] {
+		if !r.waited {
+			panic(fmt.Sprintf("comm: rank %d reached EpochDone with request %d unwaited", c.rank, i))
+		}
+		r.payload = Payload{}
+		r.payloads = nil
+	}
+	c.reqNext = 0
+}
+
+// ChargeAsync records an α–β charge whose span overlaps subsequent compute:
+// category statistics (msgs, words, per-category time) are charged exactly
+// as Charge does, but the clock does not advance until the returned
+// Request is waited on. The span is queued on the rank's network link
+// behind any other in-flight charge.
+func (c *Comm) ChargeAsync(cat Category, msgs, words int64) *Request {
+	l := c.ledger
+	cost := c.chargeStats(cat, msgs, words)
+	start := l.clock
+	if l.netBusy > start {
+		start = l.netBusy
+	}
+	l.netBusy = start + cost
+	return c.takeRequest(start, l.netBusy)
+}
+
+// completedRequest returns a request whose span is empty: operations that
+// charge nothing (single-member broadcasts) still hand back a Request so
+// call sites stay uniform.
+func (c *Comm) completedRequest() *Request {
+	return c.takeRequest(c.ledger.clock, c.ledger.clock)
+}
+
+// IBroadcast is the non-blocking Broadcast: the payload moves through the
+// fabric immediately (simulated transport is instantaneous) and the
+// member's α·⌈lg q⌉ + β·m charge becomes an in-flight span. Wait returns
+// the broadcast payload. Charges and results are identical to Broadcast —
+// Broadcast is IBroadcast followed by an immediate Wait.
+func (g *Group) IBroadcast(root int, p Payload, cat Category) *Request {
+	q := len(g.ranks)
+	if root < 0 || root >= q {
+		panic(fmt.Sprintf("comm: broadcast root %d out of range for group of %d", root, q))
+	}
+	if q == 1 {
+		r := g.comm.completedRequest()
+		r.payload = p
+		return r
+	}
+	out := g.broadcastUncharged(root, p)
+	r := g.comm.ChargeAsync(cat, lg2(q), out.Words())
+	r.payload = out
+	return r
+}
+
+// IAllGather is the non-blocking AllGather; WaitAll returns the payloads
+// ordered by group index. Charges and results are identical to AllGather.
+func (g *Group) IAllGather(p Payload, cat Category) *Request {
+	q := len(g.ranks)
+	parts := g.gatherUncharged(0, p)
+	out := g.comm.cluster.pool.getPayloads(q)
+	if g.me == 0 {
+		copy(out, parts)
+	}
+	for i := 0; i < q; i++ {
+		out[i] = g.broadcastUncharged(0, out[i])
+	}
+	var myTotal int64
+	for _, part := range out {
+		myTotal += part.Words()
+	}
+	r := g.comm.ChargeAsync(cat, lg2(q), myTotal)
+	r.payloads = out
+	return r
+}
+
+// IExchangeIndexed is the non-blocking ExchangeIndexed — the asynchronous
+// halo fetch of §IV-A-1. WaitAll returns the received payloads indexed by
+// group member. Charges and results are identical to ExchangeIndexed.
+func (g *Group) IExchangeIndexed(parts []Payload, from []bool, cat Category) *Request {
+	q := len(g.ranks)
+	if len(parts) != q || len(from) != q {
+		panic(fmt.Sprintf("comm: ExchangeIndexed needs %d parts and flags, got %d and %d", q, len(parts), len(from)))
+	}
+	if parts[g.me].Words() != 0 || from[g.me] {
+		panic(fmt.Sprintf("comm: ExchangeIndexed member %d exchanging with itself", g.me))
+	}
+	out := g.comm.cluster.pool.getPayloads(q)
+	// All sends complete before the receives (as in AllToAll): each pair
+	// moves at most one message per call, well under the buffered mailbox
+	// depth, so a simultaneous send+receive between a pair cannot
+	// rendezvous-deadlock and no helper goroutine is needed.
+	for i := 1; i < q; i++ {
+		dst := (g.me + i) % q
+		if parts[dst].Words() > 0 {
+			g.comm.sendRaw(g.ranks[dst], parts[dst])
+		}
+	}
+	var msgs, words int64
+	for i := 1; i < q; i++ {
+		src := (g.me - i + q) % q
+		if from[src] {
+			out[src] = g.comm.recvRaw(g.ranks[src])
+			msgs++
+			words += out[src].Words()
+		}
+	}
+	r := g.comm.ChargeAsync(cat, msgs, words)
+	r.payloads = out
+	return r
+}

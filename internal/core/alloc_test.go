@@ -104,6 +104,23 @@ func TestSteadyStateAllocsDistributed(t *testing.T) {
 		{"1.5d-halo", func() rankRunner { tr := NewOneFiveD(4, 2, testMach); tr.Halo = true; return tr }(), 4},
 		{"2d", NewTwoD(4, testMach), 4},
 		{"3d", NewThreeD(8, testMach), 8},
+		// Overlap mode must be equally allocation-free: the double buffers
+		// come from the workspace/payload arenas and Request objects are
+		// pooled and recycled by EpochDone.
+		{"1d-overlap", func() rankRunner { tr := NewOneD(4, testMach); tr.Overlap = true; return tr }(), 4},
+		{"1d-halo-overlap", func() rankRunner {
+			tr := NewOneD(4, testMach)
+			tr.Halo, tr.Overlap = true, true
+			return tr
+		}(), 4},
+		{"1.5d-overlap", func() rankRunner { tr := NewOneFiveD(4, 2, testMach); tr.Overlap = true; return tr }(), 4},
+		{"1.5d-halo-overlap", func() rankRunner {
+			tr := NewOneFiveD(4, 2, testMach)
+			tr.Halo, tr.Overlap = true, true
+			return tr
+		}(), 4},
+		{"2d-overlap", func() rankRunner { tr := NewTwoD(4, testMach); tr.Overlap = true; return tr }(), 4},
+		{"3d-overlap", func() rankRunner { tr := NewThreeD(8, testMach); tr.Overlap = true; return tr }(), 8},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -6,6 +6,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/dense"
 	"repro/internal/partition"
+	"repro/internal/sparse"
 )
 
 // This file holds the halo-exchange plumbing shared by the 1D and 1.5D
@@ -67,6 +68,13 @@ func exchangeHaloPlan(g *comm.Group, need [][]int) (sendIdx [][]int, recvFrom []
 // persistent scratch (len g.Size()), so steady-state exchanges allocate
 // nothing.
 func haloFetch(g *comm.Group, x *dense.Matrix, sendIdx [][]int, recvFrom []bool, ws *dense.Workspace, parts []comm.Payload) []comm.Payload {
+	return haloFetchAsync(g, x, sendIdx, recvFrom, ws, parts).WaitAll()
+}
+
+// haloFetchAsync is haloFetch with a non-blocking exchange: the fetch's
+// α–β span stays in flight until the returned request is waited on, so the
+// caller can multiply rows with no remote dependencies in the meantime.
+func haloFetchAsync(g *comm.Group, x *dense.Matrix, sendIdx [][]int, recvFrom []bool, ws *dense.Workspace, parts []comm.Payload) *comm.Request {
 	for i := range parts {
 		parts[i] = comm.Payload{}
 	}
@@ -77,5 +85,36 @@ func haloFetch(g *comm.Group, x *dense.Matrix, sendIdx [][]int, recvFrom []bool,
 			parts[i] = comm.Payload{Floats: rows.Data}
 		}
 	}
-	return g.ExchangeIndexed(parts, recvFrom, comm.CatDenseComm)
+	return g.IExchangeIndexed(parts, recvFrom, comm.CatDenseComm)
+}
+
+// haloRowSplit classifies the nRows local output rows of a halo-exchange
+// product into interior rows — no nonzero in any remote adjacency block,
+// so their entire product comes from the local block — and frontier rows
+// (everything else). remote lists the column-compacted remote blocks (nil
+// entries are skipped). The overlapped trainers multiply interior rows
+// while the halo fetch is in flight and frontier rows after its Wait;
+// since an interior row receives contributions from exactly one block in
+// either schedule, and frontier rows are processed in the unchanged block
+// order, the split is bit-identical to the synchronous product.
+func haloRowSplit(nRows int, remote []*sparse.CSR) (interior, frontier []int) {
+	isFrontier := make([]bool, nRows)
+	for _, b := range remote {
+		if b == nil {
+			continue
+		}
+		for i := 0; i < nRows; i++ {
+			if b.RowPtr[i+1] > b.RowPtr[i] {
+				isFrontier[i] = true
+			}
+		}
+	}
+	for i, f := range isFrontier {
+		if f {
+			frontier = append(frontier, i)
+		} else {
+			interior = append(interior, i)
+		}
+	}
+	return interior, frontier
 }

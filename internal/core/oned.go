@@ -36,6 +36,16 @@ type OneD struct {
 	// relabeling. Must cover the problem's vertices with exactly p blocks.
 	// Set before Train; nil keeps the default.
 	Layout partition.Layout1D
+
+	// Overlap hides communication behind local SpMM on the modeled
+	// timeline. In broadcast mode, block j+1's dense broadcast is in
+	// flight while block j multiplies (the SUMMA prefetch pattern); in
+	// halo mode, the indexed row fetch is issued asynchronously, interior
+	// rows — those with no remote dependencies — multiply immediately, and
+	// frontier rows multiply after the Wait. Both paths keep the exact
+	// accumulation order and are bit-identical to the synchronous runs.
+	// Set before Train.
+	Overlap bool
 }
 
 // NewOneD returns a 1D trainer over p simulated ranks.
@@ -76,7 +86,7 @@ func (t *OneD) runRanks(p Problem, body func(ops layerOps, cfg nn.Config, prob P
 	}
 	return t.cluster.Run(func(c *comm.Comm) error {
 		r := &oneDRank{
-			comm: c, mach: t.mach, cfg: cfg, blk: blk, halo: t.Halo,
+			comm: c, mach: t.mach, cfg: cfg, blk: blk, halo: t.Halo, overlap: t.Overlap,
 			labels: p.Labels, mask: p.TrainMask, norm: p.lossNormalizer(), n: n,
 		}
 		r.setup(at, p.Features)
@@ -103,15 +113,16 @@ func (t *OneD) Train(p Problem) (*Result, error) {
 // layerOps with the 1D collective choreography. Per-epoch temporaries come
 // from ws (reset at endEpoch, together with the fabric's payload pool).
 type oneDRank struct {
-	comm   *comm.Comm
-	mach   costmodel.Machine
-	cfg    nn.Config
-	blk    partition.Layout1D
-	halo   bool
-	labels []int
-	mask   []bool
-	norm   int
-	n      int
+	comm    *comm.Comm
+	mach    costmodel.Machine
+	cfg     nn.Config
+	blk     partition.Layout1D
+	halo    bool
+	overlap bool
+	labels  []int
+	mask    []bool
+	norm    int
+	n       int
 
 	lo, hi  int
 	atBlk   []*sparse.CSR         // atBlk[j] = Aᵀ(my rows, rows of block j); dense-broadcast mode
@@ -132,6 +143,16 @@ type oneDRank struct {
 	plan     *sparse.HaloPlan
 	sendIdx  [][]int
 	recvFrom []bool
+
+	// Interior/frontier split (r.halo && r.overlap only), built once in
+	// setup: interior rows have no nonzeros outside the diagonal block and
+	// multiply while the halo fetch is in flight; frontier rows multiply
+	// after its Wait. interiorNNZ (diagonal-block nnz on interior rows)
+	// apportions the diagonal block's unchanged SpMM charge between the
+	// two passes.
+	interior    []int
+	frontier    []int
+	interiorNNZ int64
 }
 
 // recordMem reports the resident footprint: persistent blocks plus the
@@ -151,6 +172,13 @@ func (r *oneDRank) setup(at *sparse.CSR, features *dense.Matrix) {
 		r.plan = sparse.BuildHaloPlan(r.atLocal, partition.Offsets1D(r.blk), me)
 		r.sendIdx, r.recvFrom = exchangeHaloPlan(r.comm.World(), r.plan.Need)
 		r.haloParts = make([]comm.Payload, r.comm.Size())
+		if r.overlap {
+			remote := make([]*sparse.CSR, len(r.plan.Blocks))
+			copy(remote, r.plan.Blocks)
+			remote[me] = nil
+			r.interior, r.frontier = haloRowSplit(r.hi-r.lo, remote)
+			r.interiorNNZ = sparse.RowListNNZ(r.plan.Blocks[me], r.interior)
+		}
 	} else {
 		r.atBlk = make([]*sparse.CSR, r.comm.Size())
 		for j := 0; j < r.comm.Size(); j++ {
@@ -171,19 +199,59 @@ func (r *oneDRank) input() *dense.Matrix { return r.h0 }
 // forwardAggregate computes T_i = Σ_j Aᵀ_ij X_j — with a broadcast per
 // block row of X (Algorithm 1), or, in halo mode, with an indexed
 // point-to-point exchange of only the rows this rank's Aᵀ blocks touch
-// (§IV-A-1). Both paths accumulate blocks in the same order with the same
+// (§IV-A-1). All paths accumulate blocks in the same order with the same
 // nonzeros, so the results are bit-identical.
+//
+// With overlap on, the halo path issues the fetch asynchronously,
+// multiplies interior rows (no remote dependencies) while it is in
+// flight, and finishes the frontier rows after the Wait; the broadcast
+// path prefetches block j+1's broadcast behind block j's SpMM.
 func (r *oneDRank) forwardAggregate(x *dense.Matrix, l int) *dense.Matrix {
 	world := r.comm.World()
 	rows := r.hi - r.lo
 	fPrev := r.cfg.Widths[l-1]
 	T := r.ws.Get(rows, fPrev)
-	if r.halo {
+	me := r.comm.Rank()
+	switch {
+	case r.halo && r.overlap:
+		req := haloFetchAsync(world, x, r.sendIdx, r.recvFrom, r.ws, r.haloParts)
+		// Interior rows touch only the diagonal block; their product is
+		// complete before any fetched row arrives. The charge model is
+		// unchanged from the synchronous path — the same per-block
+		// SpMMTime totals, with the diagonal block's charge apportioned
+		// to the two passes by nnz share so only the timeline placement
+		// moves, never the modeled compute cost.
+		diagTime := r.mach.SpMMTime(int64(r.plan.Blocks[me].NNZ()), rows, fPrev)
+		interiorShare := 0.0
+		if nnz := r.plan.Blocks[me].NNZ(); nnz > 0 {
+			interiorShare = diagTime * float64(r.interiorNNZ) / float64(nnz)
+		}
+		r.recordMem(matWords(T) + matWords(x))
+		sparse.SpMMAddRowList(T, r.plan.Blocks[me], x, r.interior)
+		r.comm.ChargeTime(comm.CatSpMM, interiorShare)
+		recvd := req.WaitAll()
+		for j := 0; j < r.comm.Size(); j++ {
+			blk := r.plan.Blocks[j]
+			var xj *dense.Matrix
+			if j == me {
+				xj = x // uncompacted diagonal block, no gather
+			} else {
+				xj = r.ws.Wrap(len(r.plan.Need[j]), fPrev, recvd[j].Floats)
+			}
+			r.recordMem(matWords(T) + matWords(xj))
+			sparse.SpMMAddRowList(T, blk, xj, r.frontier)
+			if j == me {
+				r.comm.ChargeTime(comm.CatSpMM, diagTime-interiorShare)
+			} else {
+				r.comm.ChargeTime(comm.CatSpMM, r.mach.SpMMTime(int64(blk.NNZ()), rows, fPrev))
+			}
+		}
+	case r.halo:
 		recvd := haloFetch(world, x, r.sendIdx, r.recvFrom, r.ws, r.haloParts)
 		for j := 0; j < r.comm.Size(); j++ {
 			blk := r.plan.Blocks[j]
 			var xj *dense.Matrix
-			if j == r.comm.Rank() {
+			if j == me {
 				xj = x // uncompacted diagonal block, no gather
 			} else {
 				xj = r.ws.Wrap(len(r.plan.Need[j]), fPrev, recvd[j].Floats)
@@ -192,19 +260,42 @@ func (r *oneDRank) forwardAggregate(x *dense.Matrix, l int) *dense.Matrix {
 			sparse.SpMMAdd(T, blk, xj)
 			r.comm.ChargeTime(comm.CatSpMM, r.mach.SpMMTime(int64(blk.NNZ()), rows, fPrev))
 		}
-		return T
-	}
-	for j := 0; j < r.comm.Size(); j++ {
-		var in comm.Payload
-		if j == r.comm.Rank() {
-			in = matPayloadInto(x, r.dims)
+	default:
+		var req *comm.Request
+		if r.overlap {
+			req = r.bcastStage(0, x)
 		}
-		xj := wrapMat(r.ws, world.Broadcast(j, in, comm.CatDenseComm))
-		r.recordMem(matWords(T) + matWords(xj))
-		sparse.SpMMAdd(T, r.atBlk[j], xj)
-		r.comm.ChargeTime(comm.CatSpMM, r.mach.SpMMTime(int64(r.atBlk[j].NNZ()), rows, fPrev))
+		for j := 0; j < r.comm.Size(); j++ {
+			var xj *dense.Matrix
+			if r.overlap {
+				xj = wrapMat(r.ws, req.Wait())
+				if j+1 < r.comm.Size() {
+					req = r.bcastStage(j+1, x)
+				}
+			} else {
+				var in comm.Payload
+				if j == me {
+					in = matPayloadInto(x, r.dims)
+				}
+				xj = wrapMat(r.ws, world.Broadcast(j, in, comm.CatDenseComm))
+			}
+			r.recordMem(matWords(T) + matWords(xj))
+			sparse.SpMMAdd(T, r.atBlk[j], xj)
+			r.comm.ChargeTime(comm.CatSpMM, r.mach.SpMMTime(int64(r.atBlk[j].NNZ()), rows, fPrev))
+		}
 	}
 	return T
+}
+
+// bcastStage issues block j's asynchronous dense broadcast. Only block me
+// writes the dims scratch (this rank roots exactly one stage), so a single
+// scratch survives two stages being in flight.
+func (r *oneDRank) bcastStage(j int, x *dense.Matrix) *comm.Request {
+	var in comm.Payload
+	if j == r.comm.Rank() {
+		in = matPayloadInto(x, r.dims)
+	}
+	return r.comm.World().IBroadcast(j, in, comm.CatDenseComm)
 }
 
 // multiplyWeight computes Z_i = T_i W (W replicated: no communication).

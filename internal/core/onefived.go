@@ -40,6 +40,13 @@ type OneFiveD struct {
 	// distribution with explicit contiguous boundaries (one block per
 	// team, i.e. P/c blocks). Set before Train; nil keeps the default.
 	Layout partition.Layout1D
+
+	// Overlap hides stage communication behind local SpMM on the modeled
+	// timeline, exactly like OneD.Overlap: broadcast mode prefetches the
+	// next stage's block, halo mode multiplies interior rows while the
+	// indexed fetch is in flight. Bit-identical to the synchronous paths.
+	// Set before Train.
+	Overlap bool
 }
 
 // NewOneFiveD returns a 1.5D trainer over p ranks with replication factor
@@ -88,7 +95,7 @@ func (t *OneFiveD) runRanks(p Problem, body func(ops layerOps, cfg nn.Config, pr
 	}
 	return t.cluster.Run(func(c *comm.Comm) error {
 		r := &oneFiveDRank{
-			comm: c, mach: t.mach, cfg: cfg, halo: t.Halo,
+			comm: c, mach: t.mach, cfg: cfg, halo: t.Halo, overlap: t.Overlap,
 			labels: p.Labels, mask: p.TrainMask, norm: p.lossNormalizer(),
 			n: n, c: t.c, teams: teams,
 			blk: blk,
@@ -118,17 +125,18 @@ func (t *OneFiveD) Train(p Problem) (*Result, error) {
 // come from ws (reset at endEpoch, together with the fabric's payload
 // pool).
 type oneFiveDRank struct {
-	comm   *comm.Comm
-	mach   costmodel.Machine
-	cfg    nn.Config
-	labels []int
-	mask   []bool
-	norm   int
-	n      int
-	c      int // replication factor
-	teams  int // P/c
-	blk    partition.Layout1D
-	halo   bool
+	comm    *comm.Comm
+	mach    costmodel.Machine
+	cfg     nn.Config
+	labels  []int
+	mask    []bool
+	norm    int
+	n       int
+	c       int // replication factor
+	teams   int // P/c
+	blk     partition.Layout1D
+	halo    bool
+	overlap bool
 
 	team, layer int
 	teamGroup   *comm.Group         // the c replicas of my row block
@@ -150,6 +158,16 @@ type oneFiveDRank struct {
 	sendIdx   [][]int
 	recvFrom  []bool
 	haloParts []comm.Payload
+
+	// Interior/frontier split (r.halo && r.overlap only): interior rows
+	// have no nonzeros in any remote stage block and multiply against the
+	// own-team block (when this layer owns it) while the fetch is in
+	// flight; frontier rows multiply after the Wait. interiorNNZ (the
+	// own-team block's nnz on interior rows) apportions that block's
+	// unchanged SpMM charge between the two passes.
+	interior    []int
+	frontier    []int
+	interiorNNZ int64
 }
 
 // recordMem reports the resident footprint: persistent blocks plus the
@@ -195,6 +213,16 @@ func (r *oneFiveDRank) setup(a *sparse.CSR, features *dense.Matrix) {
 		}
 		r.sendIdx, r.recvFrom = exchangeHaloPlan(r.layerGroup, r.haloNeed)
 		r.haloParts = make([]comm.Payload, r.layerGroup.Size())
+		if r.overlap {
+			remote := make([]*sparse.CSR, 0, len(r.haloBlk))
+			for _, blk := range r.haloBlk {
+				remote = append(remote, blk)
+			}
+			r.interior, r.frontier = haloRowSplit(hi-lo, remote)
+			if own := r.atBlk[r.team]; own != nil {
+				r.interiorNNZ = sparse.RowListNNZ(own, r.interior)
+			}
+		}
 	}
 	r.h0 = features.RowSlice(lo, hi)
 	r.ws = dense.NewWorkspace()
@@ -216,37 +244,105 @@ func (r *oneFiveDRank) setup(a *sparse.CSR, features *dense.Matrix) {
 // an intra-team all-reduce completes and re-replicates the product. Stage
 // blocks move by layer-group broadcast, or, in halo mode, by an indexed
 // exchange of only the rows each stage block references — same stage
-// order and nonzeros, so the two paths are bit-identical.
+// order and nonzeros, so all paths are bit-identical.
+//
+// With overlap on, broadcast mode keeps stage s+c's broadcast in flight
+// behind stage s's SpMM, and halo mode multiplies interior rows against
+// the own-team block (when this layer owns it) while the fetch flies,
+// finishing frontier rows after the Wait.
 func (r *oneFiveDRank) blockMul(x *dense.Matrix) *dense.Matrix {
 	rows := r.blk.Size(r.team)
 	partial := r.ws.Get(rows, x.Cols)
-	var recvd []comm.Payload
-	if r.halo {
-		recvd = haloFetch(r.layerGroup, x, r.sendIdx, r.recvFrom, r.ws, r.haloParts)
-	}
-	for s := r.layer; s < r.teams; s += r.c {
-		var blk, xs = r.atBlk[s], (*dense.Matrix)(nil)
-		switch {
-		case r.halo && s == r.team:
-			xs = x // uncompacted own block, no gather
-		case r.halo:
-			blk = r.haloBlk[s]
-			xs = r.ws.Wrap(len(r.haloNeed[s]), x.Cols, recvd[s].Floats)
-		case s == r.team:
-			xs = wrapMat(r.ws, r.layerGroup.Broadcast(s, matPayloadInto(x, r.dims), comm.CatDenseComm))
-		default:
-			// Broadcast within my layer: root is the member of team s.
-			xs = wrapMat(r.ws, r.layerGroup.Broadcast(s, comm.Payload{}, comm.CatDenseComm))
+	switch {
+	case r.halo && r.overlap:
+		req := haloFetchAsync(r.layerGroup, x, r.sendIdx, r.recvFrom, r.ws, r.haloParts)
+		// As in the 1D halo overlap, the charge model is the synchronous
+		// one: per-stage SpMMTime totals unchanged, with the own-team
+		// block's charge apportioned to the two passes by nnz share.
+		var ownTime, interiorShare float64
+		if own := r.atBlk[r.team]; own != nil {
+			ownTime = r.mach.SpMMTime(int64(own.NNZ()), rows, x.Cols)
+			if nnz := own.NNZ(); nnz > 0 {
+				interiorShare = ownTime * float64(r.interiorNNZ) / float64(nnz)
+			}
+			r.recordMem(matWords(partial) + matWords(x))
+			sparse.SpMMAddRowList(partial, own, x, r.interior)
+			r.comm.ChargeTime(comm.CatSpMM, interiorShare)
 		}
-		r.recordMem(matWords(partial) + matWords(xs))
-		sparse.SpMMAdd(partial, blk, xs)
-		r.comm.ChargeTime(comm.CatSpMM, r.mach.SpMMTime(int64(blk.NNZ()), rows, x.Cols))
+		recvd := req.WaitAll()
+		for s := r.layer; s < r.teams; s += r.c {
+			var blk, xs = r.atBlk[s], (*dense.Matrix)(nil)
+			if s == r.team {
+				xs = x // uncompacted own block, no gather
+			} else {
+				blk = r.haloBlk[s]
+				xs = r.ws.Wrap(len(r.haloNeed[s]), x.Cols, recvd[s].Floats)
+			}
+			r.recordMem(matWords(partial) + matWords(xs))
+			sparse.SpMMAddRowList(partial, blk, xs, r.frontier)
+			if s == r.team {
+				r.comm.ChargeTime(comm.CatSpMM, ownTime-interiorShare)
+			} else {
+				r.comm.ChargeTime(comm.CatSpMM, r.mach.SpMMTime(int64(blk.NNZ()), rows, x.Cols))
+			}
+		}
+	case r.halo:
+		recvd := haloFetch(r.layerGroup, x, r.sendIdx, r.recvFrom, r.ws, r.haloParts)
+		for s := r.layer; s < r.teams; s += r.c {
+			var blk, xs = r.atBlk[s], (*dense.Matrix)(nil)
+			if s == r.team {
+				xs = x // uncompacted own block, no gather
+			} else {
+				blk = r.haloBlk[s]
+				xs = r.ws.Wrap(len(r.haloNeed[s]), x.Cols, recvd[s].Floats)
+			}
+			r.recordMem(matWords(partial) + matWords(xs))
+			sparse.SpMMAdd(partial, blk, xs)
+			r.comm.ChargeTime(comm.CatSpMM, r.mach.SpMMTime(int64(blk.NNZ()), rows, x.Cols))
+		}
+	default:
+		var req *comm.Request
+		// Layers beyond the team count own no stages (possible whenever
+		// c² > P): the stage loop below never runs, so there is nothing
+		// to prefetch — mirroring the synchronous path, which simply
+		// skips the loop.
+		if r.overlap && r.layer < r.teams {
+			req = r.bcastStage(r.layer, x)
+		}
+		for s := r.layer; s < r.teams; s += r.c {
+			var xs *dense.Matrix
+			if r.overlap {
+				xs = wrapMat(r.ws, req.Wait())
+				if s+r.c < r.teams {
+					req = r.bcastStage(s+r.c, x)
+				}
+			} else if s == r.team {
+				xs = wrapMat(r.ws, r.layerGroup.Broadcast(s, matPayloadInto(x, r.dims), comm.CatDenseComm))
+			} else {
+				// Broadcast within my layer: root is the member of team s.
+				xs = wrapMat(r.ws, r.layerGroup.Broadcast(s, comm.Payload{}, comm.CatDenseComm))
+			}
+			r.recordMem(matWords(partial) + matWords(xs))
+			sparse.SpMMAdd(partial, r.atBlk[s], xs)
+			r.comm.ChargeTime(comm.CatSpMM, r.mach.SpMMTime(int64(r.atBlk[s].NNZ()), rows, x.Cols))
+		}
 	}
 	if r.c == 1 {
 		return partial
 	}
 	return r.ws.Wrap(rows, x.Cols,
 		r.teamGroup.AllReduce(partial.Data, comm.CatDenseComm))
+}
+
+// bcastStage issues stage s's asynchronous dense broadcast within the
+// layer group (root: the member of team s). Only stage team writes the
+// dims scratch, so one scratch survives two in-flight stages.
+func (r *oneFiveDRank) bcastStage(s int, x *dense.Matrix) *comm.Request {
+	var in comm.Payload
+	if s == r.team {
+		in = matPayloadInto(x, r.dims)
+	}
+	return r.layerGroup.IBroadcast(s, in, comm.CatDenseComm)
 }
 
 func (r *oneFiveDRank) input() *dense.Matrix { return r.h0 }

@@ -27,6 +27,12 @@ type ThreeD struct {
 	p       int
 	mach    costmodel.Machine
 	cluster *comm.Cluster
+
+	// Overlap pipelines the per-layer SUMMA loops exactly like TwoD.Overlap:
+	// stage q+1's panel broadcasts fly while stage q's local SpMM/GEMM runs
+	// (the fiber reduce-scatter stays synchronous — its result is consumed
+	// immediately). Bit-identical to the synchronous path. Set before Train.
+	Overlap bool
 }
 
 // NewThreeD returns a Split-3D-SpMM trainer over p simulated ranks; p must
@@ -64,7 +70,7 @@ func (t *ThreeD) runRanks(p Problem, body func(ops layerOps, cfg nn.Config, prob
 	}
 	return t.cluster.Run(func(c *comm.Comm) error {
 		r := &threeDRank{
-			comm: c, mach: t.mach, cfg: cfg, mesh: mesh,
+			comm: c, mach: t.mach, cfg: cfg, mesh: mesh, overlap: t.Overlap,
 			labels: p.Labels, mask: p.TrainMask, norm: p.lossNormalizer(), n: n,
 			vBlk: partition.NewBlock1D(n, mesh.C),
 		}
@@ -93,15 +99,16 @@ func (t *ThreeD) Train(p Problem) (*Result, error) {
 // temporaries come from ws and the csrs header arena, both reset at
 // endEpoch together with the fabric's payload pool.
 type threeDRank struct {
-	comm   *comm.Comm
-	mach   costmodel.Machine
-	cfg    nn.Config
-	mesh   partition.Grid3D
-	labels []int
-	mask   []bool
-	norm   int
-	n      int
-	vBlk   partition.Block1D // vertex dimension split ∛P ways
+	comm    *comm.Comm
+	mach    costmodel.Machine
+	cfg     nn.Config
+	mesh    partition.Grid3D
+	overlap bool
+	labels  []int
+	mask    []bool
+	norm    int
+	n       int
+	vBlk    partition.Block1D // vertex dimension split ∛P ways
 
 	pi, pj, pk int         // mesh coordinates: row, column, layer
 	rowGroup   *comm.Group // (pi, *, pk)
@@ -183,19 +190,33 @@ func (r *threeDRank) setup(a *sparse.CSR, features *dense.Matrix) {
 func (r *threeDRank) split3DSpMM(x *dense.Matrix) *dense.Matrix {
 	myRows := r.vBlk.Size(r.pi)
 	partial := r.ws.Get(myRows, x.Cols)
+	var aReq, xReq *comm.Request
+	if r.overlap {
+		aReq, xReq = r.splitStage(0, x)
+	}
 	for q := 0; q < r.mesh.C; q++ {
-		var aIn, xIn comm.Payload
-		if q == r.pj {
-			aIn = r.atPay
+		var aQ *sparse.CSR
+		var xQ *dense.Matrix
+		if r.overlap {
+			aQ = r.csrs.wrap(aReq.Wait())
+			xQ = wrapMat(r.ws, xReq.Wait())
+			if q+1 < r.mesh.C {
+				aReq, xReq = r.splitStage(q+1, x)
+			}
+		} else {
+			var aIn, xIn comm.Payload
+			if q == r.pj {
+				aIn = r.atPay
+			}
+			if q == r.pi {
+				xIn = matPayloadInto(x, r.dims)
+			}
+			// Sparse block Aᵀ(row pi, sub-slice (q, pk)) broadcasts along
+			// the layer row; dense block X(sub-slice (q, pk), fcols pj)
+			// along the layer column.
+			aQ = r.csrs.wrap(r.rowGroup.Broadcast(q, aIn, comm.CatSparseComm))
+			xQ = wrapMat(r.ws, r.colGroup.Broadcast(q, xIn, comm.CatDenseComm))
 		}
-		if q == r.pi {
-			xIn = matPayloadInto(x, r.dims)
-		}
-		// Sparse block Aᵀ(row pi, sub-slice (q, pk)) broadcasts along the
-		// layer row; dense block X(sub-slice (q, pk), fcols pj) along the
-		// layer column.
-		aQ := r.csrs.wrap(r.rowGroup.Broadcast(q, aIn, comm.CatSparseComm))
-		xQ := wrapMat(r.ws, r.colGroup.Broadcast(q, xIn, comm.CatDenseComm))
 		// partial is the layer's pre-reduction sum: the P^{1/3}-replicated
 		// intermediate of §IV-D-1.
 		r.recordMem(matWords(partial) + csrWords(aQ) + matWords(xQ))
@@ -213,6 +234,23 @@ func (r *threeDRank) split3DSpMM(x *dense.Matrix) *dense.Matrix {
 		r.fiberGroup.ReduceScatter(partial.Data, r.rsCounts, comm.CatDenseComm))
 }
 
+// splitStage issues stage q's asynchronous panel pair of the Split-3D-SpMM:
+// the sparse panel along the layer row, the dense panel along the layer
+// column. Only stage pi writes the dims scratch (the single dense-panel
+// root), so one scratch survives two in-flight stages.
+func (r *threeDRank) splitStage(q int, x *dense.Matrix) (aReq, xReq *comm.Request) {
+	var aIn, xIn comm.Payload
+	if q == r.pj {
+		aIn = r.atPay
+	}
+	if q == r.pi {
+		xIn = matPayloadInto(x, r.dims)
+	}
+	aReq = r.rowGroup.IBroadcast(q, aIn, comm.CatSparseComm)
+	xReq = r.colGroup.IBroadcast(q, xIn, comm.CatDenseComm)
+	return aReq, xReq
+}
+
 // partialSplit3D computes my block of T·W for replicated W: T blocks
 // broadcast along layer rows, as in the 2D partial SUMMA but within each
 // mesh layer.
@@ -220,18 +258,40 @@ func (r *threeDRank) partialSplit3D(tBlk *dense.Matrix, w *dense.Matrix) *dense.
 	rowsB := r.fBlk(w.Rows)
 	colsB := r.fBlk(w.Cols)
 	out := r.ws.Get(tBlk.Rows, colsB.Size(r.pj))
+	var tReq *comm.Request
+	if r.overlap {
+		tReq = r.partialStage(0, tBlk)
+	}
 	for q := 0; q < r.mesh.C; q++ {
-		var tIn comm.Payload
-		if q == r.pj {
-			tIn = matPayloadInto(tBlk, r.dims)
+		var tQ *dense.Matrix
+		if r.overlap {
+			tQ = wrapMat(r.ws, tReq.Wait())
+			if q+1 < r.mesh.C {
+				tReq = r.partialStage(q+1, tBlk)
+			}
+		} else {
+			var tIn comm.Payload
+			if q == r.pj {
+				tIn = matPayloadInto(tBlk, r.dims)
+			}
+			tQ = wrapMat(r.ws, r.rowGroup.Broadcast(q, tIn, comm.CatDenseComm))
 		}
-		tQ := wrapMat(r.ws, r.rowGroup.Broadcast(q, tIn, comm.CatDenseComm))
 		wSlice := r.ws.GetUninit(rowsB.Size(q), colsB.Size(r.pj))
 		w.SubMatrixInto(wSlice, rowsB.Lo(q), rowsB.Hi(q), colsB.Lo(r.pj), colsB.Hi(r.pj))
 		dense.MulAdd(out, tQ, wSlice)
 		r.comm.ChargeTime(comm.CatMisc, r.mach.GEMMTime(tQ.Rows, tQ.Cols, wSlice.Cols))
 	}
 	return out
+}
+
+// partialStage issues stage q's asynchronous T broadcast along the layer
+// row.
+func (r *threeDRank) partialStage(q int, tBlk *dense.Matrix) *comm.Request {
+	var tIn comm.Payload
+	if q == r.pj {
+		tIn = matPayloadInto(tBlk, r.dims)
+	}
+	return r.rowGroup.IBroadcast(q, tIn, comm.CatDenseComm)
 }
 
 // gatherRows all-gathers my feature-column blocks along the layer row,

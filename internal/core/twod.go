@@ -25,6 +25,14 @@ type TwoD struct {
 	p       int
 	mach    costmodel.Machine
 	cluster *comm.Cluster
+
+	// Overlap pipelines the SUMMA loops: stage k+1's panel broadcasts are
+	// issued asynchronously (comm.IBroadcast) while stage k's local
+	// SpMM/GEMM runs, so each stage costs max(comm, comp) on the modeled
+	// timeline instead of their sum. Stages still accumulate in the same
+	// order with the same panels, so results are bit-identical to the
+	// synchronous path. Set before Train.
+	Overlap bool
 }
 
 // NewTwoD returns a 2D SUMMA trainer over p simulated ranks; p must be a
@@ -63,7 +71,7 @@ func (t *TwoD) runRanks(p Problem, body func(ops layerOps, cfg nn.Config, prob P
 	at := p.A.Transpose()
 	return t.cluster.Run(func(c *comm.Comm) error {
 		r := &twoDRank{
-			comm: c, mach: t.mach, cfg: cfg, grid: grid,
+			comm: c, mach: t.mach, cfg: cfg, grid: grid, overlap: t.Overlap,
 			labels: p.Labels, mask: p.TrainMask, norm: p.lossNormalizer(), n: n,
 			vBlk: partition.NewBlock1D(n, grid.Pr),
 		}
@@ -92,15 +100,16 @@ func (t *TwoD) Train(p Problem) (*Result, error) {
 // come from ws and the csrs header arena, both reset at endEpoch together
 // with the fabric's payload pool.
 type twoDRank struct {
-	comm   *comm.Comm
-	mach   costmodel.Machine
-	cfg    nn.Config
-	grid   partition.Grid2D
-	labels []int
-	mask   []bool
-	norm   int
-	n      int
-	vBlk   partition.Block1D // vertex dimension split √P ways
+	comm    *comm.Comm
+	mach    costmodel.Machine
+	cfg     nn.Config
+	grid    partition.Grid2D
+	overlap bool
+	labels  []int
+	mask    []bool
+	norm    int
+	n       int
+	vBlk    partition.Block1D // vertex dimension split √P ways
 
 	pi, pj    int // grid coordinates
 	rowGroup  *comm.Group
@@ -188,19 +197,39 @@ func (r *twoDRank) transposeExchange() {
 // (pre-serialized as aPay) and x is my block of the 2D-partitioned dense
 // operand. Sparse blocks broadcast along process rows, dense blocks along
 // process columns (Algorithm 2, first phase).
+//
+// In overlap mode stage k+1's panel pair is issued asynchronously before
+// stage k's local SpMM runs, double-buffering the in-flight panels (the
+// fabric pool holds the incoming buffers, ws the wrapping headers), so the
+// stage cost is max(comm, comp). The stage order and every accumulation
+// are unchanged, keeping the result bit-identical.
 func (r *twoDRank) summaSpMM(aBlk *sparse.CSR, aPay comm.Payload, x *dense.Matrix) *dense.Matrix {
 	rows := r.vBlk.Size(r.pi)
 	out := r.ws.Get(rows, x.Cols)
+	var aReq, xReq *comm.Request
+	if r.overlap {
+		aReq, xReq = r.summaStage(0, aPay, x)
+	}
 	for k := 0; k < r.grid.Pc; k++ {
-		var aIn, xIn comm.Payload
-		if k == r.pj {
-			aIn = aPay
+		var aK *sparse.CSR
+		var xK *dense.Matrix
+		if r.overlap {
+			aK = r.csrs.wrap(aReq.Wait())
+			xK = wrapMat(r.ws, xReq.Wait())
+			if k+1 < r.grid.Pc {
+				aReq, xReq = r.summaStage(k+1, aPay, x)
+			}
+		} else {
+			var aIn, xIn comm.Payload
+			if k == r.pj {
+				aIn = aPay
+			}
+			if k == r.pi {
+				xIn = matPayloadInto(x, r.dims)
+			}
+			aK = r.csrs.wrap(r.rowGroup.Broadcast(k, aIn, comm.CatSparseComm))
+			xK = wrapMat(r.ws, r.colGroup.Broadcast(k, xIn, comm.CatDenseComm))
 		}
-		if k == r.pi {
-			xIn = matPayloadInto(x, r.dims)
-		}
-		aK := r.csrs.wrap(r.rowGroup.Broadcast(k, aIn, comm.CatSparseComm))
-		xK := wrapMat(r.ws, r.colGroup.Broadcast(k, xIn, comm.CatDenseComm))
 		r.recordMem(matWords(out) + csrWords(aK) + matWords(xK))
 		sparse.SpMMAdd(out, aK, xK)
 		r.comm.ChargeTime(comm.CatSpMM, r.mach.SpMMTime(int64(aK.NNZ()), aK.Rows, xK.Cols))
@@ -208,26 +237,69 @@ func (r *twoDRank) summaSpMM(aBlk *sparse.CSR, aPay comm.Payload, x *dense.Matri
 	return out
 }
 
+// summaStage issues stage k's asynchronous panel broadcasts: the sparse
+// panel along the process row, the dense panel along the process column.
+// The dims scratch is only written when this rank roots the dense panel
+// (k == pi), which happens for exactly one stage, so a single scratch
+// survives two stages being in flight.
+func (r *twoDRank) summaStage(k int, aPay comm.Payload, x *dense.Matrix) (aReq, xReq *comm.Request) {
+	var aIn, xIn comm.Payload
+	if k == r.pj {
+		aIn = aPay
+	}
+	if k == r.pi {
+		xIn = matPayloadInto(x, r.dims)
+	}
+	aReq = r.rowGroup.IBroadcast(k, aIn, comm.CatSparseComm)
+	xReq = r.colGroup.IBroadcast(k, xIn, comm.CatDenseComm)
+	return aReq, xReq
+}
+
 // partialSumma computes my block of T·W for the replicated W: T blocks
 // broadcast along process rows (Algorithm 2, second phase). The k-th stage
-// multiplies T's k-th column block against W[rowBlk(k), colBlk(pj)].
+// multiplies T's k-th column block against W[rowBlk(k), colBlk(pj)]. In
+// overlap mode stage k+1's T broadcast is in flight while stage k's GEMM
+// runs; the dims scratch is safe for the same single-root reason as in
+// summaStage (only stage pj writes it).
 func (r *twoDRank) partialSumma(tBlk *dense.Matrix, w *dense.Matrix) *dense.Matrix {
 	rowsB := r.fBlk(w.Rows) // W rows = T's feature dimension, split by pc
 	colsB := r.fBlk(w.Cols)
 	rows := r.vBlk.Size(r.pi)
 	out := r.ws.Get(rows, colsB.Size(r.pj))
+	var tReq *comm.Request
+	if r.overlap {
+		tReq = r.partialStage(0, tBlk)
+	}
 	for k := 0; k < r.grid.Pc; k++ {
-		var tIn comm.Payload
-		if k == r.pj {
-			tIn = matPayloadInto(tBlk, r.dims)
+		var tK *dense.Matrix
+		if r.overlap {
+			tK = wrapMat(r.ws, tReq.Wait())
+			if k+1 < r.grid.Pc {
+				tReq = r.partialStage(k+1, tBlk)
+			}
+		} else {
+			var tIn comm.Payload
+			if k == r.pj {
+				tIn = matPayloadInto(tBlk, r.dims)
+			}
+			tK = wrapMat(r.ws, r.rowGroup.Broadcast(k, tIn, comm.CatDenseComm))
 		}
-		tK := wrapMat(r.ws, r.rowGroup.Broadcast(k, tIn, comm.CatDenseComm))
 		wSlice := r.ws.GetUninit(rowsB.Size(k), colsB.Size(r.pj))
 		w.SubMatrixInto(wSlice, rowsB.Lo(k), rowsB.Hi(k), colsB.Lo(r.pj), colsB.Hi(r.pj))
 		dense.MulAdd(out, tK, wSlice)
 		r.comm.ChargeTime(comm.CatMisc, r.mach.GEMMTime(rows, tK.Cols, wSlice.Cols))
 	}
 	return out
+}
+
+// partialStage issues stage k's asynchronous T broadcast along the process
+// row.
+func (r *twoDRank) partialStage(k int, tBlk *dense.Matrix) *comm.Request {
+	var tIn comm.Payload
+	if k == r.pj {
+		tIn = matPayloadInto(tBlk, r.dims)
+	}
+	return r.rowGroup.IBroadcast(k, tIn, comm.CatDenseComm)
 }
 
 // gatherRows all-gathers the row blocks of a 2D-partitioned matrix along my

@@ -205,6 +205,74 @@ func TestMeasureEpochOptsHalo(t *testing.T) {
 	}
 }
 
+// TestOverlapExperimentQuick: the overlap experiment must cover every
+// algorithm family, and the pipelined SUMMA families must strictly beat
+// their bulk-synchronous runs (the halo variants only improve with an
+// interior, which the R-MAT analog barely has — they must never regress).
+func TestOverlapExperimentQuick(t *testing.T) {
+	rows, err := OverlapExperiment(Options{Quick: true, Machine: costmodel.SummitSim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(overlapConfigs) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(overlapConfigs))
+	}
+	byName := map[string]OverlapRow{}
+	for _, r := range rows {
+		name := r.Algorithm
+		if r.Halo {
+			name += "-halo"
+		}
+		byName[name] = r
+		if r.OverlapEpochTime > r.BulkEpochTime {
+			t.Fatalf("%s: overlap %v regressed past bulk %v", name, r.OverlapEpochTime, r.BulkEpochTime)
+		}
+		if r.CommTime <= 0 || r.ComputeTime <= 0 {
+			t.Fatalf("%s: degenerate breakdown %+v", name, r)
+		}
+	}
+	for _, name := range []string{"1d", "1.5d", "2d", "3d"} {
+		r := byName[name]
+		if !(r.OverlapEpochTime < r.BulkEpochTime) {
+			t.Fatalf("%s: overlap %v not strictly below bulk %v", name, r.OverlapEpochTime, r.BulkEpochTime)
+		}
+		if r.Speedup <= 1 {
+			t.Fatalf("%s: speedup %v not above 1", name, r.Speedup)
+		}
+		if r.HiddenCommTime <= 0 {
+			t.Fatalf("%s: nothing hidden", name)
+		}
+	}
+}
+
+// TestMeasureEpochOptsOverlap: the Options.Overlap flag must thread
+// through generic measurements and shrink the epoch time.
+func TestMeasureEpochOptsOverlap(t *testing.T) {
+	spec, err := quick.dataset("reddit-sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := spec.Build()
+	o := Options{Quick: true, Machine: costmodel.SummitSim}
+	bulk, err := MeasureEpochOpts(ds, "2d", 16, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Overlap = true
+	ov, err := MeasureEpochOpts(ds, "2d", 16, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(ov.EpochTime < bulk.EpochTime) {
+		t.Fatalf("overlap epoch %v not below bulk %v", ov.EpochTime, bulk.EpochTime)
+	}
+	for cat, words := range bulk.WordsByCat {
+		if ov.WordsByCat[cat] != words {
+			t.Fatalf("%s words changed under overlap: %d vs %d", cat, ov.WordsByCat[cat], words)
+		}
+	}
+}
+
 func TestCrossoverQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("harness sweep in -short mode")

@@ -105,6 +105,57 @@ func spMMAddRowsBlocked(dst *dense.Matrix, a *CSR, x *dense.Matrix, lo, hi int) 
 	}
 }
 
+// SpMMAddRowList computes dst[i] += (a*x)[i] for exactly the rows listed in
+// rows (ascending, no duplicates); other rows of dst are untouched. For
+// each listed row the per-element accumulation order is identical to
+// SpMMAdd's (contributions arrive in nonzero order k), so splitting a
+// product into disjoint row lists and running them in any order reproduces
+// the full SpMMAdd bit for bit.
+//
+// This is the kernel behind the overlapped halo trainers' interior/frontier
+// split: interior rows (no remote dependencies) multiply while the halo
+// exchange is in flight, frontier rows after its Wait.
+func SpMMAddRowList(dst *dense.Matrix, a *CSR, x *dense.Matrix, rows []int) {
+	checkSpMM(dst, a, x, "SpMMAddRowList")
+	if len(rows) == 0 {
+		return
+	}
+	work := 2 * RowListNNZ(a, rows) * int64(x.Cols)
+	if parallel.Inline(len(rows), work) {
+		spMMAddRowList(dst, a, x, rows)
+		return
+	}
+	parallel.Rows(len(rows), work, func(lo, hi int) {
+		spMMAddRowList(dst, a, x, rows[lo:hi])
+	})
+}
+
+// spMMAddRowList is the serial row-list loop; each listed output row is
+// owned by exactly one worker, so the parallel split stays bit-identical.
+func spMMAddRowList(dst *dense.Matrix, a *CSR, x *dense.Matrix, rows []int) {
+	f := x.Cols
+	for _, i := range rows {
+		drow := dst.Data[i*f : (i+1)*f]
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			v := a.Val[k]
+			xrow := x.Data[a.ColIdx[k]*f : (a.ColIdx[k]+1)*f]
+			for j, xv := range xrow {
+				drow[j] += v * xv
+			}
+		}
+	}
+}
+
+// RowListNNZ returns the nonzero count of a restricted to the listed rows —
+// the flop basis the cost model charges for a row-list SpMM.
+func RowListNNZ(a *CSR, rows []int) int64 {
+	var nnz int64
+	for _, i := range rows {
+		nnz += int64(a.RowPtr[i+1] - a.RowPtr[i])
+	}
+	return nnz
+}
+
 // SpMMT computes dst = aᵀ * x without materializing aᵀ, by scattering each
 // stored row of a into the rows of dst indexed by its column indices. dst
 // must be a.Cols x x.Cols and is overwritten.
