@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/benchdiff"
+	"repro/internal/costmodel"
+	"repro/internal/harness"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestSnapshotJSONSchemaGolden pins the shape of the -json snapshot —
+// every experiment's field names and value kinds — against a golden
+// file, so a field rename or type change that would silently break
+// cagnet-benchdiff's flattener (or any committed BENCH_N.json consumer)
+// fails here first. Values are free to move; only the schema is pinned.
+// Regenerate after an intentional schema change with
+//
+//	go test ./cmd/cagnet-bench -run SchemaGolden -update
+func TestSnapshotJSONSchemaGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment in quick mode (~10s)")
+	}
+	opts := harness.Options{Machine: costmodel.SummitSim, Quick: true, Optimizer: "sgd"}
+	runners := map[string]func(harness.Options) (any, error){
+		"tableVI":     runTableVI,
+		"fig2":        runFig2,
+		"fig3":        runFig3,
+		"partition":   runPartition,
+		"crossover":   runCrossover,
+		"algo3d":      runAlgo3D,
+		"overlap":     runOverlap,
+		"scaling":     runScaling,
+		"convergence": runConvergence,
+	}
+	snapshot := benchSnapshot{
+		Machine: opts.Machine.Name, Quick: true, Optimizer: "sgd",
+		Experiments: map[string]any{},
+	}
+	silence(t)
+	for name, run := range runners {
+		data, err := run(opts)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		snapshot.Experiments[name] = data
+	}
+
+	buf, err := json.MarshalIndent(snapshot, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines, err := benchdiff.SchemaBytes(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, "snapshot_schema.golden", benchdiff.SchemaString(lines))
+}
+
+// silence redirects the runners' table printing away from the test log.
+func silence(t *testing.T) {
+	t.Helper()
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := os.Stdout
+	os.Stdout = null
+	t.Cleanup(func() {
+		os.Stdout = orig
+		null.Close()
+	})
+}
+
+func compareGolden(t *testing.T, name, got string) {
+	t.Helper()
+	golden := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal([]byte(got), want) {
+		t.Fatalf("schema drifted from %s — if intentional, rerun with -update and note the change:\n--- got ---\n%s--- want ---\n%s",
+			golden, got, want)
+	}
+}

@@ -1,0 +1,66 @@
+// Command cagnet-benchdiff compares two BENCH_N.json trajectory
+// snapshots and exits non-zero when a gated metric regressed beyond its
+// threshold, making perf regressions a CI failure rather than a number
+// someone has to eyeball.
+//
+// Usage:
+//
+//	cagnet-benchdiff [-epoch-tol 0.05] [-hidden-tol 0.10]
+//	                 [-strict] [-v] [-q] OLD.json NEW.json
+//
+// Gated metrics are the deterministic modeled ones: epoch times (5%
+// relative tolerance), the steady-state allocation counters (a 0-per-
+// epoch baseline must stay 0), and hidden-communication metrics (10%
+// tolerated drop). Word counts, memory, accuracy, and wall-clock
+// latencies are reported but never gate. Exit status: 0 pass, 1 gated
+// regression (or, with -strict, vanished metrics), 2 usage or load
+// error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/benchdiff"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cagnet-benchdiff: ")
+	epochTol := flag.Float64("epoch-tol", 0.05, "tolerated relative epoch-time increase")
+	hiddenTol := flag.Float64("hidden-tol", 0.10, "tolerated relative hidden-communication drop")
+	strict := flag.Bool("strict", false, "fail when a metric present in OLD is missing from NEW")
+	verbose := flag.Bool("v", false, "print every compared metric, not just failures and changes")
+	quiet := flag.Bool("q", false, "print failures and the summary line only")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: cagnet-benchdiff [flags] OLD.json NEW.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	oldS, err := benchdiff.Load(flag.Arg(0))
+	if err != nil {
+		log.Print(err)
+		os.Exit(2)
+	}
+	newS, err := benchdiff.Load(flag.Arg(1))
+	if err != nil {
+		log.Print(err)
+		os.Exit(2)
+	}
+
+	th := benchdiff.DefaultThresholds()
+	th.EpochTol = *epochTol
+	th.HiddenTol = *hiddenTol
+	res := benchdiff.Diff(oldS, newS, th)
+	res.Format(os.Stdout, *verbose, *quiet)
+	if res.Failed(*strict) {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,234 @@
+// Command cagnet-load drives concurrent training and inference load at
+// the cagnet trainers and reports warmup-excluded p50/p95/p99 latency
+// and throughput (requests, epochs, and forward passes per second) per
+// scenario, plus each scenario's deterministic modeled metrics (epoch
+// seconds, hidden-communication fraction, steady-state allocations).
+//
+// Usage:
+//
+//	cagnet-load [-dataset random|reddit-sim|amazon-sim|protein-sim]
+//	            [-scale 8] [-ranks 4] [-scenarios all|1d,2d-overlap,...]
+//	            [-count 8] [-duration 0] [-concurrency 2] [-warmup 1]
+//	            [-epochs 2] [-train-weight 3] [-infer-weight 1]
+//	            [-seed 1] [-machine summit-sim] [-backend parallel]
+//	            [-no-allocs] [-json out.json] [-merge BENCH_N.json]
+//
+// The default scenario sweep is every decomposition {1d, 1.5d, 2d, 3d}
+// with overlap off and on. -json writes the full report; -merge folds
+// it into an existing cagnet-bench snapshot under the "load" experiment
+// key so cagnet-benchdiff gates the modeled block across trajectory
+// points. Wall-clock numbers are host-dependent and informational.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	cagnet "repro"
+	"repro/internal/costmodel"
+	"repro/internal/graph"
+	"repro/internal/harness"
+	"repro/internal/loadgen"
+	"repro/internal/parallel"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cagnet-load: ")
+	dataset := flag.String("dataset", "random", "dataset analog name, or \"random\" for an R-MAT graph of -scale")
+	scale := flag.Int("scale", 8, "random dataset size exponent (2^scale vertices)")
+	ranks := flag.Int("ranks", 4, "target rank count; each scenario snaps it to its grid (square for 2d, cube for 3d)")
+	scenarios := flag.String("scenarios", "all", "comma-separated scenario names, or \"all\"")
+	count := flag.Int("count", 8, "measured requests per scenario (0 = use -duration)")
+	duration := flag.Duration("duration", 0, "measured load duration per scenario (overrides -count when set)")
+	concurrency := flag.Int("concurrency", 2, "concurrent load workers")
+	warmup := flag.Int("warmup", 1, "leading requests excluded from statistics")
+	epochs := flag.Int("epochs", 2, "training epochs per train request")
+	trainWeight := flag.Int("train-weight", 3, "train request weight in the mix")
+	inferWeight := flag.Int("infer-weight", 1, "inference request weight in the mix")
+	seed := flag.Int64("seed", 1, "workload-mix seed")
+	machine := flag.String("machine", costmodel.SummitSim.Name, "cost-model machine profile for modeled metrics")
+	backendFlag := flag.String("backend", "", "compute backend: serial or parallel (default: parallel, or $CAGNET_BACKEND)")
+	workers := flag.Int("workers", 0, "parallel backend worker count (0 = runtime.NumCPU or $CAGNET_WORKERS)")
+	noAllocs := flag.Bool("no-allocs", false, "skip the steady-state allocation probe (it retrains serially per scenario)")
+	jsonPath := flag.String("json", "", "write the full report to this file as JSON")
+	mergePath := flag.String("merge", "", "fold the report into this cagnet-bench snapshot under the \"load\" experiment key")
+	flag.Parse()
+
+	if *backendFlag != "" {
+		backend, err := parallel.ParseBackend(*backendFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		parallel.SetBackend(backend)
+	}
+	if *workers > 0 {
+		parallel.SetWorkers(*workers)
+	}
+	mach, err := costmodel.ProfileByName(*machine)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *count <= 0 && *duration <= 0 {
+		log.Fatal("need a stop condition: set -count or -duration")
+	}
+
+	var ds *graph.Dataset
+	name := *dataset
+	if name == "random" {
+		ds = cagnet.RandomDataset(*scale, 8, 16, 16, 8, 1)
+		name = fmt.Sprintf("rmat-%d", *scale)
+	} else if ds, err = cagnet.DatasetByName(name); err != nil {
+		log.Fatal(err)
+	}
+
+	sweep := loadgen.DefaultScenarios(*ranks)
+	if *scenarios != "all" {
+		byName := map[string]loadgen.Scenario{}
+		for _, s := range sweep {
+			byName[s.Name] = s
+		}
+		var picked []loadgen.Scenario
+		for _, want := range strings.Split(*scenarios, ",") {
+			want = strings.TrimSpace(want)
+			s, ok := byName[want]
+			if !ok {
+				log.Fatalf("unknown scenario %q (have %v)", want, scenarioNames(sweep))
+			}
+			picked = append(picked, s)
+		}
+		sweep = picked
+	}
+
+	report := &loadgen.Report{
+		Dataset: name, Machine: mach.Name,
+		Concurrency: *concurrency, Warmup: *warmup,
+		Count: *count, DurationSec: duration.Seconds(),
+		TrainEpochs: *epochs, TrainWeight: *trainWeight, InferWeight: *inferWeight,
+	}
+	if *duration > 0 {
+		report.Count = 0
+	}
+
+	for _, sc := range sweep {
+		sr := loadgen.ScenarioReport{Scenario: sc}
+		sr.Modeled, err = loadgen.ModeledEpoch(ds, sc, mach)
+		if err != nil {
+			log.Fatalf("%s: modeled epoch: %v", sc.Name, err)
+		}
+		if !*noAllocs {
+			sr.Modeled.AllocsPerEpoch, sr.Modeled.BytesPerEpoch, err =
+				loadgen.AllocsPerEpoch(ds, sc, 0, 0, 0)
+			if err != nil {
+				log.Fatalf("%s: alloc probe: %v", sc.Name, err)
+			}
+		}
+		infer, err := loadgen.InferWorkload(ds, *inferWeight)
+		if err != nil {
+			log.Fatalf("%s: %v", sc.Name, err)
+		}
+		cfg := loadgen.Config{
+			Concurrency: *concurrency, Warmup: *warmup, Seed: *seed,
+			Count: report.Count, Duration: *duration,
+		}
+		res, err := loadgen.Run(cfg, []loadgen.Workload{
+			sc.TrainWorkload(ds, *epochs, *trainWeight, mach.Name),
+			infer,
+		})
+		if err != nil {
+			log.Fatalf("%s: %v", sc.Name, err)
+		}
+		sr.Load = res
+		report.Scenarios = append(report.Scenarios, sr)
+		printScenario(sr)
+	}
+
+	if *jsonPath != "" {
+		if err := report.WriteJSON(*jsonPath); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", *jsonPath)
+	}
+	if *mergePath != "" {
+		if err := mergeIntoSnapshot(*mergePath, report); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("merged load report into %s", *mergePath)
+	}
+}
+
+func scenarioNames(scs []loadgen.Scenario) []string {
+	out := make([]string, len(scs))
+	for i, s := range scs {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// printScenario renders one scenario's modeled block and per-workload
+// load statistics as an aligned table.
+func printScenario(sr loadgen.ScenarioReport) {
+	fmt.Printf("== scenario %s: algorithm %s, P=%d, overlap %v ==\n",
+		sr.Name, sr.Algorithm, sr.Ranks, sr.Overlap)
+	fmt.Printf("modeled: %s sec/epoch, hidden-comm %.1f%%, allocs/epoch %g, bytes/epoch %g\n",
+		harness.FormatFloat(sr.Modeled.EpochSeconds),
+		100*sr.Modeled.HiddenCommFraction,
+		sr.Modeled.AllocsPerEpoch, sr.Modeled.BytesPerEpoch)
+	if sr.Load == nil {
+		return
+	}
+	var cells [][]string
+	for _, w := range sr.Load.Workloads {
+		cells = append(cells, []string{
+			w.Name,
+			strconv.Itoa(w.Requests), strconv.Itoa(w.Errors),
+			harness.FormatFloat(w.Latency.P50), harness.FormatFloat(w.Latency.P95),
+			harness.FormatFloat(w.Latency.P99),
+			harness.FormatFloat(w.RequestsPerSec), harness.FormatFloat(w.UnitsPerSec),
+		})
+	}
+	fmt.Println(harness.Table(
+		[]string{"workload", "reqs", "errs", "p50 s", "p95 s", "p99 s", "req/s", "units/s"}, cells))
+	fmt.Printf("total: %d requests in %s s (%s req/s)\n\n",
+		sr.Load.Requests, harness.FormatFloat(sr.Load.Elapsed),
+		harness.FormatFloat(sr.Load.RequestsPerSec))
+}
+
+// mergeIntoSnapshot reads a cagnet-bench snapshot, sets its "load"
+// experiment to the report, and writes it back with the same stable
+// indentation cagnet-bench uses.
+func mergeIntoSnapshot(path string, report *loadgen.Report) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var snap map[string]any
+	if err := json.Unmarshal(buf, &snap); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	exps, ok := snap["experiments"].(map[string]any)
+	if !ok {
+		return fmt.Errorf("%s: no \"experiments\" object to merge into", path)
+	}
+	// Round-trip the report through JSON so the merged form matches the
+	// standalone -json output exactly.
+	rbuf, err := json.Marshal(report)
+	if err != nil {
+		return err
+	}
+	var rmap map[string]any
+	if err := json.Unmarshal(rbuf, &rmap); err != nil {
+		return err
+	}
+	exps["load"] = rmap
+	out, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

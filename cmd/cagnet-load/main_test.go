@@ -1,0 +1,138 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	cagnet "repro"
+	"repro/internal/benchdiff"
+	"repro/internal/costmodel"
+	"repro/internal/loadgen"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestReportJSONSchemaGolden pins the shape of the -json report (and
+// therefore of the "load" experiment -merge folds into BENCH_N.json):
+// field names and value kinds only, since the wall-clock latencies
+// inside differ on every host. A schema change that would desync
+// cagnet-benchdiff's gating paths (scenarios.modeled.*) fails here.
+// Regenerate after an intentional change with
+//
+//	go test ./cmd/cagnet-load -run SchemaGolden -update
+func TestReportJSONSchemaGolden(t *testing.T) {
+	ds := cagnet.RandomDataset(5, 8, 16, 16, 8, 1)
+	mach := costmodel.SummitSim
+	report := &loadgen.Report{
+		Dataset: "rmat-5", Machine: mach.Name,
+		Concurrency: 2, Warmup: 1, Count: 2,
+		TrainEpochs: 1, TrainWeight: 1, InferWeight: 1,
+	}
+	// One plain and one overlap scenario cover every field the full
+	// sweep produces; the alloc probe is skipped (its fields always
+	// serialize) to keep the test fast.
+	for _, name := range []string{"1d", "2d-overlap"} {
+		var sc loadgen.Scenario
+		for _, s := range loadgen.DefaultScenarios(4) {
+			if s.Name == name {
+				sc = s
+			}
+		}
+		sr := loadgen.ScenarioReport{Scenario: sc}
+		var err error
+		if sr.Modeled, err = loadgen.ModeledEpoch(ds, sc, mach); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		infer, err := loadgen.InferWorkload(ds, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := loadgen.Config{Concurrency: 2, Warmup: 1, Count: 2, Seed: 1}
+		if sr.Load, err = loadgen.Run(cfg, []loadgen.Workload{
+			sc.TrainWorkload(ds, 1, 1, mach.Name), infer,
+		}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		report.Scenarios = append(report.Scenarios, sr)
+	}
+
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines, err := benchdiff.SchemaBytes(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := benchdiff.SchemaString(lines)
+
+	golden := filepath.Join("testdata", "report_schema.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal([]byte(got), want) {
+		t.Fatalf("report schema drifted from %s — if intentional, rerun with -update:\n--- got ---\n%s--- want ---\n%s",
+			golden, got, want)
+	}
+}
+
+// TestMergeIntoSnapshot checks the -merge path end to end: the report
+// lands under experiments["load"] with the exact shape the standalone
+// -json output has, and the rest of the snapshot survives untouched.
+func TestMergeIntoSnapshot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	seedDoc := `{
+  "machine": "summit-sim",
+  "quick": true,
+  "experiments": {
+    "algo3d": [{"Algorithm": "1d", "P": 4, "EpochTime": 0.5}]
+  }
+}
+`
+	if err := os.WriteFile(path, []byte(seedDoc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	report := &loadgen.Report{Dataset: "rmat-5", Machine: "summit-sim", Count: 2}
+	if err := mergeIntoSnapshot(path, report); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := benchdiff.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := snap.Experiments["load"]; !ok {
+		t.Fatal("merged snapshot has no load experiment")
+	}
+	if _, ok := snap.Experiments["algo3d"]; !ok {
+		t.Fatal("merge dropped a pre-existing experiment")
+	}
+	loadExp, ok := snap.Experiments["load"].(map[string]any)
+	if !ok {
+		t.Fatalf("load experiment is %T, want object", snap.Experiments["load"])
+	}
+	if loadExp["dataset"] != "rmat-5" {
+		t.Fatalf("merged dataset = %v, want rmat-5", loadExp["dataset"])
+	}
+	// Merging into a snapshot without an experiments object is an error,
+	// not a silent rewrite.
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"machine": "x"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := mergeIntoSnapshot(bad, report); err == nil {
+		t.Fatal("want error merging into snapshot without experiments")
+	}
+}

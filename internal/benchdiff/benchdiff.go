@@ -1,0 +1,435 @@
+// Package benchdiff loads two BENCH_N.json trajectory snapshots (the
+// cagnet-bench -json output, optionally with a merged cagnet-load
+// report) and diffs them metric by metric with pass/fail thresholds.
+//
+// The gates key only on deterministic modeled metrics, so a diff is
+// reproducible on any host:
+//
+//   - epoch-time metrics (EpochTime, BulkEpochTime, OverlapEpochTime,
+//     epoch_sec) fail on a relative regression beyond the epoch
+//     tolerance (default 5%);
+//   - steady-state allocation metrics (allocs_per_epoch,
+//     bytes_per_epoch) fail when a 0-per-epoch baseline becomes
+//     positive — the allocation-free contract is all or nothing;
+//   - hidden-communication metrics (HiddenCommTime,
+//     hidden_comm_fraction, Speedup) fail when they drop by more than
+//     the hidden tolerance (default 10% relative), i.e. overlap stops
+//     hiding communication it used to hide.
+//
+// Everything else — words, memory, accuracy, and the wall-clock
+// latency/throughput block under "load" — is reported informationally.
+package benchdiff
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Snapshot is one parsed BENCH_N.json document. The typed header
+// mirrors cmd/cagnet-bench's snapshot struct; experiment bodies stay
+// generic so new experiments diff without loader changes.
+type Snapshot struct {
+	Path        string         `json:"-"`
+	Machine     string         `json:"machine"`
+	Quick       bool           `json:"quick"`
+	Optimizer   string         `json:"optimizer"`
+	Halo        bool           `json:"halo"`
+	Partitioner string         `json:"partitioner,omitempty"`
+	Overlap     bool           `json:"overlap,omitempty"`
+	Experiments map[string]any `json:"experiments"`
+}
+
+// Load reads and parses one snapshot.
+func Load(path string) (*Snapshot, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("benchdiff: %w", err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(buf, &s); err != nil {
+		return nil, fmt.Errorf("benchdiff: %s: %w", path, err)
+	}
+	if s.Experiments == nil {
+		return nil, fmt.Errorf("benchdiff: %s: no \"experiments\" object", path)
+	}
+	s.Path = path
+	return &s, nil
+}
+
+// Point is one numeric metric of one experiment row, addressed by a
+// stable (Experiment, Row, Metric) key.
+type Point struct {
+	// Experiment is the experiments-map key ("algo3d", "overlap", ...).
+	Experiment string
+	// Row identifies the row inside the experiment by its identity
+	// fields, e.g. "Algorithm=2d,P=64"; empty for single-object
+	// experiments.
+	Row string
+	// Metric is the dotted field path, e.g. "EpochTime" or
+	// "TimeByCat.dcomm".
+	Metric string
+	// Value is the metric value.
+	Value float64
+}
+
+// Key returns the point's full address.
+func (p Point) Key() string {
+	if p.Row == "" {
+		return p.Experiment + ": " + p.Metric
+	}
+	return p.Experiment + "[" + p.Row + "]: " + p.Metric
+}
+
+// identityFields name the numeric row fields that identify a row rather
+// than measure it (string and bool fields are always identity).
+var identityFields = map[string]bool{
+	"P": true, "Ranks": true, "ranks": true, "Epochs": true,
+	"concurrency": true, "warmup": true, "count": true,
+	"train_epochs": true, "train_weight": true, "infer_weight": true,
+}
+
+// Flatten walks the snapshot's experiments into a sorted point list.
+// Rows (objects in an experiment's list) are identified by their
+// string, bool, and identityFields values; every other numeric scalar
+// becomes a metric, with nested objects flattened into dotted paths.
+func Flatten(s *Snapshot) []Point {
+	var out []Point
+	for name, body := range s.Experiments {
+		out = append(out, flattenExperiment(name, body)...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+func flattenExperiment(name string, body any) []Point {
+	var out []Point
+	switch v := body.(type) {
+	case []any:
+		seen := map[string]int{}
+		for _, row := range v {
+			obj, ok := row.(map[string]any)
+			if !ok {
+				continue
+			}
+			id := rowIdentity(obj)
+			if n := seen[id]; n > 0 {
+				id = fmt.Sprintf("%s#%d", id, n)
+			}
+			seen[rowIdentity(obj)]++
+			out = append(out, flattenObject(name, id, "", obj)...)
+		}
+	case map[string]any:
+		out = flattenObject(name, "", "", v)
+	}
+	return out
+}
+
+// rowIdentity builds the stable row label from the identity fields.
+func rowIdentity(obj map[string]any) string {
+	keys := make([]string, 0, len(obj))
+	for k := range obj {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var parts []string
+	for _, k := range keys {
+		switch val := obj[k].(type) {
+		case string:
+			parts = append(parts, fmt.Sprintf("%s=%s", k, val))
+		case bool:
+			parts = append(parts, fmt.Sprintf("%s=%t", k, val))
+		case float64:
+			if identityFields[k] {
+				parts = append(parts, fmt.Sprintf("%s=%g", k, val))
+			}
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+func flattenObject(exp, row, prefix string, obj map[string]any) []Point {
+	var out []Point
+	keys := make([]string, 0, len(obj))
+	for k := range obj {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		path := k
+		if prefix != "" {
+			path = prefix + "." + k
+		}
+		switch val := obj[k].(type) {
+		case float64:
+			if prefix == "" && identityFields[k] {
+				continue
+			}
+			out = append(out, Point{Experiment: exp, Row: row, Metric: path, Value: val})
+		case map[string]any:
+			out = append(out, flattenObject(exp, row, path, val)...)
+		case []any:
+			// Nested row lists (the load report's scenarios) recurse with
+			// their own identities folded into the row label.
+			for _, sub := range val {
+				subObj, ok := sub.(map[string]any)
+				if !ok {
+					continue
+				}
+				subRow := rowIdentity(subObj)
+				if row != "" {
+					subRow = row + "," + subRow
+				}
+				out = append(out, flattenObject(exp, subRow, path, subObj)...)
+			}
+		}
+	}
+	return out
+}
+
+// Gate classifies what check a metric is subject to.
+type Gate int
+
+const (
+	// GateNone: informational only (words, memory, accuracy, wall-clock
+	// latencies).
+	GateNone Gate = iota
+	// GateEpochTime: relative increase beyond Thresholds.EpochTol fails.
+	GateEpochTime
+	// GateAllocZero: 0 → >0 fails.
+	GateAllocZero
+	// GateHiddenComm: relative drop beyond Thresholds.HiddenTol fails.
+	GateHiddenComm
+)
+
+// Classify maps a metric path to its gate. Wall-clock blocks (any path
+// under "load.") are never gated, whatever their field names.
+func Classify(metric string) Gate {
+	if strings.HasPrefix(metric, "load.") || strings.Contains(metric, ".load.") {
+		return GateNone
+	}
+	base := metric
+	if i := strings.LastIndexByte(metric, '.'); i >= 0 {
+		base = metric[i+1:]
+	}
+	switch base {
+	case "EpochTime", "BulkEpochTime", "OverlapEpochTime", "epoch_sec":
+		return GateEpochTime
+	case "allocs_per_epoch", "bytes_per_epoch":
+		return GateAllocZero
+	case "HiddenCommTime", "hidden_comm_fraction", "Speedup":
+		return GateHiddenComm
+	}
+	return GateNone
+}
+
+// Thresholds configures the comparator.
+type Thresholds struct {
+	// EpochTol is the tolerated relative epoch-time increase (0.05 =
+	// 5%).
+	EpochTol float64
+	// HiddenTol is the tolerated relative hidden-communication drop.
+	HiddenTol float64
+	// Eps is the absolute floor below which changes never gate, keeping
+	// denormal-scale noise out of relative comparisons.
+	Eps float64
+}
+
+// DefaultThresholds returns the ISSUE-specified gates: 5% epoch-time,
+// 10% hidden-communication.
+func DefaultThresholds() Thresholds {
+	return Thresholds{EpochTol: 0.05, HiddenTol: 0.10, Eps: 1e-12}
+}
+
+// Verdict is one compared point's outcome.
+type Verdict int
+
+const (
+	// OK: gated metric within tolerance.
+	OK Verdict = iota
+	// Fail: gated metric regressed beyond tolerance.
+	Fail
+	// Info: ungated metric (reported, never fails).
+	Info
+	// Missing: present in the old snapshot only.
+	Missing
+	// Added: present in the new snapshot only.
+	Added
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case OK:
+		return "ok"
+	case Fail:
+		return "FAIL"
+	case Info:
+		return "info"
+	case Missing:
+		return "missing"
+	case Added:
+		return "added"
+	}
+	return "?"
+}
+
+// Finding is one compared metric.
+type Finding struct {
+	Point   Point // key fields + old value (Value = old; NaN when Added)
+	New     float64
+	Verdict Verdict
+	Detail  string
+}
+
+// Result is a full snapshot comparison.
+type Result struct {
+	Old, New *Snapshot
+	Findings []Finding
+	Compared int
+	Failures int
+	MissingN int
+	AddedN   int
+}
+
+// Failed reports whether the diff should gate a CI run, i.e. at least
+// one metric regressed beyond its threshold. In strict mode, metrics
+// that vanished from the new snapshot also fail.
+func (r *Result) Failed(strict bool) bool {
+	return r.Failures > 0 || (strict && r.MissingN > 0)
+}
+
+// Diff compares two snapshots point by point.
+func Diff(oldS, newS *Snapshot, th Thresholds) *Result {
+	if th.Eps <= 0 {
+		th.Eps = 1e-12
+	}
+	oldPts := Flatten(oldS)
+	newPts := Flatten(newS)
+	newByKey := make(map[string]Point, len(newPts))
+	for _, p := range newPts {
+		newByKey[p.Key()] = p
+	}
+	res := &Result{Old: oldS, New: newS}
+	seen := make(map[string]bool, len(oldPts))
+	for _, op := range oldPts {
+		seen[op.Key()] = true
+		np, ok := newByKey[op.Key()]
+		if !ok {
+			res.MissingN++
+			res.Findings = append(res.Findings, Finding{
+				Point: op, New: math.NaN(), Verdict: Missing,
+				Detail: "metric absent from new snapshot",
+			})
+			continue
+		}
+		res.Compared++
+		res.Findings = append(res.Findings, compare(op, np.Value, th))
+	}
+	for _, np := range newPts {
+		if !seen[np.Key()] {
+			res.AddedN++
+			res.Findings = append(res.Findings, Finding{
+				Point: Point{Experiment: np.Experiment, Row: np.Row, Metric: np.Metric, Value: math.NaN()},
+				New:   np.Value, Verdict: Added, Detail: "new metric",
+			})
+		}
+	}
+	for _, f := range res.Findings {
+		if f.Verdict == Fail {
+			res.Failures++
+		}
+	}
+	sort.SliceStable(res.Findings, func(i, j int) bool {
+		return rankVerdict(res.Findings[i].Verdict) < rankVerdict(res.Findings[j].Verdict)
+	})
+	return res
+}
+
+func rankVerdict(v Verdict) int {
+	switch v {
+	case Fail:
+		return 0
+	case Missing:
+		return 1
+	case Added:
+		return 2
+	case Info:
+		return 3
+	}
+	return 4
+}
+
+func compare(op Point, newVal float64, th Thresholds) Finding {
+	f := Finding{Point: op, New: newVal}
+	oldVal := op.Value
+	delta := newVal - oldVal
+	rel := 0.0
+	if math.Abs(oldVal) > th.Eps {
+		rel = delta / math.Abs(oldVal)
+	}
+	switch Classify(op.Metric) {
+	case GateEpochTime:
+		if newVal > oldVal*(1+th.EpochTol)+th.Eps {
+			f.Verdict = Fail
+			f.Detail = fmt.Sprintf("epoch time regressed %+.2f%% (tolerance %.0f%%)",
+				100*rel, 100*th.EpochTol)
+			return f
+		}
+		f.Verdict = OK
+		f.Detail = fmt.Sprintf("%+.2f%%", 100*rel)
+	case GateAllocZero:
+		if oldVal <= th.Eps && newVal > th.Eps {
+			f.Verdict = Fail
+			f.Detail = fmt.Sprintf("allocation-free contract broken: %g → %g per epoch", oldVal, newVal)
+			return f
+		}
+		f.Verdict = OK
+		f.Detail = fmt.Sprintf("%g → %g", oldVal, newVal)
+	case GateHiddenComm:
+		if newVal < oldVal*(1-th.HiddenTol)-th.Eps {
+			f.Verdict = Fail
+			f.Detail = fmt.Sprintf("hidden communication dropped %.2f%% (tolerance %.0f%%)",
+				-100*rel, 100*th.HiddenTol)
+			return f
+		}
+		f.Verdict = OK
+		f.Detail = fmt.Sprintf("%+.2f%%", 100*rel)
+	default:
+		f.Verdict = Info
+		if oldVal != newVal {
+			f.Detail = fmt.Sprintf("%g → %g", oldVal, newVal)
+		}
+	}
+	return f
+}
+
+// Format writes the human-readable diff. Quiet mode prints failures
+// (and, in strict mode, missing metrics) only; verbose additionally
+// prints unchanged informational metrics.
+func (r *Result) Format(w io.Writer, verbose, quiet bool) {
+	for _, f := range r.Findings {
+		switch f.Verdict {
+		case Fail, Missing:
+		case Added, Info:
+			if quiet || (f.Detail == "" && !verbose) {
+				continue
+			}
+		case OK:
+			if quiet || !verbose {
+				continue
+			}
+		}
+		if f.Verdict == Missing || f.Verdict == Added {
+			fmt.Fprintf(w, "%-7s %s — %s\n", f.Verdict, f.Point.Key(), f.Detail)
+			continue
+		}
+		fmt.Fprintf(w, "%-7s %s: %g → %g  %s\n",
+			f.Verdict, f.Point.Key(), f.Point.Value, f.New, f.Detail)
+	}
+	fmt.Fprintf(w, "benchdiff: %d metrics compared, %d failed, %d missing, %d added (%s → %s)\n",
+		r.Compared, r.Failures, r.MissingN, r.AddedN, r.Old.Path, r.New.Path)
+}

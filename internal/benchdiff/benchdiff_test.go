@@ -1,0 +1,269 @@
+package benchdiff
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func load(t *testing.T, name string) *Snapshot {
+	t.Helper()
+	s, err := Load(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(filepath.Join("testdata", "nope.json")); err == nil {
+		t.Fatal("want error for missing file")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bad); err == nil {
+		t.Fatal("want error for malformed json")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.json")
+	if err := os.WriteFile(empty, []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(empty); err == nil {
+		t.Fatal("want error for snapshot without experiments")
+	}
+}
+
+func TestFlatten(t *testing.T) {
+	s := load(t, "base.json")
+	pts := Flatten(s)
+	byKey := map[string]float64{}
+	for _, p := range pts {
+		byKey[p.Key()] = p.Value
+	}
+	want := map[string]float64{
+		"algo3d[Algorithm=2d,P=64]: EpochTime":                                                        0.0008,
+		"algo3d[Algorithm=3d,P=64]: CommWords":                                                        154976,
+		"overlap[Algorithm=1d,Halo=false,P=8]: Speedup":                                               4.0 / 3.0,
+		"load[algorithm=2d,name=2d-overlap,overlap=true,ranks=4]: scenarios.modeled.allocs_per_epoch": 0,
+		"load[algorithm=2d,name=2d-overlap,overlap=true,ranks=4]: scenarios.modeled.epoch_sec":        0.0005,
+	}
+	for k, v := range want {
+		got, ok := byKey[k]
+		if !ok {
+			t.Errorf("missing point %q (have %d points)", k, len(pts))
+			continue
+		}
+		if got != v {
+			t.Errorf("%s = %g, want %g", k, got, v)
+		}
+	}
+	// Identity fields must not become metrics.
+	for _, p := range pts {
+		if p.Metric == "P" || p.Metric == "ranks" || p.Metric == "concurrency" {
+			t.Errorf("identity field leaked as metric: %s", p.Key())
+		}
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		metric string
+		want   Gate
+	}{
+		{"EpochTime", GateEpochTime},
+		{"BulkEpochTime", GateEpochTime},
+		{"OverlapEpochTime", GateEpochTime},
+		{"modeled.epoch_sec", GateEpochTime},
+		{"modeled.allocs_per_epoch", GateAllocZero},
+		{"modeled.bytes_per_epoch", GateAllocZero},
+		{"HiddenCommTime", GateHiddenComm},
+		{"modeled.hidden_comm_fraction", GateHiddenComm},
+		{"Speedup", GateHiddenComm},
+		{"CommWords", GateNone},
+		{"TimeByCat.spmm", GateNone},
+		// Wall-clock latencies are never gated, even suggestive names.
+		{"load.elapsed_sec", GateNone},
+		{"load.workloads.latency.p99_sec", GateNone},
+		{"scenarios.load.requests_per_sec", GateNone},
+	}
+	for _, tc := range cases {
+		if got := Classify(tc.metric); got != tc.want {
+			t.Errorf("Classify(%q) = %v, want %v", tc.metric, got, tc.want)
+		}
+	}
+}
+
+// TestDiffGates drives the comparator over the synthetic regression
+// fixtures: each must fail for its specific reason, and only that
+// reason.
+func TestDiffGates(t *testing.T) {
+	base := load(t, "base.json")
+	th := DefaultThresholds()
+	cases := []struct {
+		fixture  string
+		failures int
+		metric   string // a metric expected among the failures
+	}{
+		{"regress_epoch.json", 1, "EpochTime"},
+		{"regress_alloc.json", 2, "scenarios.modeled.allocs_per_epoch"},
+		{"regress_hidden.json", 2, "HiddenCommTime"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.fixture, func(t *testing.T) {
+			res := Diff(base, load(t, tc.fixture), th)
+			if res.Failures != tc.failures {
+				var buf bytes.Buffer
+				res.Format(&buf, false, false)
+				t.Fatalf("failures = %d, want %d\n%s", res.Failures, tc.failures, buf.String())
+			}
+			if !res.Failed(false) {
+				t.Fatal("Failed(false) = false with failures present")
+			}
+			found := false
+			for _, f := range res.Findings {
+				if f.Verdict == Fail && f.Point.Metric == tc.metric {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("no failure on %s", tc.metric)
+			}
+		})
+	}
+}
+
+// TestDiffPasses: identical snapshots and strictly improved snapshots
+// (including arbitrary wall-clock movement) pass.
+func TestDiffPasses(t *testing.T) {
+	base := load(t, "base.json")
+	th := DefaultThresholds()
+	for _, fixture := range []string{"base.json", "improved.json"} {
+		res := Diff(base, load(t, fixture), th)
+		if res.Failures != 0 || res.Failed(true) {
+			var buf bytes.Buffer
+			res.Format(&buf, false, false)
+			t.Fatalf("%s vs base: %d failures\n%s", fixture, res.Failures, buf.String())
+		}
+		if res.Compared == 0 {
+			t.Fatalf("%s: compared no metrics", fixture)
+		}
+	}
+	// Self-diff compares every point and finds nothing missing or added.
+	self := Diff(base, base, th)
+	if self.MissingN != 0 || self.AddedN != 0 {
+		t.Fatalf("self-diff missing/added = %d/%d", self.MissingN, self.AddedN)
+	}
+}
+
+// TestDiffMissingStrict: a metric that vanishes is tolerated by default
+// and fatal under strict.
+func TestDiffMissingStrict(t *testing.T) {
+	base := load(t, "base.json")
+	trimmed := load(t, "base.json")
+	trimmed.Experiments = map[string]any{"algo3d": trimmed.Experiments["algo3d"]}
+	res := Diff(base, trimmed, DefaultThresholds())
+	if res.Failures != 0 {
+		t.Fatalf("failures = %d, want 0 (missing is not a hard failure)", res.Failures)
+	}
+	if res.MissingN == 0 {
+		t.Fatal("missing count = 0, want > 0")
+	}
+	if res.Failed(false) {
+		t.Fatal("Failed(false) with only missing metrics")
+	}
+	if !res.Failed(true) {
+		t.Fatal("Failed(true) must gate on missing metrics")
+	}
+}
+
+func TestThresholdBoundaries(t *testing.T) {
+	mk := func(epoch float64) *Snapshot {
+		return &Snapshot{
+			Path: "mem",
+			Experiments: map[string]any{
+				"e": []any{map[string]any{"Algorithm": "1d", "EpochTime": epoch}},
+			},
+		}
+	}
+	th := DefaultThresholds()
+	// Exactly at the 5% boundary passes; just beyond fails.
+	if res := Diff(mk(1.0), mk(1.05), th); res.Failures != 0 {
+		t.Fatal("exact 5% increase must pass")
+	}
+	if res := Diff(mk(1.0), mk(1.0501), th); res.Failures != 1 {
+		t.Fatal("5.01% increase must fail")
+	}
+	if res := Diff(mk(1.0), mk(0.5), th); res.Failures != 0 {
+		t.Fatal("improvement must pass")
+	}
+}
+
+func TestSchema(t *testing.T) {
+	doc := []byte(`{"a": 1, "b": {"c": "x", "d": [true, false]}, "e": [], "f": null, "g": {}}`)
+	got, err := SchemaBytes(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"a: number",
+		"b.c: string",
+		"b.d.[]: bool",
+		"e: list",
+		"f: null",
+		"g: object",
+	}
+	if SchemaString(got) != SchemaString(want) {
+		t.Fatalf("schema = %q, want %q", got, want)
+	}
+	if _, err := SchemaBytes([]byte("{")); err == nil {
+		t.Fatal("want error for malformed json")
+	}
+	// Heterogeneous lists surface every kind they contain.
+	got, err = SchemaBytes([]byte(`{"xs": [1, "s"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "xs.[]: number" || got[1] != "xs.[]: string" {
+		t.Fatalf("heterogeneous list schema = %q", got)
+	}
+}
+
+// TestFormatGolden pins the human-readable diff format against golden
+// files; regenerate with go test ./internal/benchdiff -run Golden -update.
+func TestFormatGolden(t *testing.T) {
+	base := load(t, "base.json")
+	cases := []struct {
+		name, fixture string
+		verbose       bool
+	}{
+		{"diff_epoch.golden", "regress_epoch.json", false},
+		{"diff_improved_verbose.golden", "improved.json", true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res := Diff(base, load(t, tc.fixture), DefaultThresholds())
+			var buf bytes.Buffer
+			res.Format(&buf, tc.verbose, false)
+			golden := filepath.Join("testdata", tc.name)
+			if *update {
+				if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create)", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Fatalf("diff output drifted from %s:\n--- got ---\n%s--- want ---\n%s",
+					golden, buf.String(), want)
+			}
+		})
+	}
+}

@@ -1,0 +1,73 @@
+package benchdiff
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Schema reduces a decoded JSON document to its shape: one sorted
+// "path: kind" line per distinct leaf, with array elements collapsed
+// under a "[]" segment. Two documents with the same schema have the
+// same field names and value kinds everywhere, whatever the values —
+// which is exactly what the golden tests for the -json emitters pin,
+// since wall-clock numbers differ run to run but the contract the
+// diff tooling consumes must not.
+func Schema(v any) []string {
+	set := map[string]struct{}{}
+	schemaWalk("", v, set)
+	out := make([]string, 0, len(set))
+	for line := range set {
+		out = append(out, line)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SchemaBytes decodes raw JSON and returns its Schema.
+func SchemaBytes(data []byte) ([]string, error) {
+	var v any
+	if err := json.Unmarshal(data, &v); err != nil {
+		return nil, fmt.Errorf("schema: %w", err)
+	}
+	return Schema(v), nil
+}
+
+func schemaWalk(path string, v any, set map[string]struct{}) {
+	switch x := v.(type) {
+	case map[string]any:
+		if len(x) == 0 {
+			set[path+": object"] = struct{}{}
+			return
+		}
+		for k, child := range x {
+			p := k
+			if path != "" {
+				p = path + "." + k
+			}
+			schemaWalk(p, child, set)
+		}
+	case []any:
+		if len(x) == 0 {
+			set[path+": list"] = struct{}{}
+			return
+		}
+		for _, child := range x {
+			schemaWalk(path+".[]", child, set)
+		}
+	case float64:
+		set[path+": number"] = struct{}{}
+	case string:
+		set[path+": string"] = struct{}{}
+	case bool:
+		set[path+": bool"] = struct{}{}
+	case nil:
+		set[path+": null"] = struct{}{}
+	}
+}
+
+// SchemaString joins Schema lines for golden-file comparison.
+func SchemaString(lines []string) string {
+	return strings.Join(lines, "\n") + "\n"
+}

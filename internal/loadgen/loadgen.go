@@ -1,0 +1,317 @@
+// Package loadgen is a yab-style concurrent load driver for the cagnet
+// trainers: it fires a configurable mix of train-epoch and
+// forward-inference requests at the system from a pool of workers,
+// records per-request latency, and summarizes warmup-excluded
+// p50/p95/p99 latency and throughput (requests, epochs, and steps per
+// second).
+//
+// The driver itself is workload-agnostic — a Workload is any function
+// returning an error — and reads time through a Clock so tests can
+// substitute a deterministic fake. The cagnet-specific workloads (train
+// epochs and forward inference over the built-in dataset analogs, plus
+// the modeled-epoch and steady-state allocation probes the perf gates
+// key on) live in scenario.go; cmd/cagnet-load is the CLI front end.
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock abstracts time for the driver. The wall clock is the default;
+// tests inject a fake advanced by the workloads themselves, making
+// latency percentiles and throughput fully deterministic.
+type Clock interface {
+	Now() time.Time
+}
+
+// WallClock reads the real monotonic clock.
+type WallClock struct{}
+
+// Now implements Clock.
+func (WallClock) Now() time.Time { return time.Now() }
+
+// Work is one request. It must be safe for concurrent invocation from
+// multiple workers.
+type Work func() error
+
+// Workload is one request kind in the mix.
+type Workload struct {
+	// Name labels the workload in the summary ("train", "infer").
+	Name string
+	// Weight is the workload's relative share of the mix; workloads with
+	// non-positive weight are never fired.
+	Weight int
+	// Units is the number of work units one request performs (epochs per
+	// train request, forward passes per inference request); it feeds the
+	// units/sec throughput. Zero counts as one.
+	Units int
+	// Work executes one request.
+	Work Work
+}
+
+// Config drives one load run.
+type Config struct {
+	// Concurrency is the worker count. Default 1.
+	Concurrency int
+	// Warmup is the number of leading completed requests excluded from
+	// the recorded statistics (they still execute, warming caches, pools,
+	// and kernel plans).
+	Warmup int
+	// Count stops the run after this many measured (post-warmup)
+	// requests. Zero means no count bound.
+	Count int
+	// Duration stops issuing new requests once this much time has passed
+	// since the start of the measured phase. Zero means no time bound. At
+	// least one of Count and Duration must be set.
+	Duration time.Duration
+	// Seed fixes the per-worker workload-mix choice. Default 1.
+	Seed int64
+	// Clock supplies time; nil selects the wall clock.
+	Clock Clock
+}
+
+func (c Config) withDefaults() Config {
+	if c.Concurrency <= 0 {
+		c.Concurrency = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Clock == nil {
+		c.Clock = WallClock{}
+	}
+	return c
+}
+
+// Validate rejects unrunnable configs.
+func (c Config) Validate() error {
+	if c.Count <= 0 && c.Duration <= 0 {
+		return fmt.Errorf("loadgen: need a stop condition: set Count or Duration")
+	}
+	if c.Count < 0 || c.Warmup < 0 {
+		return fmt.Errorf("loadgen: negative Count/Warmup")
+	}
+	return nil
+}
+
+// sample is one completed request.
+type sample struct {
+	workload int
+	latency  time.Duration
+	err      bool
+}
+
+// Run drives the workload mix under cfg and returns the measured
+// statistics. The first cfg.Warmup completed requests are executed but
+// excluded from every statistic; the measured phase then runs until the
+// count bound, the time bound, or both are hit.
+func Run(cfg Config, workloads []Workload) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	active := make([]int, 0, len(workloads))
+	total := 0
+	for i, w := range workloads {
+		if w.Weight > 0 && w.Work != nil {
+			active = append(active, i)
+			total += w.Weight
+		}
+	}
+	if len(active) == 0 {
+		return nil, fmt.Errorf("loadgen: no workload with positive weight")
+	}
+
+	// Tickets serialize the global request schedule: each worker draws the
+	// next ticket, and tickets below Warmup are warmup requests. With a
+	// count bound, ticket issuance stops at Warmup+Count, so exactly Count
+	// requests are measured regardless of concurrency.
+	var (
+		mu         sync.Mutex
+		nextTicket int
+		started    = cfg.Clock.Now()
+		deadline   time.Time
+	)
+	if cfg.Duration > 0 {
+		deadline = started.Add(cfg.Duration)
+	}
+	takeTicket := func() (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if cfg.Count > 0 && nextTicket >= cfg.Warmup+cfg.Count {
+			return 0, false
+		}
+		if cfg.Duration > 0 && !cfg.Clock.Now().Before(deadline) {
+			return 0, false
+		}
+		t := nextTicket
+		nextTicket++
+		return t, true
+	}
+
+	perWorker := make([][]sample, cfg.Concurrency)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			// Per-worker seeded mix choice: deterministic for a fixed
+			// (Seed, Concurrency), independent of scheduling order.
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(worker)))
+			samples := perWorker[worker][:0]
+			for {
+				ticket, ok := takeTicket()
+				if !ok {
+					break
+				}
+				wl := active[0]
+				if len(active) > 1 {
+					pick := rng.Intn(total)
+					for _, i := range active {
+						if pick -= workloads[i].Weight; pick < 0 {
+							wl = i
+							break
+						}
+					}
+				}
+				t0 := cfg.Clock.Now()
+				err := workloads[wl].Work()
+				lat := cfg.Clock.Now().Sub(t0)
+				if ticket >= cfg.Warmup {
+					samples = append(samples, sample{workload: wl, latency: lat, err: err != nil})
+				}
+			}
+			perWorker[worker] = samples
+		}(w)
+	}
+	wg.Wait()
+	elapsed := cfg.Clock.Now().Sub(started)
+
+	res := &Result{
+		Concurrency: cfg.Concurrency,
+		Warmup:      cfg.Warmup,
+		Elapsed:     elapsed.Seconds(),
+	}
+	byWorkload := make(map[int][]time.Duration)
+	errs := make(map[int]int)
+	for _, samples := range perWorker {
+		for _, s := range samples {
+			byWorkload[s.workload] = append(byWorkload[s.workload], s.latency)
+			if s.err {
+				errs[s.workload]++
+			}
+		}
+	}
+	for _, i := range active {
+		lats := byWorkload[i]
+		units := workloads[i].Units
+		if units <= 0 {
+			units = 1
+		}
+		ws := WorkloadStats{
+			Name:     workloads[i].Name,
+			Requests: len(lats),
+			Errors:   errs[i],
+			Units:    units * len(lats),
+			Latency:  Summarize(lats),
+		}
+		if elapsed > 0 {
+			ws.RequestsPerSec = float64(ws.Requests) / elapsed.Seconds()
+			ws.UnitsPerSec = float64(ws.Units) / elapsed.Seconds()
+		}
+		res.Workloads = append(res.Workloads, ws)
+		res.Requests += ws.Requests
+		res.Errors += ws.Errors
+	}
+	if elapsed > 0 {
+		res.RequestsPerSec = float64(res.Requests) / elapsed.Seconds()
+	}
+	return res, nil
+}
+
+// Result is one load run's measured statistics (warmup excluded).
+type Result struct {
+	// Concurrency and Warmup echo the config.
+	Concurrency int `json:"concurrency"`
+	Warmup      int `json:"warmup"`
+	// Elapsed is the wall seconds of the whole run, warmup included
+	// (throughputs divide measured requests by it, so they are slightly
+	// conservative when Warmup > 0).
+	Elapsed float64 `json:"elapsed_sec"`
+	// Requests and Errors count measured requests across workloads.
+	Requests int `json:"requests"`
+	Errors   int `json:"errors"`
+	// RequestsPerSec is the aggregate measured throughput.
+	RequestsPerSec float64 `json:"requests_per_sec"`
+	// Workloads holds the per-kind breakdown in mix order.
+	Workloads []WorkloadStats `json:"workloads"`
+}
+
+// WorkloadStats summarizes one workload kind.
+type WorkloadStats struct {
+	Name     string `json:"name"`
+	Requests int    `json:"requests"`
+	Errors   int    `json:"errors"`
+	// Units counts work units completed (epochs for train workloads,
+	// forward passes for inference).
+	Units          int          `json:"units"`
+	RequestsPerSec float64      `json:"requests_per_sec"`
+	UnitsPerSec    float64      `json:"units_per_sec"`
+	Latency        LatencyStats `json:"latency"`
+}
+
+// LatencyStats holds the warmup-excluded latency distribution in
+// seconds.
+type LatencyStats struct {
+	P50  float64 `json:"p50_sec"`
+	P95  float64 `json:"p95_sec"`
+	P99  float64 `json:"p99_sec"`
+	Mean float64 `json:"mean_sec"`
+	Min  float64 `json:"min_sec"`
+	Max  float64 `json:"max_sec"`
+}
+
+// Summarize computes the latency distribution of lats. Percentiles use
+// the nearest-rank definition on the sorted samples: p·q is
+// lats_sorted[ceil(q·n)-1]. An empty input yields the zero stats.
+func Summarize(lats []time.Duration) LatencyStats {
+	if len(lats) == 0 {
+		return LatencyStats{}
+	}
+	sorted := make([]time.Duration, len(lats))
+	copy(sorted, lats)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum time.Duration
+	for _, l := range sorted {
+		sum += l
+	}
+	return LatencyStats{
+		P50:  Percentile(sorted, 0.50),
+		P95:  Percentile(sorted, 0.95),
+		P99:  Percentile(sorted, 0.99),
+		Mean: sum.Seconds() / float64(len(sorted)),
+		Min:  sorted[0].Seconds(),
+		Max:  sorted[len(sorted)-1].Seconds(),
+	}
+}
+
+// Percentile returns the nearest-rank q-quantile (0 < q ≤ 1) of the
+// ascending-sorted samples, in seconds.
+func Percentile(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(float64(len(sorted))*q)) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank].Seconds()
+}

@@ -1,0 +1,280 @@
+package loadgen
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced Clock: workloads advance it
+// themselves, making latencies and throughput fully deterministic.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+func TestPercentileNearestRank(t *testing.T) {
+	cases := []struct {
+		name string
+		n    int
+		q    float64
+		want int // expected sample value in ms, samples are 1..n ms
+	}{
+		{"p50-of-100", 100, 0.50, 50},
+		{"p95-of-100", 100, 0.95, 95},
+		{"p99-of-100", 100, 0.99, 99},
+		{"p100-of-100", 100, 1.00, 100},
+		{"p50-of-1", 1, 0.50, 1},
+		{"p99-of-1", 1, 0.99, 1},
+		{"p50-of-4", 4, 0.50, 2},
+		{"p95-of-4", 4, 0.95, 4},
+		{"p50-of-5", 5, 0.50, 3},
+		{"p99-of-10", 10, 0.99, 10},
+		{"p50-of-2", 2, 0.50, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sorted := make([]time.Duration, tc.n)
+			for i := range sorted {
+				sorted[i] = ms(i + 1)
+			}
+			got := Percentile(sorted, tc.q)
+			if want := ms(tc.want).Seconds(); got != want {
+				t.Fatalf("Percentile(1..%dms, %g) = %gs, want %gs", tc.n, tc.q, got, want)
+			}
+		})
+	}
+	if got := Percentile(nil, 0.5); got != 0 {
+		t.Fatalf("Percentile(nil) = %g, want 0", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	lats := []time.Duration{ms(30), ms(10), ms(20)} // unsorted on purpose
+	s := Summarize(lats)
+	if s.Min != ms(10).Seconds() || s.Max != ms(30).Seconds() {
+		t.Fatalf("min/max = %g/%g, want 0.01/0.03", s.Min, s.Max)
+	}
+	if s.P50 != ms(20).Seconds() {
+		t.Fatalf("p50 = %g, want 0.02", s.P50)
+	}
+	if want := ms(60).Seconds() / 3; s.Mean != want {
+		t.Fatalf("mean = %g, want %g", s.Mean, want)
+	}
+	if z := Summarize(nil); z != (LatencyStats{}) {
+		t.Fatalf("Summarize(nil) = %+v, want zero", z)
+	}
+}
+
+// TestRunFixedCountDeterministic: a single worker with a fake clock
+// yields exact, reproducible latencies, counts, and throughput.
+func TestRunFixedCountDeterministic(t *testing.T) {
+	clk := &fakeClock{}
+	wl := []Workload{{
+		Name: "train", Weight: 1, Units: 2,
+		Work: func() error { clk.Advance(ms(10)); return nil },
+	}}
+	res, err := Run(Config{Concurrency: 1, Warmup: 3, Count: 9, Seed: 1, Clock: clk}, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 9 || res.Errors != 0 {
+		t.Fatalf("requests/errors = %d/%d, want 9/0", res.Requests, res.Errors)
+	}
+	ws := res.Workloads[0]
+	if ws.Requests != 9 || ws.Units != 18 {
+		t.Fatalf("workload requests/units = %d/%d, want 9/18", ws.Requests, ws.Units)
+	}
+	// Every request advanced the clock exactly 10ms, so the distribution
+	// is a point mass.
+	want := ms(10).Seconds()
+	if ws.Latency.P50 != want || ws.Latency.P95 != want || ws.Latency.P99 != want ||
+		ws.Latency.Min != want || ws.Latency.Max != want || ws.Latency.Mean != want {
+		t.Fatalf("latency stats %+v, want all %g", ws.Latency, want)
+	}
+	// 12 total requests (3 warmup + 9 measured) advanced the clock 120ms;
+	// throughput counts the measured 9 over the full elapsed time.
+	if res.Elapsed != ms(120).Seconds() {
+		t.Fatalf("elapsed = %g, want 0.12", res.Elapsed)
+	}
+	if got, want := res.RequestsPerSec, 9/ms(120).Seconds(); got != want {
+		t.Fatalf("throughput = %g, want %g", got, want)
+	}
+	if got, want := ws.UnitsPerSec, 18/ms(120).Seconds(); got != want {
+		t.Fatalf("units/sec = %g, want %g", got, want)
+	}
+}
+
+// TestRunFixedDurationDeterministic: the duration bound with a fake
+// clock stops ticket issuance at the deadline.
+func TestRunFixedDurationDeterministic(t *testing.T) {
+	clk := &fakeClock{}
+	wl := []Workload{{
+		Name: "w", Weight: 1,
+		Work: func() error { clk.Advance(ms(10)); return nil },
+	}}
+	res, err := Run(Config{Concurrency: 1, Warmup: 2, Duration: ms(100), Clock: clk}, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tickets are issued at t = 0, 10, ..., 90ms: ten requests, the
+	// first two of which are warmup.
+	if res.Requests != 8 {
+		t.Fatalf("measured requests = %d, want 8", res.Requests)
+	}
+	if res.Elapsed != ms(100).Seconds() {
+		t.Fatalf("elapsed = %g, want 0.1", res.Elapsed)
+	}
+}
+
+// TestRunWarmupExcluded: warmup requests execute (visible via the
+// counter) but never reach the statistics.
+func TestRunWarmupExcluded(t *testing.T) {
+	var calls atomic.Int64
+	clk := &fakeClock{}
+	wl := []Workload{{
+		Name: "w", Weight: 1,
+		Work: func() error {
+			// Warmup calls are slow; measured calls fast. If warmup leaked
+			// into the stats, Max would be 50ms.
+			if calls.Add(1) <= 2 {
+				clk.Advance(ms(50))
+			} else {
+				clk.Advance(ms(5))
+			}
+			return nil
+		},
+	}}
+	res, err := Run(Config{Concurrency: 1, Warmup: 2, Count: 6, Clock: clk}, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != 8 {
+		t.Fatalf("workload ran %d times, want 8 (2 warmup + 6 measured)", got)
+	}
+	if max := res.Workloads[0].Latency.Max; max != ms(5).Seconds() {
+		t.Fatalf("max latency %g includes warmup samples, want 0.005", max)
+	}
+}
+
+// TestRunMixAndErrors: weighted mix fires both workloads and error
+// returns are counted per workload without aborting the run.
+func TestRunMixAndErrors(t *testing.T) {
+	clk := &fakeClock{}
+	boom := errors.New("boom")
+	var trains, infers atomic.Int64
+	wl := []Workload{
+		{Name: "train", Weight: 3, Work: func() error { trains.Add(1); clk.Advance(ms(2)); return nil }},
+		{Name: "infer", Weight: 1, Work: func() error { infers.Add(1); clk.Advance(ms(1)); return boom }},
+		{Name: "off", Weight: 0, Work: func() error { t.Error("zero-weight workload fired"); return nil }},
+	}
+	res, err := Run(Config{Concurrency: 1, Count: 200, Seed: 7, Clock: clk}, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 200 {
+		t.Fatalf("requests = %d, want 200", res.Requests)
+	}
+	if got := trains.Load() + infers.Load(); got != 200 {
+		t.Fatalf("workloads ran %d times, want 200", got)
+	}
+	// Weighted 3:1, the split should be roughly 150/50; allow wide slack
+	// (the seeded rng is deterministic, so this never flakes).
+	if trains.Load() < 120 || trains.Load() > 180 {
+		t.Fatalf("train share %d of 200, want ~150", trains.Load())
+	}
+	if res.Errors != int(infers.Load()) {
+		t.Fatalf("errors = %d, want %d (every infer fails)", res.Errors, infers.Load())
+	}
+	for _, ws := range res.Workloads {
+		if ws.Name == "infer" && ws.Errors != ws.Requests {
+			t.Fatalf("infer errors = %d of %d requests", ws.Errors, ws.Requests)
+		}
+		if ws.Name == "train" && ws.Errors != 0 {
+			t.Fatalf("train errors = %d, want 0", ws.Errors)
+		}
+	}
+	// Same seed → identical mix, rerun to rerun.
+	clk2 := &fakeClock{}
+	var trains2 atomic.Int64
+	wl2 := []Workload{
+		{Name: "train", Weight: 3, Work: func() error { trains2.Add(1); clk2.Advance(ms(2)); return nil }},
+		{Name: "infer", Weight: 1, Work: func() error { clk2.Advance(ms(1)); return nil }},
+	}
+	if _, err := Run(Config{Concurrency: 1, Count: 200, Seed: 7, Clock: clk2}, wl2); err != nil {
+		t.Fatal(err)
+	}
+	if trains.Load() != trains2.Load() {
+		t.Fatalf("mix not deterministic: %d vs %d train requests", trains.Load(), trains2.Load())
+	}
+}
+
+// TestRunConcurrent: the exact measured-request count holds under
+// concurrency, and the driver is race-clean (run with -race in CI).
+func TestRunConcurrent(t *testing.T) {
+	var calls atomic.Int64
+	wl := []Workload{{
+		Name: "w", Weight: 1,
+		Work: func() error { calls.Add(1); return nil },
+	}}
+	res, err := Run(Config{Concurrency: 8, Warmup: 10, Count: 500}, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 500 {
+		t.Fatalf("measured requests = %d, want exactly 500", res.Requests)
+	}
+	if got := calls.Load(); got != 510 {
+		t.Fatalf("workload ran %d times, want 510 (10 warmup + 500)", got)
+	}
+	if res.Concurrency != 8 || res.Warmup != 10 {
+		t.Fatalf("config echo %d/%d, want 8/10", res.Concurrency, res.Warmup)
+	}
+}
+
+func TestRunConfigErrors(t *testing.T) {
+	wl := []Workload{{Name: "w", Weight: 1, Work: func() error { return nil }}}
+	if _, err := Run(Config{}, wl); err == nil {
+		t.Fatal("want error without a stop condition")
+	}
+	if _, err := Run(Config{Count: 1}, nil); err == nil {
+		t.Fatal("want error with no workloads")
+	}
+	if _, err := Run(Config{Count: 1}, []Workload{{Name: "w", Weight: 0}}); err == nil {
+		t.Fatal("want error with only zero-weight workloads")
+	}
+}
+
+func TestLegalRanks(t *testing.T) {
+	cases := []struct {
+		algo   string
+		target int
+		want   int
+	}{
+		{"1d", 4, 4}, {"1d", 7, 7}, {"1d", 0, 1},
+		{"1.5d", 4, 4}, {"1.5d", 7, 8}, {"1.5d", 1, 1},
+		{"2d", 4, 4}, {"2d", 8, 9}, {"2d", 64, 64}, {"2d", 2, 1},
+		{"3d", 8, 8}, {"3d", 64, 64}, {"3d", 4, 8}, {"3d", 1, 1},
+	}
+	for _, tc := range cases {
+		if got := LegalRanks(tc.algo, tc.target); got != tc.want {
+			t.Errorf("LegalRanks(%q, %d) = %d, want %d", tc.algo, tc.target, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"os"
+)
+
+// Report is the cagnet-load -json document: the run configuration plus
+// one entry per scenario. The wall-clock latency/throughput numbers are
+// host-dependent and informational; the Modeled block is deterministic
+// and is what cagnet-benchdiff gates on when a report is merged into a
+// BENCH_N.json trajectory point (under the "load" experiment key).
+type Report struct {
+	Dataset     string `json:"dataset"`
+	Machine     string `json:"machine"`
+	Quick       bool   `json:"quick,omitempty"`
+	Concurrency int    `json:"concurrency"`
+	Warmup      int    `json:"warmup"`
+	// Count and DurationSec echo the stop condition (zero = unused).
+	Count       int     `json:"count,omitempty"`
+	DurationSec float64 `json:"duration_sec,omitempty"`
+	// TrainEpochs is the epochs each train request runs; TrainWeight and
+	// InferWeight are the request mix.
+	TrainEpochs int              `json:"train_epochs"`
+	TrainWeight int              `json:"train_weight"`
+	InferWeight int              `json:"infer_weight"`
+	Scenarios   []ScenarioReport `json:"scenarios"`
+}
+
+// ScenarioReport pairs one scenario's deterministic modeled metrics with
+// its measured load statistics.
+type ScenarioReport struct {
+	Scenario
+	Modeled ModeledStats `json:"modeled"`
+	Load    *Result      `json:"load,omitempty"`
+}
+
+// WriteJSON marshals the report with stable indentation (the same
+// convention as the cagnet-bench snapshots) and writes it to path.
+func (r *Report) WriteJSON(path string) error {
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}

@@ -1,0 +1,132 @@
+package loadgen
+
+import (
+	"testing"
+
+	cagnet "repro"
+	"repro/internal/costmodel"
+	"repro/internal/dense"
+	"repro/internal/nn"
+	"repro/internal/sparse"
+)
+
+func TestDefaultScenariosCoverAcceptanceMatrix(t *testing.T) {
+	scs := DefaultScenarios(8)
+	if len(scs) != 8 {
+		t.Fatalf("got %d scenarios, want 8", len(scs))
+	}
+	seen := map[string]bool{}
+	for _, s := range scs {
+		seen[s.Name] = true
+		if got := LegalRanks(s.Algorithm, s.Ranks); got != s.Ranks {
+			t.Errorf("scenario %s rank count %d is not legal for %s", s.Name, s.Ranks, s.Algorithm)
+		}
+	}
+	for _, want := range []string{"1d", "1d-overlap", "1.5d", "1.5d-overlap",
+		"2d", "2d-overlap", "3d", "3d-overlap"} {
+		if !seen[want] {
+			t.Errorf("missing scenario %q", want)
+		}
+	}
+}
+
+// TestForwardMatchesTrainerOutput: the inference forward pass reproduces
+// the serial trainer's final output bit for bit (same kernels, same
+// order).
+func TestForwardMatchesTrainerOutput(t *testing.T) {
+	ds := cagnet.RandomDataset(6, 4, 8, 8, 4, 1)
+	report, err := cagnet.Train(ds, cagnet.TrainOptions{Algorithm: "serial", Epochs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := ds.Graph.NormalizedAdjacency()
+	cfg := nn.Config{Widths: ds.LayerWidths()}.WithDefaults()
+	got := Forward(a, sparse.NewTransposePlan(a), ds.Features, report.Result().Weights, cfg)
+	want := report.Result().Output
+	if !dense.EqualWithin(got, want, 0) {
+		t.Fatalf("forward pass differs from trainer output, max |Δ| = %g",
+			dense.MaxAbsDiff(got, want))
+	}
+	// The planless path takes the scatter kernel; results stay identical.
+	noPlan := Forward(a, nil, ds.Features, report.Result().Weights, cfg)
+	if !dense.EqualWithin(noPlan, want, 0) {
+		t.Fatal("planless forward differs")
+	}
+}
+
+// TestWorkloadsEndToEnd drives a real train+infer mix at a tiny 1D
+// trainer.
+func TestWorkloadsEndToEnd(t *testing.T) {
+	ds := cagnet.RandomDataset(6, 4, 8, 8, 4, 1)
+	sc := Scenario{Name: "1d", Algorithm: "1d", Ranks: 2}
+	infer, err := InferWorkload(ds, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := []Workload{sc.TrainWorkload(ds, 1, 1, ""), infer}
+	res, err := Run(Config{Concurrency: 2, Warmup: 1, Count: 4, Seed: 3}, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 4 || res.Errors != 0 {
+		t.Fatalf("requests/errors = %d/%d, want 4/0", res.Requests, res.Errors)
+	}
+}
+
+// TestModeledEpochDeterministic: the modeled metrics are pure functions
+// of the scenario — identical across calls, with overlap hiding a
+// positive fraction of communication.
+func TestModeledEpochDeterministic(t *testing.T) {
+	ds := cagnet.RandomDataset(7, 8, 8, 8, 4, 2)
+	bulk := Scenario{Algorithm: "2d", Ranks: 4}
+	ov := Scenario{Algorithm: "2d", Ranks: 4, Overlap: true}
+	m1, err := ModeledEpoch(ds, bulk, costmodel.SummitSim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := ModeledEpoch(ds, bulk, costmodel.SummitSim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 != m2 {
+		t.Fatalf("modeled metrics not deterministic: %+v vs %+v", m1, m2)
+	}
+	if m1.EpochSeconds <= 0 {
+		t.Fatalf("epoch seconds = %g, want > 0", m1.EpochSeconds)
+	}
+	if m1.HiddenCommFraction != 0 {
+		t.Fatalf("bulk hidden fraction = %g, want 0", m1.HiddenCommFraction)
+	}
+	mo, err := ModeledEpoch(ds, ov, costmodel.SummitSim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mo.HiddenCommFraction <= 0 || mo.HiddenCommFraction >= 1 {
+		t.Fatalf("overlap hidden fraction = %g, want in (0, 1)", mo.HiddenCommFraction)
+	}
+	if mo.EpochSeconds >= m1.EpochSeconds {
+		t.Fatalf("overlap epoch %g not faster than bulk %g", mo.EpochSeconds, m1.EpochSeconds)
+	}
+}
+
+// TestAllocsPerEpochSteadyStateZero: the differencing probe reproduces
+// the repo's 0 allocs/epoch steady-state contract from the public API.
+func TestAllocsPerEpochSteadyStateZero(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc probe needs repeated training runs")
+	}
+	ds := cagnet.RandomDataset(6, 4, 8, 8, 4, 1)
+	for _, sc := range []Scenario{
+		{Name: "serial", Algorithm: "serial", Ranks: 1},
+		{Name: "1d", Algorithm: "1d", Ranks: 2},
+	} {
+		allocs, bytes, err := AllocsPerEpoch(ds, sc, 3, 4, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if allocs != 0 || bytes != 0 {
+			t.Fatalf("%s steady state allocates %g allocs / %g bytes per epoch, want 0/0",
+				sc.Name, allocs, bytes)
+		}
+	}
+}
