@@ -372,6 +372,53 @@ func benchmarkEpochs(b *testing.B, algo string, ranks int) {
 // reference trainer at reddit-sim scale.
 func BenchmarkEpochSerial(b *testing.B) { benchmarkEpochs(b, "serial", 1) }
 
+// BenchmarkEpochSerialWide measures the serial epoch on the wide-feature
+// R-MAT analog (f = 256, the kernel sweep's dataset) under each kernel
+// dispatch configuration. The sub-benchmark ratios are the wall-clock
+// version of `cagnet-bench -exp kernels`: reference is the pre-optimization
+// scalar baseline, default adds the fused four-source sweeps, f32 the
+// mixed-precision storage.
+func BenchmarkEpochSerialWide(b *testing.B) {
+	configs := []struct {
+		name string
+		o    core.KernelOptions
+	}{
+		{"reference", core.KernelOptions{Reference: true}},
+		{"default", core.KernelOptions{}},
+		{"auto", core.KernelOptions{Format: sparse.FormatAuto}},
+		{"f32", core.KernelOptions{Precision: core.PrecisionF32}},
+	}
+	spec := graph.AnalogSpec{
+		Name: "rmat-wide", Scale: 12, EdgeFactor: 16,
+		Features: 256, Hidden: 64, Labels: 32, Seed: 7,
+	}
+	if testing.Short() {
+		spec.Scale, spec.EdgeFactor = 10, 8
+	}
+	ds := spec.Build()
+	for _, tc := range configs {
+		b.Run(tc.name, func(b *testing.B) {
+			problem := core.Problem{
+				A:        ds.Graph.NormalizedAdjacency(),
+				Features: ds.Features,
+				Labels:   ds.Labels,
+				Config: nn.Config{
+					Widths: ds.LayerWidths(), LR: 0.01, Seed: 1, Epochs: b.N,
+				},
+			}
+			tr := core.NewSerial()
+			if err := core.SetKernelOptions(tr, tc.o); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			if _, err := tr.Train(problem); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
 // BenchmarkEpochOneD measures full-epoch wall-clock of the simulated 1D
 // trainer (4 ranks).
 func BenchmarkEpochOneD(b *testing.B) { benchmarkEpochs(b, "1d", 4) }

@@ -33,6 +33,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/parallel"
 	"repro/internal/partition"
+	"repro/internal/sparse"
 )
 
 // Algorithms lists the supported training algorithms in the order the
@@ -48,6 +49,19 @@ var Backends = parallel.Backends
 // their state replicated across ranks, so they work identically under
 // every decomposition with zero extra communication.
 var Optimizers = nn.Optimizers
+
+// Formats lists the selectable sparse storage formats for the serial
+// trainer's backward aggregation: "csr" (default), "bcsr", "sell", and
+// "auto" (per-graph cost-model choice).
+var Formats = []string{
+	string(sparse.FormatCSR), string(sparse.FormatBCSR),
+	string(sparse.FormatSELL), string(sparse.FormatAuto),
+}
+
+// Precisions lists the selectable arithmetic precisions: "f64" (default,
+// bit-identical everywhere) and "f32" (mixed precision, serial only,
+// tolerance-validated).
+var Precisions = []string{core.PrecisionF64, core.PrecisionF32}
 
 // Datasets lists the built-in synthetic analogs of the paper's Table VI
 // datasets.
@@ -152,6 +166,31 @@ type TrainOptions struct {
 	// path max(compute, communication) per pipeline stage instead of
 	// their sum. Rejected for "serial", which has nothing to overlap.
 	Overlap bool
+	// Precision selects the arithmetic precision of the training kernels:
+	// "f64" (default, "" accepted) keeps every matrix double precision and
+	// is bit-identical across backends and decompositions; "f32" runs
+	// mixed-precision training — float32 storage and compute for the large
+	// per-vertex matrices, float64 master weights, optimizer state, and row
+	// reductions (log-sum-exp, loss). Tolerance-validated, not
+	// bit-identical. Serial algorithm only; distributed trainers reject it.
+	Precision string
+	// Format selects the sparse storage for the serial trainer's backward
+	// aggregation A·G: "csr" (default, "" accepted), "bcsr" (register
+	// blocking for graphs with dense block structure), "sell" (SELL-C-σ,
+	// vectorization-friendly for skewed degree distributions), or "auto"
+	// (the cost model picks per graph from its sparsity statistics). All
+	// formats are bit-identical to CSR. Serial algorithm only.
+	Format string
+	// Fused controls the fused bias+ReLU epilogues: "" or "on" (default)
+	// folds the activation and its backward masking into the GEMM
+	// accumulation loops, "off" runs the separate passes. Both settings are
+	// bit-identical; "off" exists to measure the fusion win. Serial
+	// algorithm only.
+	Fused string
+	// Unrolled enables the 4-accumulator unrolled input-gradient GEMM.
+	// Tolerance-validated, not bit-identical (the partial sums reassociate
+	// the reduction). Serial algorithm only.
+	Unrolled bool
 	// Backend selects the compute backend for all kernels: "serial" runs
 	// them single-threaded, "parallel" (the default) row-partitions large
 	// SpMM/GEMM/activation kernels across a worker pool sized by
@@ -213,6 +252,14 @@ type TrainReport struct {
 	// WordsByCategory is the per-rank maximum of modeled words moved per
 	// category (nil for "serial").
 	WordsByCategory map[string]int64
+	// Precision, Format, Fused, and Unrolled record the kernel
+	// configuration the run actually used, after defaults and the auto
+	// format selector resolved (core.KernelChoice). Distributed runs always
+	// report the default f64/csr/fused configuration.
+	Precision string
+	Format    string
+	Fused     bool
+	Unrolled  bool
 
 	result *core.Result
 }
@@ -266,6 +313,14 @@ func Train(ds *graph.Dataset, opts TrainOptions) (*TrainReport, error) {
 			return nil, err
 		}
 	}
+	if err := core.SetKernelOptions(trainer, core.KernelOptions{
+		Precision: opts.Precision,
+		Format:    sparse.Format(opts.Format),
+		Fused:     opts.Fused,
+		Unrolled:  opts.Unrolled,
+	}); err != nil {
+		return nil, err
+	}
 	res, err := trainer.Train(problem)
 	if err != nil {
 		return nil, err
@@ -273,6 +328,7 @@ func Train(ds *graph.Dataset, opts TrainOptions) (*TrainReport, error) {
 	if order != nil && res.Output != nil {
 		res.Output = core.RestoreRows(res.Output, order)
 	}
+	choice := core.ChoiceOf(trainer)
 	report := &TrainReport{
 		Losses:        res.Losses,
 		Accuracy:      res.Accuracy,
@@ -280,6 +336,10 @@ func Train(ds *graph.Dataset, opts TrainOptions) (*TrainReport, error) {
 		ValAccuracy:   res.ValAccuracy,
 		OutputRows:    res.Output.Rows,
 		OutputCols:    res.Output.Cols,
+		Precision:     choice.Precision,
+		Format:        choice.Format,
+		Fused:         choice.Fused,
+		Unrolled:      choice.Unrolled,
 		result:        res,
 	}
 	if dt, ok := trainer.(core.DistTrainer); ok {

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	cagnet-bench [-exp all|tableVI|fig2|fig3|partition|crossover|algo3d|overlap|scaling|convergence]
+//	cagnet-bench [-exp all|tableVI|fig2|fig3|partition|crossover|algo3d|overlap|kernels|scaling|convergence]
 //	             [-quick] [-machine summit-v100] [-optimizer sgd]
 //	             [-halo] [-partitioner block] [-overlap]
 //	             [-backend parallel] [-workers 0] [-json path]
@@ -45,7 +45,7 @@ type benchSnapshot struct {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("cagnet-bench: ")
-	exp := flag.String("exp", "all", "experiment: all, tableVI, fig2, fig3, partition, crossover, algo3d, overlap, scaling, convergence")
+	exp := flag.String("exp", "all", "experiment: all, tableVI, fig2, fig3, partition, crossover, algo3d, overlap, kernels, scaling, convergence")
 	quick := flag.Bool("quick", false, "use reduced dataset sizes")
 	machine := flag.String("machine", costmodel.SummitSim.Name, "cost-model machine profile")
 	optimizer := flag.String("optimizer", "sgd", "weight-update rule for the convergence experiment: sgd, momentum, adam")
@@ -85,10 +85,11 @@ func main() {
 		"crossover":   runCrossover,
 		"algo3d":      runAlgo3D,
 		"overlap":     runOverlap,
+		"kernels":     runKernels,
 		"scaling":     runScaling,
 		"convergence": runConvergence,
 	}
-	order := []string{"tableVI", "fig2", "fig3", "partition", "crossover", "algo3d", "overlap", "scaling", "convergence"}
+	order := []string{"tableVI", "fig2", "fig3", "partition", "crossover", "algo3d", "overlap", "kernels", "scaling", "convergence"}
 
 	snapshot := benchSnapshot{
 		Machine: mach.Name, Quick: *quick, Optimizer: *optimizer,
@@ -301,6 +302,30 @@ func runOverlap(o harness.Options) (any, error) {
 		[]string{"algorithm", "P", "bulk s/epoch", "overlap s/epoch", "speedup", "hidden-comm", "comm", "compute"}, cells))
 	fmt.Println("word counts are identical between modes: overlap changes when panels")
 	fmt.Println("arrive, never what is sent (outputs are bit-identical).")
+	fmt.Println()
+	return rows, nil
+}
+
+func runKernels(o harness.Options) (any, error) {
+	rows, err := harness.KernelSweep(o)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Println("== Kernel dispatch: wall-clock epoch time per precision/format/fusion choice ==")
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Name, r.Dataset, r.Precision, r.Format,
+			strconv.FormatBool(r.Fused), strconv.FormatBool(r.Unrolled),
+			harness.FormatFloat(r.WallSecPerEpoch),
+			harness.FormatFloat(r.Speedup),
+		})
+	}
+	fmt.Println(harness.Table(
+		[]string{"config", "dataset", "precision", "format", "fused", "unrolled", "wall s/epoch", "speedup"}, cells))
+	fmt.Println("speedups are measured against the f64-reference baseline (the scalar")
+	fmt.Println("one-source kernels) in the same process; f64 rows are bit-identical to")
+	fmt.Println("it, f32 and unrolled rows are tolerance-validated.")
 	fmt.Println()
 	return rows, nil
 }

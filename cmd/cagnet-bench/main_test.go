@@ -36,6 +36,7 @@ func TestSnapshotJSONSchemaGolden(t *testing.T) {
 		"crossover":   runCrossover,
 		"algo3d":      runAlgo3D,
 		"overlap":     runOverlap,
+		"kernels":     runKernels,
 		"scaling":     runScaling,
 		"convergence": runConvergence,
 	}

@@ -7,6 +7,7 @@
 //	cagnet-train [-dataset reddit-sim] [-algo 2d] [-ranks 16] [-epochs 10]
 //	             [-lr 0.01] [-optimizer sgd] [-replication 0] [-val 0]
 //	             [-halo] [-partitioner block] [-overlap] [-machine summit-v100]
+//	             [-precision f64] [-format csr] [-fused on] [-unrolled]
 //	             [-backend parallel] [-workers 0] [-quick]
 package main
 
@@ -33,6 +34,10 @@ func main() {
 	halo := flag.Bool("halo", false, "1d/1.5d: fetch only the rows each rank's adjacency block touches instead of broadcasting dense blocks")
 	partitioner := flag.String("partitioner", "", "1d/1.5d vertex partitioner: block (default), random, ldg")
 	overlap := flag.Bool("overlap", false, "hide communication behind compute with non-blocking collectives (bit-identical results)")
+	precision := flag.String("precision", "", "kernel precision: f64 (default) or f32 mixed precision (serial algo only)")
+	format := flag.String("format", "", "sparse format for the backward aggregation: csr (default), bcsr, sell, auto (serial algo only)")
+	fused := flag.String("fused", "", "fused bias+ReLU epilogues: on (default) or off (serial algo only)")
+	unrolled := flag.Bool("unrolled", false, "use the 4-accumulator unrolled input-gradient GEMM (serial algo only)")
 	valFrac := flag.Float64("val", 0, "fraction of vertices held out for validation tracking (0 disables)")
 	machine := flag.String("machine", "summit-v100", "cost-model machine profile")
 	backend := flag.String("backend", "", "compute backend: serial or parallel (default: parallel, or $CAGNET_BACKEND)")
@@ -100,6 +105,10 @@ func main() {
 		Partitioner:       *partitioner,
 		HaloExchange:      *halo,
 		Overlap:           *overlap,
+		Precision:         *precision,
+		Format:            *format,
+		Fused:             *fused,
+		Unrolled:          *unrolled,
 		ValMask:           valMask,
 		Machine:           *machine,
 		Backend:           *backend,
@@ -107,6 +116,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Printf("kernels: precision=%s format=%s fused=%v unrolled=%v\n\n",
+		report.Precision, report.Format, report.Fused, report.Unrolled)
 	for i, loss := range report.Losses {
 		if report.ValAccuracy != nil {
 			fmt.Printf("epoch %3d  loss %.6f  train-acc %.4f  val-acc %.4f\n",

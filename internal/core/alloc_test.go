@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/nn"
 	"repro/internal/parallel"
+	"repro/internal/sparse"
 )
 
 // This file asserts the PR-4 tentpole: after a warm-up epoch has populated
@@ -66,24 +67,50 @@ func steadyStateAllocs(t *testing.T, tr rankRunner, p Problem, ranks int) float6
 }
 
 // TestSteadyStateAllocsSerial: the serial trainer's epoch must allocate
-// nothing once the workspace and transpose plan are warm.
+// nothing once the workspace and transpose plan are warm — for every kernel
+// dispatch configuration: fused/unfused, each sparse format, the unrolled
+// GEMM variant, and the float32 mixed-precision path.
 func TestSteadyStateAllocsSerial(t *testing.T) {
 	release := parallel.AcquireBackend(parallel.BackendSerial)
 	defer release()
-	p := testProblem(t, 256, 16, 16, 8, 1, 71)
-	cfg := p.Config.WithDefaults()
-	ops := newSerialOps(cfg, p.A, p.Features, p.Labels, p.TrainMask, p.lossNormalizer())
-	eng := newEngine(ops, cfg, p)
-	weights := nn.InitWeights(cfg)
-	for i := 0; i < 2; i++ {
-		eng.epoch(weights)
-		ops.endEpoch()
+	cases := []struct {
+		name string
+		o    KernelOptions
+	}{
+		{"default", KernelOptions{}},
+		{"unfused", KernelOptions{Fused: "off"}},
+		{"unrolled", KernelOptions{Unrolled: true, Fused: "off"}},
+		{"bcsr", KernelOptions{Format: sparse.FormatBCSR}},
+		{"sell", KernelOptions{Format: sparse.FormatSELL}},
+		{"f32", KernelOptions{Precision: PrecisionF32}},
+		{"f32-sell-unrolled", KernelOptions{Precision: PrecisionF32, Format: sparse.FormatSELL, Unrolled: true, Fused: "off"}},
+		{"reference", KernelOptions{Reference: true}},
 	}
-	if avg := testing.AllocsPerRun(5, func() {
-		eng.epoch(weights)
-		ops.endEpoch()
-	}); avg != 0 {
-		t.Fatalf("serial steady-state epoch allocates %.1f times, want 0", avg)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := testProblem(t, 256, 16, 16, 8, 1, 71)
+			cfg := p.Config.WithDefaults()
+			var ops layerOps
+			if tc.o.precision() == PrecisionF32 {
+				ops = newMixedOps(cfg, p, tc.o)
+			} else {
+				sops := newSerialOps(cfg, p.A, p.Features, p.Labels, p.TrainMask, p.lossNormalizer())
+				sops.configure(tc.o)
+				ops = sops
+			}
+			eng := newEngine(ops, cfg, p)
+			weights := nn.InitWeights(cfg)
+			for i := 0; i < 2; i++ {
+				eng.epoch(weights)
+				ops.endEpoch()
+			}
+			if avg := testing.AllocsPerRun(5, func() {
+				eng.epoch(weights)
+				ops.endEpoch()
+			}); avg != 0 {
+				t.Fatalf("%s steady-state epoch allocates %.1f times, want 0", tc.name, avg)
+			}
+		})
 	}
 }
 

@@ -249,8 +249,9 @@ func (e *engine) run() *Result {
 // counts (len(masks) long, zeroed by the caller); rowOffset maps local row
 // i to global vertex rowOffset+i. It is the shared per-block accuracy
 // kernel behind correctCounts; ranks pass a persistent buffer so the
-// accuracy path stays allocation-free.
-func argmaxCorrectInto(counts []float64, logp *dense.Matrix, labels []int, rowOffset int, masks [][]bool) {
+// accuracy path stays allocation-free. Generic so the mixed-precision ops
+// count on their float32 output without converting.
+func argmaxCorrectInto[T dense.Elem](counts []float64, logp *dense.Of[T], labels []int, rowOffset int, masks [][]bool) {
 	for i := 0; i < logp.Rows; i++ {
 		row := logp.Row(i)
 		best := 0

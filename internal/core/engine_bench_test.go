@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/nn"
 	"repro/internal/parallel"
+	"repro/internal/sparse"
 )
 
 // Engine-level epoch benchmarks: unlike the Train-based benchmarks in the
@@ -41,6 +42,55 @@ func BenchmarkEngineEpochSerial(b *testing.B) {
 	for _, backend := range benchBackends {
 		b.Run(backend.String(), func(b *testing.B) {
 			benchEngineEpochSerial(b, backend)
+		})
+	}
+}
+
+// BenchmarkEngineEpochKernels measures the warmed steady-state epoch for
+// every kernel dispatch configuration (precision, sparse format, fusion,
+// unrolling, and the reference scalar baseline). Every sub-benchmark must
+// report 0 B/op — the 0-alloc guarantee covers each dispatch path, not just
+// the default.
+func BenchmarkEngineEpochKernels(b *testing.B) {
+	configs := []struct {
+		name string
+		o    KernelOptions
+	}{
+		{"reference", KernelOptions{Reference: true}},
+		{"default", KernelOptions{}},
+		{"unfused", KernelOptions{Fused: "off"}},
+		{"unrolled", KernelOptions{Unrolled: true, Fused: "off"}},
+		{"bcsr", KernelOptions{Format: sparse.FormatBCSR}},
+		{"sell", KernelOptions{Format: sparse.FormatSELL}},
+		{"f32", KernelOptions{Precision: PrecisionF32}},
+		{"f32-sell", KernelOptions{Precision: PrecisionF32, Format: sparse.FormatSELL}},
+	}
+	release := parallel.AcquireBackend(parallel.BackendSerial)
+	defer release()
+	for _, tc := range configs {
+		b.Run(tc.name, func(b *testing.B) {
+			p := testProblem(b, 2048, 32, 32, 8, 1, 81)
+			cfg := p.Config.WithDefaults()
+			var ops layerOps
+			if tc.o.precision() == PrecisionF32 {
+				ops = newMixedOps(cfg, p, tc.o)
+			} else {
+				sops := newSerialOps(cfg, p.A, p.Features, p.Labels, p.TrainMask, p.lossNormalizer())
+				sops.configure(tc.o)
+				ops = sops
+			}
+			eng := newEngine(ops, cfg, p)
+			weights := nn.InitWeights(cfg)
+			for i := 0; i < 2; i++ {
+				eng.epoch(weights)
+				ops.endEpoch()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.epoch(weights)
+				ops.endEpoch()
+			}
 		})
 	}
 }

@@ -1,0 +1,232 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dense"
+	"repro/internal/sparse"
+	"repro/internal/tolerance"
+)
+
+// deepProblem builds a depth-4 (4 weight layers) training problem: three
+// hidden ReLU layers exercise the fused forward epilogue, the fused
+// backward mask, and the masked-ahead handshake across consecutive layers.
+func deepProblem(t testing.TB, epochs int, seed int64) Problem {
+	t.Helper()
+	p := testProblem(t, 60, 10, 8, 4, epochs, seed)
+	p.Config.Widths = []int{10, 8, 7, 6, 4}
+	return p
+}
+
+// trainWith trains p on a fresh serial trainer with kernel options o.
+func trainWith(t *testing.T, p Problem, o KernelOptions) (*Result, KernelChoice) {
+	t.Helper()
+	tr := NewSerial()
+	if err := SetKernelOptions(tr, o); err != nil {
+		t.Fatal(err)
+	}
+	res, err := tr.Train(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, ChoiceOf(tr)
+}
+
+// requireBitEqual asserts two training runs produced bit-identical outputs,
+// weights, and loss curves.
+func requireBitEqual(t *testing.T, name string, got, want *Result) {
+	t.Helper()
+	if d := dense.MaxAbsDiff(got.Output, want.Output); d != 0 {
+		t.Fatalf("%s: output deviates by %v, want bit-identical", name, d)
+	}
+	for l := range want.Weights {
+		if d := dense.MaxAbsDiff(got.Weights[l], want.Weights[l]); d != 0 {
+			t.Fatalf("%s: W[%d] deviates by %v, want bit-identical", name, l, d)
+		}
+	}
+	for e := range want.Losses {
+		if got.Losses[e] != want.Losses[e] {
+			t.Fatalf("%s: epoch %d loss %v vs %v, want bit-identical", name, e, got.Losses[e], want.Losses[e])
+		}
+	}
+}
+
+// TestFusedBitIdenticalToUnfused: the fused MulBiasReLU forward epilogue and
+// the fused MulTReLUMask backward mask must reproduce the separate-pass
+// reference bit for bit (the epilogues run after each element's
+// accumulation completes, and relu(z) > 0 ⟺ z > 0).
+func TestFusedBitIdenticalToUnfused(t *testing.T) {
+	p := deepProblem(t, 6, 31)
+	want, _ := trainWith(t, p, KernelOptions{Fused: "off"})
+	got, choice := trainWith(t, p, KernelOptions{})
+	if !choice.Fused {
+		t.Fatal("default options did not enable fusion")
+	}
+	requireBitEqual(t, "fused", got, want)
+}
+
+// TestFormatVariantsBitIdentical: training through the BCSR and SELL
+// backward-aggregation kernels must be bit-identical to the CSR reference
+// (the normalized adjacency stores no explicit zeros, and the format
+// kernels visit entries in the same per-row column order).
+func TestFormatVariantsBitIdentical(t *testing.T) {
+	p := deepProblem(t, 5, 32)
+	want, _ := trainWith(t, p, KernelOptions{})
+	for _, f := range []sparse.Format{sparse.FormatBCSR, sparse.FormatSELL, sparse.FormatAuto} {
+		got, choice := trainWith(t, p, KernelOptions{Format: f})
+		if f != sparse.FormatAuto && choice.Format != string(f) {
+			t.Fatalf("choice reports format %q, want %q", choice.Format, f)
+		}
+		requireBitEqual(t, string(f), got, want)
+	}
+}
+
+// TestUnrolledWithinTolerance: the 4-accumulator unrolled input-gradient
+// GEMM reassociates its reductions, so it is tolerance-validated, not
+// bit-identical.
+func TestUnrolledWithinTolerance(t *testing.T) {
+	p := deepProblem(t, 5, 33)
+	want, _ := trainWith(t, p, KernelOptions{})
+	got, choice := trainWith(t, p, KernelOptions{Unrolled: true, Fused: "off"})
+	if !choice.Unrolled {
+		t.Fatal("choice does not report unrolled")
+	}
+	tolerance.AssertClose(t, "unrolled output", got.Output, want.Output, 1e-9, 1e-9)
+	tolerance.AssertCloseSlice(t, "unrolled losses", got.Losses, want.Losses, 1e-9, 1e-9)
+}
+
+// TestMixedPrecisionWithinTolerance: the f32 storage/compute path with f64
+// loss accumulation and master weights must track the f64 reference within
+// single-precision tolerance across the depth-4 matrix and every optimizer.
+func TestMixedPrecisionWithinTolerance(t *testing.T) {
+	for _, opt := range []string{"sgd", "momentum", "adam"} {
+		t.Run(opt, func(t *testing.T) {
+			p := deepProblem(t, 6, 34)
+			p.Config.Optimizer = opt
+			want, _ := trainWith(t, p, KernelOptions{})
+			got, choice := trainWith(t, p, KernelOptions{Precision: PrecisionF32})
+			if choice.Precision != PrecisionF32 {
+				t.Fatalf("choice reports precision %q", choice.Precision)
+			}
+			tolerance.AssertCloseSlice(t, "losses", got.Losses, want.Losses, 1e-3, 1e-3)
+			tolerance.AssertClose(t, "output", got.Output, want.Output, 5e-2, 5e-2)
+			if math.Abs(got.Accuracy-want.Accuracy) > 0.05 {
+				t.Fatalf("accuracy %v vs f64 %v", got.Accuracy, want.Accuracy)
+			}
+		})
+	}
+}
+
+// TestMixedPrecisionKernelMatrix: mixed precision composes with every
+// format, with fusion off, and with unrolling — each combination stays
+// within tolerance of the f64 reference.
+func TestMixedPrecisionKernelMatrix(t *testing.T) {
+	p := deepProblem(t, 4, 35)
+	want, _ := trainWith(t, p, KernelOptions{})
+	for _, o := range []KernelOptions{
+		{Precision: PrecisionF32, Format: sparse.FormatBCSR},
+		{Precision: PrecisionF32, Format: sparse.FormatSELL},
+		{Precision: PrecisionF32, Fused: "off"},
+		{Precision: PrecisionF32, Unrolled: true, Fused: "off"},
+	} {
+		got, choice := trainWith(t, p, o)
+		name := choice.Format + "/fused=" + o.Fused
+		tolerance.AssertCloseSlice(t, name+" losses", got.Losses, want.Losses, 1e-3, 1e-3)
+		tolerance.AssertClose(t, name+" output", got.Output, want.Output, 5e-2, 5e-2)
+	}
+	// Within f32, fused must still be bit-identical to unfused.
+	a, _ := trainWith(t, p, KernelOptions{Precision: PrecisionF32})
+	b, _ := trainWith(t, p, KernelOptions{Precision: PrecisionF32, Fused: "off"})
+	requireBitEqual(t, "f32 fused vs unfused", a, b)
+}
+
+// TestSetKernelOptionsValidation: the serial trainer accepts every valid
+// combination; distributed trainers accept only the default; malformed
+// values are rejected up front.
+func TestSetKernelOptionsValidation(t *testing.T) {
+	if err := SetKernelOptions(NewSerial(), KernelOptions{Precision: PrecisionF32, Format: sparse.FormatSELL, Unrolled: true}); err != nil {
+		t.Fatal(err)
+	}
+	oneD := NewOneD(4, testMach)
+	if err := SetKernelOptions(oneD, KernelOptions{}); err != nil {
+		t.Fatalf("default options rejected for 1d: %v", err)
+	}
+	if err := SetKernelOptions(oneD, KernelOptions{Fused: "on", Format: sparse.FormatCSR, Precision: PrecisionF64}); err != nil {
+		t.Fatalf("spelled-out default rejected for 1d: %v", err)
+	}
+	if err := SetKernelOptions(oneD, KernelOptions{Precision: PrecisionF32}); err == nil {
+		t.Fatal("f32 accepted for 1d")
+	}
+	if err := SetKernelOptions(oneD, KernelOptions{Format: sparse.FormatBCSR}); err == nil {
+		t.Fatal("bcsr accepted for 1d")
+	}
+	for _, bad := range []KernelOptions{
+		{Precision: "f16"},
+		{Format: "ellpack"},
+		{Fused: "maybe"},
+	} {
+		if err := SetKernelOptions(NewSerial(), bad); err == nil {
+			t.Fatalf("invalid options %+v accepted", bad)
+		}
+	}
+	if got := ChoiceOf(NewOneD(4, testMach)); got != DefaultKernelChoice() {
+		t.Fatalf("distributed choice %+v, want default", got)
+	}
+}
+
+// TestChoiceReportsSelection: after training, ChoiceOf reflects the
+// resolved configuration, including the auto selector's pick.
+func TestChoiceReportsSelection(t *testing.T) {
+	p := deepProblem(t, 2, 36)
+	_, choice := trainWith(t, p, KernelOptions{})
+	want := KernelChoice{Precision: PrecisionF64, Format: "csr", Fused: true}
+	if choice != want {
+		t.Fatalf("default choice %+v, want %+v", choice, want)
+	}
+	// The test graph is tiny (< 4096 nnz), so auto resolves to csr.
+	_, choice = trainWith(t, p, KernelOptions{Format: sparse.FormatAuto})
+	if choice.Format != "csr" {
+		t.Fatalf("auto on tiny graph resolved to %q, want csr", choice.Format)
+	}
+	_, choice = trainWith(t, p, KernelOptions{Precision: PrecisionF32, Format: sparse.FormatSELL, Fused: "off", Unrolled: true})
+	want = KernelChoice{Precision: PrecisionF32, Format: "sell", Fused: false, Unrolled: true}
+	if choice != want {
+		t.Fatalf("choice %+v, want %+v", choice, want)
+	}
+}
+
+// TestDefaultBitIdenticalToReference: the optimized default path — fused
+// epilogues, four-source Axpy4Row sweeps in every GEMM/SpMM, the blocked
+// transpose-plan gather — must reproduce the pre-optimization reference
+// kernels bit for bit. This is the end-to-end pin for the whole blocking
+// scheme: each fused sweep performs the same adds in the same per-element
+// order as the one-source reference loops.
+func TestDefaultBitIdenticalToReference(t *testing.T) {
+	p := deepProblem(t, 6, 47)
+	want, refChoice := trainWith(t, p, KernelOptions{Reference: true})
+	if refChoice.Fused {
+		t.Fatal("reference choice reports fused epilogues")
+	}
+	got, _ := trainWith(t, p, KernelOptions{})
+	requireBitEqual(t, "default-vs-reference", got, want)
+}
+
+// TestReferenceRejectsOtherOptions: the reference baseline is f64/CSR
+// unfused by definition; combining it with any other non-default option is
+// a validation error.
+func TestReferenceRejectsOtherOptions(t *testing.T) {
+	for _, o := range []KernelOptions{
+		{Reference: true, Precision: PrecisionF32},
+		{Reference: true, Format: sparse.FormatSELL},
+		{Reference: true, Fused: "on"},
+		{Reference: true, Unrolled: true},
+	} {
+		if err := SetKernelOptions(NewSerial(), o); err == nil {
+			t.Fatalf("reference options %+v accepted", o)
+		}
+	}
+	if err := SetKernelOptions(NewSerial(), KernelOptions{Reference: true, Fused: "off"}); err != nil {
+		t.Fatalf("reference with explicit fused=off rejected: %v", err)
+	}
+}

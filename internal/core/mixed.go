@@ -1,0 +1,235 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dense"
+	"repro/internal/nn"
+	"repro/internal/sparse"
+)
+
+// mixedOps implements layerOps for mixed-precision serial training: the
+// large per-vertex matrices (activations, gradients, aggregations) are
+// stored and multiplied in float32, while the master weights, the optimizer
+// state, and every row reduction (log-sum-exp, loss) stay float64. This is
+// the classic mixed-precision recipe: halve the memory traffic of the
+// bandwidth-bound SpMM/GEMM sweeps, keep the numerically sensitive
+// accumulations double.
+//
+// The engine's layerOps contract only ever dereferences three things it
+// receives from an ops implementation: the weight gradients (fed to
+// Optimizer.Step against the f64 master weights), the gathered output, and
+// nothing else — activations, pre-activations, and input gradients are
+// opaque handles shuttled between ops calls. mixedOps exploits that: it
+// returns one shared empty *dense.Matrix header for all f32-internal
+// values, keeps the real float32 state keyed by layer index, and returns
+// genuine float64 matrices exactly where the engine reads them.
+type mixedOps struct {
+	cfg    nn.Config
+	choice KernelChoice
+
+	fused    bool
+	unrolled bool
+
+	at32   *sparse.CSROf[float32]   // explicit Aᵀ for the forward aggregation
+	kern   sparse.KernelOf[float32] // format-dispatched A for the backward aggregation
+	labels []int
+	mask   []bool
+	norm   int
+
+	ws  *dense.WorkspaceOf[float32]
+	cnt []float64
+
+	// Persistent typed state: converted input features (h32[0]), per-layer
+	// weight/gradient buffers, and the f64 output of the final gather.
+	h32   []*dense.Of[float32] // H^l this epoch (h32[0] is the converted input)
+	z32   []*dense.Of[float32] // Z^l this epoch (unset for fused ReLU layers)
+	w32   []*dense.Of[float32] // W^l downcast from the f64 master weights
+	dw32  []*dense.Of[float32]
+	dw64  []*dense.Matrix // f64 weight gradients handed to the optimizer
+	out64 *dense.Matrix   // f64 conversion of the final output
+
+	// Epoch-transient pointers into workspace buffers.
+	t32  *dense.Of[float32] // T = Aᵀ·H^{l-1} of the current layer
+	dh32 *dense.Of[float32] // upstream gradient ∂L/∂H^l
+	g32  *dense.Of[float32] // G^l after activation backward
+	ag32 *dense.Of[float32] // A·G^l
+
+	maskedAhead int
+
+	hdr *dense.Matrix // shared opaque handle for all f32-internal returns
+}
+
+// newMixedOps builds the float32 layerOps for p with kernel options o
+// (o.Precision is PrecisionF32; format/fused/unrolled apply as in the f64
+// path).
+func newMixedOps(cfg nn.Config, p Problem, o KernelOptions) *mixedOps {
+	a := p.A
+	L := cfg.Layers()
+	m := &mixedOps{
+		cfg:      cfg,
+		fused:    o.fused(),
+		unrolled: o.Unrolled,
+		labels:   p.Labels,
+		mask:     p.TrainMask,
+		norm:     p.lossNormalizer(),
+		ws:       dense.NewWorkspaceOf[float32](),
+		cnt:      make([]float64, 8),
+		h32:      make([]*dense.Of[float32], L+1),
+		z32:      make([]*dense.Of[float32], L+1),
+		w32:      make([]*dense.Of[float32], L),
+		dw32:     make([]*dense.Of[float32], L),
+		dw64:     make([]*dense.Matrix, L),
+		out64:    dense.New(a.Rows, cfg.Widths[L]),
+		hdr:      &dense.Matrix{},
+	}
+	m.at32 = sparse.ConvertCSR[float32](a.Transpose())
+	a32 := sparse.ConvertCSR[float32](a)
+	f := o.Format
+	if f == "" {
+		f = sparse.FormatCSR
+	}
+	kern, _ := sparse.SelectKernel(a32, maxHiddenWidth(cfg), f)
+	m.kern = kern
+	m.choice = KernelChoice{
+		Precision: PrecisionF32,
+		Format:    string(kern.Format()),
+		Fused:     m.fused,
+		Unrolled:  m.unrolled,
+	}
+	m.h32[0] = dense.NewOf[float32](a.Rows, cfg.Widths[0])
+	dense.Convert(m.h32[0], p.Features)
+	for l := 0; l < L; l++ {
+		m.w32[l] = dense.NewOf[float32](cfg.Widths[l], cfg.Widths[l+1])
+		m.dw32[l] = dense.NewOf[float32](cfg.Widths[l], cfg.Widths[l+1])
+		m.dw64[l] = dense.New(cfg.Widths[l], cfg.Widths[l+1])
+	}
+	return m
+}
+
+// fusedReLU reports whether layer l runs the fused ReLU epilogues.
+func (m *mixedOps) fusedReLU(l int) bool {
+	return m.fused && m.cfg.Activation(l).Name() == "relu"
+}
+
+func (m *mixedOps) input() *dense.Matrix { return m.hdr }
+
+func (m *mixedOps) forwardAggregate(_ *dense.Matrix, l int) *dense.Matrix {
+	t := m.ws.GetUninit(m.at32.Rows, m.cfg.Widths[l-1])
+	sparse.SpMM(t, m.at32, m.h32[l-1])
+	m.t32 = t
+	return m.hdr
+}
+
+func (m *mixedOps) multiplyWeight(_, w *dense.Matrix, l int) *dense.Matrix {
+	// Downcast the current f64 master weights; the optimizer updated them
+	// since the last epoch.
+	dense.Convert(m.w32[l-1], w)
+	z := m.ws.GetUninit(m.t32.Rows, m.cfg.Widths[l])
+	if m.fusedReLU(l) {
+		dense.MulBiasReLU(z, m.t32, m.w32[l-1], nil)
+		m.h32[l] = z // z holds H^l; backward masks on it (h > 0 ⟺ z > 0)
+	} else {
+		dense.Mul(z, m.t32, m.w32[l-1])
+		m.z32[l] = z
+	}
+	return m.hdr
+}
+
+func (m *mixedOps) activationForward(act dense.Activation, _ *dense.Matrix, l int) (*dense.Matrix, *actCache) {
+	if m.fusedReLU(l) {
+		return m.hdr, nil // multiplyWeight already produced H^l
+	}
+	z := m.z32[l]
+	h := m.ws.GetUninit(z.Rows, z.Cols)
+	switch act.Name() {
+	case "relu":
+		dense.ReLUForwardOf(h, z)
+	case "log_softmax":
+		dense.LogSoftmaxForwardOf(h, z)
+	case "identity":
+		copy(h.Data, z.Data)
+	default:
+		panic(fmt.Sprintf("core: activation %q has no float32 kernel", act.Name()))
+	}
+	m.h32[l] = h
+	return m.hdr, nil
+}
+
+func (m *mixedOps) lossGrad(_ *dense.Matrix) (float64, *dense.Matrix) {
+	L := m.cfg.Layers()
+	hOut := m.h32[L]
+	grad := m.ws.Get(hOut.Rows, hOut.Cols)
+	loss := nn.NLLLossMaskedIntoOf(grad, hOut, m.labels, m.mask, 0, m.norm)
+	m.dh32 = grad
+	return loss, m.hdr
+}
+
+func (m *mixedOps) beforeBackward() {}
+
+func (m *mixedOps) activationBackward(act dense.Activation, _, _ *dense.Matrix, _ *actCache, l int) *dense.Matrix {
+	if m.maskedAhead == l {
+		m.maskedAhead = 0
+		m.g32 = m.dh32 // inputGrad(l+1) already applied the ReLU mask
+		return m.hdr
+	}
+	g := m.ws.GetUninit(m.dh32.Rows, m.dh32.Cols)
+	switch act.Name() {
+	case "relu":
+		// Mask on H^l: bit-identical to masking on Z^l, and H^l exists on
+		// both the fused and unfused forward paths.
+		dense.ReLUBackwardOf(g, m.dh32, m.h32[l])
+	case "log_softmax":
+		dense.LogSoftmaxBackwardOf(g, m.dh32, m.z32[l])
+	case "identity":
+		copy(g.Data, m.dh32.Data)
+	default:
+		panic(fmt.Sprintf("core: activation %q has no float32 kernel", act.Name()))
+	}
+	m.g32 = g
+	return m.hdr
+}
+
+func (m *mixedOps) backwardAggregate(_ *dense.Matrix, l int) *dense.Matrix {
+	ag := m.ws.GetUninit(m.at32.Rows, m.cfg.Widths[l])
+	m.kern.SpMM(ag, m.g32)
+	m.ag32 = ag
+	return m.hdr
+}
+
+func (m *mixedOps) weightGrad(_, _ *dense.Matrix, l int) *dense.Matrix {
+	dense.TMul(m.dw32[l-1], m.h32[l-1], m.ag32)
+	// Upcast for the optimizer: master weights and optimizer state stay f64.
+	dense.Convert(m.dw64[l-1], m.dw32[l-1])
+	return m.dw64[l-1]
+}
+
+func (m *mixedOps) inputGrad(_, _ *dense.Matrix, l int) *dense.Matrix {
+	dH := m.ws.GetUninit(m.ag32.Rows, m.cfg.Widths[l-1])
+	switch {
+	case m.fusedReLU(l-1) && m.h32[l-1] != nil:
+		dense.MulTReLUMask(dH, m.ag32, m.w32[l-1], m.h32[l-1])
+		m.maskedAhead = l - 1
+	case m.unrolled:
+		dense.MulTUnrolled(dH, m.ag32, m.w32[l-1])
+	default:
+		dense.MulT(dH, m.ag32, m.w32[l-1])
+	}
+	m.dh32 = dH
+	return m.hdr
+}
+
+func (m *mixedOps) endEpoch() { m.ws.Reset() }
+
+func (m *mixedOps) correctCounts(_ *dense.Matrix, _ *actCache, masks ...[]bool) []float64 {
+	counts := countBuf(m.cnt, len(masks))
+	argmaxCorrectInto(counts, m.h32[m.cfg.Layers()], m.labels, 0, masks)
+	return counts
+}
+
+func (m *mixedOps) reduce(vals []float64) []float64 { return vals }
+
+func (m *mixedOps) gatherOutput(_ *dense.Matrix) *dense.Matrix {
+	dense.Convert(m.out64, m.h32[m.cfg.Layers()])
+	return m.out64
+}

@@ -10,7 +10,17 @@ import (
 // correctness for every distributed trainer (the paper verifies its
 // parallel implementation produces "the same embeddings up to floating
 // point accumulation errors" as serial PyTorch, §V-A).
-type Serial struct{}
+//
+// It is also the only trainer that accepts non-default KernelOptions
+// (sparse format, precision, fusion, unrolling) via SetKernelOptions.
+type Serial struct {
+	// Kernel selects the compute kernels; the zero value is the default
+	// f64/CSR/fused configuration. Set via SetKernelOptions.
+	Kernel KernelOptions
+	// choice records what the last Train resolved the options to (the auto
+	// format selector's pick, defaults filled in).
+	choice KernelChoice
+}
 
 // NewSerial returns the serial reference trainer.
 func NewSerial() *Serial { return &Serial{} }
@@ -19,13 +29,22 @@ func NewSerial() *Serial { return &Serial{} }
 func (*Serial) Name() string { return "serial" }
 
 // Train implements Trainer.
-func (*Serial) Train(p Problem) (*Result, error) {
+func (s *Serial) Train(p Problem) (*Result, error) {
 	p = p.normalized()
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	if err := s.Kernel.Validate(); err != nil {
+		return nil, err
+	}
 	cfg := p.Config.WithDefaults()
+	if s.Kernel.precision() == PrecisionF32 {
+		ops := newMixedOps(cfg, p, s.Kernel)
+		s.choice = ops.choice
+		return newEngine(ops, cfg, p).run(), nil
+	}
 	ops := newSerialOps(cfg, p.A, p.Features, p.Labels, p.TrainMask, p.lossNormalizer())
+	s.choice = ops.configure(s.Kernel)
 	return newEngine(ops, cfg, p).run(), nil
 }
 
@@ -41,12 +60,30 @@ type serialOps struct {
 	cfg    nn.Config
 	a      *sparse.CSR
 	at     *sparse.TransposePlan // plan for the Aᵀ·X forward products
+	kern   sparse.Kernel         // non-CSR format for A·G (nil = direct CSR)
 	h0     *dense.Matrix
 	labels []int
 	mask   []bool
 	norm   int
 	ws     *dense.Workspace
 	cnt    []float64
+
+	// Kernel dispatch state (see KernelOptions). fused folds the ReLU
+	// epilogue into the weight multiply and the ReLU mask into the
+	// input-gradient multiply — both bit-identical to the separate passes.
+	// unrolled swaps the input-gradient dot products for the
+	// 4-accumulator variant (tolerance-validated, opt-in).
+	fused    bool
+	unrolled bool
+	// ref swaps every multiply for the pre-optimization reference kernels
+	// (see KernelOptions.Reference); it forces fused off.
+	ref bool
+	// hs[l] is H^l as produced this epoch, kept so inputGrad(l+1) can
+	// apply the fused ReLU mask (relu(z) > 0 ⟺ z > 0). maskedAhead names
+	// the layer whose activationBackward was already performed by the
+	// fused inputGrad.
+	hs          []*dense.Matrix
+	maskedAhead int
 }
 
 // newSerialOps builds the serial layerOps with a fresh workspace and the
@@ -56,7 +93,44 @@ func newSerialOps(cfg nn.Config, a *sparse.CSR, h0 *dense.Matrix, labels []int, 
 		cfg: cfg, a: a, at: sparse.NewTransposePlan(a), h0: h0,
 		labels: labels, mask: mask, norm: norm,
 		ws: dense.NewWorkspace(), cnt: make([]float64, 8),
+		fused: true, hs: make([]*dense.Matrix, cfg.Layers()+1),
 	}
+}
+
+// configure applies kernel options (Serial.Train calls it right after
+// construction) and returns the resolved choice. A non-CSR format builds the
+// dispatch kernel for the backward aggregation A·G; the forward Aᵀ·X keeps
+// its transpose plan regardless (none of the formats index the transpose).
+func (s *serialOps) configure(o KernelOptions) KernelChoice {
+	s.fused = o.fused()
+	s.unrolled = o.Unrolled
+	if o.Reference {
+		s.ref, s.fused = true, false
+	}
+	choice := KernelChoice{
+		Precision: PrecisionF64,
+		Format:    string(sparse.FormatCSR),
+		Fused:     s.fused,
+		Unrolled:  s.unrolled,
+	}
+	if f := o.Format; f != "" && f != sparse.FormatCSR {
+		k, _ := sparse.SelectKernel(s.a, maxHiddenWidth(s.cfg), f)
+		if k.Format() != sparse.FormatCSR {
+			s.kern = k
+		}
+		choice.Format = string(k.Format())
+	}
+	return choice
+}
+
+// maxHiddenWidth is the widest operand the backward aggregation multiplies —
+// the dense-column count the format selector's cost model sees.
+func maxHiddenWidth(cfg nn.Config) int {
+	w := 0
+	for l := 1; l <= cfg.Layers(); l++ {
+		w = max(w, cfg.Widths[l])
+	}
+	return w
 }
 
 // retarget points the ops at a new subproblem (the mini-batch trainer's
@@ -66,16 +140,33 @@ func newSerialOps(cfg nn.Config, a *sparse.CSR, h0 *dense.Matrix, labels []int, 
 // per-step subgraphs use the direct scatter kernel instead.
 func (s *serialOps) retarget(a *sparse.CSR, h0 *dense.Matrix, labels []int, mask []bool, norm int) {
 	s.a, s.at, s.h0 = a, nil, h0
+	s.kern = nil // per-step subgraphs don't amortize a format conversion either
 	s.labels, s.mask, s.norm = labels, mask, norm
+}
+
+// setH records H^l for the fused backward mask.
+func (s *serialOps) setH(l int, h *dense.Matrix) {
+	if len(s.hs) <= l {
+		s.hs = append(s.hs, make([]*dense.Matrix, l+1-len(s.hs))...)
+	}
+	s.hs[l] = h
+}
+
+// fusedReLU reports whether layer l runs the fused ReLU epilogues.
+func (s *serialOps) fusedReLU(l int) bool {
+	return s.fused && s.cfg.Activation(l).Name() == "relu"
 }
 
 func (s *serialOps) input() *dense.Matrix { return s.h0 }
 
 func (s *serialOps) forwardAggregate(x *dense.Matrix, l int) *dense.Matrix {
 	t := s.ws.GetUninit(s.a.Rows, s.cfg.Widths[l-1])
-	if s.at != nil {
+	switch {
+	case s.ref && s.at != nil:
+		s.at.RefSpMMT(t, x)
+	case s.at != nil:
 		s.at.SpMMT(t, x)
-	} else {
+	default:
 		sparse.SpMMT(t, s.a, x)
 	}
 	return t
@@ -83,13 +174,28 @@ func (s *serialOps) forwardAggregate(x *dense.Matrix, l int) *dense.Matrix {
 
 func (s *serialOps) multiplyWeight(t, w *dense.Matrix, l int) *dense.Matrix {
 	z := s.ws.GetUninit(t.Rows, s.cfg.Widths[l])
-	dense.Mul(z, t, w)
+	if s.fusedReLU(l) {
+		// Fused epilogue: z holds H^l = relu(T·W) straight out of the
+		// accumulation sweep. Bit-identical to Mul + ReLU (the epilogue
+		// runs after each element's sum completes), and backward can mask
+		// on H^l because relu(z) > 0 ⟺ z > 0.
+		dense.MulBiasReLU(z, t, w, nil)
+	} else if s.ref {
+		dense.RefMul(z, t, w)
+	} else {
+		dense.Mul(z, t, w)
+	}
 	return z
 }
 
 func (s *serialOps) activationForward(act dense.Activation, z *dense.Matrix, l int) (*dense.Matrix, *actCache) {
+	if s.fusedReLU(l) {
+		s.setH(l, z) // multiplyWeight already applied the activation
+		return z, nil
+	}
 	h := s.ws.GetUninit(z.Rows, z.Cols)
 	act.Forward(h, z)
+	s.setH(l, h)
 	return h, nil
 }
 
@@ -101,6 +207,12 @@ func (s *serialOps) lossGrad(hOut *dense.Matrix) (float64, *dense.Matrix) {
 func (s *serialOps) beforeBackward() {}
 
 func (s *serialOps) activationBackward(act dense.Activation, dH, z *dense.Matrix, _ *actCache, l int) *dense.Matrix {
+	if s.maskedAhead == l {
+		// inputGrad(l+1) already applied the ReLU mask in its fused
+		// epilogue; dH is G^l.
+		s.maskedAhead = 0
+		return dH
+	}
 	g := s.ws.GetUninit(z.Rows, z.Cols)
 	act.Backward(g, dH, z)
 	return g
@@ -109,19 +221,42 @@ func (s *serialOps) activationBackward(act dense.Activation, dH, z *dense.Matrix
 func (s *serialOps) backwardAggregate(g *dense.Matrix, l int) *dense.Matrix {
 	// AG = A·G, reused for both Y and ∂L/∂H (§IV-A-4).
 	ag := s.ws.GetUninit(s.a.Rows, s.cfg.Widths[l])
-	sparse.SpMM(ag, s.a, g)
+	switch {
+	case s.ref:
+		sparse.RefSpMM(ag, s.a, g)
+	case s.kern != nil:
+		s.kern.SpMM(ag, g)
+	default:
+		sparse.SpMM(ag, s.a, g)
+	}
 	return ag
 }
 
 func (s *serialOps) weightGrad(hPrev, ag *dense.Matrix, l int) *dense.Matrix {
 	dW := s.ws.GetUninit(s.cfg.Widths[l-1], s.cfg.Widths[l])
-	dense.TMul(dW, hPrev, ag)
+	if s.ref {
+		dense.RefTMul(dW, hPrev, ag)
+	} else {
+		dense.TMul(dW, hPrev, ag)
+	}
 	return dW
 }
 
 func (s *serialOps) inputGrad(ag, w *dense.Matrix, l int) *dense.Matrix {
 	dH := s.ws.GetUninit(ag.Rows, s.cfg.Widths[l-1])
-	dense.MulT(dH, ag, w)
+	switch {
+	case s.fusedReLU(l-1) && l-1 < len(s.hs) && s.hs[l-1] != nil:
+		// Fused backward epilogue: ∂L/∂H^{l-1} ⊙ relu'(Z^{l-1}) in one
+		// sweep, masking on H^{l-1} (h > 0 ⟺ z > 0) and skipping the dot
+		// product entirely for dead units. Bit-identical to MulT followed
+		// by ReLU.Backward.
+		dense.MulTReLUMask(dH, ag, w, s.hs[l-1])
+		s.maskedAhead = l - 1
+	case s.unrolled:
+		dense.MulTUnrolled(dH, ag, w)
+	default:
+		dense.MulT(dH, ag, w)
+	}
 	return dH
 }
 

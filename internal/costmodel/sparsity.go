@@ -1,0 +1,69 @@
+package costmodel
+
+import "math"
+
+// SparsityStats summarizes the structure of a sparse matrix for format
+// selection: how dense it is, how skewed the row lengths are, and how well
+// its nonzeros cluster into small dense blocks. internal/sparse computes
+// these per graph; ChooseFormat turns them into a storage-format decision.
+type SparsityStats struct {
+	Rows, Cols int
+	NNZ        int64
+	// AvgDegree is NNZ/Rows (d in the paper).
+	AvgDegree float64
+	// DegreeCV is the coefficient of variation (stddev/mean) of the per-row
+	// nonzero counts — the skew measure SELL-C-σ targets.
+	DegreeCV float64
+	// BlockFill is the fill ratio nonzeros / (stored blocks × block area)
+	// for the candidate BCSR block size: 1.0 means every touched block is
+	// completely dense, 1/area means blocks hold a single entry each.
+	BlockFill float64
+	// DenseCols is the feature width of the dense operand the kernel will
+	// multiply, when known (0 otherwise).
+	DenseCols int
+}
+
+// Format-selection thresholds. BCSR pays blockFill⁻¹ padding flops per real
+// flop, so it needs the padding work plus the regular-access win to beat
+// CSR: at fill ≥ 0.5, at most half the streamed block is waste while block
+// reuse of the x rows roughly doubles effective bandwidth. SELL-C-σ wins
+// when row lengths are skewed enough that CSR's short rows dominate loop
+// overhead; CV ≥ 0.9 (heavier than an Erdős–Rényi graph's ≈ 1/√d) marks
+// that regime, but only once rows are long enough (degree ≥ 4) for the
+// column-major layout to matter.
+const (
+	bcsrMinFill  = 0.5
+	sellMinCV    = 0.9
+	sellMinDeg   = 4.0
+	minFormatNNZ = 1 << 12
+)
+
+// ChooseFormat picks a sparse storage format ("csr", "bcsr", or "sell")
+// from the matrix statistics. Tiny matrices always stay CSR: conversion
+// and padding overheads cannot amortize below minFormatNNZ nonzeros.
+func ChooseFormat(s SparsityStats) string {
+	if s.NNZ < minFormatNNZ {
+		return "csr"
+	}
+	if s.BlockFill >= bcsrMinFill {
+		return "bcsr"
+	}
+	if s.DegreeCV >= sellMinCV && s.AvgDegree >= sellMinDeg {
+		return "sell"
+	}
+	return "csr"
+}
+
+// DegreeCV returns the coefficient of variation of per-row degrees given
+// the count, mean, and sum of squares of the row nonzero counts.
+func DegreeCV(rows int, sum, sumSq float64) float64 {
+	if rows == 0 || sum == 0 {
+		return 0
+	}
+	mean := sum / float64(rows)
+	variance := sumSq/float64(rows) - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return math.Sqrt(variance) / mean
+}

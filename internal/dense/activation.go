@@ -14,12 +14,12 @@ import (
 // Kernels call their row-range helper directly when parallel.Inline reports
 // the sweep would run inline anyway; the func literal here escapes to the
 // pool workers and would otherwise heap-allocate on every call.
-func activationRows(z *Matrix, fn func(lo, hi int)) {
+func activationRows[T Elem](z *Of[T], fn func(lo, hi int)) {
 	parallel.Rows(z.Rows, int64(len(z.Data)), fn)
 }
 
 // activationInline reports whether a sweep over z runs inline.
-func activationInline(z *Matrix) bool {
+func activationInline[T Elem](z *Of[T]) bool {
 	return parallel.Inline(z.Rows, int64(len(z.Data)))
 }
 
@@ -32,6 +32,10 @@ func activationInline(z *Matrix) bool {
 // communication analysis distinguishes the two: elementwise activations need
 // no communication while rowwise ones (log_softmax) force an all-gather
 // along process rows (§IV-C-2).
+//
+// The interface is fixed to the default float64 matrices; the row kernels
+// behind it (ReLUForwardOf, LogSoftmaxForwardOf, ...) are generic, and the
+// float32 mixed-precision ops call them directly.
 type Activation interface {
 	// Name identifies the activation in configs and logs.
 	Name() string
@@ -54,7 +58,11 @@ func (ReLU) Name() string { return "relu" }
 func (ReLU) RowWise() bool { return false }
 
 // Forward implements Activation.
-func (ReLU) Forward(dst, z *Matrix) {
+func (ReLU) Forward(dst, z *Matrix) { ReLUForwardOf(dst, z) }
+
+// ReLUForwardOf writes max(z, 0) into dst for any element type. dst may
+// alias z.
+func ReLUForwardOf[T Elem](dst, z *Of[T]) {
 	sameShape2(dst, z, "ReLU.Forward")
 	if activationInline(z) {
 		reluForwardRows(dst, z, 0, z.Rows)
@@ -65,7 +73,7 @@ func (ReLU) Forward(dst, z *Matrix) {
 	})
 }
 
-func reluForwardRows(dst, z *Matrix, lo, hi int) {
+func reluForwardRows[T Elem](dst, z *Of[T], lo, hi int) {
 	for i := lo * z.Cols; i < hi*z.Cols; i++ {
 		if v := z.Data[i]; v > 0 {
 			dst.Data[i] = v
@@ -76,7 +84,12 @@ func reluForwardRows(dst, z *Matrix, lo, hi int) {
 }
 
 // Backward implements Activation: dst = grad ⊙ 1[z > 0].
-func (ReLU) Backward(dst, grad, z *Matrix) {
+func (ReLU) Backward(dst, grad, z *Matrix) { ReLUBackwardOf(dst, grad, z) }
+
+// ReLUBackwardOf writes grad ⊙ 1[z > 0] into dst for any element type.
+// Because relu(z) > 0 ⟺ z > 0, callers on the fused path may pass the
+// forward output h as z and get a bit-identical mask.
+func ReLUBackwardOf[T Elem](dst, grad, z *Of[T]) {
 	sameShape3(dst, grad, z, "ReLU.Backward")
 	if activationInline(z) {
 		reluBackwardRows(dst, grad, z, 0, z.Rows)
@@ -87,7 +100,7 @@ func (ReLU) Backward(dst, grad, z *Matrix) {
 	})
 }
 
-func reluBackwardRows(dst, grad, z *Matrix, lo, hi int) {
+func reluBackwardRows[T Elem](dst, grad, z *Of[T], lo, hi int) {
 	for i := lo * z.Cols; i < hi*z.Cols; i++ {
 		if z.Data[i] > 0 {
 			dst.Data[i] = grad.Data[i]
@@ -144,7 +157,13 @@ func (LogSoftmax) RowWise() bool { return true }
 
 // Forward implements Activation: dst[i,j] = z[i,j] - log(sum_k exp(z[i,k])),
 // computed with the max-subtraction trick for numerical stability.
-func (LogSoftmax) Forward(dst, z *Matrix) {
+func (LogSoftmax) Forward(dst, z *Matrix) { LogSoftmaxForwardOf(dst, z) }
+
+// LogSoftmaxForwardOf is the generic log-softmax forward sweep. The
+// log-sum-exp reduction always accumulates in float64 — for float32 inputs
+// the exponentials sum in double precision (the "f64 loss accumulation"
+// half of mixed precision); for float64 inputs the arithmetic is unchanged.
+func LogSoftmaxForwardOf[T Elem](dst, z *Of[T]) {
 	sameShape2(dst, z, "LogSoftmax.Forward")
 	if activationInline(z) {
 		logSoftmaxForwardRows(dst, z, 0, z.Rows)
@@ -155,30 +174,31 @@ func (LogSoftmax) Forward(dst, z *Matrix) {
 	})
 }
 
-func logSoftmaxForwardRows(dst, z *Matrix, lo, hi int) {
+func logSoftmaxForwardRows[T Elem](dst, z *Of[T], lo, hi int) {
 	for i := lo; i < hi; i++ {
 		logSoftmaxRow(dst.Row(i), z.Row(i))
 	}
 }
 
-func logSoftmaxRow(dst, z []float64) {
+func logSoftmaxRow[T Elem](dst, z []T) {
 	lse := logSumExp(z)
 	for j, v := range z {
-		dst[j] = v - lse
+		dst[j] = T(float64(v) - lse)
 	}
 }
 
-// logSumExp returns log(sum_j exp(z[j])) with the max-subtraction trick.
-func logSumExp(z []float64) float64 {
+// logSumExp returns log(sum_j exp(z[j])) with the max-subtraction trick,
+// accumulated in float64 regardless of the element type.
+func logSumExp[T Elem](z []T) float64 {
 	mx := math.Inf(-1)
 	for _, v := range z {
-		if v > mx {
-			mx = v
+		if fv := float64(v); fv > mx {
+			mx = fv
 		}
 	}
 	var sum float64
 	for _, v := range z {
-		sum += math.Exp(v - mx)
+		sum += math.Exp(float64(v) - mx)
 	}
 	return mx + math.Log(sum)
 }
@@ -191,7 +211,11 @@ func logSumExp(z []float64) float64 {
 // per-call scratch allocation and remains bit-identical to the buffered
 // form. Reads of z[i,j] and grad[i,j] happen before the dst[i,j] write, so
 // dst may alias grad (or z) as documented.
-func (LogSoftmax) Backward(dst, grad, z *Matrix) {
+func (LogSoftmax) Backward(dst, grad, z *Matrix) { LogSoftmaxBackwardOf(dst, grad, z) }
+
+// LogSoftmaxBackwardOf is the generic log-softmax backward sweep, with the
+// row reductions (log-sum-exp and gradient sum) accumulated in float64.
+func LogSoftmaxBackwardOf[T Elem](dst, grad, z *Of[T]) {
 	sameShape3(dst, grad, z, "LogSoftmax.Backward")
 	if activationInline(z) {
 		logSoftmaxBackwardRows(dst, grad, z, 0, z.Rows)
@@ -202,7 +226,7 @@ func (LogSoftmax) Backward(dst, grad, z *Matrix) {
 	})
 }
 
-func logSoftmaxBackwardRows(dst, grad, z *Matrix, lo, hi int) {
+func logSoftmaxBackwardRows[T Elem](dst, grad, z *Of[T], lo, hi int) {
 	for i := lo; i < hi; i++ {
 		zrow := z.Row(i)
 		grow := grad.Row(i)
@@ -210,10 +234,10 @@ func logSoftmaxBackwardRows(dst, grad, z *Matrix, lo, hi int) {
 		lse := logSumExp(zrow)
 		var gsum float64
 		for _, g := range grow {
-			gsum += g
+			gsum += float64(g)
 		}
 		for j := range drow {
-			drow[j] = grow[j] - math.Exp(zrow[j]-lse)*gsum
+			drow[j] = T(float64(grow[j]) - math.Exp(float64(zrow[j])-lse)*gsum)
 		}
 	}
 }
@@ -232,7 +256,7 @@ func ActivationByName(name string) (Activation, error) {
 	}
 }
 
-func sameShape2(a, b *Matrix, op string) {
+func sameShape2[T Elem](a, b *Of[T], op string) {
 	if a.Rows != b.Rows || a.Cols != b.Cols {
 		panic(fmt.Sprintf("dense: %s shape mismatch: %dx%d vs %dx%d", op, a.Rows, a.Cols, b.Rows, b.Cols))
 	}

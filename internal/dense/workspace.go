@@ -1,32 +1,39 @@
 package dense
 
-// Workspace is a per-rank arena of reusable Matrix buffers for the
-// steady-state training loop. Trainers check temporaries out with Get (or
-// wrap foreign float buffers with Wrap) during an epoch and return
-// everything at once with Reset at the epoch boundary; after the first
-// epoch has populated the free lists, Get/Wrap/Reset perform zero heap
-// allocations, so an epoch that draws all its temporaries from the
-// workspace runs allocation-free.
+// WorkspaceOf is a per-rank arena of reusable matrix buffers for the
+// steady-state training loop, generic over the element type so the
+// float32 mixed-precision path gets the same 0-alloc guarantees as the
+// default float64 path. Trainers check temporaries out with Get (or wrap
+// foreign buffers with Wrap) during an epoch and return everything at once
+// with Reset at the epoch boundary; after the first epoch has populated the
+// free lists, Get/Wrap/Reset perform zero heap allocations, so an epoch
+// that draws all its temporaries from the workspace runs allocation-free.
 //
 // Buffers are keyed by capacity class (next power of two of the element
 // count), so shape changes across checkouts — layers of different widths,
 // mini-batch subgraphs of varying size — reuse the same backing arrays
 // instead of growing a free list per exact shape.
 //
-// A Workspace is owned by a single goroutine (one simulated rank); it is
-// not safe for concurrent use. All methods are nil-safe: a nil Workspace
+// A workspace is owned by a single goroutine (one simulated rank); it is
+// not safe for concurrent use. All methods are nil-safe: a nil workspace
 // degrades to plain allocation (Get = New, Wrap = FromSlice, Reset = no-op)
 // so call sites need no branching when no arena is configured.
-type Workspace struct {
-	free    map[int][]*Matrix // capacity class -> idle buffers
-	used    []*Matrix         // checked out by Get this epoch
-	hdrFree []*Matrix         // idle headers for Wrap (no owned data)
-	wrapped []*Matrix         // checked out by Wrap this epoch
+type WorkspaceOf[T Elem] struct {
+	free    map[int][]*Of[T] // capacity class -> idle buffers
+	used    []*Of[T]         // checked out by Get this epoch
+	hdrFree []*Of[T]         // idle headers for Wrap (no owned data)
+	wrapped []*Of[T]         // checked out by Wrap this epoch
 }
 
-// NewWorkspace returns an empty arena.
-func NewWorkspace() *Workspace {
-	return &Workspace{free: make(map[int][]*Matrix)}
+// Workspace is the float64 arena used by the default training path.
+type Workspace = WorkspaceOf[float64]
+
+// NewWorkspace returns an empty float64 arena.
+func NewWorkspace() *Workspace { return NewWorkspaceOf[float64]() }
+
+// NewWorkspaceOf returns an empty arena of T buffers.
+func NewWorkspaceOf[T Elem]() *WorkspaceOf[T] {
+	return &WorkspaceOf[T]{free: make(map[int][]*Of[T])}
 }
 
 // capClass returns the capacity class for n elements: the smallest power of
@@ -42,7 +49,7 @@ func capClass(n int) int {
 // Get checks out a zeroed r-by-c matrix, exactly like New but drawing the
 // header and backing array from the arena when a large-enough buffer is
 // free. The matrix is valid until the next Reset.
-func (w *Workspace) Get(r, c int) *Matrix {
+func (w *WorkspaceOf[T]) Get(r, c int) *Of[T] {
 	m := w.GetUninit(r, c)
 	if w != nil { // a nil workspace returned a fresh, already-zeroed New
 		for i := range m.Data {
@@ -60,15 +67,15 @@ func (w *Workspace) Get(r, c int) *Matrix {
 // Accumulating kernels (SpMMAdd and friends) and sparse writers (the loss
 // gradient) need Get. Skipping the fill matters on the bandwidth-bound
 // epoch path: it is one full pass over the largest temporaries per layer.
-func (w *Workspace) GetUninit(r, c int) *Matrix {
+func (w *WorkspaceOf[T]) GetUninit(r, c int) *Of[T] {
 	if w == nil {
-		return New(r, c)
+		return NewOf[T](r, c)
 	}
 	n := r * c
 	k := capClass(n)
 	list := w.free[k]
 	if len(list) == 0 {
-		m := &Matrix{Rows: r, Cols: c, Data: make([]float64, n, k)}
+		m := &Of[T]{Rows: r, Cols: c, Data: make([]T, n, k)}
 		w.used = append(w.used, m)
 		return m
 	}
@@ -82,19 +89,19 @@ func (w *Workspace) GetUninit(r, c int) *Matrix {
 // Wrap checks out a header-only r-by-c matrix around data (not copied),
 // exactly like FromSlice but reusing headers from the arena. The caller
 // retains ownership of data; Reset reclaims only the header.
-func (w *Workspace) Wrap(r, c int, data []float64) *Matrix {
+func (w *WorkspaceOf[T]) Wrap(r, c int, data []T) *Of[T] {
 	if w == nil {
-		return FromSlice(r, c, data)
+		return FromSliceOf(r, c, data)
 	}
 	if len(data) != r*c {
-		return FromSlice(r, c, data) // delegate for the panic message
+		return FromSliceOf(r, c, data) // delegate for the panic message
 	}
-	var m *Matrix
+	var m *Of[T]
 	if n := len(w.hdrFree); n > 0 {
 		m = w.hdrFree[n-1]
 		w.hdrFree = w.hdrFree[:n-1]
 	} else {
-		m = &Matrix{}
+		m = &Of[T]{}
 	}
 	m.Rows, m.Cols, m.Data = r, c, data
 	w.wrapped = append(w.wrapped, m)
@@ -105,7 +112,7 @@ func (w *Workspace) Wrap(r, c int, data []float64) *Matrix {
 // arena. Callers must not touch previously checked-out matrices afterwards:
 // Get buffers will be recycled (and re-zeroed) for later checkouts, and
 // Wrap headers are detached from their data.
-func (w *Workspace) Reset() {
+func (w *WorkspaceOf[T]) Reset() {
 	if w == nil {
 		return
 	}
@@ -123,9 +130,9 @@ func (w *Workspace) Reset() {
 	w.wrapped = w.wrapped[:0]
 }
 
-// FootprintWords returns the total float64 capacity owned by the arena
+// FootprintWords returns the total element capacity owned by the arena
 // (free and checked-out Get buffers), for tests and memory accounting.
-func (w *Workspace) FootprintWords() int64 {
+func (w *WorkspaceOf[T]) FootprintWords() int64 {
 	if w == nil {
 		return 0
 	}

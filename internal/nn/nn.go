@@ -134,6 +134,14 @@ func NLLLossMasked(logp *dense.Matrix, labels []int, mask []bool, rowOffset, nor
 // gradient is written into grad, which must be zeroed and shaped like logp
 // (training loops draw it from a dense.Workspace). It returns the loss.
 func NLLLossMaskedInto(grad, logp *dense.Matrix, labels []int, mask []bool, rowOffset, normalizer int) float64 {
+	return NLLLossMaskedIntoOf(grad, logp, labels, mask, rowOffset, normalizer)
+}
+
+// NLLLossMaskedIntoOf is the generic element-type form of NLLLossMaskedInto.
+// The loss always accumulates in float64 — for the float32 mixed-precision
+// path only the stored log-probabilities and gradient are single precision;
+// for float64 the arithmetic is unchanged.
+func NLLLossMaskedIntoOf[T dense.Elem](grad, logp *dense.Of[T], labels []int, mask []bool, rowOffset, normalizer int) float64 {
 	if normalizer <= 0 {
 		panic(fmt.Sprintf("nn: loss normalizer = %d", normalizer))
 	}
@@ -147,8 +155,8 @@ func NLLLossMaskedInto(grad, logp *dense.Matrix, labels []int, mask []bool, rowO
 		if lab < 0 || lab >= logp.Cols {
 			panic(fmt.Sprintf("nn: label %d out of range for %d classes", lab, logp.Cols))
 		}
-		loss -= logp.At(i, lab) * inv
-		grad.Set(i, lab, -inv)
+		loss -= float64(logp.At(i, lab)) * inv
+		grad.Set(i, lab, T(-inv))
 	}
 	return loss
 }

@@ -1,0 +1,248 @@
+package sparse
+
+import (
+	"fmt"
+
+	"repro/internal/dense"
+	"repro/internal/parallel"
+)
+
+// BCSROf is a sparse matrix in block compressed sparse row format: nonzeros
+// are grouped into fixed Br×Bc dense blocks, stored row-major per block.
+// Structurally empty positions inside a stored block are padded with zero.
+//
+// BCSR trades padding flops for regular access: within a block the dense
+// operand rows are contiguous block-column neighbors, so the SpMM inner
+// loop streams Bc consecutive x rows per block instead of one gather per
+// nonzero. It wins when the graph has clustered structure (high block fill
+// ratio), which internal/costmodel.ChooseFormat checks before selecting it.
+//
+// Block rows always cover Br matrix rows; when Rows or Cols is not a
+// multiple of the block size, the trailing blocks are logically truncated
+// (their out-of-range positions are stored but always zero).
+type BCSROf[T dense.Elem] struct {
+	Rows, Cols int
+	Br, Bc     int
+	// BlockRowPtr has length ceil(Rows/Br)+1; the block-column indices of
+	// block row I occupy BlockColIdx[BlockRowPtr[I]:BlockRowPtr[I+1]],
+	// strictly increasing. Block b's values occupy
+	// Val[b*Br*Bc : (b+1)*Br*Bc], row-major within the block.
+	BlockRowPtr []int
+	BlockColIdx []int
+	Val         []T
+}
+
+// BCSR is the float64 instantiation used by the default training path.
+type BCSR = BCSROf[float64]
+
+// NNZStored returns the number of stored values including block padding.
+func (m *BCSROf[T]) NNZStored() int { return len(m.Val) }
+
+// NNZ returns the number of stored nonzero values (padding excluded).
+func (m *BCSROf[T]) NNZ() int {
+	n := 0
+	for _, v := range m.Val {
+		if v != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// BlockRows returns the number of block rows.
+func (m *BCSROf[T]) BlockRows() int { return len(m.BlockRowPtr) - 1 }
+
+// FillRatio returns nonzeros / stored slots — the fraction of block storage
+// holding real entries. 1.0 means every stored block is completely dense.
+func (m *BCSROf[T]) FillRatio() float64 {
+	if len(m.Val) == 0 {
+		return 0
+	}
+	return float64(m.NNZ()) / float64(len(m.Val))
+}
+
+// BCSRFromCSR converts a to BCSR with br×bc blocks. Block sizes must be
+// positive. The conversion is structure-preserving: every stored nonzero of
+// a lands in exactly one block slot, and ToCSR recovers a exactly (explicit
+// stored zeros in a excepted — they are indistinguishable from padding).
+func BCSRFromCSR[T dense.Elem](a *CSROf[T], br, bc int) *BCSROf[T] {
+	if br <= 0 || bc <= 0 {
+		panic(fmt.Sprintf("sparse: BCSRFromCSR block size %dx%d", br, bc))
+	}
+	nbr := (a.Rows + br - 1) / br
+	out := &BCSROf[T]{
+		Rows: a.Rows, Cols: a.Cols, Br: br, Bc: bc,
+		BlockRowPtr: make([]int, nbr+1),
+	}
+	// Pass 1: count distinct block columns per block row.
+	seen := make([]int, (a.Cols+bc-1)/bc) // last block row that used this block col, +1
+	for I := 0; I < nbr; I++ {
+		r1 := min((I+1)*br, a.Rows)
+		n := 0
+		for i := I * br; i < r1; i++ {
+			for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+				if J := a.ColIdx[k] / bc; seen[J] != I+1 {
+					seen[J] = I + 1
+					n++
+				}
+			}
+		}
+		out.BlockRowPtr[I+1] = out.BlockRowPtr[I] + n
+	}
+	nb := out.BlockRowPtr[nbr]
+	out.BlockColIdx = make([]int, nb)
+	out.Val = make([]T, nb*br*bc)
+	// Pass 2: fill. Block columns within a block row appear in ascending
+	// order because each CSR row has ascending columns and we emit a block
+	// column the first time any row of the block row touches it; a second
+	// ascending merge pass fixes rows that introduce earlier block columns.
+	pos := make([]int, len(seen)) // block col -> value offset, valid for current block row
+	for i := range seen {
+		seen[i] = 0
+	}
+	for I := 0; I < nbr; I++ {
+		r1 := min((I+1)*br, a.Rows)
+		// Collect the block columns of this block row in ascending order by
+		// merging the per-row ascending sequences with a simple mark+sort
+		// over marks (block cols are marked in arbitrary order, then
+		// emitted ascending by scanning the mark array only over the marked
+		// range).
+		loJ, hiJ := len(seen), -1
+		for i := I * br; i < r1; i++ {
+			for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+				J := a.ColIdx[k] / bc
+				if seen[J] != I+1 {
+					seen[J] = I + 1
+					if J < loJ {
+						loJ = J
+					}
+					if J > hiJ {
+						hiJ = J
+					}
+				}
+			}
+		}
+		b := out.BlockRowPtr[I]
+		for J := loJ; J <= hiJ; J++ {
+			if seen[J] == I+1 {
+				out.BlockColIdx[b] = J
+				pos[J] = b * br * bc
+				b++
+			}
+		}
+		for i := I * br; i < r1; i++ {
+			r := i - I*br
+			for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+				c := a.ColIdx[k]
+				out.Val[pos[c/bc]+r*bc+c%bc] = a.Val[k]
+			}
+		}
+	}
+	return out
+}
+
+// ToCSR converts back to CSR, dropping zero slots (block padding). For any
+// input without explicit stored zeros, BCSRFromCSR followed by ToCSR is the
+// identity.
+func (m *BCSROf[T]) ToCSR() *CSROf[T] {
+	out := &CSROf[T]{Rows: m.Rows, Cols: m.Cols, RowPtr: make([]int, m.Rows+1)}
+	for I := 0; I < m.BlockRows(); I++ {
+		r1 := min((I+1)*m.Br, m.Rows)
+		for i := I * m.Br; i < r1; i++ {
+			r := i - I*m.Br
+			for b := m.BlockRowPtr[I]; b < m.BlockRowPtr[I+1]; b++ {
+				base := b*m.Br*m.Bc + r*m.Bc
+				c0 := m.BlockColIdx[b] * m.Bc
+				for c := 0; c < m.Bc; c++ {
+					if v := m.Val[base+c]; v != 0 {
+						out.ColIdx = append(out.ColIdx, c0+c)
+						out.Val = append(out.Val, v)
+					}
+				}
+			}
+			out.RowPtr[i+1] = len(out.ColIdx)
+		}
+	}
+	return out
+}
+
+// SpMM computes dst = m * x. dst must be m.Rows x x.Cols and is
+// overwritten.
+//
+// For a fixed output element the accumulation visits stored entries in
+// ascending column order (blocks ascend within a block row, columns ascend
+// within a block) and skips zero slots, so the result is bit-identical to
+// the CSR kernel on the same matrix.
+func (m *BCSROf[T]) SpMM(dst, x *dense.Of[T]) {
+	m.checkSpMM(dst, x, "BCSR.SpMM")
+	dst.Zero()
+	m.SpMMAdd(dst, x)
+}
+
+// SpMMAdd computes dst += m * x.
+func (m *BCSROf[T]) SpMMAdd(dst, x *dense.Of[T]) {
+	m.checkSpMM(dst, x, "BCSR.SpMMAdd")
+	work := 2 * int64(len(m.Val)) * int64(x.Cols)
+	if parallel.Inline(m.BlockRows(), work) {
+		m.spMMAddBlockRows(dst, x, nil, false, 0, m.BlockRows())
+		return
+	}
+	parallel.Rows(m.BlockRows(), work, func(lo, hi int) {
+		m.spMMAddBlockRows(dst, x, nil, false, lo, hi)
+	})
+}
+
+// SpMMBiasReLU computes dst = relu(m*x + bias), applying the fused epilogue
+// to each block row as soon as its accumulation finishes. bias may be nil.
+func (m *BCSROf[T]) SpMMBiasReLU(dst, x *dense.Of[T], bias []T) {
+	m.checkSpMM(dst, x, "BCSR.SpMMBiasReLU")
+	dst.Zero()
+	work := 2 * int64(len(m.Val)) * int64(x.Cols)
+	if parallel.Inline(m.BlockRows(), work) {
+		m.spMMAddBlockRows(dst, x, bias, true, 0, m.BlockRows())
+		return
+	}
+	parallel.Rows(m.BlockRows(), work, func(lo, hi int) {
+		m.spMMAddBlockRows(dst, x, bias, true, lo, hi)
+	})
+}
+
+// spMMAddBlockRows accumulates block rows [lo, hi) of m*x into dst; with
+// epilogue set it then applies bias+ReLU to the block row while hot. Each
+// output row belongs to exactly one block row, so the parallel split stays
+// bit-identical.
+func (m *BCSROf[T]) spMMAddBlockRows(dst, x *dense.Of[T], bias []T, epilogue bool, lo, hi int) {
+	f := x.Cols
+	for I := lo; I < hi; I++ {
+		r1 := min((I+1)*m.Br, m.Rows)
+		for b := m.BlockRowPtr[I]; b < m.BlockRowPtr[I+1]; b++ {
+			c0 := m.BlockColIdx[b] * m.Bc
+			cEnd := min(m.Bc, m.Cols-c0)
+			for i := I * m.Br; i < r1; i++ {
+				base := b*m.Br*m.Bc + (i-I*m.Br)*m.Bc
+				drow := dst.Data[i*f : (i+1)*f]
+				for c := 0; c < cEnd; c++ {
+					v := m.Val[base+c]
+					if v == 0 {
+						continue
+					}
+					dense.AxpyRow(drow, v, x.Data[(c0+c)*f:(c0+c+1)*f])
+				}
+			}
+		}
+		if epilogue {
+			for i := I * m.Br; i < r1; i++ {
+				dense.BiasReLURow(dst.Data[i*f:(i+1)*f], bias)
+			}
+		}
+	}
+}
+
+func (m *BCSROf[T]) checkSpMM(dst, x *dense.Of[T], op string) {
+	if m.Cols != x.Rows {
+		panic(fmt.Sprintf("sparse: %s inner dimension mismatch: %dx%d * %dx%d", op, m.Rows, m.Cols, x.Rows, x.Cols))
+	}
+	if dst.Rows != m.Rows || dst.Cols != x.Cols {
+		panic(fmt.Sprintf("sparse: %s dst shape %dx%d, want %dx%d", op, dst.Rows, dst.Cols, m.Rows, x.Cols))
+	}
+}

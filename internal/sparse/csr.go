@@ -21,16 +21,38 @@ type Coord struct {
 	Val      float64
 }
 
-// CSR is a sparse matrix in compressed sparse row format.
+// CSROf is a sparse matrix in compressed sparse row format, generic over
+// the value type so the float32 mixed-precision path can reuse every kernel
+// and converter.
 //
 // RowPtr has length Rows+1; the column indices and values of row i occupy
 // ColIdx[RowPtr[i]:RowPtr[i+1]] and Val[RowPtr[i]:RowPtr[i+1]]. Column
 // indices are strictly increasing within each row.
-type CSR struct {
+type CSROf[T dense.Elem] struct {
 	Rows, Cols int
 	RowPtr     []int
 	ColIdx     []int
-	Val        []float64
+	Val        []T
+}
+
+// CSR is the float64 CSR matrix used by the default training path.
+type CSR = CSROf[float64]
+
+// ConvertCSR returns a copy of a with values rounded through T — the
+// boundary where the mixed-precision path downcasts the adjacency matrix
+// once at setup. Structure (RowPtr, ColIdx) is copied, not shared.
+func ConvertCSR[T dense.Elem](a *CSR) *CSROf[T] {
+	out := &CSROf[T]{
+		Rows:   a.Rows,
+		Cols:   a.Cols,
+		RowPtr: append([]int(nil), a.RowPtr...),
+		ColIdx: append([]int(nil), a.ColIdx...),
+		Val:    make([]T, len(a.Val)),
+	}
+	for i, v := range a.Val {
+		out.Val[i] = T(v)
+	}
+	return out
 }
 
 // NewCSR builds a CSR matrix from coordinate entries. Duplicate (row, col)
@@ -80,10 +102,10 @@ func NewCSR(rows, cols int, entries []Coord) *CSR {
 }
 
 // NNZ returns the number of stored nonzeros.
-func (m *CSR) NNZ() int { return len(m.Val) }
+func (m *CSROf[T]) NNZ() int { return len(m.Val) }
 
 // At returns element (i, j) with a binary search within row i.
-func (m *CSR) At(i, j int) float64 {
+func (m *CSROf[T]) At(i, j int) T {
 	if i < 0 || i >= m.Rows || j < 0 || j >= m.Cols {
 		panic(fmt.Sprintf("sparse: index (%d,%d) out of range for %dx%d", i, j, m.Rows, m.Cols))
 	}
@@ -95,38 +117,39 @@ func (m *CSR) At(i, j int) float64 {
 	return 0
 }
 
-// Entries returns all nonzeros in row-major order as coordinate entries.
-func (m *CSR) Entries() []Coord {
+// Entries returns all nonzeros in row-major order as coordinate entries
+// (values widened to float64).
+func (m *CSROf[T]) Entries() []Coord {
 	out := make([]Coord, 0, m.NNZ())
 	for i := 0; i < m.Rows; i++ {
 		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
-			out = append(out, Coord{Row: i, Col: m.ColIdx[k], Val: m.Val[k]})
+			out = append(out, Coord{Row: i, Col: m.ColIdx[k], Val: float64(m.Val[k])})
 		}
 	}
 	return out
 }
 
 // Clone returns a deep copy of m.
-func (m *CSR) Clone() *CSR {
-	out := &CSR{
+func (m *CSROf[T]) Clone() *CSROf[T] {
+	out := &CSROf[T]{
 		Rows:   m.Rows,
 		Cols:   m.Cols,
 		RowPtr: append([]int(nil), m.RowPtr...),
 		ColIdx: append([]int(nil), m.ColIdx...),
-		Val:    append([]float64(nil), m.Val...),
+		Val:    append([]T(nil), m.Val...),
 	}
 	return out
 }
 
 // Transpose returns mᵀ in CSR format using a counting pass (the classic
 // CSR→CSC conversion, reinterpreted).
-func (m *CSR) Transpose() *CSR {
-	out := &CSR{
+func (m *CSROf[T]) Transpose() *CSROf[T] {
+	out := &CSROf[T]{
 		Rows:   m.Cols,
 		Cols:   m.Rows,
 		RowPtr: make([]int, m.Cols+1),
 		ColIdx: make([]int, m.NNZ()),
-		Val:    make([]float64, m.NNZ()),
+		Val:    make([]T, m.NNZ()),
 	}
 	for _, c := range m.ColIdx {
 		out.RowPtr[c+1]++
@@ -150,11 +173,11 @@ func (m *CSR) Transpose() *CSR {
 // ExtractBlock returns the sub-matrix with rows [r0, r1) and columns
 // [c0, c1) re-indexed to local coordinates, as used when distributing a
 // matrix onto a process grid.
-func (m *CSR) ExtractBlock(r0, r1, c0, c1 int) *CSR {
+func (m *CSROf[T]) ExtractBlock(r0, r1, c0, c1 int) *CSROf[T] {
 	if r0 < 0 || r1 > m.Rows || c0 < 0 || c1 > m.Cols || r0 > r1 || c0 > c1 {
 		panic(fmt.Sprintf("sparse: ExtractBlock [%d:%d, %d:%d] out of range for %dx%d", r0, r1, c0, c1, m.Rows, m.Cols))
 	}
-	out := &CSR{Rows: r1 - r0, Cols: c1 - c0, RowPtr: make([]int, r1-r0+1)}
+	out := &CSROf[T]{Rows: r1 - r0, Cols: c1 - c0, RowPtr: make([]int, r1-r0+1)}
 	for i := r0; i < r1; i++ {
 		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
 		start := lo + sort.SearchInts(m.ColIdx[lo:hi], c0)
@@ -169,7 +192,7 @@ func (m *CSR) ExtractBlock(r0, r1, c0, c1 int) *CSR {
 }
 
 // Scale multiplies all values by alpha in place.
-func (m *CSR) Scale(alpha float64) {
+func (m *CSROf[T]) Scale(alpha T) {
 	for i := range m.Val {
 		m.Val[i] *= alpha
 	}
@@ -177,8 +200,8 @@ func (m *CSR) Scale(alpha float64) {
 
 // ToDense materializes m as a dense matrix (test/debug helper; avoid on
 // large inputs).
-func (m *CSR) ToDense() *dense.Matrix {
-	out := dense.New(m.Rows, m.Cols)
+func (m *CSROf[T]) ToDense() *dense.Of[T] {
+	out := dense.NewOf[T](m.Rows, m.Cols)
 	for i := 0; i < m.Rows; i++ {
 		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
 			out.Set(i, m.ColIdx[k], m.Val[k])
@@ -188,12 +211,12 @@ func (m *CSR) ToDense() *dense.Matrix {
 }
 
 // RowNNZ returns the number of nonzeros in row i.
-func (m *CSR) RowNNZ(i int) int { return m.RowPtr[i+1] - m.RowPtr[i] }
+func (m *CSROf[T]) RowNNZ(i int) int { return m.RowPtr[i+1] - m.RowPtr[i] }
 
 // NonEmptyRows returns how many rows have at least one nonzero. The paper's
 // hypersparsity discussion (§IV-A-3, citing Buluç & Gilbert) keys on this:
 // 2D-partitioned submatrices of sparse graphs have mostly empty rows.
-func (m *CSR) NonEmptyRows() int {
+func (m *CSROf[T]) NonEmptyRows() int {
 	n := 0
 	for i := 0; i < m.Rows; i++ {
 		if m.RowNNZ(i) > 0 {
@@ -205,7 +228,7 @@ func (m *CSR) NonEmptyRows() int {
 
 // AvgDegree returns NNZ/Rows, the average number of nonzeros per row
 // (written d in the paper).
-func (m *CSR) AvgDegree() float64 {
+func (m *CSROf[T]) AvgDegree() float64 {
 	if m.Rows == 0 {
 		return 0
 	}
@@ -214,7 +237,7 @@ func (m *CSR) AvgDegree() float64 {
 
 // Equal reports whether a and b have identical shape and nonzero structure
 // with values equal within tol.
-func Equal(a, b *CSR, tol float64) bool {
+func Equal[T dense.Elem](a, b *CSROf[T], tol float64) bool {
 	if a.Rows != b.Rows || a.Cols != b.Cols || a.NNZ() != b.NNZ() {
 		return false
 	}
@@ -227,7 +250,7 @@ func Equal(a, b *CSR, tol float64) bool {
 		if a.ColIdx[k] != b.ColIdx[k] {
 			return false
 		}
-		d := a.Val[k] - b.Val[k]
+		d := float64(a.Val[k]) - float64(b.Val[k])
 		if d < -tol || d > tol {
 			return false
 		}

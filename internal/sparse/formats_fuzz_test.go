@@ -1,0 +1,199 @@
+package sparse
+
+import (
+	"testing"
+
+	"repro/internal/dense"
+)
+
+// Fuzz targets for the specialized storage formats. Sparse payloads are
+// strictly positive integers — duplicates sum to positive integers, so the
+// built CSR never stores an explicit zero and the format converters'
+// zero-skipping is exercised only on genuine padding. Dense payloads are
+// small integers. Under these conditions every comparison below is exact
+// bitwise equality: round-trips must reproduce the CSR exactly, and the
+// format SpMM kernels must match the CSR kernel bit for bit.
+
+// posCooFromBytes decodes a byte stream into coordinate entries with
+// values in [1, 8], three bytes per entry.
+func posCooFromBytes(data []byte, rows, cols int) []Coord {
+	var out []Coord
+	for i := 0; i+2 < len(data); i += 3 {
+		out = append(out, Coord{
+			Row: int(data[i]) % rows,
+			Col: int(data[i+1]) % cols,
+			Val: float64(int(data[i+2]%8) + 1),
+		})
+	}
+	return out
+}
+
+// intDense fills an r x c matrix with small integers derived from data.
+func intDense(data []byte, r, c int) *dense.Matrix {
+	x := dense.New(r, c)
+	for i := range x.Data {
+		b := byte(i)
+		if len(data) > 0 {
+			b += data[i%len(data)]
+		}
+		x.Data[i] = float64(int(b%9) - 4)
+	}
+	return x
+}
+
+// FuzzBCSRFromCSR checks the BCSR converter and kernels: valid block
+// structure, exact CSR round-trip, and bitwise SpMM/SpMMAdd/SpMMBiasReLU
+// equality against the CSR kernels.
+func FuzzBCSRFromCSR(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 0, 1, 2, 1, 0, 3, 1, 1, 4}, byte(4), byte(4), byte(2), byte(2), byte(3))
+	f.Add([]byte{5, 5, 5, 1, 2, 3, 9, 8, 7}, byte(9), byte(7), byte(4), byte(3), byte(1))
+	f.Add([]byte{}, byte(1), byte(1), byte(1), byte(1), byte(2))
+	f.Add([]byte{255, 0, 9, 0, 255, 9, 128, 128, 9}, byte(24), byte(24), byte(5), byte(6), byte(4))
+	f.Fuzz(func(t *testing.T, data []byte, rb, cb, brb, bcb, fb byte) {
+		rows, cols := dim(rb), dim(cb)
+		br, bc := 1+int(brb)%6, 1+int(bcb)%6
+		feats := 1 + int(fb)%6
+		a := NewCSR(rows, cols, posCooFromBytes(data, rows, cols))
+
+		m := BCSRFromCSR(a, br, bc)
+		if m.Br != br || m.Bc != bc || m.Rows != rows || m.Cols != cols {
+			t.Fatalf("shape %dx%d blocks %dx%d, want %dx%d blocks %dx%d",
+				m.Rows, m.Cols, m.Br, m.Bc, rows, cols, br, bc)
+		}
+		nbr := (rows + br - 1) / br
+		if len(m.BlockRowPtr) != nbr+1 || m.BlockRowPtr[0] != 0 {
+			t.Fatalf("bad BlockRowPtr frame: len %d", len(m.BlockRowPtr))
+		}
+		for I := 0; I < nbr; I++ {
+			if m.BlockRowPtr[I] > m.BlockRowPtr[I+1] {
+				t.Fatalf("BlockRowPtr decreases at block row %d", I)
+			}
+			for b := m.BlockRowPtr[I]; b < m.BlockRowPtr[I+1]; b++ {
+				if J := m.BlockColIdx[b]; J < 0 || J*bc >= cols {
+					t.Fatalf("block col %d out of range at block row %d", J, I)
+				}
+				if b > m.BlockRowPtr[I] && m.BlockColIdx[b] <= m.BlockColIdx[b-1] {
+					t.Fatalf("block cols not strictly increasing in block row %d", I)
+				}
+			}
+		}
+		if len(m.Val) != m.BlockRowPtr[nbr]*br*bc {
+			t.Fatalf("val storage %d, want %d blocks x %d", len(m.Val), m.BlockRowPtr[nbr], br*bc)
+		}
+		if m.NNZ() != a.NNZ() {
+			t.Fatalf("BCSR stores %d nonzeros, CSR has %d", m.NNZ(), a.NNZ())
+		}
+
+		if rt := m.ToCSR(); !Equal(rt, a, 0) {
+			t.Fatal("BCSR→CSR round-trip differs")
+		}
+
+		x := intDense(data, cols, feats)
+		want := dense.New(rows, feats)
+		SpMM(want, a, x)
+		got := dense.New(rows, feats)
+		m.SpMM(got, x)
+		if !dense.EqualWithin(got, want, 0) {
+			t.Fatalf("BCSR SpMM differs from CSR, max |Δ| = %g", dense.MaxAbsDiff(got, want))
+		}
+		m.SpMMAdd(got, x)
+		for i := range got.Data {
+			if got.Data[i] != 2*want.Data[i] {
+				t.Fatalf("BCSR SpMMAdd accumulation wrong at %d", i)
+			}
+		}
+		bias := make([]float64, feats)
+		for j := range bias {
+			bias[j] = float64(j%5 - 2)
+		}
+		wantF := dense.New(rows, feats)
+		SpMMBiasReLU(wantF, a, x, bias)
+		gotF := dense.New(rows, feats)
+		m.SpMMBiasReLU(gotF, x, bias)
+		if !dense.EqualWithin(gotF, wantF, 0) {
+			t.Fatalf("BCSR SpMMBiasReLU differs from CSR, max |Δ| = %g", dense.MaxAbsDiff(gotF, wantF))
+		}
+	})
+}
+
+// FuzzSELLFromCSR checks the SELL-C-σ converter and kernels: Perm is a
+// permutation, slice storage is consistent, the CSR round-trip is exact,
+// and SpMM/SpMMBiasReLU match the CSR kernels bitwise.
+func FuzzSELLFromCSR(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 0, 1, 2, 1, 0, 3, 1, 1, 4}, byte(4), byte(4), byte(2), byte(4), byte(3))
+	f.Add([]byte{5, 5, 5, 1, 2, 3, 9, 8, 7}, byte(9), byte(7), byte(3), byte(9), byte(1))
+	f.Add([]byte{}, byte(1), byte(1), byte(1), byte(1), byte(2))
+	f.Add([]byte{255, 0, 9, 0, 255, 9, 128, 128, 9, 7, 7, 7}, byte(24), byte(24), byte(7), byte(63), byte(4))
+	f.Fuzz(func(t *testing.T, data []byte, rb, cb, cB, sigB, fb byte) {
+		rows, cols := dim(rb), dim(cb)
+		c := 1 + int(cB)%8
+		sigma := 1 + int(sigB)%64
+		feats := 1 + int(fb)%6
+		a := NewCSR(rows, cols, posCooFromBytes(data, rows, cols))
+
+		m := SELLFromCSR(a, c, sigma)
+		if m.C != c {
+			t.Fatalf("slice height %d, want %d", m.C, c)
+		}
+		if m.Sigma < sigma || m.Sigma%c != 0 {
+			t.Fatalf("sigma %d not a multiple of %d covering %d", m.Sigma, c, sigma)
+		}
+		if len(m.Perm) != rows {
+			t.Fatalf("perm length %d, want %d", len(m.Perm), rows)
+		}
+		seen := make([]bool, rows)
+		for _, i := range m.Perm {
+			if i < 0 || i >= rows || seen[i] {
+				t.Fatalf("Perm is not a permutation: row %d", i)
+			}
+			seen[i] = true
+		}
+		nSlices := (rows + c - 1) / c
+		if len(m.SlicePtr) != nSlices+1 || m.SlicePtr[0] != 0 || m.SlicePtr[nSlices] != len(m.Val) {
+			t.Fatalf("bad SlicePtr frame")
+		}
+		// Within each sort window, slot order is by non-increasing row
+		// degree.
+		for w0 := 0; w0 < rows; w0 += m.Sigma {
+			w1 := min(w0+m.Sigma, rows)
+			for s := w0 + 1; s < w1; s++ {
+				if a.RowNNZ(m.Perm[s]) > a.RowNNZ(m.Perm[s-1]) {
+					t.Fatalf("window %d not sorted by degree at slot %d", w0/m.Sigma, s)
+				}
+			}
+		}
+		if m.NNZ() != a.NNZ() {
+			t.Fatalf("SELL stores %d nonzeros, CSR has %d", m.NNZ(), a.NNZ())
+		}
+
+		if rt := m.ToCSR(); !Equal(rt, a, 0) {
+			t.Fatal("SELL→CSR round-trip differs")
+		}
+
+		x := intDense(data, cols, feats)
+		want := dense.New(rows, feats)
+		SpMM(want, a, x)
+		got := dense.New(rows, feats)
+		m.SpMM(got, x)
+		if !dense.EqualWithin(got, want, 0) {
+			t.Fatalf("SELL SpMM differs from CSR, max |Δ| = %g", dense.MaxAbsDiff(got, want))
+		}
+		m.SpMMAdd(got, x)
+		for i := range got.Data {
+			if got.Data[i] != 2*want.Data[i] {
+				t.Fatalf("SELL SpMMAdd accumulation wrong at %d", i)
+			}
+		}
+		bias := make([]float64, feats)
+		for j := range bias {
+			bias[j] = float64(j%5 - 2)
+		}
+		wantF := dense.New(rows, feats)
+		SpMMBiasReLU(wantF, a, x, bias)
+		gotF := dense.New(rows, feats)
+		m.SpMMBiasReLU(gotF, x, bias)
+		if !dense.EqualWithin(gotF, wantF, 0) {
+			t.Fatalf("SELL SpMMBiasReLU differs from CSR, max |Δ| = %g", dense.MaxAbsDiff(gotF, wantF))
+		}
+	})
+}

@@ -1,0 +1,205 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dense"
+)
+
+// blockedCSR builds a matrix whose nonzeros cluster into dense 4x4 blocks
+// along the diagonal — the structure BCSR is built for.
+func blockedCSR(rng *rand.Rand, blocks int) *CSR {
+	n := blocks * 4
+	var entries []Coord
+	for b := 0; b < blocks; b++ {
+		for r := 0; r < 4; r++ {
+			for c := 0; c < 4; c++ {
+				entries = append(entries, Coord{Row: b*4 + r, Col: b*4 + c, Val: rng.NormFloat64() + 3})
+			}
+		}
+	}
+	return NewCSR(n, n, entries)
+}
+
+// skewedCSR builds a matrix with a power-law-ish degree distribution: a few
+// very heavy rows, most rows light — the regime SELL-C-σ targets.
+func skewedCSR(rng *rand.Rand, rows, cols int) *CSR {
+	var entries []Coord
+	for i := 0; i < rows; i++ {
+		deg := 2
+		switch {
+		case i%97 == 0:
+			deg = cols / 2
+		case i%13 == 0:
+			deg = 24
+		}
+		for k := 0; k < deg; k++ {
+			entries = append(entries, Coord{Row: i, Col: rng.Intn(cols), Val: rng.Float64() + 0.5})
+		}
+	}
+	return NewCSR(rows, cols, entries)
+}
+
+func TestFormatsMatchCSRBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, tc := range []struct {
+		name string
+		a    *CSR
+	}{
+		{"random", randomCSR(rng, 150, 130, 0.06)},
+		{"blocked", blockedCSR(rng, 40)},
+		{"skewed", skewedCSR(rng, 200, 64)},
+	} {
+		for _, feats := range []int{1, 7, 32} {
+			x := randomMatrix(rng, tc.a.Cols, feats)
+			want := dense.New(tc.a.Rows, feats)
+			SpMM(want, tc.a, x)
+
+			bcsr := BCSRFromCSR(tc.a, 4, 4)
+			got := dense.New(tc.a.Rows, feats)
+			bcsr.SpMM(got, x)
+			if !dense.EqualWithin(got, want, 0) {
+				t.Errorf("%s/f=%d: BCSR SpMM differs, max |Δ| = %g", tc.name, feats, dense.MaxAbsDiff(got, want))
+			}
+
+			sell := SELLFromCSR(tc.a, 8, 64)
+			got2 := dense.New(tc.a.Rows, feats)
+			sell.SpMM(got2, x)
+			if !dense.EqualWithin(got2, want, 0) {
+				t.Errorf("%s/f=%d: SELL SpMM differs, max |Δ| = %g", tc.name, feats, dense.MaxAbsDiff(got2, want))
+			}
+		}
+		if rt := BCSRFromCSR(tc.a, 3, 5).ToCSR(); !Equal(rt, tc.a, 0) {
+			t.Errorf("%s: BCSR round-trip differs", tc.name)
+		}
+		if rt := SELLFromCSR(tc.a, 8, 64).ToCSR(); !Equal(rt, tc.a, 0) {
+			t.Errorf("%s: SELL round-trip differs", tc.name)
+		}
+	}
+}
+
+// TestFormatsParallelBitIdentical checks that the format kernels stay
+// bit-identical to themselves across backends (each output row owned by one
+// worker).
+func TestFormatsParallelBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := skewedCSR(rng, 300, 120)
+	x := randomMatrix(rng, 120, 16)
+	bcsr := BCSRFromCSR(a, 4, 4)
+	sell := SELLFromCSR(a, 32, 256)
+	withBackends(t, func() *dense.Matrix {
+		out := dense.New(300, 16)
+		bcsr.SpMM(out, x)
+		return out
+	}, func(serial, par *dense.Matrix) { requireBitIdentical(t, serial, par) })
+	withBackends(t, func() *dense.Matrix {
+		out := dense.New(300, 16)
+		sell.SpMM(out, x)
+		return out
+	}, func(serial, par *dense.Matrix) { requireBitIdentical(t, serial, par) })
+	withBackends(t, func() *dense.Matrix {
+		out := dense.New(300, 16)
+		SpMMBiasReLU(out, a, x, nil)
+		return out
+	}, func(serial, par *dense.Matrix) { requireBitIdentical(t, serial, par) })
+}
+
+// TestSpMMBiasReLUMatchesUnfused exercises both the narrow and the
+// feature-blocked wide paths of the fused CSR kernel against the unfused
+// SpMM + bias + ReLU sequence.
+func TestSpMMBiasReLUMatchesUnfused(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randomCSR(rng, 100, 90, 0.08)
+	for _, feats := range []int{5, 64, 300} { // 300 > spmmFeatureBlock
+		x := randomMatrix(rng, 90, feats)
+		bias := make([]float64, feats)
+		for j := range bias {
+			bias[j] = rng.NormFloat64()
+		}
+		want := dense.New(100, feats)
+		SpMM(want, a, x)
+		for i := 0; i < want.Rows; i++ {
+			row := want.Row(i)
+			for j := range row {
+				if v := row[j] + bias[j]; v > 0 {
+					row[j] = v
+				} else {
+					row[j] = 0
+				}
+			}
+		}
+		got := dense.New(100, feats)
+		SpMMBiasReLU(got, a, x, bias)
+		if !dense.EqualWithin(got, want, 0) {
+			t.Errorf("f=%d: fused differs from unfused, max |Δ| = %g", feats, dense.MaxAbsDiff(got, want))
+		}
+		// nil bias = plain SpMM + ReLU.
+		want2 := dense.New(100, feats)
+		SpMM(want2, a, x)
+		dense.ReLUForwardOf(want2, want2)
+		got2 := dense.New(100, feats)
+		SpMMBiasReLU(got2, a, x, nil)
+		if !dense.EqualWithin(got2, want2, 0) {
+			t.Errorf("f=%d: nil-bias fused differs, max |Δ| = %g", feats, dense.MaxAbsDiff(got2, want2))
+		}
+	}
+}
+
+func TestSelectKernel(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+
+	// Dense 4x4 blocks, >4096 nnz -> block fill 1.0 -> bcsr.
+	blocked := blockedCSR(rng, 260) // 260 blocks * 16 = 4160 nnz
+	k, stats := SelectKernel(blocked, 32, FormatAuto)
+	if k.Format() != FormatBCSR {
+		t.Errorf("blocked graph selected %s (fill %.2f), want bcsr", k.Format(), stats.BlockFill)
+	}
+	if stats.BlockFill < 0.99 {
+		t.Errorf("blocked graph fill %.2f, want ~1", stats.BlockFill)
+	}
+
+	// Heavy degree skew, low block fill -> sell.
+	skewed := skewedCSR(rng, 1200, 600)
+	k, stats = SelectKernel(skewed, 32, FormatAuto)
+	if k.Format() != FormatSELL {
+		t.Errorf("skewed graph selected %s (cv %.2f, fill %.2f), want sell", k.Format(), stats.DegreeCV, stats.BlockFill)
+	}
+
+	// Tiny matrix always stays CSR.
+	tiny := randomCSR(rng, 40, 40, 0.1)
+	if k, _ := SelectKernel(tiny, 32, FormatAuto); k.Format() != FormatCSR {
+		t.Errorf("tiny graph selected %s, want csr", k.Format())
+	}
+
+	// Explicit override wins over the heuristic.
+	if k, _ := SelectKernel(tiny, 32, FormatSELL); k.Format() != FormatSELL {
+		t.Errorf("override sell ignored, got %s", k.Format())
+	}
+	if k, _ := SelectKernel(blocked, 32, FormatCSR); k.Format() != FormatCSR {
+		t.Errorf("override csr ignored, got %s", k.Format())
+	}
+
+	// Every kernel computes the same product.
+	x := randomMatrix(rng, skewed.Cols, 8)
+	want := dense.New(skewed.Rows, 8)
+	SpMM(want, skewed, x)
+	for _, f := range []Format{FormatCSR, FormatBCSR, FormatSELL} {
+		k, _ := SelectKernel(skewed, 8, f)
+		got := dense.New(skewed.Rows, 8)
+		k.SpMM(got, x)
+		if !dense.EqualWithin(got, want, 0) {
+			t.Errorf("%s kernel differs from CSR, max |Δ| = %g", f, dense.MaxAbsDiff(got, want))
+		}
+	}
+
+	// ParseFormat accepts the four names and rejects junk.
+	for _, s := range []string{"auto", "csr", "bcsr", "sell"} {
+		if _, err := ParseFormat(s); err != nil {
+			t.Errorf("ParseFormat(%q): %v", s, err)
+		}
+	}
+	if _, err := ParseFormat("ellpack"); err == nil {
+		t.Error("ParseFormat accepted unknown format")
+	}
+}

@@ -1,0 +1,243 @@
+package sparse
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dense"
+	"repro/internal/parallel"
+)
+
+// SELLOf is a sparse matrix in SELL-C-σ (sliced ELLPACK) format: rows are
+// sorted by descending nonzero count within windows of Sigma rows, grouped
+// into slices of C rows, and each slice is stored column-major padded to
+// the width of its longest row (padding col 0, value 0).
+//
+// SELL-C-σ targets graphs with skewed degree distributions, where plain
+// row-major CSR leaves short rows with ragged inner loops: sorting within a
+// window makes rows sharing a slice similar in length, so padding stays
+// small while the column-major slice layout gives the inner loop a fixed
+// stride. internal/costmodel.ChooseFormat selects it on high degree
+// variance.
+type SELLOf[T dense.Elem] struct {
+	Rows, Cols int
+	C, Sigma   int
+	// Perm maps slot s (slice-major position after sorting) to the original
+	// row index; PermInv is its inverse. len == Rows rounded up to a
+	// multiple of C conceptually, but only Rows entries are stored — slots
+	// past Rows in the final slice are pure padding.
+	Perm []int
+	// SlicePtr has length ceil(Rows/C)+1, in value offsets: slice s
+	// occupies ColIdx[SlicePtr[s]:SlicePtr[s+1]] (and Val likewise), laid
+	// out column-major: entry (slot r, position w) of the slice lives at
+	// SlicePtr[s] + w*rowsInSlice + r.
+	SlicePtr []int
+	ColIdx   []int
+	Val      []T
+}
+
+// SELL is the float64 instantiation used by the default training path.
+type SELL = SELLOf[float64]
+
+// Slices returns the number of row slices.
+func (m *SELLOf[T]) Slices() int { return len(m.SlicePtr) - 1 }
+
+// NNZ returns the number of stored nonzero values (padding excluded).
+func (m *SELLOf[T]) NNZ() int {
+	n := 0
+	for _, v := range m.Val {
+		if v != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// PaddingRatio returns padded slots / total stored slots — the storage
+// overhead the σ-sort is there to minimize.
+func (m *SELLOf[T]) PaddingRatio() float64 {
+	if len(m.Val) == 0 {
+		return 0
+	}
+	return 1 - float64(m.NNZ())/float64(len(m.Val))
+}
+
+// SELLFromCSR converts a to SELL-C-σ. c must be positive; sigma is rounded
+// up to a multiple of c (sigma ≤ c means no reordering beyond slicing).
+// Within a sort window rows are ordered by descending nonzero count, ties
+// kept in original row order, so the conversion is deterministic.
+func SELLFromCSR[T dense.Elem](a *CSROf[T], c, sigma int) *SELLOf[T] {
+	if c <= 0 {
+		panic(fmt.Sprintf("sparse: SELLFromCSR slice height %d", c))
+	}
+	if sigma < c {
+		sigma = c
+	}
+	if r := sigma % c; r != 0 {
+		sigma += c - r
+	}
+	out := &SELLOf[T]{Rows: a.Rows, Cols: a.Cols, C: c, Sigma: sigma}
+	out.Perm = make([]int, a.Rows)
+	for i := range out.Perm {
+		out.Perm[i] = i
+	}
+	for w0 := 0; w0 < a.Rows; w0 += sigma {
+		w1 := min(w0+sigma, a.Rows)
+		win := out.Perm[w0:w1]
+		sort.SliceStable(win, func(x, y int) bool {
+			return a.RowNNZ(win[x]) > a.RowNNZ(win[y])
+		})
+	}
+	nSlices := (a.Rows + c - 1) / c
+	out.SlicePtr = make([]int, nSlices+1)
+	for s := 0; s < nSlices; s++ {
+		rows := min(c, a.Rows-s*c)
+		width := 0
+		for r := 0; r < rows; r++ {
+			if n := a.RowNNZ(out.Perm[s*c+r]); n > width {
+				width = n
+			}
+		}
+		out.SlicePtr[s+1] = out.SlicePtr[s] + width*rows
+	}
+	out.ColIdx = make([]int, out.SlicePtr[nSlices])
+	out.Val = make([]T, out.SlicePtr[nSlices])
+	for s := 0; s < nSlices; s++ {
+		rows := min(c, a.Rows-s*c)
+		base := out.SlicePtr[s]
+		for r := 0; r < rows; r++ {
+			i := out.Perm[s*c+r]
+			for w, k := 0, a.RowPtr[i]; k < a.RowPtr[i+1]; w, k = w+1, k+1 {
+				out.ColIdx[base+w*rows+r] = a.ColIdx[k]
+				out.Val[base+w*rows+r] = a.Val[k]
+			}
+		}
+	}
+	return out
+}
+
+// ToCSR converts back to CSR, dropping zero slots (padding). For any input
+// without explicit stored zeros, SELLFromCSR followed by ToCSR is the
+// identity.
+func (m *SELLOf[T]) ToCSR() *CSROf[T] {
+	out := &CSROf[T]{Rows: m.Rows, Cols: m.Cols, RowPtr: make([]int, m.Rows+1)}
+	// Count per original row first so rows come out in CSR order.
+	for s := 0; s < m.Slices(); s++ {
+		rows := min(m.C, m.Rows-s*m.C)
+		base := m.SlicePtr[s]
+		width := (m.SlicePtr[s+1] - base) / max(rows, 1)
+		for r := 0; r < rows; r++ {
+			n := 0
+			for w := 0; w < width; w++ {
+				if m.Val[base+w*rows+r] != 0 {
+					n++
+				}
+			}
+			out.RowPtr[m.Perm[s*m.C+r]+1] = n
+		}
+	}
+	for i := 0; i < m.Rows; i++ {
+		out.RowPtr[i+1] += out.RowPtr[i]
+	}
+	out.ColIdx = make([]int, out.RowPtr[m.Rows])
+	out.Val = make([]T, out.RowPtr[m.Rows])
+	next := append([]int(nil), out.RowPtr[:m.Rows]...)
+	for s := 0; s < m.Slices(); s++ {
+		rows := min(m.C, m.Rows-s*m.C)
+		base := m.SlicePtr[s]
+		width := (m.SlicePtr[s+1] - base) / max(rows, 1)
+		for r := 0; r < rows; r++ {
+			i := m.Perm[s*m.C+r]
+			for w := 0; w < width; w++ {
+				if v := m.Val[base+w*rows+r]; v != 0 {
+					out.ColIdx[next[i]] = m.ColIdx[base+w*rows+r]
+					out.Val[next[i]] = v
+					next[i]++
+				}
+			}
+		}
+	}
+	return out
+}
+
+// SpMM computes dst = m * x. dst must be m.Rows x x.Cols and is
+// overwritten. Output rows land at their original (unpermuted) indices.
+//
+// Within a row, stored entries keep CSR's ascending column order (the
+// conversion fills positions left to right from the CSR row) and padding
+// slots are skipped, so for a fixed output element the accumulation is
+// bit-identical to the CSR kernel.
+func (m *SELLOf[T]) SpMM(dst, x *dense.Of[T]) {
+	m.checkSpMM(dst, x, "SELL.SpMM")
+	dst.Zero()
+	m.SpMMAdd(dst, x)
+}
+
+// SpMMAdd computes dst += m * x.
+func (m *SELLOf[T]) SpMMAdd(dst, x *dense.Of[T]) {
+	m.checkSpMM(dst, x, "SELL.SpMMAdd")
+	work := 2 * int64(len(m.Val)) * int64(x.Cols)
+	if parallel.Inline(m.Slices(), work) {
+		m.spMMAddSlices(dst, x, nil, false, 0, m.Slices())
+		return
+	}
+	parallel.Rows(m.Slices(), work, func(lo, hi int) {
+		m.spMMAddSlices(dst, x, nil, false, lo, hi)
+	})
+}
+
+// SpMMBiasReLU computes dst = relu(m*x + bias), applying the fused epilogue
+// to each slice's rows as soon as their accumulation finishes. bias may be
+// nil.
+func (m *SELLOf[T]) SpMMBiasReLU(dst, x *dense.Of[T], bias []T) {
+	m.checkSpMM(dst, x, "SELL.SpMMBiasReLU")
+	dst.Zero()
+	work := 2 * int64(len(m.Val)) * int64(x.Cols)
+	if parallel.Inline(m.Slices(), work) {
+		m.spMMAddSlices(dst, x, bias, true, 0, m.Slices())
+		return
+	}
+	parallel.Rows(m.Slices(), work, func(lo, hi int) {
+		m.spMMAddSlices(dst, x, bias, true, lo, hi)
+	})
+}
+
+// spMMAddSlices accumulates slices [lo, hi) of m*x into dst; with epilogue
+// set it then applies bias+ReLU to the slice's rows while hot. Each output
+// row belongs to exactly one slice, so the parallel split stays
+// bit-identical.
+func (m *SELLOf[T]) spMMAddSlices(dst, x *dense.Of[T], bias []T, epilogue bool, lo, hi int) {
+	f := x.Cols
+	for s := lo; s < hi; s++ {
+		rows := min(m.C, m.Rows-s*m.C)
+		base := m.SlicePtr[s]
+		width := (m.SlicePtr[s+1] - base) / max(rows, 1)
+		for r := 0; r < rows; r++ {
+			i := m.Perm[s*m.C+r]
+			drow := dst.Data[i*f : (i+1)*f]
+			for w := 0; w < width; w++ {
+				v := m.Val[base+w*rows+r]
+				if v == 0 {
+					continue
+				}
+				c := m.ColIdx[base+w*rows+r]
+				dense.AxpyRow(drow, v, x.Data[c*f:(c+1)*f])
+			}
+		}
+		if epilogue {
+			for r := 0; r < rows; r++ {
+				i := m.Perm[s*m.C+r]
+				dense.BiasReLURow(dst.Data[i*f:(i+1)*f], bias)
+			}
+		}
+	}
+}
+
+func (m *SELLOf[T]) checkSpMM(dst, x *dense.Of[T], op string) {
+	if m.Cols != x.Rows {
+		panic(fmt.Sprintf("sparse: %s inner dimension mismatch: %dx%d * %dx%d", op, m.Rows, m.Cols, x.Rows, x.Cols))
+	}
+	if dst.Rows != m.Rows || dst.Cols != x.Cols {
+		panic(fmt.Sprintf("sparse: %s dst shape %dx%d, want %dx%d", op, dst.Rows, dst.Cols, m.Rows, x.Cols))
+	}
+}

@@ -29,7 +29,7 @@ const spmmRowBlock = 64
 // parallel backend: under parallel.BackendParallel large products are
 // row-partitioned across the shared worker pool, with each output row owned
 // by exactly one worker so the result is bit-identical to the serial loop.
-func SpMM(dst *dense.Matrix, a *CSR, x *dense.Matrix) {
+func SpMM[T dense.Elem](dst *dense.Of[T], a *CSROf[T], x *dense.Of[T]) {
 	checkSpMM(dst, a, x, "SpMM")
 	dst.Zero()
 	SpMMAdd(dst, a, x)
@@ -38,7 +38,7 @@ func SpMM(dst *dense.Matrix, a *CSR, x *dense.Matrix) {
 // SpMMAdd computes dst += a * x. This is the accumulating form used inside
 // SUMMA iterations where partial products for different k-blocks sum into
 // the same output tile.
-func SpMMAdd(dst *dense.Matrix, a *CSR, x *dense.Matrix) {
+func SpMMAdd[T dense.Elem](dst *dense.Of[T], a *CSROf[T], x *dense.Of[T]) {
 	checkSpMM(dst, a, x, "SpMMAdd")
 	work := SpMMFlops(a, x.Cols)
 	if parallel.Inline(a.Rows, work) {
@@ -50,13 +50,40 @@ func SpMMAdd(dst *dense.Matrix, a *CSR, x *dense.Matrix) {
 	})
 }
 
+// axpyEntryRun accumulates the stored entries [k0, k1) of (val, colIdx)
+// into drow: entry k scales the len(drow)-wide slice of x starting at
+// colIdx[k]*stride+off. Entries are consumed four per pass through the
+// fused dense.Axpy4Row sweep (sequential adds in entry order), with a
+// scalar tail — per output element exactly the adds of the per-entry loop
+// in the same order, so the result is bit-identical to it (a stored zero
+// contributes its +0·x in both forms).
+func axpyEntryRun[T dense.Elem](drow []T, val []T, colIdx []int, xdata []T, stride, off, k0, k1 int) {
+	n := len(drow)
+	k := k0
+	for ; k+4 <= k1; k += 4 {
+		c0 := colIdx[k]*stride + off
+		c1 := colIdx[k+1]*stride + off
+		c2 := colIdx[k+2]*stride + off
+		c3 := colIdx[k+3]*stride + off
+		dense.Axpy4Row(drow,
+			val[k], xdata[c0:c0+n],
+			val[k+1], xdata[c1:c1+n],
+			val[k+2], xdata[c2:c2+n],
+			val[k+3], xdata[c3:c3+n])
+	}
+	for ; k < k1; k++ {
+		c := colIdx[k]*stride + off
+		dense.AxpyRow(drow, val[k], xdata[c:c+n])
+	}
+}
+
 // spMMAddRows accumulates rows [lo, hi) of a*x into dst. For each output
 // row the accumulation order is identical to the full serial loop: wide
 // operands take the feature-blocked path, which visits the same
 // (nonzero, column) pairs in the same per-element order (for a fixed output
 // element (i, j), contributions arrive in nonzero order k in both loops —
 // column tiling only reorders across j, never across k).
-func spMMAddRows(dst *dense.Matrix, a *CSR, x *dense.Matrix, lo, hi int) {
+func spMMAddRows[T dense.Elem](dst *dense.Of[T], a *CSROf[T], x *dense.Of[T], lo, hi int) {
 	if x.Cols > spmmFeatureBlock {
 		spMMAddRowsBlocked(dst, a, x, lo, hi)
 		return
@@ -64,13 +91,7 @@ func spMMAddRows(dst *dense.Matrix, a *CSR, x *dense.Matrix, lo, hi int) {
 	f := x.Cols
 	for i := lo; i < hi; i++ {
 		drow := dst.Data[i*f : (i+1)*f]
-		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
-			v := a.Val[k]
-			xrow := x.Data[a.ColIdx[k]*f : (a.ColIdx[k]+1)*f]
-			for j, xv := range xrow {
-				drow[j] += v * xv
-			}
-		}
+		axpyEntryRun(drow, a.Val, a.ColIdx, x.Data, f, 0, a.RowPtr[i], a.RowPtr[i+1])
 	}
 }
 
@@ -79,7 +100,7 @@ func spMMAddRows(dst *dense.Matrix, a *CSR, x *dense.Matrix, lo, hi int) {
 // row block the feature dimension is tiled in spmmFeatureBlock columns, so
 // each x row referenced by the block contributes one tile-sized slice at a
 // time and is revisited while its lines are still cached.
-func spMMAddRowsBlocked(dst *dense.Matrix, a *CSR, x *dense.Matrix, lo, hi int) {
+func spMMAddRowsBlocked[T dense.Elem](dst *dense.Of[T], a *CSROf[T], x *dense.Of[T], lo, hi int) {
 	f := x.Cols
 	for i0 := lo; i0 < hi; i0 += spmmRowBlock {
 		i1 := i0 + spmmRowBlock
@@ -93,13 +114,62 @@ func spMMAddRowsBlocked(dst *dense.Matrix, a *CSR, x *dense.Matrix, lo, hi int) 
 			}
 			for i := i0; i < i1; i++ {
 				drow := dst.Data[i*f+j0 : i*f+j1]
-				for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
-					v := a.Val[k]
-					xrow := x.Data[a.ColIdx[k]*f+j0 : a.ColIdx[k]*f+j1]
-					for j, xv := range xrow {
-						drow[j] += v * xv
-					}
-				}
+				axpyEntryRun(drow, a.Val, a.ColIdx, x.Data, f, j0, a.RowPtr[i], a.RowPtr[i+1])
+			}
+		}
+	}
+}
+
+// SpMMBiasReLU computes dst = relu(a*x + bias) — the fused forward
+// epilogue for the aggregation-side multiply: the bias broadcast (bias may
+// be nil) and the ReLU run over each output row slice as soon as its
+// accumulation finishes, while it is still cache-resident, instead of as
+// two further full passes over the activation. Every output element's
+// multiply-add sequence matches SpMM's and the epilogue runs after its sum
+// completes, so the result is bit-identical to SpMM followed by the ReLU
+// activation.
+func SpMMBiasReLU[T dense.Elem](dst *dense.Of[T], a *CSROf[T], x *dense.Of[T], bias []T) {
+	checkSpMM(dst, a, x, "SpMMBiasReLU")
+	if bias != nil && len(bias) != x.Cols {
+		panic(fmt.Sprintf("sparse: SpMMBiasReLU bias length %d, want %d", len(bias), x.Cols))
+	}
+	dst.Zero()
+	work := SpMMFlops(a, x.Cols)
+	if parallel.Inline(a.Rows, work) {
+		spMMBiasReLURows(dst, a, x, bias, 0, a.Rows)
+		return
+	}
+	parallel.Rows(a.Rows, work, func(lo, hi int) {
+		spMMBiasReLURows(dst, a, x, bias, lo, hi)
+	})
+}
+
+// spMMBiasReLURows is spMMAddRows with the epilogue fused in: narrow
+// operands apply bias+ReLU per row right after its accumulation; wide
+// operands apply it per (row, feature-tile) slice, which is complete as
+// soon as the tile's k loop finishes because tiles cover disjoint columns.
+func spMMBiasReLURows[T dense.Elem](dst *dense.Of[T], a *CSROf[T], x *dense.Of[T], bias []T, lo, hi int) {
+	f := x.Cols
+	if f <= spmmFeatureBlock {
+		for i := lo; i < hi; i++ {
+			drow := dst.Data[i*f : (i+1)*f]
+			axpyEntryRun(drow, a.Val, a.ColIdx, x.Data, f, 0, a.RowPtr[i], a.RowPtr[i+1])
+			dense.BiasReLURow(drow, bias)
+		}
+		return
+	}
+	for i0 := lo; i0 < hi; i0 += spmmRowBlock {
+		i1 := min(i0+spmmRowBlock, hi)
+		for j0 := 0; j0 < f; j0 += spmmFeatureBlock {
+			j1 := min(j0+spmmFeatureBlock, f)
+			var btile []T
+			if bias != nil {
+				btile = bias[j0:j1]
+			}
+			for i := i0; i < i1; i++ {
+				drow := dst.Data[i*f+j0 : i*f+j1]
+				axpyEntryRun(drow, a.Val, a.ColIdx, x.Data, f, j0, a.RowPtr[i], a.RowPtr[i+1])
+				dense.BiasReLURow(drow, btile)
 			}
 		}
 	}
@@ -115,7 +185,7 @@ func spMMAddRowsBlocked(dst *dense.Matrix, a *CSR, x *dense.Matrix, lo, hi int) 
 // This is the kernel behind the overlapped halo trainers' interior/frontier
 // split: interior rows (no remote dependencies) multiply while the halo
 // exchange is in flight, frontier rows after its Wait.
-func SpMMAddRowList(dst *dense.Matrix, a *CSR, x *dense.Matrix, rows []int) {
+func SpMMAddRowList[T dense.Elem](dst *dense.Of[T], a *CSROf[T], x *dense.Of[T], rows []int) {
 	checkSpMM(dst, a, x, "SpMMAddRowList")
 	if len(rows) == 0 {
 		return
@@ -132,23 +202,17 @@ func SpMMAddRowList(dst *dense.Matrix, a *CSR, x *dense.Matrix, rows []int) {
 
 // spMMAddRowList is the serial row-list loop; each listed output row is
 // owned by exactly one worker, so the parallel split stays bit-identical.
-func spMMAddRowList(dst *dense.Matrix, a *CSR, x *dense.Matrix, rows []int) {
+func spMMAddRowList[T dense.Elem](dst *dense.Of[T], a *CSROf[T], x *dense.Of[T], rows []int) {
 	f := x.Cols
 	for _, i := range rows {
 		drow := dst.Data[i*f : (i+1)*f]
-		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
-			v := a.Val[k]
-			xrow := x.Data[a.ColIdx[k]*f : (a.ColIdx[k]+1)*f]
-			for j, xv := range xrow {
-				drow[j] += v * xv
-			}
-		}
+		axpyEntryRun(drow, a.Val, a.ColIdx, x.Data, f, 0, a.RowPtr[i], a.RowPtr[i+1])
 	}
 }
 
 // RowListNNZ returns the nonzero count of a restricted to the listed rows —
 // the flop basis the cost model charges for a row-list SpMM.
-func RowListNNZ(a *CSR, rows []int) int64 {
+func RowListNNZ[T dense.Elem](a *CSROf[T], rows []int) int64 {
 	var nnz int64
 	for _, i := range rows {
 		nnz += int64(a.RowPtr[i+1] - a.RowPtr[i])
@@ -164,7 +228,7 @@ func RowListNNZ(a *CSR, rows []int) int64 {
 // TransposePlan once and use its methods instead: the plan turns the
 // scatter (plus the per-call binary searches of the parallel path) into
 // sequential gathers with identical output.
-func SpMMT(dst *dense.Matrix, a *CSR, x *dense.Matrix) {
+func SpMMT[T dense.Elem](dst *dense.Of[T], a *CSROf[T], x *dense.Of[T]) {
 	checkSpMMT(dst, a, x, "SpMMT")
 	dst.Zero()
 	SpMMTAdd(dst, a, x)
@@ -179,7 +243,7 @@ func SpMMT(dst *dense.Matrix, a *CSR, x *dense.Matrix) {
 // each row. Contributions to a given output row therefore arrive in the
 // same (row, nonzero) order as in the serial scatter loop, keeping the
 // result bit-identical.
-func SpMMTAdd(dst *dense.Matrix, a *CSR, x *dense.Matrix) {
+func SpMMTAdd[T dense.Elem](dst *dense.Of[T], a *CSROf[T], x *dense.Of[T]) {
 	checkSpMMT(dst, a, x, "SpMMTAdd")
 	work := SpMMFlops(a, x.Cols)
 	if parallel.Inline(a.Cols, work) {
@@ -192,7 +256,7 @@ func SpMMTAdd(dst *dense.Matrix, a *CSR, x *dense.Matrix) {
 }
 
 // spMMTAddCols accumulates rows [lo, hi) of aᵀ*x into dst.
-func spMMTAddCols(dst *dense.Matrix, a *CSR, x *dense.Matrix, lo, hi int) {
+func spMMTAddCols[T dense.Elem](dst *dense.Of[T], a *CSROf[T], x *dense.Of[T], lo, hi int) {
 	f := x.Cols
 	full := lo == 0 && hi == a.Cols
 	for i := 0; i < a.Rows; i++ {
@@ -207,22 +271,18 @@ func spMMTAddCols(dst *dense.Matrix, a *CSR, x *dense.Matrix, lo, hi int) {
 		}
 		xrow := x.Data[i*f : (i+1)*f]
 		for k := k0; k < k1; k++ {
-			v := a.Val[k]
-			drow := dst.Data[a.ColIdx[k]*f : (a.ColIdx[k]+1)*f]
-			for j, xv := range xrow {
-				drow[j] += v * xv
-			}
+			dense.AxpyRow(dst.Data[a.ColIdx[k]*f:(a.ColIdx[k]+1)*f], a.Val[k], xrow)
 		}
 	}
 }
 
 // SpMMFlops returns the floating-point operation count of SpMM(a, x): one
 // multiply and one add per (nonzero, dense column) pair.
-func SpMMFlops(a *CSR, denseCols int) int64 {
+func SpMMFlops[T dense.Elem](a *CSROf[T], denseCols int) int64 {
 	return 2 * int64(a.NNZ()) * int64(denseCols)
 }
 
-func checkSpMM(dst *dense.Matrix, a *CSR, x *dense.Matrix, op string) {
+func checkSpMM[T dense.Elem](dst *dense.Of[T], a *CSROf[T], x *dense.Of[T], op string) {
 	if a.Cols != x.Rows {
 		panic(fmt.Sprintf("sparse: %s inner dimension mismatch: %dx%d * %dx%d", op, a.Rows, a.Cols, x.Rows, x.Cols))
 	}
@@ -231,7 +291,7 @@ func checkSpMM(dst *dense.Matrix, a *CSR, x *dense.Matrix, op string) {
 	}
 }
 
-func checkSpMMT(dst *dense.Matrix, a *CSR, x *dense.Matrix, op string) {
+func checkSpMMT[T dense.Elem](dst *dense.Of[T], a *CSROf[T], x *dense.Of[T], op string) {
 	if a.Rows != x.Rows {
 		panic(fmt.Sprintf("sparse: %s inner dimension mismatch: (%dx%d)ᵀ * %dx%d", op, a.Rows, a.Cols, x.Rows, x.Cols))
 	}

@@ -1,0 +1,60 @@
+// Package tolerance provides the shared comparison helper for
+// tolerance-validated kernel variants: paths that are numerically
+// equivalent but not bit-identical to the float64 CSR reference (float32
+// mixed precision, unrolled multi-accumulator reductions). Bit-identical
+// paths don't use this package — they compare with exact equality.
+package tolerance
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dense"
+)
+
+// AssertClose fails t unless got matches want element-wise within maxAbs
+// absolute OR maxRel relative tolerance (an element passes if either bound
+// holds, the standard two-sided criterion: absolute for values near zero,
+// relative for large magnitudes). On failure it reports the worst element —
+// position, both values, and both error measures — so a tolerance bump is
+// never chosen blind.
+func AssertClose[T dense.Elem](t testing.TB, name string, got, want *dense.Of[T], maxAbs, maxRel float64) {
+	t.Helper()
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		t.Fatalf("%s: shape %dx%d, want %dx%d", name, got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	worstI, worstAbs, worstRel := -1, 0.0, 0.0
+	for i := range want.Data {
+		g, w := float64(got.Data[i]), float64(want.Data[i])
+		abs := math.Abs(g - w)
+		rel := 0.0
+		if w != 0 {
+			rel = abs / math.Abs(w)
+		} else if abs > 0 {
+			rel = math.Inf(1)
+		}
+		if abs <= maxAbs || rel <= maxRel {
+			continue
+		}
+		if abs > worstAbs {
+			worstI, worstAbs, worstRel = i, abs, rel
+		}
+	}
+	if worstI >= 0 {
+		r, c := worstI/want.Cols, worstI%want.Cols
+		t.Fatalf("%s: worst element (%d,%d): got %v, want %v (|Δ| = %g > %g, rel = %g > %g)",
+			name, r, c, got.Data[worstI], want.Data[worstI], worstAbs, maxAbs, worstRel, maxRel)
+	}
+}
+
+// AssertCloseSlice is AssertClose for float64 slices (loss curves,
+// accuracy traces).
+func AssertCloseSlice(t testing.TB, name string, got, want []float64, maxAbs, maxRel float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d, want %d", name, len(got), len(want))
+	}
+	gm := &dense.Matrix{Rows: 1, Cols: len(got), Data: got}
+	wm := &dense.Matrix{Rows: 1, Cols: len(want), Data: want}
+	AssertClose(t, name, gm, wm, maxAbs, maxRel)
+}
