@@ -25,6 +25,8 @@ package cagnet
 
 import (
 	"fmt"
+	"sync"
+	"time"
 
 	"repro/internal/comm"
 	"repro/internal/core"
@@ -49,6 +51,13 @@ var Backends = parallel.Backends
 // their state replicated across ranks, so they work identically under
 // every decomposition with zero extra communication.
 var Optimizers = nn.Optimizers
+
+// Transports lists the selectable rank fabrics: "inproc" (default; ranks
+// are goroutines exchanging pooled payloads through channels) and "tcp"
+// (ranks exchange length-prefixed frames over real loopback sockets, with
+// wall-clock timing and a wire-fitted α/β). Both run the identical
+// collective algorithms and produce bit-identical training results.
+var Transports = []string{"inproc", "tcp"}
 
 // Formats lists the selectable sparse storage formats for the serial
 // trainer's backward aggregation: "csr" (default), "bcsr", "sell", and
@@ -191,6 +200,15 @@ type TrainOptions struct {
 	// Tolerance-validated, not bit-identical (the partial sums reassociate
 	// the reduction). Serial algorithm only.
 	Unrolled bool
+	// Transport selects the fabric the ranks communicate over: "" or
+	// "inproc" (default) runs them as goroutines on the simulated channel
+	// fabric; "tcp" runs each rank's collectives over real loopback TCP
+	// sockets — same algorithms, bit-identical weights — and additionally
+	// reports wall-clock time plus an α/β least-squares fit of the
+	// measured wire behavior (TrainReport.MeasuredSeconds, FittedAlpha,
+	// FittedBeta). Distributed algorithms only; "serial" has no fabric and
+	// rejects it. For true multi-process ranks use cmd/cagnet-worker.
+	Transport string
 	// Backend selects the compute backend for all kernels: "serial" runs
 	// them single-threaded, "parallel" (the default) row-partitions large
 	// SpMM/GEMM/activation kernels across a worker pool sized by
@@ -252,6 +270,22 @@ type TrainReport struct {
 	// WordsByCategory is the per-rank maximum of modeled words moved per
 	// category (nil for "serial").
 	WordsByCategory map[string]int64
+	// MeasuredSeconds is the wall-clock time of the whole training run
+	// over the "tcp" transport (zero for "inproc"): real sockets, real
+	// scheduling, every rank in one machine. Compare against
+	// ModeledSeconds, which is the α–β prediction for the configured
+	// machine profile.
+	MeasuredSeconds float64
+	// FittedAlpha and FittedBeta are the per-message and per-word costs
+	// least-squares-fitted from the measured per-collective wire samples
+	// (t ≈ α·msgs + β·words, costmodel.FitAlphaBeta) over the "tcp"
+	// transport. They describe the fabric the run actually experienced —
+	// including synchronization skew — and stay zero when the transport
+	// records no samples or the fit is degenerate.
+	FittedAlpha float64
+	FittedBeta  float64
+	// WireSamples counts the per-collective measurements behind the fit.
+	WireSamples int
 	// Precision, Format, Fused, and Unrolled record the kernel
 	// configuration the run actually used, after defaults and the auto
 	// format selector resolved (core.KernelChoice). Distributed runs always
@@ -321,7 +355,16 @@ func Train(ds *graph.Dataset, opts TrainOptions) (*TrainReport, error) {
 	}); err != nil {
 		return nil, err
 	}
-	res, err := trainer.Train(problem)
+	var res *core.Result
+	var wire *wireReport
+	switch opts.Transport {
+	case "", "inproc":
+		res, err = trainer.Train(problem)
+	case "tcp":
+		res, wire, err = trainTCP(trainer, problem, opts, mach)
+	default:
+		err = fmt.Errorf("cagnet: unknown transport %q (want inproc or tcp)", opts.Transport)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -342,7 +385,16 @@ func Train(ds *graph.Dataset, opts TrainOptions) (*TrainReport, error) {
 		Unrolled:      choice.Unrolled,
 		result:        res,
 	}
-	if dt, ok := trainer.(core.DistTrainer); ok {
+	if wire != nil {
+		report.ModeledSeconds = wire.modeledSeconds
+		report.HiddenCommSeconds = wire.hiddenSeconds
+		report.TimeByCategory = wire.timeByCategory
+		report.WordsByCategory = wire.wordsByCategory
+		report.MeasuredSeconds = wire.measuredSeconds
+		report.FittedAlpha = wire.fittedAlpha
+		report.FittedBeta = wire.fittedBeta
+		report.WireSamples = wire.samples
+	} else if dt, ok := trainer.(core.DistTrainer); ok {
 		cl := dt.Cluster()
 		report.ModeledSeconds = cl.MaxTotalTime()
 		report.HiddenCommSeconds = cl.MaxHiddenCommTime()
@@ -356,6 +408,138 @@ func Train(ds *graph.Dataset, opts TrainOptions) (*TrainReport, error) {
 		}
 	}
 	return report, nil
+}
+
+// wireReport aggregates the per-rank ledgers and wire meters of a TCP run
+// into the TrainReport fields the in-process path reads off its Cluster.
+type wireReport struct {
+	modeledSeconds  float64
+	hiddenSeconds   float64
+	timeByCategory  map[string]float64
+	wordsByCategory map[string]int64
+	measuredSeconds float64
+	fittedAlpha     float64
+	fittedBeta      float64
+	samples         int
+}
+
+// trainTCP runs the distributed training over a loopback TCP fabric: one
+// goroutine per rank, each with its own trainer instance and its own
+// socket endpoint, frames crossing the kernel's loopback path. Rank 0's
+// trainer is the caller's (already carrying layout/halo/overlap
+// configuration); the other ranks get equivalent clones. Results are
+// bit-identical to the in-process fabric; what this path adds is measured
+// wall time and per-collective wire samples for the α/β fit.
+func trainTCP(trainer core.Trainer, problem core.Problem, opts TrainOptions, mach costmodel.Machine) (*core.Result, *wireReport, error) {
+	if opts.Algorithm == "serial" {
+		return nil, nil, fmt.Errorf("cagnet: the tcp transport applies to the distributed algorithms, not %q", opts.Algorithm)
+	}
+	p := opts.Ranks
+	comms, err := comm.LocalTCPComms(p, comm.CostParams{Alpha: mach.Alpha, Beta: mach.Beta})
+	if err != nil {
+		return nil, nil, err
+	}
+	defer func() {
+		for _, c := range comms {
+			c.Transport().Close()
+		}
+	}()
+	trainers := make([]core.Trainer, p)
+	trainers[0] = trainer
+	for r := 1; r < p; r++ {
+		if trainers[r], err = cloneTrainer(trainer, opts, mach); err != nil {
+			return nil, nil, err
+		}
+	}
+	meters := make([]*comm.Meter, p)
+	results := make([]*core.Result, p)
+	errs := make([]error, p)
+	defer parallel.EnterRanks(p)()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			meters[rank] = comms[rank].EnableMetering()
+			if err := core.SetTransportComm(trainers[rank], comms[rank]); err != nil {
+				errs[rank] = err
+				return
+			}
+			results[rank], errs[rank] = trainers[rank].Train(problem)
+		}(r)
+	}
+	wg.Wait()
+	wall := time.Since(start).Seconds()
+	for r, err := range errs {
+		if err != nil {
+			return nil, nil, fmt.Errorf("cagnet: tcp rank %d: %w", r, err)
+		}
+	}
+
+	w := &wireReport{
+		timeByCategory:  make(map[string]float64),
+		wordsByCategory: make(map[string]int64),
+		measuredSeconds: wall,
+	}
+	var msgs, words, secs []float64
+	for _, c := range comms {
+		l := c.Ledger()
+		if t := l.Elapsed(); t > w.modeledSeconds {
+			w.modeledSeconds = t
+		}
+		if h := l.HiddenCommTime(); h > w.hiddenSeconds {
+			w.hiddenSeconds = h
+		}
+		for k, v := range l.ModelTime {
+			if v > w.timeByCategory[string(k)] {
+				w.timeByCategory[string(k)] = v
+			}
+		}
+		for k, v := range l.ModelWords {
+			if v > w.wordsByCategory[string(k)] {
+				w.wordsByCategory[string(k)] = v
+			}
+		}
+	}
+	for _, m := range meters {
+		sm, sw, ss := m.Samples()
+		msgs = append(msgs, sm...)
+		words = append(words, sw...)
+		secs = append(secs, ss...)
+	}
+	w.samples = len(secs)
+	// A degenerate fit (too few or collinear samples) leaves α/β zero;
+	// the measured wall time still stands on its own.
+	if a, b, err := costmodel.FitAlphaBeta(msgs, words, secs); err == nil {
+		w.fittedAlpha, w.fittedBeta = a, b
+	}
+	return results[0], w, nil
+}
+
+// cloneTrainer builds a trainer equivalent to src for another rank of the
+// same TCP job: same algorithm, machine, replication, overlap, and — for
+// the row decompositions — the same layout and halo mode src was
+// configured with.
+func cloneTrainer(src core.Trainer, opts TrainOptions, mach costmodel.Machine) (core.Trainer, error) {
+	tr, err := core.NewTrainerReplicated(opts.Algorithm, opts.Ranks, opts.ReplicationFactor, mach)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Overlap {
+		if err := core.SetOverlap(tr, true); err != nil {
+			return nil, err
+		}
+	}
+	switch s := src.(type) {
+	case *core.OneD:
+		t := tr.(*core.OneD)
+		t.Layout, t.Halo = s.Layout, s.Halo
+	case *core.OneFiveD:
+		t := tr.(*core.OneFiveD)
+		t.Layout, t.Halo = s.Layout, s.Halo
+	}
+	return tr, nil
 }
 
 // Partitioners lists the selectable 1D/1.5D vertex partitioners.

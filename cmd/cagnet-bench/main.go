@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	cagnet-bench [-exp all|tableVI|fig2|fig3|partition|crossover|algo3d|overlap|kernels|scaling|convergence]
+//	cagnet-bench [-exp all|tableVI|fig2|fig3|partition|crossover|algo3d|overlap|kernels|scaling|convergence|transport]
 //	             [-quick] [-machine summit-v100] [-optimizer sgd]
 //	             [-halo] [-partitioner block] [-overlap]
 //	             [-backend parallel] [-workers 0] [-json path]
@@ -45,13 +45,13 @@ type benchSnapshot struct {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("cagnet-bench: ")
-	exp := flag.String("exp", "all", "experiment: all, tableVI, fig2, fig3, partition, crossover, algo3d, overlap, kernels, scaling, convergence")
+	exp := flag.String("exp", "all", "experiment: all, tableVI, fig2, fig3, partition, crossover, algo3d, overlap, kernels, scaling, convergence, transport")
 	quick := flag.Bool("quick", false, "use reduced dataset sizes")
 	machine := flag.String("machine", costmodel.SummitSim.Name, "cost-model machine profile")
 	optimizer := flag.String("optimizer", "sgd", "weight-update rule for the convergence experiment: sgd, momentum, adam")
 	halo := flag.Bool("halo", false, "use the sparsity-aware halo exchange for 1d/1.5d measurements (crossover, algo3d)")
-	partitioner := flag.String("partitioner", "", "vertex partitioner for 1d/1.5d measurements: block, random, ldg")
-	overlap := flag.Bool("overlap", false, "pipeline measurements with non-blocking collectives (the overlap experiment always measures both modes)")
+	partitioner := flag.String("partitioner", "", "vertex partitioner for 1d/1.5d measurements (crossover, algo3d): block, random, ldg")
+	overlap := flag.Bool("overlap", false, "pipeline the crossover/algo3d measurements with non-blocking collectives (the overlap experiment always measures both modes)")
 	backendFlag := flag.String("backend", "", "compute backend: serial or parallel (default: parallel, or $CAGNET_BACKEND)")
 	workers := flag.Int("workers", 0, "parallel backend worker count (0 = runtime.NumCPU or $CAGNET_WORKERS)")
 	jsonPath := flag.String("json", "", "also write the structured results to this file as JSON")
@@ -88,8 +88,9 @@ func main() {
 		"kernels":     runKernels,
 		"scaling":     runScaling,
 		"convergence": runConvergence,
+		"transport":   runTransport,
 	}
-	order := []string{"tableVI", "fig2", "fig3", "partition", "crossover", "algo3d", "overlap", "kernels", "scaling", "convergence"}
+	order := []string{"tableVI", "fig2", "fig3", "partition", "crossover", "algo3d", "overlap", "kernels", "scaling", "convergence", "transport"}
 
 	snapshot := benchSnapshot{
 		Machine: mach.Name, Quick: *quick, Optimizer: *optimizer,
@@ -102,6 +103,11 @@ func main() {
 			log.Fatalf("unknown experiment %q (want all, %v)", *exp, order)
 		}
 		selected = []string{*exp}
+	}
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if err := validateConsumed(explicit, selected); err != nil {
+		log.Fatal(err)
 	}
 	for _, name := range selected {
 		data, err := runners[name](opts)
@@ -116,6 +122,45 @@ func main() {
 		}
 		log.Printf("wrote %s", *jsonPath)
 	}
+}
+
+// flagConsumers maps each opt-in measurement flag to the experiments that
+// actually read it. -halo/-partitioner/-overlap reach the experiments that
+// measure configurable 1D/1.5D runs (the partition and overlap experiments
+// always measure both modes themselves), -optimizer only changes the
+// convergence experiment (optimizer state is replicated, so it moves no
+// words anywhere else).
+var flagConsumers = map[string][]string{
+	"halo":        {"crossover", "algo3d"},
+	"partitioner": {"crossover", "algo3d"},
+	"overlap":     {"crossover", "algo3d"},
+	"optimizer":   {"convergence"},
+}
+
+// validateConsumed rejects explicitly-set flags that no selected
+// experiment reads: silently dropping them would present the run as
+// something it is not (and poison a committed BENCH_*.json's header).
+func validateConsumed(explicit map[string]bool, selected []string) error {
+	on := map[string]bool{}
+	for _, name := range selected {
+		on[name] = true
+	}
+	for name, consumers := range flagConsumers {
+		if !explicit[name] {
+			continue
+		}
+		used := false
+		for _, c := range consumers {
+			if on[c] {
+				used = true
+				break
+			}
+		}
+		if !used {
+			return fmt.Errorf("-%s is only read by %v; none of them run with -exp %v", name, consumers, selected)
+		}
+	}
+	return nil
 }
 
 // writeSnapshot marshals the snapshot with stable indentation so committed

@@ -39,6 +39,7 @@ func TestSnapshotJSONSchemaGolden(t *testing.T) {
 		"kernels":     runKernels,
 		"scaling":     runScaling,
 		"convergence": runConvergence,
+		"transport":   runTransport,
 	}
 	snapshot := benchSnapshot{
 		Machine: opts.Machine.Name, Quick: true, Optimizer: "sgd",
@@ -97,5 +98,61 @@ func compareGolden(t *testing.T, name, got string) {
 	if !bytes.Equal([]byte(got), want) {
 		t.Fatalf("schema drifted from %s — if intentional, rerun with -update and note the change:\n--- got ---\n%s--- want ---\n%s",
 			golden, got, want)
+	}
+}
+
+// TestValidateConsumedRejections pins the fail-fast flag validation: an
+// explicitly-set measurement flag that no selected experiment reads must
+// error out instead of being silently dropped. One case per rejected
+// combination.
+func TestValidateConsumedRejections(t *testing.T) {
+	cases := map[string]struct {
+		explicit []string
+		selected []string
+	}{
+		"halo with fig2":           {[]string{"halo"}, []string{"fig2"}},
+		"halo with kernels":        {[]string{"halo"}, []string{"kernels"}},
+		"halo with partition":      {[]string{"halo"}, []string{"partition"}},
+		"partitioner with fig3":    {[]string{"partitioner"}, []string{"fig3"}},
+		"overlap with fig2":        {[]string{"overlap"}, []string{"fig2"}},
+		"overlap with overlap-exp": {[]string{"overlap"}, []string{"overlap"}},
+		"optimizer with scaling":   {[]string{"optimizer"}, []string{"scaling"}},
+	}
+	for name, tc := range cases {
+		explicit := map[string]bool{}
+		for _, f := range tc.explicit {
+			explicit[f] = true
+		}
+		if err := validateConsumed(explicit, tc.selected); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestValidateConsumedAccepts: flags reaching at least one selected
+// experiment (notably the full default sweep) must keep working.
+func TestValidateConsumedAccepts(t *testing.T) {
+	all := []string{"tableVI", "fig2", "fig3", "partition", "crossover", "algo3d",
+		"overlap", "kernels", "scaling", "convergence"}
+	cases := map[string]struct {
+		explicit []string
+		selected []string
+	}{
+		"halo with all":           {[]string{"halo"}, all},
+		"everything with all":     {[]string{"halo", "partitioner", "overlap", "optimizer"}, all},
+		"halo with crossover":     {[]string{"halo"}, []string{"crossover"}},
+		"overlap with algo3d":     {[]string{"overlap"}, []string{"algo3d"}},
+		"optimizer w convergence": {[]string{"optimizer"}, []string{"convergence"}},
+		"unrelated flags":         {[]string{"quick", "machine", "json"}, []string{"fig2"}},
+		"nothing explicit":        {nil, []string{"fig2"}},
+	}
+	for name, tc := range cases {
+		explicit := map[string]bool{}
+		for _, f := range tc.explicit {
+			explicit[f] = true
+		}
+		if err := validateConsumed(explicit, tc.selected); err != nil {
+			t.Errorf("%s: rejected: %v", name, err)
+		}
 	}
 }

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+
+	cagnet "repro"
+	"repro/internal/harness"
+)
+
+// TransportRow is one algorithm's in-process vs TCP-loopback smoke
+// comparison. The modeled time is deterministic and identical across
+// transports by construction; the wall time, fitted alpha/beta, and
+// sample count describe the loopback fabric the run actually crossed and
+// are host-dependent (informational, never gated — hence field names
+// outside the benchdiff gate set).
+type TransportRow struct {
+	Algorithm string `json:"algorithm"`
+	P         int    `json:"p"`
+	// BitIdentical records the acceptance contract: the TCP run's losses
+	// match the in-process run's bit for bit.
+	BitIdentical bool `json:"bit_identical"`
+	// ModeledSec is the alpha-beta prediction (same for both transports).
+	ModeledSec float64 `json:"modeled_sec"`
+	// MeasuredWallSec is the TCP run's wall-clock time, all ranks on this
+	// host.
+	MeasuredWallSec float64 `json:"measured_wall_sec"`
+	// FittedAlpha/FittedBeta are least-squares-fitted from the measured
+	// per-collective wire samples (t ~ alpha*msgs + beta*words).
+	FittedAlpha float64 `json:"fitted_alpha"`
+	FittedBeta  float64 `json:"fitted_beta"`
+	WireSamples int     `json:"wire_samples"`
+}
+
+// runTransport runs the TCP-transport smoke: a small fixed dataset
+// trained over both fabrics per algorithm, checking bit-identity and
+// recording the wire measurements.
+func runTransport(o harness.Options) (any, error) {
+	o = o.WithDefaults()
+	scale := 8
+	if o.Quick {
+		scale = 6
+	}
+	ds := cagnet.RandomDataset(scale, 8, 16, 16, 8, 1)
+	var rows []TransportRow
+	for _, cfg := range []struct {
+		algo string
+		p    int
+	}{
+		{"1d", 4},
+		{"2d", 4},
+	} {
+		opts := cagnet.TrainOptions{
+			Algorithm: cfg.algo, Ranks: cfg.p, Epochs: 2,
+			Machine: o.Machine.Name, Optimizer: o.Optimizer,
+		}
+		inproc, err := cagnet.Train(ds, opts)
+		if err != nil {
+			return nil, fmt.Errorf("transport %s inproc: %w", cfg.algo, err)
+		}
+		opts.Transport = "tcp"
+		tcp, err := cagnet.Train(ds, opts)
+		if err != nil {
+			return nil, fmt.Errorf("transport %s tcp: %w", cfg.algo, err)
+		}
+		identical := len(inproc.Losses) == len(tcp.Losses)
+		for i := range inproc.Losses {
+			if !identical || math.Float64bits(inproc.Losses[i]) != math.Float64bits(tcp.Losses[i]) {
+				identical = false
+				break
+			}
+		}
+		rows = append(rows, TransportRow{
+			Algorithm: cfg.algo, P: cfg.p,
+			BitIdentical:    identical,
+			ModeledSec:      tcp.ModeledSeconds,
+			MeasuredWallSec: tcp.MeasuredSeconds,
+			FittedAlpha:     tcp.FittedAlpha,
+			FittedBeta:      tcp.FittedBeta,
+			WireSamples:     tcp.WireSamples,
+		})
+	}
+	fmt.Println("== Transport smoke: in-process vs TCP loopback (bit-identical training) ==")
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Algorithm, strconv.Itoa(r.P),
+			strconv.FormatBool(r.BitIdentical),
+			harness.FormatFloat(r.ModeledSec),
+			harness.FormatFloat(r.MeasuredWallSec),
+			harness.FormatFloat(r.FittedAlpha), harness.FormatFloat(r.FittedBeta),
+			strconv.Itoa(r.WireSamples),
+		})
+	}
+	fmt.Println(harness.Table(
+		[]string{"algorithm", "P", "bit-identical", "modeled s", "wall s", "fit-alpha", "fit-beta", "samples"}, cells))
+	fmt.Println("wall time, fit, and samples describe this host's loopback fabric;")
+	fmt.Println("the modeled time is the machine profile's alpha-beta prediction.")
+	fmt.Println()
+	return rows, nil
+}

@@ -8,7 +8,13 @@
 //	             [-lr 0.01] [-optimizer sgd] [-replication 0] [-val 0]
 //	             [-halo] [-partitioner block] [-overlap] [-machine summit-v100]
 //	             [-precision f64] [-format csr] [-fused on] [-unrolled]
-//	             [-backend parallel] [-workers 0] [-quick]
+//	             [-transport inproc] [-backend parallel] [-workers 0] [-quick]
+//
+// Flag combinations that would have no effect are rejected up front —
+// before the dataset build — rather than silently ignored: -halo and
+// -partitioner need the row decompositions (1d, 1.5d), the kernel flags
+// (-precision, -format, -fused, -unrolled) need -algo serial, and
+// -overlap and -transport tcp need a distributed algorithm.
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"log"
 
 	"repro"
+	"repro/internal/costmodel"
 	"repro/internal/graph"
 	"repro/internal/parallel"
 )
@@ -39,15 +46,28 @@ func main() {
 	fused := flag.String("fused", "", "fused bias+ReLU epilogues: on (default) or off (serial algo only)")
 	unrolled := flag.Bool("unrolled", false, "use the 4-accumulator unrolled input-gradient GEMM (serial algo only)")
 	valFrac := flag.Float64("val", 0, "fraction of vertices held out for validation tracking (0 disables)")
+	transport := flag.String("transport", "", "rank fabric: inproc (default; simulated channels) or tcp (real loopback sockets with wall-clock timing and a wire-fitted alpha/beta)")
 	machine := flag.String("machine", "summit-v100", "cost-model machine profile")
 	backend := flag.String("backend", "", "compute backend: serial or parallel (default: parallel, or $CAGNET_BACKEND)")
 	workers := flag.Int("workers", 0, "parallel backend worker count (0 = runtime.NumCPU or $CAGNET_WORKERS)")
 	quickFlag := flag.Bool("quick", false, "shrink the dataset for a fast run")
 	flag.Parse()
 
-	// Validate the backend before the (potentially expensive) dataset build;
-	// Train applies it via TrainOptions.Backend.
+	// Validate the backend and the flag combinations before the
+	// (potentially expensive) dataset build; Train applies the options and
+	// would reject the same combinations, but only after the build.
 	if _, err := parallel.ParseBackend(*backend); err != nil {
+		log.Fatal(err)
+	}
+	if err := validateFlags(flagCombo{
+		algo: *algo, halo: *halo, partitioner: *partitioner, overlap: *overlap,
+		precision: *precision, format: *format, fused: *fused, unrolled: *unrolled,
+		transport: *transport,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	mach, err := costmodel.ProfileByName(*machine)
+	if err != nil {
 		log.Fatal(err)
 	}
 	if *workers > 0 {
@@ -109,6 +129,7 @@ func main() {
 		Format:            *format,
 		Fused:             *fused,
 		Unrolled:          *unrolled,
+		Transport:         *transport,
 		ValMask:           valMask,
 		Machine:           *machine,
 		Backend:           *backend,
@@ -143,4 +164,66 @@ func main() {
 				cat, report.TimeByCategory[cat], report.WordsByCategory[cat])
 		}
 	}
+	if report.MeasuredSeconds > 0 {
+		fmt.Printf("\nmeasured wall time (tcp, all ranks on this host): %.4f s total, %.4f s/epoch\n",
+			report.MeasuredSeconds, report.MeasuredSeconds/float64(*epochs))
+		if report.FittedAlpha != 0 || report.FittedBeta != 0 {
+			fmt.Printf("wire fit over %d samples: alpha=%.3g s/msg  beta=%.3g s/word (model: alpha=%.3g beta=%.3g)\n",
+				report.WireSamples, report.FittedAlpha, report.FittedBeta,
+				mach.Alpha, mach.Beta)
+		}
+	}
+}
+
+// flagCombo carries the flags whose combinations validateFlags vets.
+type flagCombo struct {
+	algo        string
+	halo        bool
+	partitioner string
+	overlap     bool
+	precision   string
+	format      string
+	fused       string
+	unrolled    bool
+	transport   string
+}
+
+// validateFlags rejects flag combinations that would otherwise do nothing
+// for the chosen algorithm, with an error naming the offending flag.
+func validateFlags(f flagCombo) error {
+	rowAlgo := f.algo == "1d" || f.algo == "1.5d"
+	if f.halo && !rowAlgo {
+		return fmt.Errorf("-halo applies to the row decompositions (-algo 1d or 1.5d), not %q", f.algo)
+	}
+	if f.partitioner != "" && !rowAlgo {
+		return fmt.Errorf("-partitioner applies to the row decompositions (-algo 1d or 1.5d), not %q", f.algo)
+	}
+	if f.overlap && f.algo == "serial" {
+		return fmt.Errorf("-overlap needs a distributed algorithm; -algo serial has no communication to hide")
+	}
+	if f.algo != "serial" {
+		for _, k := range []struct {
+			set  bool
+			name string
+		}{
+			{f.precision != "", "-precision"},
+			{f.format != "", "-format"},
+			{f.fused != "", "-fused"},
+			{f.unrolled, "-unrolled"},
+		} {
+			if k.set {
+				return fmt.Errorf("%s applies to -algo serial only, not %q", k.name, f.algo)
+			}
+		}
+	}
+	switch f.transport {
+	case "", "inproc":
+	case "tcp":
+		if f.algo == "serial" {
+			return fmt.Errorf("-transport tcp needs a distributed algorithm; -algo serial has no ranks")
+		}
+	default:
+		return fmt.Errorf("-transport %q: want inproc or tcp", f.transport)
+	}
+	return nil
 }

@@ -1,0 +1,49 @@
+package main
+
+import "testing"
+
+// TestValidateFlagsRejections pins the fail-fast CLI validation: every
+// flag combination the trainer cannot honor must error out before the
+// dataset build instead of being silently dropped (or failing minutes
+// later). One case per rejected combination.
+func TestValidateFlagsRejections(t *testing.T) {
+	cases := map[string]flagCombo{
+		"halo with 2d":        {algo: "2d", halo: true},
+		"halo with 3d":        {algo: "3d", halo: true},
+		"halo with serial":    {algo: "serial", halo: true},
+		"partitioner with 2d": {algo: "2d", partitioner: "ldg"},
+		"overlap with serial": {algo: "serial", overlap: true},
+		"precision with 1d":   {algo: "1d", precision: "f32"},
+		"precision with 2d":   {algo: "2d", precision: "f32"},
+		"format with 2d":      {algo: "2d", format: "bcsr"},
+		"format with 1.5d":    {algo: "1.5d", format: "sell"},
+		"fused with 2d":       {algo: "2d", fused: "off"},
+		"fused with 3d":       {algo: "3d", fused: "off"},
+		"unrolled with 2d":    {algo: "2d", unrolled: true},
+		"unrolled with 1d":    {algo: "1d", unrolled: true},
+		"tcp with serial":     {algo: "serial", transport: "tcp"},
+		"unknown transport":   {algo: "2d", transport: "quic"},
+	}
+	for name, combo := range cases {
+		if err := validateFlags(combo); err == nil {
+			t.Errorf("%s: combination accepted", name)
+		}
+	}
+}
+
+// TestValidateFlagsAccepts covers the combinations that must keep working.
+func TestValidateFlagsAccepts(t *testing.T) {
+	cases := map[string]flagCombo{
+		"defaults":            {algo: "2d"},
+		"row options on 1d":   {algo: "1d", halo: true, partitioner: "ldg", overlap: true},
+		"row options on 1.5d": {algo: "1.5d", halo: true, overlap: true},
+		"kernels on serial":   {algo: "serial", precision: "f32", format: "auto", fused: "off", unrolled: true},
+		"tcp on 2d":           {algo: "2d", transport: "tcp"},
+		"inproc explicit":     {algo: "3d", transport: "inproc"},
+	}
+	for name, combo := range cases {
+		if err := validateFlags(combo); err != nil {
+			t.Errorf("%s: rejected: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,311 @@
+// Command cagnet-worker runs ONE rank of a multi-process CAGNET training
+// job over the real TCP transport. Every process builds the same dataset
+// and trainer deterministically from identical flags, dials the
+// coordinator for rendezvous, and then runs the unchanged internal/core
+// trainer with its collectives crossing real sockets. Weights are
+// bit-identical to the in-process simulator on the same seed; what the
+// multi-process run adds is wall-clock epoch timing and a wire-fitted
+// α/β next to the model's prediction.
+//
+// Manual launch (rank 0 hosts the rendezvous coordinator by default):
+//
+//	cagnet-worker -rank 0 -world 4 -coordinator 127.0.0.1:9000 &
+//	cagnet-worker -rank 1 -world 4 -coordinator 127.0.0.1:9000 &
+//	cagnet-worker -rank 2 -world 4 -coordinator 127.0.0.1:9000 &
+//	cagnet-worker -rank 3 -world 4 -coordinator 127.0.0.1:9000
+//
+// Or let -spawn fork all P workers locally:
+//
+//	cagnet-worker -spawn -world 4 -dataset reddit-sim -algo 2d -quick
+//
+// -rank, -world, and -coordinator fall back to the CAGNET_RANK,
+// CAGNET_WORLD, and CAGNET_COORDINATOR environment variables, so the
+// binary drops into mpirun-style launchers that communicate placement
+// through the environment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"time"
+
+	cagnet "repro"
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/graph"
+	"repro/internal/nn"
+	"repro/internal/parallel"
+)
+
+type config struct {
+	rank        int
+	world       int
+	coordinator string
+	host        bool
+	spawn       bool
+
+	dataset     string
+	algo        string
+	epochs      int
+	lr          float64
+	optimizer   string
+	replication int
+	seed        int64
+	machine     string
+	overlap     bool
+	quick       bool
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cagnet-worker: ")
+	var cfg config
+	flag.IntVar(&cfg.rank, "rank", -1, "this process's rank in [0, world) (or $CAGNET_RANK)")
+	flag.IntVar(&cfg.world, "world", 0, "total rank count (or $CAGNET_WORLD)")
+	flag.StringVar(&cfg.coordinator, "coordinator", "", "rendezvous coordinator host:port (or $CAGNET_COORDINATOR)")
+	flag.BoolVar(&cfg.host, "host", true, "rank 0 hosts the coordinator at -coordinator (set -host=false when one already runs there)")
+	flag.BoolVar(&cfg.spawn, "spawn", false, "fork all -world workers locally instead of running one rank")
+	flag.StringVar(&cfg.dataset, "dataset", "reddit-sim", "dataset analog (reddit-sim, amazon-sim, protein-sim)")
+	flag.StringVar(&cfg.algo, "algo", "2d", "algorithm: 1d, 1.5d, 2d, 3d (serial has no ranks)")
+	flag.IntVar(&cfg.epochs, "epochs", 10, "training epochs")
+	flag.Float64Var(&cfg.lr, "lr", 0.01, "learning rate")
+	flag.StringVar(&cfg.optimizer, "optimizer", "sgd", "weight-update rule: sgd, momentum, adam")
+	flag.IntVar(&cfg.replication, "replication", 0, "1.5d replication factor c (0 = default)")
+	flag.Int64Var(&cfg.seed, "seed", 1, "weight-initialization seed")
+	flag.StringVar(&cfg.machine, "machine", "summit-v100", "cost-model machine profile")
+	flag.BoolVar(&cfg.overlap, "overlap", false, "hide communication behind compute (bit-identical results)")
+	flag.BoolVar(&cfg.quick, "quick", false, "shrink the dataset for a fast run")
+	flag.Parse()
+
+	applyEnvFallback(&cfg)
+	if err := run(cfg); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// applyEnvFallback fills rank/world/coordinator from the CAGNET_*
+// environment when the flags were left at their defaults.
+func applyEnvFallback(cfg *config) {
+	if cfg.rank < 0 {
+		if v, err := strconv.Atoi(os.Getenv("CAGNET_RANK")); err == nil {
+			cfg.rank = v
+		}
+	}
+	if cfg.world == 0 {
+		if v, err := strconv.Atoi(os.Getenv("CAGNET_WORLD")); err == nil {
+			cfg.world = v
+		}
+	}
+	if cfg.coordinator == "" {
+		cfg.coordinator = os.Getenv("CAGNET_COORDINATOR")
+	}
+}
+
+func run(cfg config) error {
+	if cfg.world < 1 {
+		return fmt.Errorf("-world %d: need at least one rank (flag or $CAGNET_WORLD)", cfg.world)
+	}
+	if cfg.algo == "serial" {
+		return fmt.Errorf("-algo serial has no ranks to distribute; use cagnet-train")
+	}
+	if cfg.spawn {
+		return spawnAll(cfg)
+	}
+	if cfg.rank < 0 || cfg.rank >= cfg.world {
+		return fmt.Errorf("-rank %d outside [0, %d) (flag or $CAGNET_RANK)", cfg.rank, cfg.world)
+	}
+	if cfg.coordinator == "" {
+		return fmt.Errorf("no coordinator address (flag -coordinator or $CAGNET_COORDINATOR)")
+	}
+	return runRank(cfg)
+}
+
+// spawnAll forks one worker process per rank, hosting the rendezvous
+// coordinator itself so the children only need its address.
+func spawnAll(cfg config) error {
+	coord, err := comm.NewCoordinator("127.0.0.1:0", cfg.world)
+	if err != nil {
+		return err
+	}
+	go coord.Serve()
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	args := []string{
+		"-world", strconv.Itoa(cfg.world),
+		"-coordinator", coord.Addr(),
+		"-host=false",
+		"-dataset", cfg.dataset,
+		"-algo", cfg.algo,
+		"-epochs", strconv.Itoa(cfg.epochs),
+		"-lr", strconv.FormatFloat(cfg.lr, 'g', -1, 64),
+		"-optimizer", cfg.optimizer,
+		"-replication", strconv.Itoa(cfg.replication),
+		"-seed", strconv.FormatInt(cfg.seed, 10),
+		"-machine", cfg.machine,
+	}
+	if cfg.overlap {
+		args = append(args, "-overlap")
+	}
+	if cfg.quick {
+		args = append(args, "-quick")
+	}
+	procs := make([]*exec.Cmd, cfg.world)
+	for r := 0; r < cfg.world; r++ {
+		procs[r] = exec.Command(exe, append([]string{"-rank", strconv.Itoa(r)}, args...)...)
+		procs[r].Stdout = os.Stdout
+		procs[r].Stderr = os.Stderr
+		procs[r].Env = os.Environ()
+		if err := procs[r].Start(); err != nil {
+			for _, p := range procs[:r] {
+				p.Process.Kill()
+				p.Wait()
+			}
+			return fmt.Errorf("spawning rank %d: %w", r, err)
+		}
+	}
+	var firstErr error
+	for r, p := range procs {
+		if err := p.Wait(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("rank %d: %w", r, err)
+		}
+	}
+	return firstErr
+}
+
+// runRank executes this process's share of the training job. Only rank 0
+// prints the report; the other ranks stay silent and contribute their
+// ledgers and wire samples through a final gather.
+func runRank(cfg config) error {
+	mach, err := costmodel.ProfileByName(cfg.machine)
+	if err != nil {
+		return err
+	}
+	// All ranks usually share one host here; divide the compute pool so the
+	// processes together use about NumCPU workers instead of world·NumCPU.
+	if w := runtime.NumCPU() / cfg.world; w >= 1 {
+		parallel.SetWorkers(w)
+	} else {
+		parallel.SetWorkers(1)
+	}
+
+	ds, err := cagnet.DatasetByName(cfg.dataset)
+	if err != nil {
+		return err
+	}
+	if cfg.quick {
+		spec, _ := graph.AnalogByName(cfg.dataset)
+		spec.Scale -= 3
+		if spec.EdgeFactor > 8 {
+			spec.EdgeFactor /= 4
+		}
+		ds = spec.Build()
+	}
+	trainer, err := core.NewTrainerReplicated(cfg.algo, cfg.world, cfg.replication, mach)
+	if err != nil {
+		return err
+	}
+	if cfg.overlap {
+		if err := core.SetOverlap(trainer, true); err != nil {
+			return err
+		}
+	}
+	problem := core.Problem{
+		A:        ds.Graph.NormalizedAdjacency(),
+		Features: ds.Features,
+		Labels:   ds.Labels,
+		Config: nn.Config{
+			Widths:    ds.LayerWidths(),
+			LR:        cfg.lr,
+			Optimizer: cfg.optimizer,
+			Epochs:    cfg.epochs,
+			Seed:      cfg.seed,
+		},
+	}
+
+	dialAddr := cfg.coordinator
+	if cfg.host && cfg.rank == 0 {
+		coord, err := comm.NewCoordinator(cfg.coordinator, cfg.world)
+		if err != nil {
+			return fmt.Errorf("hosting coordinator: %w", err)
+		}
+		go coord.Serve()
+		dialAddr = coord.Addr()
+	}
+	tr, err := comm.DialTCP(dialAddr, cfg.rank, cfg.world)
+	if err != nil {
+		return err
+	}
+	defer tr.Close()
+	c := comm.NewTransportComm(tr, comm.CostParams{Alpha: mach.Alpha, Beta: mach.Beta})
+	meter := c.EnableMetering()
+	if err := core.SetTransportComm(trainer, c); err != nil {
+		return err
+	}
+
+	start := time.Now()
+	res, err := trainer.Train(problem)
+	if err != nil {
+		return fmt.Errorf("rank %d: %w", cfg.rank, err)
+	}
+	wall := time.Since(start).Seconds()
+
+	// Summarize this rank before the gather below adds its own traffic:
+	// [wall, modeled elapsed, hidden comm, then (msgs, words, secs) wire
+	// sample triples]. Payload lengths may differ per rank; Gather keeps
+	// the boundaries.
+	ledger := c.Ledger()
+	summary := []float64{wall, ledger.Elapsed(), ledger.HiddenCommTime()}
+	msgs, words, secs := meter.Samples()
+	for i := range secs {
+		summary = append(summary, msgs[i], words[i], secs[i])
+	}
+	all := c.World().Gather(0, comm.Payload{Floats: summary}, comm.CatMisc)
+	if cfg.rank != 0 {
+		return nil
+	}
+
+	var wallMax, modeledMax, hiddenMax float64
+	var fm, fw, fs []float64
+	for _, p := range all {
+		s := p.Floats
+		wallMax = max(wallMax, s[0])
+		modeledMax = max(modeledMax, s[1])
+		hiddenMax = max(hiddenMax, s[2])
+		for i := 3; i+2 < len(s); i += 3 {
+			fm, fw, fs = append(fm, s[i]), append(fw, s[i+1]), append(fs, s[i+2])
+		}
+	}
+
+	a := ds.Graph.Adjacency()
+	fmt.Printf("dataset %s: n=%d nnz=%d d=%.1f f=%d labels=%d\n",
+		ds.Name, ds.Graph.NumVertices, a.NNZ(), a.AvgDegree(), ds.FeatureLen(), ds.NumLabels)
+	fmt.Printf("world %d ranks over tcp: algo=%s epochs=%d lr=%g optimizer=%s machine=%s\n\n",
+		cfg.world, cfg.algo, cfg.epochs, cfg.lr, cfg.optimizer, cfg.machine)
+	for i, loss := range res.Losses {
+		fmt.Printf("epoch %3d  loss %.6f\n", i+1, loss)
+	}
+	fmt.Printf("\nfinal training accuracy: %.4f\n\n", res.Accuracy)
+	epochs := float64(cfg.epochs)
+	fmt.Printf("measured wall time:        %.4f s total, %.4f s/epoch (max across ranks)\n",
+		wallMax, wallMax/epochs)
+	fmt.Printf("modeled time (%s): %.4f s total, %.4f s/epoch\n",
+		cfg.machine, modeledMax, modeledMax/epochs)
+	if cfg.overlap {
+		fmt.Printf("communication hidden behind compute (modeled): %.4f s\n", hiddenMax)
+	}
+	if alpha, beta, err := costmodel.FitAlphaBeta(fm, fw, fs); err == nil {
+		fmt.Printf("wire fit over %d samples: alpha=%.3g s/msg  beta=%.3g s/word\n",
+			len(fs), alpha, beta)
+	} else {
+		fmt.Printf("wire fit unavailable over %d samples: %v\n", len(fs), err)
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+
+	cagnet "repro"
+	"repro/internal/graph"
+)
+
+// TestMain lets the test binary double as the worker binary: when
+// re-executed with CAGNET_WORKER_EXEC=1 it runs main() instead of the
+// tests, so the -spawn smoke below exercises real separate processes
+// without needing a prebuilt cagnet-worker on PATH.
+func TestMain(m *testing.M) {
+	if os.Getenv("CAGNET_WORKER_EXEC") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// workerCmd builds a re-exec of this test binary acting as cagnet-worker.
+func workerCmd(t *testing.T, args ...string) *exec.Cmd {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe, args...)
+	cmd.Env = append(os.Environ(), "CAGNET_WORKER_EXEC=1")
+	return cmd
+}
+
+// TestSpawnSmoke is the multi-process acceptance smoke: -spawn forks four
+// real worker processes whose ranks rendezvous over TCP, and the training
+// losses they print must match the in-process simulator on the same
+// dataset, seed, and epoch count.
+func TestSpawnSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("forks four training processes (~seconds)")
+	}
+	out, err := workerCmd(t, "-spawn", "-world", "4", "-algo", "2d",
+		"-dataset", "reddit-sim", "-quick", "-epochs", "2").CombinedOutput()
+	if err != nil {
+		t.Fatalf("spawn run failed: %v\n%s", err, out)
+	}
+	got := string(out)
+	for _, want := range []string{"world 4 ranks over tcp", "measured wall time:", "modeled time", "wire fit"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+
+	// The printed losses must agree with the in-process fabric digit for
+	// digit (the bitwise pin lives in the library tests; this checks the
+	// same contract survives process boundaries).
+	spec, err := graph.AnalogByName("reddit-sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Scale -= 3
+	if spec.EdgeFactor > 8 {
+		spec.EdgeFactor /= 4
+	}
+	report, err := cagnet.Train(spec.Build(), cagnet.TrainOptions{Algorithm: "2d", Ranks: 4, Epochs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, loss := range report.Losses {
+		line := fmt.Sprintf("epoch %3d  loss %.6f", i+1, loss)
+		if !strings.Contains(got, line) {
+			t.Errorf("output missing %q (multi-process loss diverged?):\n%s", line, got)
+		}
+	}
+}
+
+// TestEnvFallback drives rank/world/coordinator purely through the
+// CAGNET_* environment, the mpirun-style launch path.
+func TestEnvFallback(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a training process")
+	}
+	cmd := workerCmd(t, "-algo", "1d", "-dataset", "reddit-sim", "-quick", "-epochs", "1")
+	cmd.Env = append(cmd.Env,
+		"CAGNET_RANK=0", "CAGNET_WORLD=1", "CAGNET_COORDINATOR=127.0.0.1:0")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("env-configured run failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "world 1 ranks over tcp") {
+		t.Errorf("output missing world line:\n%s", out)
+	}
+}
+
+// TestRunValidation covers the fail-fast rejections, no sockets involved.
+func TestRunValidation(t *testing.T) {
+	for name, cfg := range map[string]config{
+		"no world":       {world: 0, rank: 0, algo: "2d", coordinator: "x:1"},
+		"serial":         {world: 1, rank: 0, algo: "serial", coordinator: "x:1"},
+		"rank high":      {world: 2, rank: 2, algo: "2d", coordinator: "x:1"},
+		"rank negative":  {world: 2, rank: -1, algo: "2d", coordinator: "x:1"},
+		"no coordinator": {world: 2, rank: 0, algo: "2d"},
+	} {
+		if err := run(cfg); err == nil {
+			t.Errorf("%s: config accepted", name)
+		}
+	}
+}

@@ -17,7 +17,9 @@
 //     hiding communication it used to hide.
 //
 // Everything else — words, memory, accuracy, and the wall-clock
-// latency/throughput block under "load" — is reported informationally.
+// blocks (the latency/throughput report under "load" and the measured
+// kernel sweep under "kernels", whose Speedup is a ratio of wall
+// seconds) — is reported informationally.
 package benchdiff
 
 import (
@@ -206,9 +208,18 @@ const (
 	GateHiddenComm
 )
 
-// Classify maps a metric path to its gate. Wall-clock blocks (any path
-// under "load.") are never gated, whatever their field names.
-func Classify(metric string) Gate {
+// Classify maps an experiment name and metric path to its gate.
+// Wall-clock blocks are never gated, whatever their field names —
+// their values depend on the recording host, so gating them would
+// make the diff irreproducible. Two blocks qualify: any path under a
+// nested "load." object (the latency/throughput report) and the
+// entire "kernels" experiment, whose Speedup is a ratio of measured
+// wall seconds. The overlap experiment's Speedup, by contrast, is
+// modeled and stays gated.
+func Classify(experiment, metric string) Gate {
+	if experiment == "kernels" {
+		return GateNone
+	}
 	if strings.HasPrefix(metric, "load.") || strings.Contains(metric, ".load.") {
 		return GateNone
 	}
@@ -371,7 +382,7 @@ func compare(op Point, newVal float64, th Thresholds) Finding {
 	if math.Abs(oldVal) > th.Eps {
 		rel = delta / math.Abs(oldVal)
 	}
-	switch Classify(op.Metric) {
+	switch Classify(op.Experiment, op.Metric) {
 	case GateEpochTime:
 		if newVal > oldVal*(1+th.EpochTol)+th.Eps {
 			f.Verdict = Fail

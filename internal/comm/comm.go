@@ -91,6 +91,10 @@ type Ledger struct {
 	PhysWordsSent int64
 	// PhysMsgsSent counts messages physically pushed into the fabric.
 	PhysMsgsSent int64
+	// PhysWordsRecv counts words physically pulled out of the fabric.
+	PhysWordsRecv int64
+	// PhysMsgsRecv counts messages physically pulled out of the fabric.
+	PhysMsgsRecv int64
 	// PeakMemWords is the high-water mark of modeled resident matrix words
 	// reported by the algorithm via RecordMem — the basis for the paper's
 	// §IV-D replication-factor comparison.
@@ -179,6 +183,8 @@ func (l *Ledger) Reset() {
 	}
 	l.PhysWordsSent = 0
 	l.PhysMsgsSent = 0
+	l.PhysWordsRecv = 0
+	l.PhysMsgsRecv = 0
 	l.PeakMemWords = 0
 	l.clock = 0
 	l.netBusy = 0
@@ -342,7 +348,15 @@ func (c *Cluster) Run(fn func(*Comm) error) error {
 					panics[rank] = rec
 				}
 			}()
-			errs[rank] = fn(&Comm{cluster: c, rank: rank, ledger: c.ledgers[rank]})
+			errs[rank] = fn(&Comm{
+				tr:         &inprocTransport{cluster: c, rank: rank},
+				rank:       rank,
+				size:       c.p,
+				cost:       c.cost,
+				pool:       c.pool,
+				poolShared: true,
+				ledger:     c.ledgers[rank],
+			})
 		}(r)
 	}
 	wg.Wait()
@@ -359,12 +373,23 @@ func (c *Cluster) Run(fn func(*Comm) error) error {
 	return nil
 }
 
-// Comm is one rank's handle on the fabric.
+// Comm is one rank's handle on the fabric: the model ledger, the buffer
+// pool, and the collective algorithms, stacked on a Transport that does
+// the actual moving. Cluster.Run builds one per rank over the in-process
+// fabric; NewTransportComm builds one over any other Transport (TCP).
 type Comm struct {
-	cluster *Cluster
-	rank    int
-	ledger  *Ledger
-	world   *Group // lazily built, cached: World is called on every epoch
+	tr   Transport
+	rank int
+	size int
+	cost CostParams
+	// pool backs payload clones and collective scratch. Cluster ranks
+	// share the cluster pool (poolShared); transport comms own a private
+	// one, recycled by every rank's EpochDone.
+	pool       *bufPool
+	poolShared bool
+	ledger     *Ledger
+	world      *Group // lazily built, cached: World is called on every epoch
+	meter      *Meter // wire metering, nil unless EnableMetering
 
 	// reqs is the rank's Request arena: requests are checked out in issue
 	// order and recycled all at once by EpochDone, so the steady-state
@@ -377,17 +402,18 @@ type Comm struct {
 func (c *Comm) Rank() int { return c.rank }
 
 // Size returns the number of ranks in the cluster.
-func (c *Comm) Size() int { return c.cluster.p }
+func (c *Comm) Size() int { return c.size }
 
 // Ledger returns this rank's ledger for compute-charge access.
 func (c *Comm) Ledger() *Ledger { return c.ledger }
 
-// sendRaw moves a payload through the fabric without model charging
-// (collectives charge analytically). The payload is deep-copied so sender
-// and receiver never share backing arrays; the copy's buffers come from the
-// cluster pool and stay valid until the next EpochDone recycle.
+// sendRaw moves a payload through the transport without model charging
+// (collectives charge analytically). The caller keeps ownership of p's
+// backing arrays: the transport copies — through the shared pool for the
+// in-process fabric, onto the wire for TCP — so sender and receiver never
+// share memory, and received buffers stay valid until the next EpochDone.
 func (c *Comm) sendRaw(dst int, p Payload) {
-	if dst < 0 || dst >= c.cluster.p {
+	if dst < 0 || dst >= c.size {
 		panic(fmt.Sprintf("comm: rank %d sending to invalid rank %d", c.rank, dst))
 	}
 	if dst == c.rank {
@@ -395,22 +421,21 @@ func (c *Comm) sendRaw(dst int, p Payload) {
 	}
 	c.ledger.PhysWordsSent += p.Words()
 	c.ledger.PhysMsgsSent++
-	clone := Payload{
-		Floats: c.cluster.pool.cloneFloats(p.Floats),
-		Ints:   c.cluster.pool.cloneInts(p.Ints),
-	}
-	c.cluster.mailbox[c.rank][dst] <- clone
+	c.tr.Send(dst, p)
 }
 
 // recvRaw receives the next payload from src.
 func (c *Comm) recvRaw(src int) Payload {
-	if src < 0 || src >= c.cluster.p {
+	if src < 0 || src >= c.size {
 		panic(fmt.Sprintf("comm: rank %d receiving from invalid rank %d", c.rank, src))
 	}
 	if src == c.rank {
 		panic(fmt.Sprintf("comm: rank %d receiving from itself", c.rank))
 	}
-	return <-c.cluster.mailbox[src][c.rank]
+	p := c.tr.Recv(src)
+	c.ledger.PhysWordsRecv += p.Words()
+	c.ledger.PhysMsgsRecv++
+	return p
 }
 
 // Charge adds an explicit synchronous α–β charge: msgs α-units and words
@@ -431,7 +456,7 @@ func (c *Comm) Charge(cat Category, msgs int64, words int64) {
 // returns its span length. Timeline placement is the caller's business:
 // Charge blocks the clock on it, ChargeAsync hands it to a Request.
 func (c *Comm) chargeStats(cat Category, msgs, words int64) float64 {
-	cost := float64(msgs)*c.cluster.cost.Alpha + float64(words)*c.cluster.cost.Beta
+	cost := float64(msgs)*c.cost.Alpha + float64(words)*c.cost.Beta
 	c.ledger.ModelMsgs[cat] += msgs
 	c.ledger.ModelWords[cat] += words
 	c.ledger.ModelTime[cat] += cost
@@ -450,6 +475,7 @@ func (c *Comm) ChargeTime(cat Category, seconds float64) {
 
 // Send transmits a payload point-to-point and charges α + β·words.
 func (c *Comm) Send(dst int, p Payload, cat Category) {
+	defer c.meterDone(c.meterStart())
 	c.Charge(cat, 1, p.Words())
 	c.sendRaw(dst, p)
 }
@@ -457,6 +483,7 @@ func (c *Comm) Send(dst int, p Payload, cat Category) {
 // Recv receives the next payload from src. Reception is not charged; the
 // α–β model charges the critical path at the sender.
 func (c *Comm) Recv(src int) Payload {
+	defer c.meterDone(c.meterStart())
 	return c.recvRaw(src)
 }
 
@@ -465,6 +492,7 @@ func (c *Comm) Recv(src int) Payload {
 // receiving cannot rendezvous-deadlock and no helper goroutine is needed
 // (one message per direction per call, well under the mailbox depth).
 func (c *Comm) Exchange(peer int, p Payload, cat Category) Payload {
+	defer c.meterDone(c.meterStart())
 	c.Charge(cat, 1, p.Words())
 	c.sendRaw(peer, p)
 	return c.recvRaw(peer)
@@ -487,16 +515,20 @@ func (c *Comm) Exchange(peer int, p Payload, cat Category) Payload {
 // panics instead).
 func (c *Comm) EpochDone() {
 	c.recycleRequests()
-	c.cluster.barrier.await()
-	if c.rank == 0 {
-		c.cluster.pool.recycle()
+	c.tr.Barrier()
+	if c.poolShared {
+		if c.rank == 0 {
+			c.pool.recycle()
+		}
+	} else {
+		c.pool.recycle()
 	}
-	c.cluster.barrier.await()
+	c.tr.Barrier()
 }
 
 // Barrier blocks until every rank in the cluster has entered the barrier.
 func (c *Comm) Barrier() {
-	c.cluster.barrier.await()
+	c.tr.Barrier()
 }
 
 // lg2 returns ceil(log2(n)) with lg2(1) = 0.

@@ -83,12 +83,13 @@ func (g *Group) Reduce(root int, x []float64, cat Category) []float64 {
 	if root < 0 || root >= q {
 		panic(fmt.Sprintf("comm: reduce root %d out of range for group of %d", root, q))
 	}
+	defer g.comm.meterDone(g.comm.meterStart())
 	g.charge(cat, lg2(q), int64(len(x)))
 	if q == 1 {
-		return g.comm.cluster.pool.cloneFloats(x)
+		return g.comm.pool.cloneFloats(x)
 	}
 	vrank := (g.me - root + q) % q
-	acc := g.comm.cluster.pool.cloneFloats(x)
+	acc := g.comm.pool.cloneFloats(x)
 	// Binomial-tree reduction: receive from children, then send to parent.
 	for mask := 1; mask < nextPow2(q); mask <<= 1 {
 		if vrank&(mask-1) != 0 {
@@ -144,6 +145,7 @@ func (g *Group) ReduceScatter(x []float64, counts []int, cat Category) []float64
 	if total != len(x) {
 		panic(fmt.Sprintf("comm: ReduceScatter counts sum to %d, data has %d", total, len(x)))
 	}
+	defer g.comm.meterDone(g.comm.meterStart())
 	// Physical: reduce to member 0, then scatter slices. Charging below
 	// replaces the naive cost with the paper's bound.
 	acc := g.reduceUncharged(0, x)
@@ -157,7 +159,7 @@ func (g *Group) ReduceScatter(x []float64, counts []int, cat Category) []float64
 			g.comm.sendRaw(g.ranks[i], Payload{Floats: acc[off : off+counts[i]]})
 			off += counts[i]
 		}
-		return g.comm.cluster.pool.cloneFloats(acc[:counts[0]])
+		return g.comm.pool.cloneFloats(acc[:counts[0]])
 	}
 	return g.comm.recvRaw(g.ranks[0]).Floats
 }
@@ -167,10 +169,10 @@ func (g *Group) ReduceScatter(x []float64, counts []int, cat Category) []float64
 func (g *Group) reduceUncharged(root int, x []float64) []float64 {
 	q := len(g.ranks)
 	if q == 1 {
-		return g.comm.cluster.pool.cloneFloats(x)
+		return g.comm.pool.cloneFloats(x)
 	}
 	vrank := (g.me - root + q) % q
-	acc := g.comm.cluster.pool.cloneFloats(x)
+	acc := g.comm.pool.cloneFloats(x)
 	for mask := 1; mask < nextPow2(q); mask <<= 1 {
 		if vrank&(mask-1) != 0 {
 			continue
@@ -205,6 +207,7 @@ func (g *Group) AllGather(p Payload, cat Category) []Payload {
 // Gather collects payloads onto root, ordered by group index (nil
 // elsewhere). Every member is charged α·⌈lg q⌉ + β·(its contribution).
 func (g *Group) Gather(root int, p Payload, cat Category) []Payload {
+	defer g.comm.meterDone(g.comm.meterStart())
 	g.charge(cat, lg2(len(g.ranks)), p.Words())
 	return g.gatherUncharged(root, p)
 }
@@ -212,12 +215,12 @@ func (g *Group) Gather(root int, p Payload, cat Category) []Payload {
 func (g *Group) gatherUncharged(root int, p Payload) []Payload {
 	q := len(g.ranks)
 	if q == 1 {
-		out := g.comm.cluster.pool.getPayloads(1)
+		out := g.comm.pool.getPayloads(1)
 		out[0] = p
 		return out
 	}
 	if g.me == root {
-		out := g.comm.cluster.pool.getPayloads(q)
+		out := g.comm.pool.getPayloads(q)
 		out[root] = p
 		for i := 0; i < q; i++ {
 			if i != root {
@@ -254,6 +257,7 @@ func (g *Group) broadcastUncharged(root int, p Payload) Payload {
 // Scatter distributes root's parts (one per member, ordered by group index)
 // and returns this member's part. Charged α + β·(part size).
 func (g *Group) Scatter(root int, parts []Payload, cat Category) Payload {
+	defer g.comm.meterDone(g.comm.meterStart())
 	q := len(g.ranks)
 	if g.me == root {
 		if len(parts) != q {
@@ -280,6 +284,7 @@ func (g *Group) AllToAll(parts []Payload, cat Category) []Payload {
 	if len(parts) != q {
 		panic(fmt.Sprintf("comm: AllToAll needs %d parts, got %d", q, len(parts)))
 	}
+	defer g.comm.meterDone(g.comm.meterStart())
 	var sendWords int64
 	for i, p := range parts {
 		if i != g.me {
@@ -287,7 +292,7 @@ func (g *Group) AllToAll(parts []Payload, cat Category) []Payload {
 		}
 	}
 	g.charge(cat, int64(q-1), sendWords)
-	out := g.comm.cluster.pool.getPayloads(q)
+	out := g.comm.pool.getPayloads(q)
 	out[g.me] = parts[g.me]
 	// Pairwise exchange, rotated so rank pairs stay staggered. All sends
 	// complete before the receives: each (src, dst) pair moves exactly one

@@ -1,0 +1,64 @@
+package comm
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Transport returns the fabric endpoint beneath this Comm — to Close a
+// TCP endpoint when the rank is done, or to inspect the transport kind.
+func (c *Comm) Transport() Transport { return c.tr }
+
+// LocalTCPComms bootstraps a complete TCP fabric on loopback inside one
+// process: a coordinator on an ephemeral port plus one DialTCP endpoint
+// per rank, each wrapped in a Comm with the given cost constants. The
+// frames cross real sockets — it is the TCP code path end to end, minus
+// process isolation — which makes it the workhorse for equivalence tests
+// and for `cagnet-train -transport tcp` without an external launcher.
+//
+// The caller runs one goroutine per Comm (see parallel.EnterRanks) and
+// closes each Comm's Transport when done.
+func LocalTCPComms(p int, cost CostParams) ([]*Comm, error) {
+	co, err := NewCoordinator("127.0.0.1:0", p)
+	if err != nil {
+		return nil, err
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- co.Serve() }()
+
+	comms := make([]*Comm, p)
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			tr, err := DialTCP(co.Addr(), rank, p)
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			comms[rank] = NewTransportComm(tr, cost)
+		}(r)
+	}
+	wg.Wait()
+	if err := <-serveErr; err != nil {
+		for _, c := range comms {
+			if c != nil {
+				c.tr.Close()
+			}
+		}
+		return nil, fmt.Errorf("comm: loopback rendezvous: %w", err)
+	}
+	for rank, err := range errs {
+		if err != nil {
+			for _, c := range comms {
+				if c != nil {
+					c.tr.Close()
+				}
+			}
+			return nil, fmt.Errorf("comm: loopback rank %d: %w", rank, err)
+		}
+	}
+	return comms, nil
+}

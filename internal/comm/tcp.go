@@ -1,0 +1,525 @@
+package comm
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sync"
+	"time"
+)
+
+// This file implements the TCP Transport: each rank is its own OS process,
+// payloads move as length-prefixed frames over persistent per-peer
+// connections, and ranks find each other through a coordinator listener.
+//
+// Rendezvous protocol:
+//
+//  1. Every rank opens a data listener on an ephemeral port, dials the
+//     coordinator (retrying while it comes up), and sends a hello frame
+//     {rank, dataAddr}.
+//  2. The coordinator collects all world hellos, then answers every rank
+//     with the full rank→address table and closes the rendezvous
+//     connections. It is pure bootstrap: no payload ever routes through it.
+//  3. Rank i dials the data listener of every j < i and introduces itself
+//     with an identify frame; conversely it accepts one connection from
+//     every j > i. The result is one duplex TCP connection per rank pair.
+//
+// Each connection gets a reader goroutine that demultiplexes incoming
+// frames into a per-peer payload inbox (buffered, like the in-process
+// mailboxes) and a per-peer barrier-token channel. Sends are synchronous
+// buffered writes flushed per frame; a rank's Comm is single-goroutine by
+// construction, so no write locking is needed. Barrier is a dissemination
+// barrier over the same connections: ⌈lg P⌉ rounds, round k sending a
+// token to (rank+2^k) mod P and waiting for one from (rank−2^k) mod P.
+//
+// Frames (all integers little-endian):
+//
+//	'D' u32 nFloats, u32 nInts, then nFloats float64 bit patterns and
+//	    nInts int64 values — one Payload, bit-exact.
+//	'B' barrier token, no body.
+//	'I' u32 rank — mesh handshake, first frame on a dialed data conn.
+//	'H' u32 rank, u16 addrLen, addr — hello to the coordinator.
+//	'P' u32 world, then world × (u16 addrLen, addr) — the address table.
+const (
+	frameData     = 'D'
+	frameBarrier  = 'B'
+	frameIdentify = 'I'
+	frameHello    = 'H'
+	framePeers    = 'P'
+)
+
+// tcpInboxDepth bounds buffered received payloads per peer before the
+// reader goroutine stops draining the socket and TCP backpressure takes
+// over. Must be at least mailboxDepth, the buffering the collectives'
+// eager-send patterns assume.
+const tcpInboxDepth = 64
+
+// rendezvousTimeout bounds how long DialTCP keeps retrying the
+// coordinator and how long the mesh handshake may take.
+const rendezvousTimeout = 30 * time.Second
+
+// TCPTransport is one rank's endpoint on the TCP fabric. Create it with
+// DialTCP; it satisfies Transport.
+type TCPTransport struct {
+	rank, world int
+	ln          net.Listener
+	conns       []net.Conn      // conns[peer], nil at rank's own slot
+	writers     []*bufio.Writer // writers[peer]
+	inbox       []chan Payload  // inbox[peer]
+	barrierCh   []chan struct{} // barrierCh[peer]
+	readErr     []chan error    // readErr[peer], closed reader exits
+	closeOnce   sync.Once
+	closeErr    error
+}
+
+// Rank returns this endpoint's rank.
+func (t *TCPTransport) Rank() int { return t.rank }
+
+// Size returns the world size.
+func (t *TCPTransport) Size() int { return t.world }
+
+// Send serializes p to dst. It returns once the frame is handed to the
+// kernel: the caller may reuse or recycle p's backing arrays immediately.
+func (t *TCPTransport) Send(dst int, p Payload) {
+	w := t.writers[dst]
+	var hdr [9]byte
+	hdr[0] = frameData
+	binary.LittleEndian.PutUint32(hdr[1:5], uint32(len(p.Floats)))
+	binary.LittleEndian.PutUint32(hdr[5:9], uint32(len(p.Ints)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		panic(fmt.Sprintf("comm: rank %d send to %d: %v", t.rank, dst, err))
+	}
+	var buf [8]byte
+	for _, f := range p.Floats {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(f))
+		if _, err := w.Write(buf[:]); err != nil {
+			panic(fmt.Sprintf("comm: rank %d send to %d: %v", t.rank, dst, err))
+		}
+	}
+	for _, v := range p.Ints {
+		binary.LittleEndian.PutUint64(buf[:], uint64(int64(v)))
+		if _, err := w.Write(buf[:]); err != nil {
+			panic(fmt.Sprintf("comm: rank %d send to %d: %v", t.rank, dst, err))
+		}
+	}
+	if err := w.Flush(); err != nil {
+		panic(fmt.Sprintf("comm: rank %d send to %d: %v", t.rank, dst, err))
+	}
+}
+
+// Recv blocks for the next payload from src.
+func (t *TCPTransport) Recv(src int) Payload {
+	// Drain delivered frames before honoring a read error: the reader
+	// goroutine routes every frame in order and only then posts the error,
+	// so a peer that sent its data and exited (normal shutdown skew) must
+	// not eat payloads already queued behind its EOF.
+	select {
+	case p := <-t.inbox[src]:
+		return p
+	default:
+	}
+	select {
+	case p := <-t.inbox[src]:
+		return p
+	case err := <-t.readErr[src]:
+		panic(fmt.Sprintf("comm: rank %d receiving from %d: connection lost: %v", t.rank, src, err))
+	}
+}
+
+// Barrier runs a dissemination barrier over the data connections.
+func (t *TCPTransport) Barrier() {
+	for k := uint(0); 1<<k < t.world; k++ {
+		to := (t.rank + 1<<k) % t.world
+		from := (t.rank - 1<<k + t.world) % t.world
+		w := t.writers[to]
+		if err := w.WriteByte(frameBarrier); err == nil {
+			if err := w.Flush(); err != nil {
+				panic(fmt.Sprintf("comm: rank %d barrier send to %d: %v", t.rank, to, err))
+			}
+		} else {
+			panic(fmt.Sprintf("comm: rank %d barrier send to %d: %v", t.rank, to, err))
+		}
+		select {
+		case <-t.barrierCh[from]:
+		default:
+			select {
+			case <-t.barrierCh[from]:
+			case err := <-t.readErr[from]:
+				panic(fmt.Sprintf("comm: rank %d barrier recv from %d: connection lost: %v", t.rank, from, err))
+			}
+		}
+	}
+}
+
+// Close shuts the listener and every peer connection down; reader
+// goroutines exit on their next read. Safe to call more than once.
+func (t *TCPTransport) Close() error {
+	t.closeOnce.Do(func() {
+		if t.ln != nil {
+			t.closeErr = t.ln.Close()
+		}
+		for _, c := range t.conns {
+			if c != nil {
+				if err := c.Close(); err != nil && t.closeErr == nil {
+					t.closeErr = err
+				}
+			}
+		}
+	})
+	return t.closeErr
+}
+
+// readLoop drains one peer connection, routing payload frames to the
+// inbox and barrier tokens to the barrier channel, until the connection
+// dies (peer exit or Close).
+func (t *TCPTransport) readLoop(peer int, conn net.Conn) {
+	r := bufio.NewReader(conn)
+	for {
+		typ, err := r.ReadByte()
+		if err != nil {
+			t.readErr[peer] <- err
+			return
+		}
+		switch typ {
+		case frameBarrier:
+			t.barrierCh[peer] <- struct{}{}
+		case frameData:
+			p, err := readPayloadBody(r)
+			if err != nil {
+				t.readErr[peer] <- err
+				return
+			}
+			t.inbox[peer] <- p
+		default:
+			t.readErr[peer] <- fmt.Errorf("unexpected frame type %q", typ)
+			return
+		}
+	}
+}
+
+// readPayloadBody decodes the body of a data frame. Zero-length sides
+// decode to nil, preserving Payload nil-ness conventions.
+func readPayloadBody(r io.Reader) (Payload, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Payload{}, err
+	}
+	nf := binary.LittleEndian.Uint32(hdr[0:4])
+	ni := binary.LittleEndian.Uint32(hdr[4:8])
+	var p Payload
+	var buf [8]byte
+	if nf > 0 {
+		p.Floats = make([]float64, nf)
+		for i := range p.Floats {
+			if _, err := io.ReadFull(r, buf[:]); err != nil {
+				return Payload{}, err
+			}
+			p.Floats[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))
+		}
+	}
+	if ni > 0 {
+		p.Ints = make([]int, ni)
+		for i := range p.Ints {
+			if _, err := io.ReadFull(r, buf[:]); err != nil {
+				return Payload{}, err
+			}
+			p.Ints[i] = int(int64(binary.LittleEndian.Uint64(buf[:])))
+		}
+	}
+	return p, nil
+}
+
+// writeString writes a u16-length-prefixed string.
+func writeString(w io.Writer, s string) error {
+	if len(s) > math.MaxUint16 {
+		return fmt.Errorf("comm: address %q too long", s)
+	}
+	var n [2]byte
+	binary.LittleEndian.PutUint16(n[:], uint16(len(s)))
+	if _, err := w.Write(n[:]); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+// readString reads a u16-length-prefixed string.
+func readString(r io.Reader) (string, error) {
+	var n [2]byte
+	if _, err := io.ReadFull(r, n[:]); err != nil {
+		return "", err
+	}
+	buf := make([]byte, binary.LittleEndian.Uint16(n[:]))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+// Coordinator is the rendezvous listener: a bootstrap-only service that
+// pairs rank ids with data addresses and hands every rank the full table.
+// Run one per job — typically in the rank-0 process or the -spawn parent.
+type Coordinator struct {
+	ln    net.Listener
+	world int
+}
+
+// NewCoordinator listens on addr (e.g. "127.0.0.1:0") for a world-rank
+// rendezvous. Serve must be called to run it.
+func NewCoordinator(addr string, world int) (*Coordinator, error) {
+	if world <= 0 {
+		return nil, fmt.Errorf("comm: coordinator world size must be positive, got %d", world)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("comm: coordinator listen: %w", err)
+	}
+	return &Coordinator{ln: ln, world: world}, nil
+}
+
+// Addr returns the coordinator's listen address, for handing to workers.
+func (co *Coordinator) Addr() string { return co.ln.Addr().String() }
+
+// Serve accepts rendezvous connections until every rank has said hello,
+// answers each with the rank→address table, and shuts the listener down.
+// It returns after the table is delivered (or on the first protocol
+// error), so run it in its own goroutine when the process also hosts a
+// rank.
+func (co *Coordinator) Serve() error {
+	defer co.ln.Close()
+	type member struct {
+		conn net.Conn
+		addr string
+	}
+	members := make(map[int]member, co.world)
+	defer func() {
+		for _, m := range members {
+			m.conn.Close()
+		}
+	}()
+	for len(members) < co.world {
+		conn, err := co.ln.Accept()
+		if err != nil {
+			return fmt.Errorf("comm: coordinator accept: %w", err)
+		}
+		conn.SetDeadline(time.Now().Add(rendezvousTimeout))
+		r := bufio.NewReader(conn)
+		typ, err := r.ReadByte()
+		if err != nil || typ != frameHello {
+			conn.Close()
+			return fmt.Errorf("comm: coordinator: bad hello (type %q, err %v)", typ, err)
+		}
+		var rk [4]byte
+		if _, err := io.ReadFull(r, rk[:]); err != nil {
+			conn.Close()
+			return fmt.Errorf("comm: coordinator: short hello: %w", err)
+		}
+		rank := int(int32(binary.LittleEndian.Uint32(rk[:])))
+		addr, err := readString(r)
+		if err != nil {
+			conn.Close()
+			return fmt.Errorf("comm: coordinator: bad hello address: %w", err)
+		}
+		if rank < 0 || rank >= co.world {
+			conn.Close()
+			return fmt.Errorf("comm: coordinator: hello rank %d out of range for world %d", rank, co.world)
+		}
+		if _, dup := members[rank]; dup {
+			conn.Close()
+			return fmt.Errorf("comm: coordinator: duplicate hello for rank %d", rank)
+		}
+		members[rank] = member{conn: conn, addr: addr}
+	}
+	for rank := 0; rank < co.world; rank++ {
+		m := members[rank]
+		w := bufio.NewWriter(m.conn)
+		var hdr [5]byte
+		hdr[0] = framePeers
+		binary.LittleEndian.PutUint32(hdr[1:5], uint32(co.world))
+		if _, err := w.Write(hdr[:]); err != nil {
+			return fmt.Errorf("comm: coordinator: answering rank %d: %w", rank, err)
+		}
+		for peer := 0; peer < co.world; peer++ {
+			if err := writeString(w, members[peer].addr); err != nil {
+				return fmt.Errorf("comm: coordinator: answering rank %d: %w", rank, err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return fmt.Errorf("comm: coordinator: answering rank %d: %w", rank, err)
+		}
+	}
+	return nil
+}
+
+// DialTCP joins a TCP fabric as one rank: it opens a data listener, runs
+// the rendezvous against the coordinator at coordAddr (retrying with
+// backoff while the coordinator comes up), builds the full connection
+// mesh, and starts the per-peer reader goroutines. The returned transport
+// is ready for NewTransportComm.
+func DialTCP(coordAddr string, rank, world int) (*TCPTransport, error) {
+	if world <= 0 || rank < 0 || rank >= world {
+		return nil, fmt.Errorf("comm: rank %d out of range for world %d", rank, world)
+	}
+	ln, err := net.Listen("tcp", ":0")
+	if err != nil {
+		return nil, fmt.Errorf("comm: rank %d data listen: %w", rank, err)
+	}
+	t := &TCPTransport{
+		rank:      rank,
+		world:     world,
+		ln:        ln,
+		conns:     make([]net.Conn, world),
+		writers:   make([]*bufio.Writer, world),
+		inbox:     make([]chan Payload, world),
+		barrierCh: make([]chan struct{}, world),
+		readErr:   make([]chan error, world),
+	}
+	for i := 0; i < world; i++ {
+		if i == rank {
+			continue
+		}
+		t.inbox[i] = make(chan Payload, tcpInboxDepth)
+		t.barrierCh[i] = make(chan struct{}, 4)
+		t.readErr[i] = make(chan error, 1)
+	}
+
+	peers, err := t.rendezvous(coordAddr)
+	if err != nil {
+		t.Close()
+		return nil, err
+	}
+	if err := t.buildMesh(peers); err != nil {
+		t.Close()
+		return nil, err
+	}
+	ln.Close() // mesh complete; no more inbound dials
+	t.ln = nil
+	for i, conn := range t.conns {
+		if conn != nil {
+			go t.readLoop(i, conn)
+		}
+	}
+	return t, nil
+}
+
+// rendezvous dials the coordinator, announces this rank's data address,
+// and returns the full rank→address table.
+func (t *TCPTransport) rendezvous(coordAddr string) ([]string, error) {
+	deadline := time.Now().Add(rendezvousTimeout)
+	var conn net.Conn
+	var err error
+	for backoff := 10 * time.Millisecond; ; backoff *= 2 {
+		conn, err = net.DialTimeout("tcp", coordAddr, rendezvousTimeout)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("comm: rank %d: coordinator %s unreachable: %w", t.rank, coordAddr, err)
+		}
+		if backoff > time.Second {
+			backoff = time.Second
+		}
+		time.Sleep(backoff)
+	}
+	defer conn.Close()
+	conn.SetDeadline(deadline)
+
+	// Advertise host as seen by the coordinator connection (works on
+	// loopback and LAN alike), port from the data listener.
+	host, _, err := net.SplitHostPort(conn.LocalAddr().String())
+	if err != nil {
+		return nil, fmt.Errorf("comm: rank %d: local address: %w", t.rank, err)
+	}
+	_, port, err := net.SplitHostPort(t.ln.Addr().String())
+	if err != nil {
+		return nil, fmt.Errorf("comm: rank %d: data address: %w", t.rank, err)
+	}
+	dataAddr := net.JoinHostPort(host, port)
+
+	w := bufio.NewWriter(conn)
+	var hdr [5]byte
+	hdr[0] = frameHello
+	binary.LittleEndian.PutUint32(hdr[1:5], uint32(t.rank))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return nil, fmt.Errorf("comm: rank %d hello: %w", t.rank, err)
+	}
+	if err := writeString(w, dataAddr); err != nil {
+		return nil, fmt.Errorf("comm: rank %d hello: %w", t.rank, err)
+	}
+	if err := w.Flush(); err != nil {
+		return nil, fmt.Errorf("comm: rank %d hello: %w", t.rank, err)
+	}
+
+	r := bufio.NewReader(conn)
+	typ, err := r.ReadByte()
+	if err != nil || typ != framePeers {
+		return nil, fmt.Errorf("comm: rank %d: bad peers frame (type %q, err %v)", t.rank, typ, err)
+	}
+	var cnt [4]byte
+	if _, err := io.ReadFull(r, cnt[:]); err != nil {
+		return nil, fmt.Errorf("comm: rank %d: short peers frame: %w", t.rank, err)
+	}
+	if got := int(binary.LittleEndian.Uint32(cnt[:])); got != t.world {
+		return nil, fmt.Errorf("comm: rank %d: coordinator world %d, want %d", t.rank, got, t.world)
+	}
+	peers := make([]string, t.world)
+	for i := range peers {
+		if peers[i], err = readString(r); err != nil {
+			return nil, fmt.Errorf("comm: rank %d: peers table: %w", t.rank, err)
+		}
+	}
+	return peers, nil
+}
+
+// buildMesh establishes one connection per peer: dial every lower rank
+// (introducing ourselves with an identify frame), accept from every
+// higher one.
+func (t *TCPTransport) buildMesh(peers []string) error {
+	deadline := time.Now().Add(rendezvousTimeout)
+	for j := 0; j < t.rank; j++ {
+		conn, err := net.DialTimeout("tcp", peers[j], rendezvousTimeout)
+		if err != nil {
+			return fmt.Errorf("comm: rank %d dialing rank %d at %s: %w", t.rank, j, peers[j], err)
+		}
+		var hdr [5]byte
+		hdr[0] = frameIdentify
+		binary.LittleEndian.PutUint32(hdr[1:5], uint32(t.rank))
+		if _, err := conn.Write(hdr[:]); err != nil {
+			conn.Close()
+			return fmt.Errorf("comm: rank %d identify to rank %d: %w", t.rank, j, err)
+		}
+		t.conns[j] = conn
+		t.writers[j] = bufio.NewWriter(conn)
+	}
+	for accepted := 0; accepted < t.world-1-t.rank; accepted++ {
+		if dl, ok := t.ln.(*net.TCPListener); ok {
+			dl.SetDeadline(deadline)
+		}
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return fmt.Errorf("comm: rank %d accepting mesh peer: %w", t.rank, err)
+		}
+		conn.SetReadDeadline(deadline)
+		var hdr [5]byte
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil || hdr[0] != frameIdentify {
+			conn.Close()
+			return fmt.Errorf("comm: rank %d: bad identify frame (type %q, err %v)", t.rank, hdr[0], err)
+		}
+		peer := int(int32(binary.LittleEndian.Uint32(hdr[1:5])))
+		if peer <= t.rank || peer >= t.world {
+			conn.Close()
+			return fmt.Errorf("comm: rank %d: identify from unexpected rank %d", t.rank, peer)
+		}
+		if t.conns[peer] != nil {
+			conn.Close()
+			return fmt.Errorf("comm: rank %d: duplicate connection from rank %d", t.rank, peer)
+		}
+		conn.SetReadDeadline(time.Time{})
+		t.conns[peer] = conn
+		t.writers[peer] = bufio.NewWriter(conn)
+	}
+	return nil
+}

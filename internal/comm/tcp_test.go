@@ -1,0 +1,309 @@
+package comm
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// runTCP bootstraps a loopback TCP fabric, runs fn on every rank
+// concurrently with a deadlock watchdog, and closes the transports.
+// It returns the per-rank Comms for ledger inspection.
+func runTCP(t *testing.T, p int, fn func(*Comm) error) []*Comm {
+	t.Helper()
+	comms, err := LocalTCPComms(p, testCost)
+	if err != nil {
+		t.Fatalf("LocalTCPComms: %v", err)
+	}
+	t.Cleanup(func() {
+		for _, c := range comms {
+			c.Transport().Close()
+		}
+	})
+	errs := make([]error, p)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var wg sync.WaitGroup
+		for r := 0; r < p; r++ {
+			wg.Add(1)
+			go func(rank int) {
+				defer wg.Done()
+				errs[rank] = fn(comms[rank])
+			}(r)
+		}
+		wg.Wait()
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("TCP ranks deadlocked")
+	}
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	return comms
+}
+
+// exerciseCollectives runs one of everything and returns a deterministic
+// per-rank digest of every result, so the same program can be compared
+// bit-for-bit across transports.
+func exerciseCollectives(c *Comm, epochs int) ([]float64, error) {
+	w := c.World()
+	me, p := c.Rank(), c.Size()
+	var digest []float64
+	add := func(xs ...float64) { digest = append(digest, xs...) }
+	addPayload := func(pl Payload) {
+		add(float64(len(pl.Floats)), float64(len(pl.Ints)))
+		add(pl.Floats...)
+		for _, v := range pl.Ints {
+			add(float64(v))
+		}
+	}
+	for e := 0; e < epochs; e++ {
+		base := float64(e + 1)
+
+		bc := w.Broadcast(0, Payload{Floats: []float64{base * 1.5, float64(me)}, Ints: []int{e, 42}}, CatDenseComm)
+		addPayload(bc)
+
+		x := []float64{base, float64(me) * base, 1.0 / base}
+		sum := w.AllReduce(x, CatDenseComm)
+		add(sum...)
+
+		red := w.Reduce(1%p, x, CatDenseComm)
+		if red != nil {
+			add(red...)
+		}
+
+		counts := make([]int, p)
+		long := make([]float64, 0, 2*p)
+		for i := 0; i < p; i++ {
+			counts[i] = 1 + i%2
+			for k := 0; k < counts[i]; k++ {
+				long = append(long, float64(i)+base/10)
+			}
+		}
+		rs := w.ReduceScatter(long, counts, CatDenseComm)
+		add(rs...)
+
+		ag := w.AllGather(Payload{Floats: []float64{float64(me) + base}}, CatDenseComm)
+		for _, pl := range ag {
+			addPayload(pl)
+		}
+
+		ga := w.Gather(0, Payload{Ints: []int{me, e}}, CatSparseComm)
+		if ga != nil {
+			for _, pl := range ga {
+				addPayload(pl)
+			}
+		}
+
+		var parts []Payload
+		if me == 0 {
+			parts = make([]Payload, p)
+			for i := range parts {
+				parts[i] = Payload{Floats: []float64{float64(i) * base}}
+			}
+		}
+		var sc Payload
+		if me == 0 {
+			sc = w.Scatter(0, parts, CatDenseComm)
+		} else {
+			sc = w.Scatter(0, nil, CatDenseComm)
+		}
+		addPayload(sc)
+
+		a2a := make([]Payload, p)
+		for i := range a2a {
+			if i != me {
+				a2a[i] = Payload{Floats: []float64{float64(me*p + i)}, Ints: []int{me, i}}
+			}
+		}
+		got := w.AllToAll(a2a, CatSparseComm)
+		for i, pl := range got {
+			if i != me {
+				addPayload(pl)
+			}
+		}
+
+		// Sparse halo-style exchange: ring neighbors only.
+		ex := make([]Payload, p)
+		from := make([]bool, p)
+		if p > 1 {
+			nxt, prv := (me+1)%p, (me-1+p)%p
+			ex[nxt] = Payload{Floats: []float64{base * float64(me)}}
+			from[prv] = true
+			if nxt != prv {
+				ex[prv] = Payload{Ints: []int{me}}
+				from[nxt] = true
+			}
+		}
+		hx := w.ExchangeIndexed(ex, from, CatSparseComm)
+		for i, pl := range hx {
+			if from[i] {
+				addPayload(pl)
+			}
+		}
+
+		req := w.IBroadcast(0, Payload{Floats: []float64{math.Pi * base}}, CatDenseComm)
+		c.ChargeTime(CatSpMM, 1e-6)
+		addPayload(req.Wait())
+
+		c.EpochDone()
+	}
+	return digest, nil
+}
+
+// TestTCPMatchesInProcess is the transport-equivalence pin at the comm
+// level: the same SPMD program must produce bit-identical collective
+// results over the channel fabric and over real TCP sockets.
+func TestTCPMatchesInProcess(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4} {
+		t.Run(fmt.Sprintf("p=%d", p), func(t *testing.T) {
+			const epochs = 3
+			want := make([][]float64, p)
+			runCluster(t, p, func(c *Comm) error {
+				d, err := exerciseCollectives(c, epochs)
+				want[c.Rank()] = d
+				return err
+			})
+			got := make([][]float64, p)
+			runTCP(t, p, func(c *Comm) error {
+				d, err := exerciseCollectives(c, epochs)
+				got[c.Rank()] = d
+				return err
+			})
+			for r := 0; r < p; r++ {
+				if len(got[r]) != len(want[r]) {
+					t.Fatalf("rank %d: digest length %d over TCP, %d in-process", r, len(got[r]), len(want[r]))
+				}
+				for i := range got[r] {
+					if math.Float64bits(got[r][i]) != math.Float64bits(want[r][i]) {
+						t.Fatalf("rank %d digest[%d]: %v over TCP, %v in-process", r, i, got[r][i], want[r][i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestTCPModelLedgerMatchesInProcess checks the α–β model ledger is
+// transport-independent: modeled time, words, and messages agree exactly.
+func TestTCPModelLedgerMatchesInProcess(t *testing.T) {
+	const p = 4
+	cluster := runCluster(t, p, func(c *Comm) error {
+		_, err := exerciseCollectives(c, 2)
+		return err
+	})
+	comms := runTCP(t, p, func(c *Comm) error {
+		_, err := exerciseCollectives(c, 2)
+		return err
+	})
+	for r := 0; r < p; r++ {
+		want, got := cluster.Ledger(r), comms[r].Ledger()
+		for _, cat := range AllCategories {
+			if got.ModelTime[cat] != want.ModelTime[cat] {
+				t.Errorf("rank %d %s: modeled time %v over TCP, %v in-process", r, cat, got.ModelTime[cat], want.ModelTime[cat])
+			}
+			if got.ModelMsgs[cat] != want.ModelMsgs[cat] {
+				t.Errorf("rank %d %s: modeled msgs %d over TCP, %d in-process", r, cat, got.ModelMsgs[cat], want.ModelMsgs[cat])
+			}
+		}
+		if got.TotalWords() != want.TotalWords() {
+			t.Errorf("rank %d: modeled words %d over TCP, %d in-process", r, got.TotalWords(), want.TotalWords())
+		}
+		if got.Elapsed() != want.Elapsed() {
+			t.Errorf("rank %d: elapsed %v over TCP, %v in-process", r, got.Elapsed(), want.Elapsed())
+		}
+		if got.PhysMsgsSent != want.PhysMsgsSent || got.PhysWordsSent != want.PhysWordsSent {
+			t.Errorf("rank %d: phys sent (%d msgs, %d words) over TCP, (%d, %d) in-process",
+				r, got.PhysMsgsSent, got.PhysWordsSent, want.PhysMsgsSent, want.PhysWordsSent)
+		}
+	}
+}
+
+// TestTCPBarrier checks the dissemination barrier actually separates
+// phases: no rank may observe the phase-2 counter before every rank
+// finished phase 1.
+func TestTCPBarrier(t *testing.T) {
+	const p = 4
+	var phase1 [p]bool
+	var mu sync.Mutex
+	runTCP(t, p, func(c *Comm) error {
+		mu.Lock()
+		phase1[c.Rank()] = true
+		mu.Unlock()
+		c.Barrier()
+		mu.Lock()
+		defer mu.Unlock()
+		for r, ok := range phase1 {
+			if !ok {
+				return fmt.Errorf("rank %d passed barrier before rank %d arrived", c.Rank(), r)
+			}
+		}
+		return nil
+	})
+}
+
+// TestTCPMetering checks wire samples are recorded with plausible counts:
+// the summed sample words equal the rank's physical sent+received totals.
+func TestTCPMetering(t *testing.T) {
+	const p = 3
+	meters := make([]*Meter, p)
+	comms := runTCP(t, p, func(c *Comm) error {
+		meters[c.Rank()] = c.EnableMetering()
+		_, err := exerciseCollectives(c, 2)
+		return err
+	})
+	for r, m := range meters {
+		if m.Len() == 0 {
+			t.Fatalf("rank %d: no wire samples", r)
+		}
+		l := comms[r].Ledger()
+		wantWords := float64(l.PhysWordsSent + l.PhysWordsRecv)
+		if got := m.TotalWords(); got != wantWords {
+			t.Errorf("rank %d: metered %v words, ledger has %v", r, got, wantWords)
+		}
+		_, _, secs := m.Samples()
+		for i, s := range secs {
+			if s < 0 {
+				t.Errorf("rank %d sample %d: negative wall time %v", r, i, s)
+			}
+		}
+	}
+}
+
+// TestCoordinatorRejectsBadHello covers the rendezvous failure paths.
+func TestCoordinatorRejectsBadHello(t *testing.T) {
+	t.Run("rank out of range", func(t *testing.T) {
+		co, err := NewCoordinator("127.0.0.1:0", 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serveErr := make(chan error, 1)
+		go func() { serveErr <- co.Serve() }()
+		if _, err := DialTCP(co.Addr(), 5, 6); err == nil {
+			t.Fatal("DialTCP accepted rank 5 in a world the coordinator sized at 2")
+		}
+		if err := <-serveErr; err == nil {
+			t.Fatal("coordinator accepted an out-of-range rank")
+		}
+	})
+	t.Run("invalid rank", func(t *testing.T) {
+		if _, err := DialTCP("127.0.0.1:1", -1, 2); err == nil {
+			t.Fatal("DialTCP accepted negative rank")
+		}
+		if _, err := DialTCP("127.0.0.1:1", 2, 2); err == nil {
+			t.Fatal("DialTCP accepted rank == world")
+		}
+	})
+	t.Run("world size", func(t *testing.T) {
+		if _, err := NewCoordinator("127.0.0.1:0", 0); err == nil {
+			t.Fatal("NewCoordinator accepted world 0")
+		}
+	})
+}

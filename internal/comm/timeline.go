@@ -151,6 +151,7 @@ func (g *Group) IBroadcast(root int, p Payload, cat Category) *Request {
 		r.payload = p
 		return r
 	}
+	defer g.comm.meterDone(g.comm.meterStart())
 	out := g.broadcastUncharged(root, p)
 	r := g.comm.ChargeAsync(cat, lg2(q), out.Words())
 	r.payload = out
@@ -161,8 +162,9 @@ func (g *Group) IBroadcast(root int, p Payload, cat Category) *Request {
 // ordered by group index. Charges and results are identical to AllGather.
 func (g *Group) IAllGather(p Payload, cat Category) *Request {
 	q := len(g.ranks)
+	defer g.comm.meterDone(g.comm.meterStart())
 	parts := g.gatherUncharged(0, p)
-	out := g.comm.cluster.pool.getPayloads(q)
+	out := g.comm.pool.getPayloads(q)
 	if g.me == 0 {
 		copy(out, parts)
 	}
@@ -189,7 +191,8 @@ func (g *Group) IExchangeIndexed(parts []Payload, from []bool, cat Category) *Re
 	if parts[g.me].Words() != 0 || from[g.me] {
 		panic(fmt.Sprintf("comm: ExchangeIndexed member %d exchanging with itself", g.me))
 	}
-	out := g.comm.cluster.pool.getPayloads(q)
+	defer g.comm.meterDone(g.comm.meterStart())
+	out := g.comm.pool.getPayloads(q)
 	// All sends complete before the receives (as in AllToAll): each pair
 	// moves at most one message per call, well under the buffered mailbox
 	// depth, so a simultaneous send+receive between a pair cannot

@@ -24,6 +24,7 @@ type OneD struct {
 	p       int
 	mach    costmodel.Machine
 	cluster *comm.Cluster
+	ext     *comm.Comm // external transport endpoint; see SetTransportComm
 
 	// Halo enables the sparsity-aware halo exchange (§IV-A-1): instead of
 	// broadcasting whole dense blocks (≈ n·f words per product), each rank
@@ -84,14 +85,18 @@ func (t *OneD) runRanks(p Problem, body func(ops layerOps, cfg nn.Config, prob P
 	if err != nil {
 		return err
 	}
-	return t.cluster.Run(func(c *comm.Comm) error {
+	run := func(c *comm.Comm) error {
 		r := &oneDRank{
 			comm: c, mach: t.mach, cfg: cfg, blk: blk, halo: t.Halo, overlap: t.Overlap,
 			labels: p.Labels, mask: p.TrainMask, norm: p.lossNormalizer(), n: n,
 		}
 		r.setup(at, p.Features)
 		return body(r, cfg, p)
-	})
+	}
+	if t.ext != nil {
+		return run(t.ext)
+	}
+	return t.cluster.Run(run)
 }
 
 // Train implements Trainer.

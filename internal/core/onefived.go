@@ -30,6 +30,7 @@ type OneFiveD struct {
 	c       int
 	mach    costmodel.Machine
 	cluster *comm.Cluster
+	ext     *comm.Comm // external transport endpoint; see SetTransportComm
 
 	// Halo enables the sparsity-aware halo exchange (§IV-A-1) within each
 	// layer group: instead of broadcasting whole team blocks per SUMMA
@@ -93,7 +94,7 @@ func (t *OneFiveD) runRanks(p Problem, body func(ops layerOps, cfg nn.Config, pr
 	if err != nil {
 		return err
 	}
-	return t.cluster.Run(func(c *comm.Comm) error {
+	run := func(c *comm.Comm) error {
 		r := &oneFiveDRank{
 			comm: c, mach: t.mach, cfg: cfg, halo: t.Halo, overlap: t.Overlap,
 			labels: p.Labels, mask: p.TrainMask, norm: p.lossNormalizer(),
@@ -102,7 +103,11 @@ func (t *OneFiveD) runRanks(p Problem, body func(ops layerOps, cfg nn.Config, pr
 		}
 		r.setup(p.A, p.Features)
 		return body(r, cfg, p)
-	})
+	}
+	if t.ext != nil {
+		return run(t.ext)
+	}
+	return t.cluster.Run(run)
 }
 
 // Train implements Trainer.

@@ -27,6 +27,7 @@ type ThreeD struct {
 	p       int
 	mach    costmodel.Machine
 	cluster *comm.Cluster
+	ext     *comm.Comm // external transport endpoint; see SetTransportComm
 
 	// Overlap pipelines the per-layer SUMMA loops exactly like TwoD.Overlap:
 	// stage q+1's panel broadcasts fly while stage q's local SpMM/GEMM runs
@@ -68,7 +69,7 @@ func (t *ThreeD) runRanks(p Problem, body func(ops layerOps, cfg nn.Config, prob
 	if mesh.C*mesh.C > n {
 		return fmt.Errorf("core: 3d mesh needs n ≥ ∛P² (%d), got %d vertices", mesh.C*mesh.C, n)
 	}
-	return t.cluster.Run(func(c *comm.Comm) error {
+	run := func(c *comm.Comm) error {
 		r := &threeDRank{
 			comm: c, mach: t.mach, cfg: cfg, mesh: mesh, overlap: t.Overlap,
 			labels: p.Labels, mask: p.TrainMask, norm: p.lossNormalizer(), n: n,
@@ -76,7 +77,11 @@ func (t *ThreeD) runRanks(p Problem, body func(ops layerOps, cfg nn.Config, prob
 		}
 		r.setup(p.A, p.Features)
 		return body(r, cfg, p)
-	})
+	}
+	if t.ext != nil {
+		return run(t.ext)
+	}
+	return t.cluster.Run(run)
 }
 
 // Train implements Trainer.

@@ -25,6 +25,7 @@ type TwoD struct {
 	p       int
 	mach    costmodel.Machine
 	cluster *comm.Cluster
+	ext     *comm.Comm // external transport endpoint; see SetTransportComm
 
 	// Overlap pipelines the SUMMA loops: stage k+1's panel broadcasts are
 	// issued asynchronously (comm.IBroadcast) while stage k's local
@@ -69,7 +70,7 @@ func (t *TwoD) runRanks(p Problem, body func(ops layerOps, cfg nn.Config, prob P
 		return fmt.Errorf("core: 2d grid dimension %d exceeds vertex count %d", grid.Pr, n)
 	}
 	at := p.A.Transpose()
-	return t.cluster.Run(func(c *comm.Comm) error {
+	run := func(c *comm.Comm) error {
 		r := &twoDRank{
 			comm: c, mach: t.mach, cfg: cfg, grid: grid, overlap: t.Overlap,
 			labels: p.Labels, mask: p.TrainMask, norm: p.lossNormalizer(), n: n,
@@ -77,7 +78,11 @@ func (t *TwoD) runRanks(p Problem, body func(ops layerOps, cfg nn.Config, prob P
 		}
 		r.setup(at, p.Features)
 		return body(r, cfg, p)
-	})
+	}
+	if t.ext != nil {
+		return run(t.ext)
+	}
+	return t.cluster.Run(run)
 }
 
 // Train implements Trainer.

@@ -191,11 +191,23 @@ func Run(cfg Config, workloads []Workload) (*Result, error) {
 	}
 	wg.Wait()
 	elapsed := cfg.Clock.Now().Sub(started)
+	// Rates divide by the admission window, not the raw wall time: in
+	// duration mode a request admitted just before the deadline can finish
+	// well after it, and charging that overshoot to the denominator while
+	// the numerator counts only admitted requests understates every
+	// throughput figure. The window is therefore capped at the configured
+	// Duration; Elapsed still reports the full wall time, overshoot
+	// included.
+	window := elapsed
+	if cfg.Duration > 0 && cfg.Duration < window {
+		window = cfg.Duration
+	}
 
 	res := &Result{
-		Concurrency: cfg.Concurrency,
-		Warmup:      cfg.Warmup,
-		Elapsed:     elapsed.Seconds(),
+		Concurrency:   cfg.Concurrency,
+		Warmup:        cfg.Warmup,
+		Elapsed:       elapsed.Seconds(),
+		RateWindowSec: window.Seconds(),
 	}
 	byWorkload := make(map[int][]time.Duration)
 	errs := make(map[int]int)
@@ -220,16 +232,16 @@ func Run(cfg Config, workloads []Workload) (*Result, error) {
 			Units:    units * len(lats),
 			Latency:  Summarize(lats),
 		}
-		if elapsed > 0 {
-			ws.RequestsPerSec = float64(ws.Requests) / elapsed.Seconds()
-			ws.UnitsPerSec = float64(ws.Units) / elapsed.Seconds()
+		if window > 0 {
+			ws.RequestsPerSec = float64(ws.Requests) / window.Seconds()
+			ws.UnitsPerSec = float64(ws.Units) / window.Seconds()
 		}
 		res.Workloads = append(res.Workloads, ws)
 		res.Requests += ws.Requests
 		res.Errors += ws.Errors
 	}
-	if elapsed > 0 {
-		res.RequestsPerSec = float64(res.Requests) / elapsed.Seconds()
+	if window > 0 {
+		res.RequestsPerSec = float64(res.Requests) / window.Seconds()
 	}
 	return res, nil
 }
@@ -239,10 +251,16 @@ type Result struct {
 	// Concurrency and Warmup echo the config.
 	Concurrency int `json:"concurrency"`
 	Warmup      int `json:"warmup"`
-	// Elapsed is the wall seconds of the whole run, warmup included
-	// (throughputs divide measured requests by it, so they are slightly
-	// conservative when Warmup > 0).
+	// Elapsed is the wall seconds of the whole run, warmup included and —
+	// in duration mode — any deadline overshoot from requests still in
+	// flight when the window closed.
 	Elapsed float64 `json:"elapsed_sec"`
+	// RateWindowSec is the denominator of every throughput figure: the
+	// elapsed time capped at the configured Duration, so requests admitted
+	// inside the window count against the window they were admitted in
+	// rather than against their own overshoot. Equals Elapsed under a pure
+	// count bound (throughputs stay slightly conservative when Warmup > 0).
+	RateWindowSec float64 `json:"rate_window_sec"`
 	// Requests and Errors count measured requests across workloads.
 	Requests int `json:"requests"`
 	Errors   int `json:"errors"`

@@ -143,6 +143,68 @@ func TestRunFixedDurationDeterministic(t *testing.T) {
 	}
 }
 
+// TestRunDurationOvershootExcludedFromRates is the regression pin for
+// the duration-mode accounting bug: a request admitted just before the
+// deadline that finishes long after it used to inflate the throughput
+// denominator (rates divided by the full wall time, overshoot included),
+// understating RequestsPerSec/UnitsPerSec. Rates must divide by the
+// admission window; Elapsed still reports the overshoot.
+func TestRunDurationOvershootExcludedFromRates(t *testing.T) {
+	clk := &fakeClock{}
+	var calls atomic.Int64
+	wl := []Workload{{
+		Name: "w", Weight: 1, Units: 2,
+		Work: func() error {
+			// Nine quick requests at t = 0..80ms, then a straggler admitted
+			// at t = 90ms (inside the 100ms window) that runs for a full
+			// second past the deadline.
+			if calls.Add(1) == 10 {
+				clk.Advance(1000 * time.Millisecond)
+			} else {
+				clk.Advance(ms(10))
+			}
+			return nil
+		},
+	}}
+	res, err := Run(Config{Concurrency: 1, Duration: ms(100), Clock: clk}, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 10 {
+		t.Fatalf("measured requests = %d, want 10", res.Requests)
+	}
+	if got, want := res.Elapsed, (ms(90) + 1000*time.Millisecond).Seconds(); got != want {
+		t.Fatalf("elapsed = %g, want %g (overshoot included)", got, want)
+	}
+	if got, want := res.RateWindowSec, ms(100).Seconds(); got != want {
+		t.Fatalf("rate window = %g, want %g (capped at the deadline)", got, want)
+	}
+	if got, want := res.RequestsPerSec, 10/ms(100).Seconds(); got != want {
+		t.Fatalf("throughput = %g, want %g (denominator must exclude the straggler's overshoot)", got, want)
+	}
+	ws := res.Workloads[0]
+	if got, want := ws.UnitsPerSec, 20/ms(100).Seconds(); got != want {
+		t.Fatalf("units/sec = %g, want %g", got, want)
+	}
+}
+
+// TestRunCountModeWindowEqualsElapsed: under a pure count bound the rate
+// window is simply the elapsed time.
+func TestRunCountModeWindowEqualsElapsed(t *testing.T) {
+	clk := &fakeClock{}
+	wl := []Workload{{
+		Name: "w", Weight: 1,
+		Work: func() error { clk.Advance(ms(10)); return nil },
+	}}
+	res, err := Run(Config{Concurrency: 1, Count: 5, Clock: clk}, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RateWindowSec != res.Elapsed {
+		t.Fatalf("rate window %g != elapsed %g in count mode", res.RateWindowSec, res.Elapsed)
+	}
+}
+
 // TestRunWarmupExcluded: warmup requests execute (visible via the
 // counter) but never reach the statistics.
 func TestRunWarmupExcluded(t *testing.T) {

@@ -18,12 +18,33 @@ import (
 	"repro/internal/graph"
 )
 
-// adjacencyList builds an undirected-view adjacency list (out-edges as
-// stored).
+// adjacencyList builds an undirected-view adjacency list: every stored
+// edge contributes both endpoints' lists, deduplicated, so a directed
+// input reaches the same neighborhoods as its symmetrized form. Dedup
+// keeps the first occurrence, so graphs that already store both
+// directions (the common case) keep their stored neighbor order exactly.
 func adjacencyList(g *graph.Graph) [][]int {
 	adj := make([][]int, g.NumVertices)
 	for _, e := range g.Edges {
-		adj[e[0]] = append(adj[e[0]], e[1])
+		u, v := e[0], e[1]
+		adj[u] = append(adj[u], v)
+		if u != v {
+			adj[v] = append(adj[v], u)
+		}
+	}
+	mark := make([]int, g.NumVertices)
+	for i := range mark {
+		mark[i] = -1
+	}
+	for v, nbrs := range adj {
+		out := nbrs[:0]
+		for _, u := range nbrs {
+			if mark[u] != v {
+				mark[u] = v
+				out = append(out, u)
+			}
+		}
+		adj[v] = out
 	}
 	return adj
 }

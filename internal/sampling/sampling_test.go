@@ -27,6 +27,77 @@ func TestKHopFootprintDedupSeeds(t *testing.T) {
 	}
 }
 
+// TestKHopFootprintDirectedGraph is the regression pin for the
+// directed-input bug: adjacencyList documented an undirected view but
+// only inserted stored out-edges, so on a graph that stores each edge
+// once the footprint upstream of the seeds was invisible.
+func TestKHopFootprintDirectedGraph(t *testing.T) {
+	// Directed path 0→1→2→3, each edge stored once.
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	fp := KHopFootprint(g, []int{3}, 3)
+	want := []int{1, 2, 3, 4}
+	for k, w := range want {
+		if fp[k] != w {
+			t.Fatalf("hop %d footprint = %d, want %d (in-edges must count)", k, fp[k], w)
+		}
+	}
+
+	// The same graph with both directions stored must agree everywhere.
+	sym := graph.New(4)
+	for _, e := range g.Edges {
+		sym.AddUndirectedEdge(e[0], e[1])
+	}
+	for seed := 0; seed < 4; seed++ {
+		a := KHopFootprint(g, []int{seed}, 3)
+		b := KHopFootprint(sym, []int{seed}, 3)
+		for k := range a {
+			if a[k] != b[k] {
+				t.Fatalf("seed %d hop %d: directed %d != symmetrized %d", seed, k, a[k], b[k])
+			}
+		}
+	}
+}
+
+// TestSampleSubgraphDirectedGraph: the sampler must reach vertices that
+// are only connected by in-edges of the seed.
+func TestSampleSubgraphDirectedGraph(t *testing.T) {
+	g := graph.New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	sub, order, mask := SampleSubgraph(g, []int{2}, Fanouts{2, 2}, rand.New(rand.NewSource(1)))
+	if len(order) != 3 {
+		t.Fatalf("sampled %d vertices, want all 3 (upstream vertices reachable)", len(order))
+	}
+	if sub.NumVertices != 3 {
+		t.Fatalf("subgraph has %d vertices, want 3", sub.NumVertices)
+	}
+	if !mask[0] && !mask[1] && !mask[2] {
+		t.Fatal("no seed marked in the sampled subgraph")
+	}
+}
+
+// TestAdjacencyListNoDuplicates: a graph that stores both directions
+// must not get doubled neighbor entries from the symmetrization (that
+// would skew the fan-out sampling distribution).
+func TestAdjacencyListNoDuplicates(t *testing.T) {
+	g := graph.Ring(6)
+	for v, nbrs := range adjacencyList(g) {
+		seen := map[int]bool{}
+		for _, u := range nbrs {
+			if seen[u] {
+				t.Fatalf("vertex %d lists neighbor %d twice", v, u)
+			}
+			seen[u] = true
+		}
+		if len(nbrs) != 2 {
+			t.Fatalf("ring vertex %d has %d neighbors, want 2", v, len(nbrs))
+		}
+	}
+}
+
 func TestKHopFootprintSeedRangePanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

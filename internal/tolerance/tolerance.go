@@ -26,6 +26,20 @@ func AssertClose[T dense.Elem](t testing.TB, name string, got, want *dense.Of[T]
 	worstI, worstAbs, worstRel := -1, 0.0, 0.0
 	for i := range want.Data {
 		g, w := float64(got.Data[i]), float64(want.Data[i])
+		// Non-finite values satisfy no tolerance: they must match exactly
+		// (same NaN-ness or the same infinity). They also cannot go
+		// through the worst-element tracking — a NaN delta fails every
+		// comparison, including `abs > worstAbs`, which used to let a NaN
+		// mismatch slip through silently.
+		if math.IsNaN(g) || math.IsNaN(w) || math.IsInf(g, 0) || math.IsInf(w, 0) {
+			if g == w || (math.IsNaN(g) && math.IsNaN(w)) {
+				continue
+			}
+			r, c := i/want.Cols, i%want.Cols
+			t.Fatalf("%s: element (%d,%d): got %v, want %v (non-finite values must match exactly)",
+				name, r, c, got.Data[i], want.Data[i])
+			return
+		}
 		abs := math.Abs(g - w)
 		rel := 0.0
 		if w != 0 {

@@ -1,0 +1,175 @@
+package tolerance
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/dense"
+)
+
+// recorder captures Fatalf instead of aborting the test, so the
+// assertions under test can be exercised on inputs that must fail. The
+// panic stands in for testing.T's runtime.Goexit: AssertClose must not
+// keep running after a Fatalf.
+type recorder struct {
+	testing.TB
+	failed bool
+	msg    string
+}
+
+type stopRecorder struct{}
+
+func (r *recorder) Helper() {}
+func (r *recorder) Fatalf(format string, args ...any) {
+	r.failed = true
+	r.msg = fmt.Sprintf(format, args...)
+	panic(stopRecorder{})
+}
+
+// failure runs fn against a fresh recorder and reports whether it
+// Fatalf'd, plus the message.
+func failure(t *testing.T, fn func(tb testing.TB)) (bool, string) {
+	t.Helper()
+	rec := &recorder{TB: t}
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(stopRecorder); !ok {
+					panic(r)
+				}
+			}
+		}()
+		fn(rec)
+	}()
+	return rec.failed, rec.msg
+}
+
+func mat(rows, cols int, data ...float64) *dense.Matrix {
+	return &dense.Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+func TestAssertCloseExactMatch(t *testing.T) {
+	m := mat(2, 2, 1, -2.5, 0, 3e9)
+	if failed, msg := failure(t, func(tb testing.TB) {
+		AssertClose(tb, "exact", m, mat(2, 2, 1, -2.5, 0, 3e9), 0, 0)
+	}); failed {
+		t.Fatalf("exact match failed with zero tolerance: %s", msg)
+	}
+}
+
+func TestAssertCloseWithinTolerance(t *testing.T) {
+	// 1e-9 off near zero passes on the absolute bound; 0.5% off at 1e9
+	// passes on the relative bound despite a huge absolute delta.
+	if failed, msg := failure(t, func(tb testing.TB) {
+		AssertClose(tb, "abs", mat(1, 2, 1e-9, 1.005e9), mat(1, 2, 0, 1e9), 1e-8, 0.01)
+	}); failed {
+		t.Fatalf("within-tolerance comparison failed: %s", msg)
+	}
+}
+
+func TestAssertCloseJustOutsideTolerance(t *testing.T) {
+	failed, msg := failure(t, func(tb testing.TB) {
+		AssertClose(tb, "outside", mat(1, 2, 1.0, 2.1), mat(1, 2, 1.0, 2.0), 0.05, 0.01)
+	})
+	if !failed {
+		t.Fatal("element outside both bounds passed")
+	}
+	// The report must carry the worst element's position and values.
+	for _, want := range []string{"outside", "(0,1)", "2.1", "2"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("failure message %q missing %q", msg, want)
+		}
+	}
+}
+
+func TestAssertCloseWorstElementReported(t *testing.T) {
+	// Two violations; the bigger one (index 3 → (1,1)) must be reported.
+	failed, msg := failure(t, func(tb testing.TB) {
+		AssertClose(tb, "worst", mat(2, 2, 0, 1.2, 0, 3.0), mat(2, 2, 0, 1.0, 0, 2.0), 0.01, 0.01)
+	})
+	if !failed {
+		t.Fatal("violations passed")
+	}
+	if !strings.Contains(msg, "(1,1)") {
+		t.Errorf("failure message %q does not name the worst element (1,1)", msg)
+	}
+}
+
+// TestAssertCloseNaNMismatch is the regression pin for the silent-pass
+// bug: a NaN in got produced a NaN delta that failed the tolerance check
+// AND the worst-element comparison, so the mismatch was never reported.
+func TestAssertCloseNaNMismatch(t *testing.T) {
+	if failed, _ := failure(t, func(tb testing.TB) {
+		AssertClose(tb, "nan-got", mat(1, 2, 1, math.NaN()), mat(1, 2, 1, 2), 10, 10)
+	}); !failed {
+		t.Fatal("NaN against a finite value passed silently")
+	}
+	if failed, _ := failure(t, func(tb testing.TB) {
+		AssertClose(tb, "nan-want", mat(1, 1, 2), mat(1, 1, math.NaN()), 10, 10)
+	}); !failed {
+		t.Fatal("finite value against NaN passed silently")
+	}
+}
+
+func TestAssertCloseNaNBothSides(t *testing.T) {
+	// Matching NaNs: both paths produced the same non-value; not a
+	// numerical divergence.
+	if failed, msg := failure(t, func(tb testing.TB) {
+		AssertClose(tb, "nan-nan", mat(1, 2, math.NaN(), 1), mat(1, 2, math.NaN(), 1), 0, 0)
+	}); failed {
+		t.Fatalf("matching NaNs failed: %s", msg)
+	}
+}
+
+func TestAssertCloseInfHandling(t *testing.T) {
+	inf := math.Inf(1)
+	if failed, msg := failure(t, func(tb testing.TB) {
+		AssertClose(tb, "inf-same", mat(1, 1, inf), mat(1, 1, inf), 0, 0)
+	}); failed {
+		t.Fatalf("matching infinities failed: %s", msg)
+	}
+	for name, pair := range map[string][2]float64{
+		"inf vs -inf":   {inf, -inf},
+		"inf vs finite": {inf, 1e300},
+		"finite vs inf": {1e300, inf},
+	} {
+		p := pair
+		if failed, _ := failure(t, func(tb testing.TB) {
+			AssertClose(tb, "inf", mat(1, 1, p[0]), mat(1, 1, p[1]), math.MaxFloat64, math.MaxFloat64)
+		}); !failed {
+			t.Errorf("%s passed", name)
+		}
+	}
+}
+
+func TestAssertCloseShapeMismatch(t *testing.T) {
+	failed, msg := failure(t, func(tb testing.TB) {
+		AssertClose(tb, "shape", mat(2, 3, 0, 0, 0, 0, 0, 0), mat(3, 2, 0, 0, 0, 0, 0, 0), 1, 1)
+	})
+	if !failed {
+		t.Fatal("shape mismatch passed")
+	}
+	if !strings.Contains(msg, "2x3") || !strings.Contains(msg, "3x2") {
+		t.Errorf("failure message %q missing shapes", msg)
+	}
+}
+
+func TestAssertCloseSlice(t *testing.T) {
+	if failed, msg := failure(t, func(tb testing.TB) {
+		AssertCloseSlice(tb, "slice", []float64{1, 2.0001}, []float64{1, 2}, 0.001, 0)
+	}); failed {
+		t.Fatalf("within-tolerance slice failed: %s", msg)
+	}
+	if failed, _ := failure(t, func(tb testing.TB) {
+		AssertCloseSlice(tb, "slice-len", []float64{1}, []float64{1, 2}, 1, 1)
+	}); !failed {
+		t.Fatal("length mismatch passed")
+	}
+	if failed, _ := failure(t, func(tb testing.TB) {
+		AssertCloseSlice(tb, "slice-off", []float64{1, 3}, []float64{1, 2}, 0.001, 0.001)
+	}); !failed {
+		t.Fatal("out-of-tolerance slice passed")
+	}
+}

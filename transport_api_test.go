@@ -1,0 +1,74 @@
+package cagnet
+
+import (
+	"math"
+	"testing"
+)
+
+// TestTrainTCPTransportBitIdentical pins the public-API half of the
+// transport-equivalence contract: Train over "tcp" must reproduce the
+// in-process run's losses and output bit-for-bit on the same seed, and
+// must additionally report measured wall time and wire samples.
+func TestTrainTCPTransportBitIdentical(t *testing.T) {
+	ds := RandomDataset(7, 5, 8, 4, 3, 11)
+	for _, tc := range []struct {
+		algo  string
+		ranks int
+		opts  TrainOptions
+	}{
+		{algo: "2d", ranks: 4},
+		{algo: "1d", ranks: 3, opts: TrainOptions{HaloExchange: true, Partitioner: "ldg"}},
+		{algo: "1.5d", ranks: 4, opts: TrainOptions{Overlap: true}},
+	} {
+		t.Run(tc.algo, func(t *testing.T) {
+			opts := tc.opts
+			opts.Algorithm, opts.Ranks, opts.Epochs, opts.Seed = tc.algo, tc.ranks, 3, 5
+
+			inproc, err := Train(ds, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts.Transport = "tcp"
+			tcp, err := Train(ds, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			for i := range inproc.Losses {
+				if math.Float64bits(inproc.Losses[i]) != math.Float64bits(tcp.Losses[i]) {
+					t.Fatalf("epoch %d loss differs: inproc %v, tcp %v", i, inproc.Losses[i], tcp.Losses[i])
+				}
+			}
+			a, b := inproc.Result().Output, tcp.Result().Output
+			for i := range a.Data {
+				if math.Float64bits(a.Data[i]) != math.Float64bits(b.Data[i]) {
+					t.Fatalf("output[%d] differs: inproc %v, tcp %v", i, a.Data[i], b.Data[i])
+				}
+			}
+			if inproc.ModeledSeconds != tcp.ModeledSeconds {
+				t.Fatalf("modeled time differs across transports: inproc %v, tcp %v",
+					inproc.ModeledSeconds, tcp.ModeledSeconds)
+			}
+			if tcp.MeasuredSeconds <= 0 {
+				t.Fatal("tcp transport reported no measured wall time")
+			}
+			if tcp.WireSamples == 0 {
+				t.Fatal("tcp transport recorded no wire samples")
+			}
+			if inproc.MeasuredSeconds != 0 || inproc.WireSamples != 0 {
+				t.Fatal("inproc transport should not report wire measurements")
+			}
+		})
+	}
+}
+
+// TestTrainTransportValidation covers the rejections.
+func TestTrainTransportValidation(t *testing.T) {
+	ds := RandomDataset(6, 4, 6, 4, 3, 12)
+	if _, err := Train(ds, TrainOptions{Algorithm: "serial", Transport: "tcp", Epochs: 1}); err == nil {
+		t.Fatal("serial accepted the tcp transport")
+	}
+	if _, err := Train(ds, TrainOptions{Algorithm: "2d", Ranks: 4, Transport: "quic", Epochs: 1}); err == nil {
+		t.Fatal("unknown transport accepted")
+	}
+}
