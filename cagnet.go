@@ -28,6 +28,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/costmodel"
@@ -209,6 +210,12 @@ type TrainOptions struct {
 	// FittedBeta). Distributed algorithms only; "serial" has no fabric and
 	// rejects it. For true multi-process ranks use cmd/cagnet-worker.
 	Transport string
+	// Checkpoint enables snapshots of the training state (weights,
+	// optimizer buffers, epoch counter, metric history) plus
+	// resume-from-latest at startup: when Checkpoint.Dir holds a snapshot,
+	// training continues from it and the finished run is bit-identical to
+	// an uninterrupted one. Snapshots are written atomically by rank 0.
+	Checkpoint CheckpointOptions
 	// Backend selects the compute backend for all kernels: "serial" runs
 	// them single-threaded, "parallel" (the default) row-partitions large
 	// SpMM/GEMM/activation kernels across a worker pool sized by
@@ -219,6 +226,16 @@ type TrainOptions struct {
 	// (default "parallel", overridable with the CAGNET_BACKEND environment
 	// variable).
 	Backend string
+}
+
+// CheckpointOptions configures checkpoint/restart; see
+// TrainOptions.Checkpoint.
+type CheckpointOptions struct {
+	// Dir is the snapshot directory; empty disables checkpointing.
+	Dir string
+	// Every is the epoch interval between snapshots; <= 0 with Dir set
+	// writes only the final one.
+	Every int
 }
 
 func (o TrainOptions) withDefaults() TrainOptions {
@@ -325,11 +342,12 @@ func Train(ds *graph.Dataset, opts TrainOptions) (*TrainReport, error) {
 		return nil, err
 	}
 	problem := core.Problem{
-		A:         ds.Graph.NormalizedAdjacency(),
-		Features:  ds.Features,
-		Labels:    ds.Labels,
-		TrainMask: opts.TrainMask,
-		ValMask:   opts.ValMask,
+		A:          ds.Graph.NormalizedAdjacency(),
+		Features:   ds.Features,
+		Labels:     ds.Labels,
+		TrainMask:  opts.TrainMask,
+		ValMask:    opts.ValMask,
+		Checkpoint: checkpoint.Options{Dir: opts.Checkpoint.Dir, Every: opts.Checkpoint.Every},
 		Config: nn.Config{
 			Widths:    ds.LayerWidths(),
 			LR:        opts.LR,

@@ -1,0 +1,144 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"time"
+
+	cagnet "repro"
+	"repro/internal/checkpoint"
+	"repro/internal/harness"
+)
+
+// FaultRow is one algorithm's checkpoint/recovery cost measurement: what
+// per-epoch snapshotting adds to a run, and whether an interrupted run
+// resumed from its latest snapshot finishes bit-identical to a clean one.
+// Every wall-clock field is host-dependent and informational — the fault
+// experiment as a whole is exempt from benchdiff gating; the contract
+// that IS checked in CI is BitIdentical.
+type FaultRow struct {
+	Algorithm       string `json:"algorithm"`
+	P               int    `json:"p"`
+	Epochs          int    `json:"epochs"`
+	CheckpointEvery int    `json:"checkpoint_every"`
+	// BitIdentical records the recovery contract: train half the epochs
+	// with checkpointing, rerun asking for all of them (resuming from the
+	// half-way snapshot), and the combined losses match an uninterrupted
+	// run bit for bit.
+	BitIdentical bool `json:"bit_identical"`
+	// CleanWallSec is the uncheckpointed run's wall-clock time.
+	CleanWallSec float64 `json:"clean_wall_sec"`
+	// CheckpointedWallSec is the same run snapshotting every epoch.
+	CheckpointedWallSec float64 `json:"checkpointed_wall_sec"`
+	// RecoveryOverheadSec is what checkpointing cost: checkpointed minus
+	// clean wall time (can be noise-negative on tiny runs).
+	RecoveryOverheadSec float64 `json:"recovery_overhead_sec"`
+	// CheckpointBytes is the size of one snapshot on disk.
+	CheckpointBytes int64 `json:"checkpoint_bytes"`
+}
+
+// runFault measures the checkpoint/restart machinery: snapshot overhead
+// per epoch and the resume bit-identity contract, per algorithm.
+func runFault(o harness.Options) (any, error) {
+	o = o.WithDefaults()
+	scale := 8
+	if o.Quick {
+		scale = 6
+	}
+	ds := cagnet.RandomDataset(scale, 8, 16, 16, 8, 1)
+	const epochs = 6
+	var rows []FaultRow
+	for _, cfg := range []struct {
+		algo string
+		p    int
+	}{
+		{"1d", 4},
+		{"2d", 4},
+	} {
+		base := cagnet.TrainOptions{
+			Algorithm: cfg.algo, Ranks: cfg.p, Epochs: epochs,
+			Machine: o.Machine.Name, Optimizer: o.Optimizer,
+		}
+		start := time.Now()
+		clean, err := cagnet.Train(ds, base)
+		if err != nil {
+			return nil, fmt.Errorf("fault %s clean: %w", cfg.algo, err)
+		}
+		cleanWall := time.Since(start).Seconds()
+
+		ckptDir, err := os.MkdirTemp("", "cagnet-fault-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(ckptDir)
+		ck := base
+		ck.Checkpoint = cagnet.CheckpointOptions{Dir: ckptDir, Every: 1}
+		start = time.Now()
+		if _, err := cagnet.Train(ds, ck); err != nil {
+			return nil, fmt.Errorf("fault %s checkpointed: %w", cfg.algo, err)
+		}
+		ckWall := time.Since(start).Seconds()
+		var ckptBytes int64
+		if path, err := checkpoint.Latest(ckptDir); err == nil && path != "" {
+			if fi, err := os.Stat(path); err == nil {
+				ckptBytes = fi.Size()
+			}
+		}
+
+		// The recovery contract: interrupt at the halfway snapshot, resume
+		// to the full epoch count, compare to the clean run bit for bit.
+		resumeDir, err := os.MkdirTemp("", "cagnet-fault-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(resumeDir)
+		half := ck
+		half.Checkpoint.Dir = resumeDir
+		half.Epochs = epochs / 2
+		if _, err := cagnet.Train(ds, half); err != nil {
+			return nil, fmt.Errorf("fault %s half: %w", cfg.algo, err)
+		}
+		full := ck
+		full.Checkpoint.Dir = resumeDir
+		resumed, err := cagnet.Train(ds, full)
+		if err != nil {
+			return nil, fmt.Errorf("fault %s resume: %w", cfg.algo, err)
+		}
+		identical := len(resumed.Losses) == len(clean.Losses)
+		for i := range clean.Losses {
+			if !identical || math.Float64bits(resumed.Losses[i]) != math.Float64bits(clean.Losses[i]) {
+				identical = false
+				break
+			}
+		}
+
+		rows = append(rows, FaultRow{
+			Algorithm: cfg.algo, P: cfg.p,
+			Epochs: epochs, CheckpointEvery: 1,
+			BitIdentical:        identical,
+			CleanWallSec:        cleanWall,
+			CheckpointedWallSec: ckWall,
+			RecoveryOverheadSec: ckWall - cleanWall,
+			CheckpointBytes:     ckptBytes,
+		})
+	}
+	fmt.Println("== Fault tolerance: checkpoint overhead and resume bit-identity ==")
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Algorithm, strconv.Itoa(r.P), strconv.Itoa(r.Epochs),
+			strconv.FormatBool(r.BitIdentical),
+			harness.FormatFloat(r.CleanWallSec),
+			harness.FormatFloat(r.CheckpointedWallSec),
+			harness.FormatFloat(r.RecoveryOverheadSec),
+			strconv.FormatInt(r.CheckpointBytes, 10),
+		})
+	}
+	fmt.Println(harness.Table(
+		[]string{"algorithm", "P", "epochs", "resume-bit-identical", "clean s", "ckpt s", "overhead s", "ckpt bytes"}, cells))
+	fmt.Println("wall times describe this host; the gated contract is resume-bit-identical.")
+	fmt.Println()
+	return rows, nil
+}

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	cagnet-bench [-exp all|tableVI|fig2|fig3|partition|crossover|algo3d|overlap|kernels|scaling|convergence|transport]
+//	cagnet-bench [-exp all|tableVI|fig2|fig3|partition|crossover|algo3d|overlap|kernels|scaling|convergence|transport|fault]
 //	             [-quick] [-machine summit-v100] [-optimizer sgd]
 //	             [-halo] [-partitioner block] [-overlap]
 //	             [-backend parallel] [-workers 0] [-json path]
@@ -45,7 +45,7 @@ type benchSnapshot struct {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("cagnet-bench: ")
-	exp := flag.String("exp", "all", "experiment: all, tableVI, fig2, fig3, partition, crossover, algo3d, overlap, kernels, scaling, convergence, transport")
+	exp := flag.String("exp", "all", "experiment: all, tableVI, fig2, fig3, partition, crossover, algo3d, overlap, kernels, scaling, convergence, transport, fault")
 	quick := flag.Bool("quick", false, "use reduced dataset sizes")
 	machine := flag.String("machine", costmodel.SummitSim.Name, "cost-model machine profile")
 	optimizer := flag.String("optimizer", "sgd", "weight-update rule for the convergence experiment: sgd, momentum, adam")
@@ -89,8 +89,9 @@ func main() {
 		"scaling":     runScaling,
 		"convergence": runConvergence,
 		"transport":   runTransport,
+		"fault":       runFault,
 	}
-	order := []string{"tableVI", "fig2", "fig3", "partition", "crossover", "algo3d", "overlap", "kernels", "scaling", "convergence", "transport"}
+	order := []string{"tableVI", "fig2", "fig3", "partition", "crossover", "algo3d", "overlap", "kernels", "scaling", "convergence", "transport", "fault"}
 
 	snapshot := benchSnapshot{
 		Machine: mach.Name, Quick: *quick, Optimizer: *optimizer,

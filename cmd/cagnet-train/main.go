@@ -9,6 +9,7 @@
 //	             [-halo] [-partitioner block] [-overlap] [-machine summit-v100]
 //	             [-precision f64] [-format csr] [-fused on] [-unrolled]
 //	             [-transport inproc] [-backend parallel] [-workers 0] [-quick]
+//	             [-checkpoint-dir DIR] [-checkpoint-every N]
 //
 // Flag combinations that would have no effect are rejected up front —
 // before the dataset build — rather than silently ignored: -halo and
@@ -47,6 +48,8 @@ func main() {
 	unrolled := flag.Bool("unrolled", false, "use the 4-accumulator unrolled input-gradient GEMM (serial algo only)")
 	valFrac := flag.Float64("val", 0, "fraction of vertices held out for validation tracking (0 disables)")
 	transport := flag.String("transport", "", "rank fabric: inproc (default; simulated channels) or tcp (real loopback sockets with wall-clock timing and a wire-fitted alpha/beta)")
+	ckptDir := flag.String("checkpoint-dir", "", "directory for atomic training-state snapshots; resumes from the latest one when present (empty disables)")
+	ckptEvery := flag.Int("checkpoint-every", 0, "epochs between snapshots (0 = only the final one; needs -checkpoint-dir)")
 	machine := flag.String("machine", "summit-v100", "cost-model machine profile")
 	backend := flag.String("backend", "", "compute backend: serial or parallel (default: parallel, or $CAGNET_BACKEND)")
 	workers := flag.Int("workers", 0, "parallel backend worker count (0 = runtime.NumCPU or $CAGNET_WORKERS)")
@@ -62,7 +65,7 @@ func main() {
 	if err := validateFlags(flagCombo{
 		algo: *algo, halo: *halo, partitioner: *partitioner, overlap: *overlap,
 		precision: *precision, format: *format, fused: *fused, unrolled: *unrolled,
-		transport: *transport,
+		transport: *transport, ckptDir: *ckptDir, ckptEvery: *ckptEvery,
 	}); err != nil {
 		log.Fatal(err)
 	}
@@ -133,6 +136,7 @@ func main() {
 		ValMask:           valMask,
 		Machine:           *machine,
 		Backend:           *backend,
+		Checkpoint:        cagnet.CheckpointOptions{Dir: *ckptDir, Every: *ckptEvery},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -186,6 +190,8 @@ type flagCombo struct {
 	fused       string
 	unrolled    bool
 	transport   string
+	ckptDir     string
+	ckptEvery   int
 }
 
 // validateFlags rejects flag combinations that would otherwise do nothing
@@ -224,6 +230,12 @@ func validateFlags(f flagCombo) error {
 		}
 	default:
 		return fmt.Errorf("-transport %q: want inproc or tcp", f.transport)
+	}
+	if f.ckptEvery != 0 && f.ckptDir == "" {
+		return fmt.Errorf("-checkpoint-every %d does nothing without -checkpoint-dir", f.ckptEvery)
+	}
+	if f.ckptEvery < 0 {
+		return fmt.Errorf("-checkpoint-every %d must be positive", f.ckptEvery)
 	}
 	return nil
 }

@@ -21,7 +21,26 @@
 // -rank, -world, and -coordinator fall back to the CAGNET_RANK,
 // CAGNET_WORLD, and CAGNET_COORDINATOR environment variables, so the
 // binary drops into mpirun-style launchers that communicate placement
-// through the environment.
+// through the environment. -rendezvous-timeout falls back to
+// CAGNET_RENDEZVOUS_TIMEOUT.
+//
+// # Fault tolerance
+//
+// The fabric heartbeats every peer connection and enforces
+// -progress-timeout on blocked collectives, so a dead or partitioned
+// rank surfaces as a prompt error naming it instead of an indefinite
+// hang; a failing rank broadcasts its root cause to the world before
+// exiting. With -checkpoint-dir set, rank 0 writes atomic snapshots
+// every -checkpoint-every epochs (plus one at the end) and a fresh start
+// resumes from the latest snapshot bit-identically. -spawn then becomes
+// a supervisor: when the world dies it restarts all ranks from the
+// latest checkpoint with bounded exponential backoff, bumping the
+// rendezvous generation so stragglers from the dead world are ignored.
+// -chaos injects deterministic faults on one rank (e.g. crash@epoch=3)
+// to exercise exactly these paths:
+//
+//	cagnet-worker -spawn -world 4 -quick -checkpoint-dir /tmp/ckpt \
+//	    -checkpoint-every 1 -chaos crash@epoch=3
 package main
 
 import (
@@ -35,6 +54,7 @@ import (
 	"time"
 
 	cagnet "repro"
+	"repro/internal/checkpoint"
 	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/costmodel"
@@ -60,6 +80,16 @@ type config struct {
 	machine     string
 	overlap     bool
 	quick       bool
+
+	rendezvousTimeout time.Duration
+	progressTimeout   time.Duration
+	heartbeatInterval time.Duration
+	checkpointDir     string
+	checkpointEvery   int
+	chaos             string
+	chaosRank         int
+	maxRestarts       int
+	generation        int
 }
 
 func main() {
@@ -70,7 +100,7 @@ func main() {
 	flag.IntVar(&cfg.world, "world", 0, "total rank count (or $CAGNET_WORLD)")
 	flag.StringVar(&cfg.coordinator, "coordinator", "", "rendezvous coordinator host:port (or $CAGNET_COORDINATOR)")
 	flag.BoolVar(&cfg.host, "host", true, "rank 0 hosts the coordinator at -coordinator (set -host=false when one already runs there)")
-	flag.BoolVar(&cfg.spawn, "spawn", false, "fork all -world workers locally instead of running one rank")
+	flag.BoolVar(&cfg.spawn, "spawn", false, "fork all -world workers locally (and supervise them: with -checkpoint-dir, a crashed world restarts from the latest checkpoint)")
 	flag.StringVar(&cfg.dataset, "dataset", "reddit-sim", "dataset analog (reddit-sim, amazon-sim, protein-sim)")
 	flag.StringVar(&cfg.algo, "algo", "2d", "algorithm: 1d, 1.5d, 2d, 3d (serial has no ranks)")
 	flag.IntVar(&cfg.epochs, "epochs", 10, "training epochs")
@@ -81,16 +111,28 @@ func main() {
 	flag.StringVar(&cfg.machine, "machine", "summit-v100", "cost-model machine profile")
 	flag.BoolVar(&cfg.overlap, "overlap", false, "hide communication behind compute (bit-identical results)")
 	flag.BoolVar(&cfg.quick, "quick", false, "shrink the dataset for a fast run")
+	flag.DurationVar(&cfg.rendezvousTimeout, "rendezvous-timeout", 0, "how long rendezvous and the mesh handshake may take (0 = 30s default; or $CAGNET_RENDEZVOUS_TIMEOUT)")
+	flag.DurationVar(&cfg.progressTimeout, "progress-timeout", 0, "a blocked collective fails after this much silence from the awaited peer (0 = 30s default; negative disables)")
+	flag.DurationVar(&cfg.heartbeatInterval, "heartbeat-interval", 0, "period between heartbeat frames to every peer (0 = 500ms default; negative disables)")
+	flag.StringVar(&cfg.checkpointDir, "checkpoint-dir", "", "directory for atomic training-state snapshots; a start resumes from the latest one (empty disables)")
+	flag.IntVar(&cfg.checkpointEvery, "checkpoint-every", 0, "epochs between snapshots (0 = only the final one)")
+	flag.StringVar(&cfg.chaos, "chaos", "", "deterministic fault plan injected on the chaos rank, e.g. crash@epoch=3 or sever@op=40,delay@op=10:50ms")
+	flag.IntVar(&cfg.chaosRank, "chaos-rank", 1, "rank the -chaos plan applies to")
+	flag.IntVar(&cfg.maxRestarts, "max-restarts", 3, "-spawn: world restarts from checkpoint before giving up")
+	flag.IntVar(&cfg.generation, "generation", 0, "rendezvous generation (set by the -spawn supervisor on restart)")
 	flag.Parse()
 
 	applyEnvFallback(&cfg)
 	if err := run(cfg); err != nil {
-		log.Fatal(err)
+		// run has already released the transport (and broadcast the root
+		// cause to surviving peers) on every failure path.
+		log.Print(err)
+		os.Exit(1)
 	}
 }
 
-// applyEnvFallback fills rank/world/coordinator from the CAGNET_*
-// environment when the flags were left at their defaults.
+// applyEnvFallback fills rank/world/coordinator/rendezvous-timeout from
+// the CAGNET_* environment when the flags were left at their defaults.
 func applyEnvFallback(cfg *config) {
 	if cfg.rank < 0 {
 		if v, err := strconv.Atoi(os.Getenv("CAGNET_RANK")); err == nil {
@@ -105,6 +147,21 @@ func applyEnvFallback(cfg *config) {
 	if cfg.coordinator == "" {
 		cfg.coordinator = os.Getenv("CAGNET_COORDINATOR")
 	}
+	if cfg.rendezvousTimeout == 0 {
+		if d, err := time.ParseDuration(os.Getenv("CAGNET_RENDEZVOUS_TIMEOUT")); err == nil {
+			cfg.rendezvousTimeout = d
+		}
+	}
+}
+
+// tcpOptions assembles the fabric options this process runs with.
+func (cfg config) tcpOptions() comm.TCPOptions {
+	return comm.TCPOptions{
+		RendezvousTimeout: cfg.rendezvousTimeout,
+		HeartbeatInterval: cfg.heartbeatInterval,
+		ProgressTimeout:   cfg.progressTimeout,
+		Generation:        cfg.generation,
+	}
 }
 
 func run(cfg config) error {
@@ -114,8 +171,19 @@ func run(cfg config) error {
 	if cfg.algo == "serial" {
 		return fmt.Errorf("-algo serial has no ranks to distribute; use cagnet-train")
 	}
+	if cfg.chaos != "" {
+		if _, err := comm.ParseFaultPlan(cfg.chaos); err != nil {
+			return err
+		}
+		if cfg.chaosRank < 0 || cfg.chaosRank >= cfg.world {
+			return fmt.Errorf("-chaos-rank %d outside [0, %d)", cfg.chaosRank, cfg.world)
+		}
+	}
+	if cfg.checkpointEvery < 0 {
+		return fmt.Errorf("-checkpoint-every %d must be positive", cfg.checkpointEvery)
+	}
 	if cfg.spawn {
-		return spawnAll(cfg)
+		return supervise(cfg)
 	}
 	if cfg.rank < 0 || cfg.rank >= cfg.world {
 		return fmt.Errorf("-rank %d outside [0, %d) (flag or $CAGNET_RANK)", cfg.rank, cfg.world)
@@ -126,10 +194,41 @@ func run(cfg config) error {
 	return runRank(cfg)
 }
 
-// spawnAll forks one worker process per rank, hosting the rendezvous
-// coordinator itself so the children only need its address.
-func spawnAll(cfg config) error {
-	coord, err := comm.NewCoordinator("127.0.0.1:0", cfg.world)
+// supervise forks the whole world and, when checkpointing is on, restarts
+// it from the latest snapshot after a crash — with bounded exponential
+// backoff and a bumped rendezvous generation per attempt, so frames from
+// a dead incarnation can never leak into the new one. Training is
+// bulk-synchronous over replicated state, so whole-world restart from the
+// last checkpoint is the recovery that preserves bit-identical results.
+func supervise(cfg config) error {
+	for gen := cfg.generation; ; gen++ {
+		err := spawnAll(cfg, gen)
+		if err == nil {
+			return nil
+		}
+		if cfg.checkpointDir == "" {
+			return fmt.Errorf("world failed with no -checkpoint-dir to restart from: %w", err)
+		}
+		restarts := gen - cfg.generation
+		if restarts >= cfg.maxRestarts {
+			return fmt.Errorf("giving up after %d restarts: %w", restarts, err)
+		}
+		backoff := min((100*time.Millisecond)<<restarts, 2*time.Second)
+		log.Printf("world generation %d failed: %v; restarting from latest checkpoint in %v", gen, err, backoff)
+		time.Sleep(backoff)
+	}
+}
+
+// spawnAll forks one worker process per rank for one generation, hosting
+// that generation's rendezvous coordinator itself so the children only
+// need its address. The -chaos plan is forwarded to the chaos rank on the
+// first generation only — a restarted world must not re-crash on the same
+// scripted fault.
+func spawnAll(cfg config, gen int) error {
+	coord, err := comm.NewCoordinatorOpts("127.0.0.1:0", cfg.world, comm.TCPOptions{
+		RendezvousTimeout: cfg.rendezvousTimeout,
+		Generation:        gen,
+	})
 	if err != nil {
 		return err
 	}
@@ -142,6 +241,7 @@ func spawnAll(cfg config) error {
 		"-world", strconv.Itoa(cfg.world),
 		"-coordinator", coord.Addr(),
 		"-host=false",
+		"-generation", strconv.Itoa(gen),
 		"-dataset", cfg.dataset,
 		"-algo", cfg.algo,
 		"-epochs", strconv.Itoa(cfg.epochs),
@@ -150,6 +250,9 @@ func spawnAll(cfg config) error {
 		"-replication", strconv.Itoa(cfg.replication),
 		"-seed", strconv.FormatInt(cfg.seed, 10),
 		"-machine", cfg.machine,
+		"-rendezvous-timeout", cfg.rendezvousTimeout.String(),
+		"-progress-timeout", cfg.progressTimeout.String(),
+		"-heartbeat-interval", cfg.heartbeatInterval.String(),
 	}
 	if cfg.overlap {
 		args = append(args, "-overlap")
@@ -157,9 +260,17 @@ func spawnAll(cfg config) error {
 	if cfg.quick {
 		args = append(args, "-quick")
 	}
+	if cfg.checkpointDir != "" {
+		args = append(args, "-checkpoint-dir", cfg.checkpointDir,
+			"-checkpoint-every", strconv.Itoa(cfg.checkpointEvery))
+	}
 	procs := make([]*exec.Cmd, cfg.world)
 	for r := 0; r < cfg.world; r++ {
-		procs[r] = exec.Command(exe, append([]string{"-rank", strconv.Itoa(r)}, args...)...)
+		rankArgs := append([]string{"-rank", strconv.Itoa(r)}, args...)
+		if cfg.chaos != "" && gen == cfg.generation && r == cfg.chaosRank {
+			rankArgs = append(rankArgs, "-chaos", cfg.chaos, "-chaos-rank", strconv.Itoa(r))
+		}
+		procs[r] = exec.Command(exe, rankArgs...)
 		procs[r].Stdout = os.Stdout
 		procs[r].Stderr = os.Stderr
 		procs[r].Env = os.Environ()
@@ -171,6 +282,9 @@ func spawnAll(cfg config) error {
 			return fmt.Errorf("spawning rank %d: %w", r, err)
 		}
 	}
+	// Abort propagation and the progress timeout make every healthy rank
+	// exit on its own shortly after any rank dies, so waiting for all of
+	// them is bounded even on failure.
 	var firstErr error
 	for r, p := range procs {
 		if err := p.Wait(); err != nil && firstErr == nil {
@@ -218,9 +332,10 @@ func runRank(cfg config) error {
 		}
 	}
 	problem := core.Problem{
-		A:        ds.Graph.NormalizedAdjacency(),
-		Features: ds.Features,
-		Labels:   ds.Labels,
+		A:          ds.Graph.NormalizedAdjacency(),
+		Features:   ds.Features,
+		Labels:     ds.Labels,
+		Checkpoint: checkpoint.Options{Dir: cfg.checkpointDir, Every: cfg.checkpointEvery},
 		Config: nn.Config{
 			Widths:    ds.LayerWidths(),
 			LR:        cfg.lr,
@@ -232,18 +347,33 @@ func runRank(cfg config) error {
 
 	dialAddr := cfg.coordinator
 	if cfg.host && cfg.rank == 0 {
-		coord, err := comm.NewCoordinator(cfg.coordinator, cfg.world)
+		coord, err := comm.NewCoordinatorOpts(cfg.coordinator, cfg.world, cfg.tcpOptions())
 		if err != nil {
 			return fmt.Errorf("hosting coordinator: %w", err)
 		}
 		go coord.Serve()
 		dialAddr = coord.Addr()
 	}
-	tr, err := comm.DialTCP(dialAddr, cfg.rank, cfg.world)
+	tcpTr, err := comm.DialTCPOpts(dialAddr, cfg.rank, cfg.world, cfg.tcpOptions())
 	if err != nil {
 		return err
 	}
-	defer tr.Close()
+	defer tcpTr.Close()
+	var tr comm.Transport = tcpTr
+	if cfg.chaos != "" && cfg.rank == cfg.chaosRank {
+		plan, err := comm.ParseFaultPlan(cfg.chaos)
+		if err != nil {
+			return err
+		}
+		ft := comm.NewFaultTransport(tcpTr, plan)
+		// Crash like kill -9 would: no abort frame, no orderly close —
+		// peers must detect the loss through the fabric itself.
+		ft.Crash = func(reason string) {
+			log.Printf("rank %d: %s", cfg.rank, reason)
+			os.Exit(137)
+		}
+		tr = ft
+	}
 	c := comm.NewTransportComm(tr, comm.CostParams{Alpha: mach.Alpha, Beta: mach.Beta})
 	meter := c.EnableMetering()
 	if err := core.SetTransportComm(trainer, c); err != nil {
@@ -251,9 +381,9 @@ func runRank(cfg config) error {
 	}
 
 	start := time.Now()
-	res, err := trainer.Train(problem)
+	res, err := safeTrain(trainer, problem, tcpTr, cfg.rank)
 	if err != nil {
-		return fmt.Errorf("rank %d: %w", cfg.rank, err)
+		return err
 	}
 	wall := time.Since(start).Seconds()
 
@@ -308,4 +438,29 @@ func runRank(cfg config) error {
 		fmt.Printf("wire fit unavailable over %d samples: %v\n", len(fs), err)
 	}
 	return nil
+}
+
+// safeTrain runs the trainer, converting a fabric panic — a peer failure,
+// progress timeout, or checkpoint write error — into a returned error.
+// Before returning it broadcasts the root cause to every surviving peer,
+// so they fail fast with "rank N aborted: ..." instead of waiting out a
+// connection loss; the caller's deferred Close then tears the fabric down.
+func safeTrain(trainer core.Trainer, problem core.Problem, tr *comm.TCPTransport, rank int) (res *core.Result, err error) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if pe, ok := comm.AsPeerError(r); ok {
+			err = pe
+		} else {
+			err = fmt.Errorf("rank %d: %v", rank, r)
+		}
+		tr.Abort(err.Error())
+	}()
+	res, err = trainer.Train(problem)
+	if err != nil {
+		err = fmt.Errorf("rank %d: %w", rank, err)
+	}
+	return res, err
 }

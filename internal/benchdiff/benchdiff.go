@@ -211,13 +211,14 @@ const (
 // Classify maps an experiment name and metric path to its gate.
 // Wall-clock blocks are never gated, whatever their field names —
 // their values depend on the recording host, so gating them would
-// make the diff irreproducible. Two blocks qualify: any path under a
-// nested "load." object (the latency/throughput report) and the
-// entire "kernels" experiment, whose Speedup is a ratio of measured
-// wall seconds. The overlap experiment's Speedup, by contrast, is
-// modeled and stays gated.
+// make the diff irreproducible. Three blocks qualify: any path under a
+// nested "load." object (the latency/throughput report), the entire
+// "kernels" experiment, whose Speedup is a ratio of measured wall
+// seconds, and the "fault" experiment, whose recovery-overhead numbers
+// are wall-clock too. The overlap experiment's Speedup, by contrast,
+// is modeled and stays gated.
 func Classify(experiment, metric string) Gate {
-	if experiment == "kernels" {
+	if experiment == "kernels" || experiment == "fault" {
 		return GateNone
 	}
 	if strings.HasPrefix(metric, "load.") || strings.Contains(metric, ".load.") {

@@ -1,0 +1,162 @@
+package checkpoint
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/dense"
+)
+
+// testSnapshot builds a snapshot exercising every field, including values
+// whose bit patterns a lossy text round-trip would mangle.
+func testSnapshot(epoch int) *Snapshot {
+	w := dense.New(3, 2)
+	copy(w.Data, []float64{1.5, -2.25, math.Pi, 1e-308, -0.0, 3e300})
+	m := dense.New(2, 2)
+	copy(m.Data, []float64{0.1, 0.2, 0.3, 0.4})
+	v := dense.New(2, 2)
+	copy(v.Data, []float64{1e-9, 2e-9, 3e-9, 4e-9})
+	losses := make([]float64, epoch)
+	for i := range losses {
+		losses[i] = 3.7 - float64(i)/100
+	}
+	return &Snapshot{
+		Epoch:    epoch,
+		Seed:     42,
+		Weights:  []*dense.Matrix{w},
+		OptName:  "adam",
+		OptStep:  epoch,
+		OptState: []*dense.Matrix{m, v},
+		Losses:   losses,
+		TrainAcc: []float64{0.5, 0.6}[:min(2, epoch)],
+	}
+}
+
+func sameMats(t *testing.T, what string, got, want []*dense.Matrix) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d matrices, want %d", what, len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Rows != want[i].Rows || got[i].Cols != want[i].Cols {
+			t.Fatalf("%s[%d]: shape %dx%d, want %dx%d", what, i,
+				got[i].Rows, got[i].Cols, want[i].Rows, want[i].Cols)
+		}
+		for j := range want[i].Data {
+			if math.Float64bits(got[i].Data[j]) != math.Float64bits(want[i].Data[j]) {
+				t.Fatalf("%s[%d].Data[%d] = %v, want %v (bitwise)", what, i, j,
+					got[i].Data[j], want[i].Data[j])
+			}
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	want := testSnapshot(5)
+	path, err := Save(dir, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != want.Epoch || got.Seed != want.Seed ||
+		got.OptName != want.OptName || got.OptStep != want.OptStep {
+		t.Fatalf("scalars: got %+v", got)
+	}
+	sameMats(t, "weights", got.Weights, want.Weights)
+	sameMats(t, "optState", got.OptState, want.OptState)
+	for i := range want.Losses {
+		if math.Float64bits(got.Losses[i]) != math.Float64bits(want.Losses[i]) {
+			t.Fatalf("losses[%d] = %v, want %v", i, got.Losses[i], want.Losses[i])
+		}
+	}
+	if len(got.TrainAcc) != len(want.TrainAcc) || len(got.ValAcc) != 0 {
+		t.Fatalf("accuracy histories: %d train, %d val", len(got.TrainAcc), len(got.ValAcc))
+	}
+}
+
+func TestSaveCreatesDirAndLeavesNoTemp(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "nested", "ckpt")
+	if _, err := Save(dir, testSnapshot(1)); err != nil {
+		t.Fatal(err)
+	}
+	tmps, err := filepath.Glob(filepath.Join(dir, "*.tmp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tmps) != 0 {
+		t.Fatalf("temp files left behind after atomic save: %v", tmps)
+	}
+}
+
+func TestLatestPicksHighestEpoch(t *testing.T) {
+	dir := t.TempDir()
+	if p, err := Latest(dir); err != nil || p != "" {
+		t.Fatalf("empty dir: Latest = %q, %v", p, err)
+	}
+	if p, err := Latest(filepath.Join(dir, "missing")); err != nil || p != "" {
+		t.Fatalf("missing dir: Latest = %q, %v", p, err)
+	}
+	// Out-of-order writes, including a two-digit epoch that would sort
+	// before epoch 9 without zero padding.
+	for _, e := range []int{9, 3, 12} {
+		if _, err := Save(dir, testSnapshot(e)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err := Latest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(p, "ckpt-00000012.ckpt") {
+		t.Fatalf("Latest = %q, want the epoch-12 file", p)
+	}
+}
+
+func TestLoadRejectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path, err := Save(dir, testSnapshot(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := func(name string, mutate func([]byte) []byte) {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, mutate(append([]byte(nil), raw...)), 0o666); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(p); err == nil {
+			t.Errorf("%s: corrupt checkpoint loaded without error", name)
+		}
+	}
+	corrupt("flipped.ckpt", func(b []byte) []byte {
+		b[len(b)-1] ^= 0x01 // payload bit flip -> checksum mismatch
+		return b
+	})
+	corrupt("truncated.ckpt", func(b []byte) []byte { return b[:len(b)-8] })
+	corrupt("badmagic.ckpt", func(b []byte) []byte {
+		b[0] = 'X'
+		return b
+	})
+	corrupt("badversion.ckpt", func(b []byte) []byte {
+		b[7]++ // format major version bump must refuse to load
+		return b
+	})
+	corrupt("empty.ckpt", func(b []byte) []byte { return nil })
+	corrupt("trailing.ckpt", func(b []byte) []byte { return append(b, 0xAB) })
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "nope.ckpt")); err == nil {
+		t.Fatal("Load of a missing file succeeded")
+	}
+}

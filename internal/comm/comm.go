@@ -514,6 +514,9 @@ func (c *Comm) Exchange(peer int, p Payload, cat Category) Payload {
 // would silently drop its communication span from the timeline, so it
 // panics instead).
 func (c *Comm) EpochDone() {
+	if et, ok := c.tr.(epochTicker); ok {
+		et.EpochTick()
+	}
 	c.recycleRequests()
 	c.tr.Barrier()
 	if c.poolShared {

@@ -8,6 +8,7 @@ import (
 	"math"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -19,36 +20,58 @@ import (
 //
 //  1. Every rank opens a data listener on an ephemeral port, dials the
 //     coordinator (retrying while it comes up), and sends a hello frame
-//     {rank, dataAddr}.
+//     {rank, generation, dataAddr}.
 //  2. The coordinator collects all world hellos, then answers every rank
 //     with the full rank→address table and closes the rendezvous
 //     connections. It is pure bootstrap: no payload ever routes through it.
+//     Hellos carrying a stale generation (a straggler process from a world
+//     the supervisor already replaced) are dropped, not answered, so a
+//     restarted world never mixes frames with the one it replaced.
 //  3. Rank i dials the data listener of every j < i and introduces itself
 //     with an identify frame; conversely it accepts one connection from
 //     every j > i. The result is one duplex TCP connection per rank pair.
 //
 // Each connection gets a reader goroutine that demultiplexes incoming
 // frames into a per-peer payload inbox (buffered, like the in-process
-// mailboxes) and a per-peer barrier-token channel. Sends are synchronous
-// buffered writes flushed per frame; a rank's Comm is single-goroutine by
-// construction, so no write locking is needed. Barrier is a dissemination
-// barrier over the same connections: ⌈lg P⌉ rounds, round k sending a
-// token to (rank+2^k) mod P and waiting for one from (rank−2^k) mod P.
+// mailboxes) and a per-peer barrier-token channel. Every frame is written
+// with a single conn.Write call under a per-peer mutex, so a rank that
+// dies mid-operation can never leave a torn frame on the wire, and the
+// heartbeat goroutine can share connections with the collective path.
+// Barrier is a dissemination barrier over the same connections: ⌈lg P⌉
+// rounds, round k sending a token to (rank+2^k) mod P and waiting for one
+// from (rank−2^k) mod P.
+//
+// Failure model: a heartbeat goroutine sends a 'V' frame to every peer at
+// HeartbeatInterval, and every blocked Recv/Barrier enforces
+// ProgressTimeout against the peer's last-heard clock, so a dead, killed,
+// or partitioned peer converts an indefinite hang into a prompt
+// *PeerError panic naming the rank. (A peer that is alive but wedged
+// inside the training loop still heartbeats: the timeout detects silence,
+// not stuckness.) A rank that fails for any reason broadcasts an 'A'
+// abort frame with its root cause before exiting, so survivors fail fast
+// with "rank N aborted: <reason>" instead of a cascade of EOF panics.
 //
 // Frames (all integers little-endian):
 //
 //	'D' u32 nFloats, u32 nInts, then nFloats float64 bit patterns and
 //	    nInts int64 values — one Payload, bit-exact.
 //	'B' barrier token, no body.
-//	'I' u32 rank — mesh handshake, first frame on a dialed data conn.
-//	'H' u32 rank, u16 addrLen, addr — hello to the coordinator.
+//	'V' heartbeat, no body — refreshes the peer's last-heard clock.
+//	'A' u16 reasonLen, reason — the sending rank is failing; reason is
+//	    its root cause.
+//	'I' u32 rank, u32 generation — mesh handshake, first frame on a
+//	    dialed data conn.
+//	'H' u32 rank, u32 generation, u16 addrLen, addr — hello to the
+//	    coordinator.
 //	'P' u32 world, then world × (u16 addrLen, addr) — the address table.
 const (
-	frameData     = 'D'
-	frameBarrier  = 'B'
-	frameIdentify = 'I'
-	frameHello    = 'H'
-	framePeers    = 'P'
+	frameData      = 'D'
+	frameBarrier   = 'B'
+	frameHeartbeat = 'V'
+	frameAbort     = 'A'
+	frameIdentify  = 'I'
+	frameHello     = 'H'
+	framePeers     = 'P'
 )
 
 // tcpInboxDepth bounds buffered received payloads per peer before the
@@ -57,22 +80,73 @@ const (
 // eager-send patterns assume.
 const tcpInboxDepth = 64
 
-// rendezvousTimeout bounds how long DialTCP keeps retrying the
-// coordinator and how long the mesh handshake may take.
-const rendezvousTimeout = 30 * time.Second
+// Default TCPOptions values; see TCPOptions for the semantics.
+const (
+	defaultRendezvousTimeout = 30 * time.Second
+	defaultHeartbeatInterval = 500 * time.Millisecond
+	defaultProgressTimeout   = 30 * time.Second
+)
+
+// TCPOptions configures the fault-tolerance knobs of a TCP fabric
+// endpoint (and, for the rendezvous fields, the coordinator). The zero
+// value means "all defaults"; negative durations disable the mechanism.
+type TCPOptions struct {
+	// RendezvousTimeout bounds how long DialTCPOpts keeps retrying the
+	// coordinator and how long the mesh handshake may take. Large worlds
+	// on slow hosts need more than the 30 s default.
+	RendezvousTimeout time.Duration
+	// HeartbeatInterval is the period between heartbeat frames to every
+	// peer. 0 means the 500 ms default; negative disables heartbeats
+	// (a peer blocked in a long local compute then looks silent, so
+	// disable ProgressTimeout too).
+	HeartbeatInterval time.Duration
+	// ProgressTimeout is how long a blocked Recv or Barrier tolerates
+	// total silence from the awaited peer before panicking with a
+	// *PeerError. 0 means the 30 s default; negative disables the check
+	// (blocked operations then wait forever, as before). It must
+	// comfortably exceed HeartbeatInterval.
+	ProgressTimeout time.Duration
+	// Generation tags every rendezvous frame. A supervisor restarting a
+	// crashed world bumps it so stragglers from the previous incarnation
+	// are dropped at rendezvous instead of corrupting the new mesh.
+	Generation int
+}
+
+// withDefaults resolves zero fields to their defaults.
+func (o TCPOptions) withDefaults() TCPOptions {
+	if o.RendezvousTimeout == 0 {
+		o.RendezvousTimeout = defaultRendezvousTimeout
+	}
+	if o.HeartbeatInterval == 0 {
+		o.HeartbeatInterval = defaultHeartbeatInterval
+	}
+	if o.ProgressTimeout == 0 {
+		o.ProgressTimeout = defaultProgressTimeout
+	}
+	return o
+}
 
 // TCPTransport is one rank's endpoint on the TCP fabric. Create it with
-// DialTCP; it satisfies Transport.
+// DialTCP or DialTCPOpts; it satisfies Transport.
 type TCPTransport struct {
 	rank, world int
+	opts        TCPOptions
 	ln          net.Listener
 	conns       []net.Conn      // conns[peer], nil at rank's own slot
-	writers     []*bufio.Writer // writers[peer]
+	wmu         []sync.Mutex    // wmu[peer] serializes frame writes
 	inbox       []chan Payload  // inbox[peer]
 	barrierCh   []chan struct{} // barrierCh[peer]
-	readErr     []chan error    // readErr[peer], closed reader exits
-	closeOnce   sync.Once
-	closeErr    error
+	readErr     []chan error    // readErr[peer], posted once when reader exits
+	lastHeard   []atomic.Int64  // lastHeard[peer], UnixNano of last frame
+	sendBuf     []byte          // reused frame buffer (rank goroutine only)
+
+	hbStop    chan struct{}
+	abortOnce sync.Once
+	abortCh   chan struct{} // closed once a peer's abort frame arrives
+	abortPeer int
+	abortMsg  string
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // Rank returns this endpoint's rank.
@@ -81,51 +155,156 @@ func (t *TCPTransport) Rank() int { return t.rank }
 // Size returns the world size.
 func (t *TCPTransport) Size() int { return t.world }
 
-// Send serializes p to dst. It returns once the frame is handed to the
-// kernel: the caller may reuse or recycle p's backing arrays immediately.
+// Send serializes p to dst as a single conn.Write, so a failure can never
+// leave a partial frame for the peer to misparse. It returns once the
+// frame is handed to the kernel: the caller may reuse or recycle p's
+// backing arrays immediately.
 func (t *TCPTransport) Send(dst int, p Payload) {
-	w := t.writers[dst]
-	var hdr [9]byte
-	hdr[0] = frameData
-	binary.LittleEndian.PutUint32(hdr[1:5], uint32(len(p.Floats)))
-	binary.LittleEndian.PutUint32(hdr[5:9], uint32(len(p.Ints)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		panic(fmt.Sprintf("comm: rank %d send to %d: %v", t.rank, dst, err))
+	need := 9 + 8*len(p.Floats) + 8*len(p.Ints)
+	if cap(t.sendBuf) < need {
+		t.sendBuf = make([]byte, need)
 	}
-	var buf [8]byte
+	b := t.sendBuf[:need]
+	b[0] = frameData
+	binary.LittleEndian.PutUint32(b[1:5], uint32(len(p.Floats)))
+	binary.LittleEndian.PutUint32(b[5:9], uint32(len(p.Ints)))
+	off := 9
 	for _, f := range p.Floats {
-		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(f))
-		if _, err := w.Write(buf[:]); err != nil {
-			panic(fmt.Sprintf("comm: rank %d send to %d: %v", t.rank, dst, err))
-		}
+		binary.LittleEndian.PutUint64(b[off:], math.Float64bits(f))
+		off += 8
 	}
 	for _, v := range p.Ints {
-		binary.LittleEndian.PutUint64(buf[:], uint64(int64(v)))
-		if _, err := w.Write(buf[:]); err != nil {
-			panic(fmt.Sprintf("comm: rank %d send to %d: %v", t.rank, dst, err))
+		binary.LittleEndian.PutUint64(b[off:], uint64(int64(v)))
+		off += 8
+	}
+	if err := t.writeFrame(dst, b); err != nil {
+		panic(t.failure("send", dst, err))
+	}
+}
+
+// writeFrame writes one complete frame under the peer's write mutex.
+func (t *TCPTransport) writeFrame(dst int, frame []byte) error {
+	t.wmu[dst].Lock()
+	defer t.wmu[dst].Unlock()
+	_, err := t.conns[dst].Write(frame)
+	return err
+}
+
+// failure builds the *PeerError for a failed operation on peer. If some
+// rank already broadcast an abort, its root cause wins over the local
+// connection error — survivors should all report why the world died, not
+// the cascade it caused.
+func (t *TCPTransport) failure(op string, peer int, err error) *PeerError {
+	select {
+	case <-t.abortCh:
+		return &PeerError{Rank: t.rank, Peer: t.abortPeer, Op: op, Aborted: true, Reason: t.abortMsg}
+	default:
+	}
+	return &PeerError{Rank: t.rank, Peer: peer, Op: op, Err: err}
+}
+
+// raiseAbort latches the first peer abort; every subsequent blocked or
+// failing operation reports it.
+func (t *TCPTransport) raiseAbort(peer int, reason string) {
+	t.abortOnce.Do(func() {
+		t.abortPeer = peer
+		t.abortMsg = reason
+		close(t.abortCh)
+	})
+}
+
+// Abort best-effort broadcasts an abort frame carrying reason to every
+// peer, so they fail fast with this rank's root cause instead of waiting
+// out a connection loss or progress timeout. Call it (before Close) when
+// the rank is about to exit abnormally. Write errors are ignored: the
+// rank is already failing, and a short deadline keeps a wedged peer
+// socket from delaying its exit.
+func (t *TCPTransport) Abort(reason string) {
+	if len(reason) > math.MaxUint16 {
+		reason = reason[:math.MaxUint16]
+	}
+	frame := make([]byte, 3+len(reason))
+	frame[0] = frameAbort
+	binary.LittleEndian.PutUint16(frame[1:3], uint16(len(reason)))
+	copy(frame[3:], reason)
+	for peer, c := range t.conns {
+		if c == nil {
+			continue
 		}
+		t.wmu[peer].Lock()
+		c.SetWriteDeadline(time.Now().Add(2 * time.Second))
+		c.Write(frame)
+		t.wmu[peer].Unlock()
 	}
-	if err := w.Flush(); err != nil {
-		panic(fmt.Sprintf("comm: rank %d send to %d: %v", t.rank, dst, err))
+}
+
+// silence reports how long peer has been quiet.
+func (t *TCPTransport) silence(peer int) time.Duration {
+	return time.Duration(time.Now().UnixNano() - t.lastHeard[peer].Load())
+}
+
+// progressTimer arms the ProgressTimeout watchdog for one blocked
+// operation. A nil timer (and nil channel) means the check is disabled;
+// a nil channel blocks forever in select, which is exactly right.
+func (t *TCPTransport) progressTimer() (*time.Timer, <-chan time.Time) {
+	if t.opts.ProgressTimeout <= 0 {
+		return nil, nil
 	}
+	timer := time.NewTimer(t.opts.ProgressTimeout)
+	return timer, timer.C
+}
+
+// checkProgress runs when the watchdog fires: if the peer has been silent
+// for a full ProgressTimeout it returns the error to panic with;
+// otherwise it re-arms the timer for the remaining window.
+func (t *TCPTransport) checkProgress(timer *time.Timer, op string, peer int) *PeerError {
+	quiet := t.silence(peer)
+	if quiet >= t.opts.ProgressTimeout {
+		return t.failure(op, peer, fmt.Errorf("no frames or heartbeats for %v (progress timeout %v)", quiet.Round(time.Millisecond), t.opts.ProgressTimeout))
+	}
+	timer.Reset(t.opts.ProgressTimeout - quiet)
+	return nil
 }
 
 // Recv blocks for the next payload from src.
 func (t *TCPTransport) Recv(src int) Payload {
-	// Drain delivered frames before honoring a read error: the reader
-	// goroutine routes every frame in order and only then posts the error,
-	// so a peer that sent its data and exited (normal shutdown skew) must
-	// not eat payloads already queued behind its EOF.
+	// Drain delivered frames before honoring a read error or an abort:
+	// the reader goroutine routes every frame in order and only then
+	// posts the error, so a peer that sent its data and exited (normal
+	// shutdown skew) must not eat payloads already queued behind its EOF.
 	select {
 	case p := <-t.inbox[src]:
 		return p
 	default:
 	}
-	select {
-	case p := <-t.inbox[src]:
-		return p
-	case err := <-t.readErr[src]:
-		panic(fmt.Sprintf("comm: rank %d receiving from %d: connection lost: %v", t.rank, src, err))
+	timer, timeout := t.progressTimer()
+	if timer != nil {
+		defer timer.Stop()
+	}
+	for {
+		select {
+		case p := <-t.inbox[src]:
+			return p
+		case err := <-t.readErr[src]:
+			select {
+			case p := <-t.inbox[src]:
+				t.readErr[src] <- err // re-post for the next Recv
+				return p
+			default:
+			}
+			panic(t.failure("recv", src, err))
+		case <-t.abortCh:
+			select {
+			case p := <-t.inbox[src]:
+				return p
+			default:
+			}
+			panic(t.failure("recv", src, nil))
+		case <-timeout:
+			if pe := t.checkProgress(timer, "recv", src); pe != nil {
+				panic(pe)
+			}
+		}
 	}
 }
 
@@ -134,30 +313,58 @@ func (t *TCPTransport) Barrier() {
 	for k := uint(0); 1<<k < t.world; k++ {
 		to := (t.rank + 1<<k) % t.world
 		from := (t.rank - 1<<k + t.world) % t.world
-		w := t.writers[to]
-		if err := w.WriteByte(frameBarrier); err == nil {
-			if err := w.Flush(); err != nil {
-				panic(fmt.Sprintf("comm: rank %d barrier send to %d: %v", t.rank, to, err))
-			}
-		} else {
-			panic(fmt.Sprintf("comm: rank %d barrier send to %d: %v", t.rank, to, err))
+		if err := t.writeFrame(to, []byte{frameBarrier}); err != nil {
+			panic(t.failure("barrier", to, err))
 		}
+		t.awaitToken(from)
+	}
+}
+
+// awaitToken blocks for one barrier token from the peer, with the same
+// drain rule and failure conversion as Recv.
+func (t *TCPTransport) awaitToken(from int) {
+	select {
+	case <-t.barrierCh[from]:
+		return
+	default:
+	}
+	timer, timeout := t.progressTimer()
+	if timer != nil {
+		defer timer.Stop()
+	}
+	for {
 		select {
 		case <-t.barrierCh[from]:
-		default:
+			return
+		case err := <-t.readErr[from]:
 			select {
 			case <-t.barrierCh[from]:
-			case err := <-t.readErr[from]:
-				panic(fmt.Sprintf("comm: rank %d barrier recv from %d: connection lost: %v", t.rank, from, err))
+				t.readErr[from] <- err
+				return
+			default:
+			}
+			panic(t.failure("barrier", from, err))
+		case <-t.abortCh:
+			select {
+			case <-t.barrierCh[from]:
+				return
+			default:
+			}
+			panic(t.failure("barrier", from, nil))
+		case <-timeout:
+			if pe := t.checkProgress(timer, "barrier", from); pe != nil {
+				panic(pe)
 			}
 		}
 	}
 }
 
-// Close shuts the listener and every peer connection down; reader
-// goroutines exit on their next read. Safe to call more than once.
+// Close stops the heartbeat goroutine and shuts the listener and every
+// peer connection down; reader goroutines exit on their next read. Safe
+// to call more than once.
 func (t *TCPTransport) Close() error {
 	t.closeOnce.Do(func() {
+		close(t.hbStop)
 		if t.ln != nil {
 			t.closeErr = t.ln.Close()
 		}
@@ -172,9 +379,35 @@ func (t *TCPTransport) Close() error {
 	return t.closeErr
 }
 
+// heartbeatLoop periodically sends a heartbeat frame to every peer so
+// their progress watchdogs see this rank as alive even across long local
+// compute phases. Write errors are ignored here: the peer's reader
+// goroutine is the authority on connection failure.
+func (t *TCPTransport) heartbeatLoop() {
+	tick := time.NewTicker(t.opts.HeartbeatInterval)
+	defer tick.Stop()
+	frame := []byte{frameHeartbeat}
+	for {
+		select {
+		case <-t.hbStop:
+			return
+		case <-tick.C:
+			for peer, c := range t.conns {
+				if c == nil {
+					continue
+				}
+				t.wmu[peer].Lock()
+				c.Write(frame)
+				t.wmu[peer].Unlock()
+			}
+		}
+	}
+}
+
 // readLoop drains one peer connection, routing payload frames to the
 // inbox and barrier tokens to the barrier channel, until the connection
-// dies (peer exit or Close).
+// dies (peer exit or Close). Every frame — heartbeats included —
+// refreshes the peer's last-heard clock.
 func (t *TCPTransport) readLoop(peer int, conn net.Conn) {
 	r := bufio.NewReader(conn)
 	for {
@@ -183,9 +416,19 @@ func (t *TCPTransport) readLoop(peer int, conn net.Conn) {
 			t.readErr[peer] <- err
 			return
 		}
+		t.lastHeard[peer].Store(time.Now().UnixNano())
 		switch typ {
 		case frameBarrier:
 			t.barrierCh[peer] <- struct{}{}
+		case frameHeartbeat:
+			// Clock already refreshed; nothing to route.
+		case frameAbort:
+			reason, err := readString(r)
+			if err != nil {
+				t.readErr[peer] <- err
+				return
+			}
+			t.raiseAbort(peer, reason)
 		case frameData:
 			p, err := readPayloadBody(r)
 			if err != nil {
@@ -265,11 +508,19 @@ func readString(r io.Reader) (string, error) {
 type Coordinator struct {
 	ln    net.Listener
 	world int
+	opts  TCPOptions
 }
 
 // NewCoordinator listens on addr (e.g. "127.0.0.1:0") for a world-rank
-// rendezvous. Serve must be called to run it.
+// rendezvous with default options. Serve must be called to run it.
 func NewCoordinator(addr string, world int) (*Coordinator, error) {
+	return NewCoordinatorOpts(addr, world, TCPOptions{})
+}
+
+// NewCoordinatorOpts is NewCoordinator with explicit rendezvous options:
+// RendezvousTimeout bounds each member's hello, and Generation selects
+// which incarnation of the world this rendezvous admits.
+func NewCoordinatorOpts(addr string, world int, opts TCPOptions) (*Coordinator, error) {
 	if world <= 0 {
 		return nil, fmt.Errorf("comm: coordinator world size must be positive, got %d", world)
 	}
@@ -277,7 +528,7 @@ func NewCoordinator(addr string, world int) (*Coordinator, error) {
 	if err != nil {
 		return nil, fmt.Errorf("comm: coordinator listen: %w", err)
 	}
-	return &Coordinator{ln: ln, world: world}, nil
+	return &Coordinator{ln: ln, world: world, opts: opts.withDefaults()}, nil
 }
 
 // Addr returns the coordinator's listen address, for handing to workers.
@@ -285,7 +536,9 @@ func (co *Coordinator) Addr() string { return co.ln.Addr().String() }
 
 // Serve accepts rendezvous connections until every rank has said hello,
 // answers each with the rank→address table, and shuts the listener down.
-// It returns after the table is delivered (or on the first protocol
+// Hellos from a different generation are dropped (connection closed, rank
+// not counted): they are stragglers from a world that no longer exists.
+// Serve returns after the table is delivered (or on the first protocol
 // error), so run it in its own goroutine when the process also hosts a
 // rank.
 func (co *Coordinator) Serve() error {
@@ -305,23 +558,28 @@ func (co *Coordinator) Serve() error {
 		if err != nil {
 			return fmt.Errorf("comm: coordinator accept: %w", err)
 		}
-		conn.SetDeadline(time.Now().Add(rendezvousTimeout))
+		conn.SetDeadline(time.Now().Add(co.opts.RendezvousTimeout))
 		r := bufio.NewReader(conn)
 		typ, err := r.ReadByte()
 		if err != nil || typ != frameHello {
 			conn.Close()
 			return fmt.Errorf("comm: coordinator: bad hello (type %q, err %v)", typ, err)
 		}
-		var rk [4]byte
+		var rk [8]byte
 		if _, err := io.ReadFull(r, rk[:]); err != nil {
 			conn.Close()
 			return fmt.Errorf("comm: coordinator: short hello: %w", err)
 		}
-		rank := int(int32(binary.LittleEndian.Uint32(rk[:])))
+		rank := int(int32(binary.LittleEndian.Uint32(rk[0:4])))
+		gen := int(int32(binary.LittleEndian.Uint32(rk[4:8])))
 		addr, err := readString(r)
 		if err != nil {
 			conn.Close()
 			return fmt.Errorf("comm: coordinator: bad hello address: %w", err)
+		}
+		if gen != co.opts.Generation {
+			conn.Close()
+			continue
 		}
 		if rank < 0 || rank >= co.world {
 			conn.Close()
@@ -354,12 +612,18 @@ func (co *Coordinator) Serve() error {
 	return nil
 }
 
-// DialTCP joins a TCP fabric as one rank: it opens a data listener, runs
-// the rendezvous against the coordinator at coordAddr (retrying with
-// backoff while the coordinator comes up), builds the full connection
-// mesh, and starts the per-peer reader goroutines. The returned transport
-// is ready for NewTransportComm.
+// DialTCP joins a TCP fabric as one rank with default options. See
+// DialTCPOpts.
 func DialTCP(coordAddr string, rank, world int) (*TCPTransport, error) {
+	return DialTCPOpts(coordAddr, rank, world, TCPOptions{})
+}
+
+// DialTCPOpts joins a TCP fabric as one rank: it opens a data listener,
+// runs the rendezvous against the coordinator at coordAddr (retrying with
+// backoff while the coordinator comes up), builds the full connection
+// mesh, and starts the per-peer reader goroutines plus the heartbeat
+// sender. The returned transport is ready for NewTransportComm.
+func DialTCPOpts(coordAddr string, rank, world int, opts TCPOptions) (*TCPTransport, error) {
 	if world <= 0 || rank < 0 || rank >= world {
 		return nil, fmt.Errorf("comm: rank %d out of range for world %d", rank, world)
 	}
@@ -370,12 +634,16 @@ func DialTCP(coordAddr string, rank, world int) (*TCPTransport, error) {
 	t := &TCPTransport{
 		rank:      rank,
 		world:     world,
+		opts:      opts.withDefaults(),
 		ln:        ln,
 		conns:     make([]net.Conn, world),
-		writers:   make([]*bufio.Writer, world),
+		wmu:       make([]sync.Mutex, world),
 		inbox:     make([]chan Payload, world),
 		barrierCh: make([]chan struct{}, world),
 		readErr:   make([]chan error, world),
+		lastHeard: make([]atomic.Int64, world),
+		hbStop:    make(chan struct{}),
+		abortCh:   make(chan struct{}),
 	}
 	for i := 0; i < world; i++ {
 		if i == rank {
@@ -397,10 +665,15 @@ func DialTCP(coordAddr string, rank, world int) (*TCPTransport, error) {
 	}
 	ln.Close() // mesh complete; no more inbound dials
 	t.ln = nil
+	now := time.Now().UnixNano()
 	for i, conn := range t.conns {
 		if conn != nil {
+			t.lastHeard[i].Store(now)
 			go t.readLoop(i, conn)
 		}
+	}
+	if t.opts.HeartbeatInterval > 0 && world > 1 {
+		go t.heartbeatLoop()
 	}
 	return t, nil
 }
@@ -408,11 +681,11 @@ func DialTCP(coordAddr string, rank, world int) (*TCPTransport, error) {
 // rendezvous dials the coordinator, announces this rank's data address,
 // and returns the full rank→address table.
 func (t *TCPTransport) rendezvous(coordAddr string) ([]string, error) {
-	deadline := time.Now().Add(rendezvousTimeout)
+	deadline := time.Now().Add(t.opts.RendezvousTimeout)
 	var conn net.Conn
 	var err error
 	for backoff := 10 * time.Millisecond; ; backoff *= 2 {
-		conn, err = net.DialTimeout("tcp", coordAddr, rendezvousTimeout)
+		conn, err = net.DialTimeout("tcp", coordAddr, t.opts.RendezvousTimeout)
 		if err == nil {
 			break
 		}
@@ -440,9 +713,10 @@ func (t *TCPTransport) rendezvous(coordAddr string) ([]string, error) {
 	dataAddr := net.JoinHostPort(host, port)
 
 	w := bufio.NewWriter(conn)
-	var hdr [5]byte
+	var hdr [9]byte
 	hdr[0] = frameHello
 	binary.LittleEndian.PutUint32(hdr[1:5], uint32(t.rank))
+	binary.LittleEndian.PutUint32(hdr[5:9], uint32(t.opts.Generation))
 	if _, err := w.Write(hdr[:]); err != nil {
 		return nil, fmt.Errorf("comm: rank %d hello: %w", t.rank, err)
 	}
@@ -456,7 +730,7 @@ func (t *TCPTransport) rendezvous(coordAddr string) ([]string, error) {
 	r := bufio.NewReader(conn)
 	typ, err := r.ReadByte()
 	if err != nil || typ != framePeers {
-		return nil, fmt.Errorf("comm: rank %d: bad peers frame (type %q, err %v)", t.rank, typ, err)
+		return nil, fmt.Errorf("comm: rank %d: bad peers frame (type %q, err %v) — stale generation or dead coordinator", t.rank, typ, err)
 	}
 	var cnt [4]byte
 	if _, err := io.ReadFull(r, cnt[:]); err != nil {
@@ -476,25 +750,26 @@ func (t *TCPTransport) rendezvous(coordAddr string) ([]string, error) {
 
 // buildMesh establishes one connection per peer: dial every lower rank
 // (introducing ourselves with an identify frame), accept from every
-// higher one.
+// higher one. Identify frames from a different generation are dropped
+// without counting toward the mesh, mirroring the coordinator.
 func (t *TCPTransport) buildMesh(peers []string) error {
-	deadline := time.Now().Add(rendezvousTimeout)
+	deadline := time.Now().Add(t.opts.RendezvousTimeout)
 	for j := 0; j < t.rank; j++ {
-		conn, err := net.DialTimeout("tcp", peers[j], rendezvousTimeout)
+		conn, err := net.DialTimeout("tcp", peers[j], t.opts.RendezvousTimeout)
 		if err != nil {
 			return fmt.Errorf("comm: rank %d dialing rank %d at %s: %w", t.rank, j, peers[j], err)
 		}
-		var hdr [5]byte
+		var hdr [9]byte
 		hdr[0] = frameIdentify
 		binary.LittleEndian.PutUint32(hdr[1:5], uint32(t.rank))
+		binary.LittleEndian.PutUint32(hdr[5:9], uint32(t.opts.Generation))
 		if _, err := conn.Write(hdr[:]); err != nil {
 			conn.Close()
 			return fmt.Errorf("comm: rank %d identify to rank %d: %w", t.rank, j, err)
 		}
 		t.conns[j] = conn
-		t.writers[j] = bufio.NewWriter(conn)
 	}
-	for accepted := 0; accepted < t.world-1-t.rank; accepted++ {
+	for accepted := 0; accepted < t.world-1-t.rank; {
 		if dl, ok := t.ln.(*net.TCPListener); ok {
 			dl.SetDeadline(deadline)
 		}
@@ -503,12 +778,17 @@ func (t *TCPTransport) buildMesh(peers []string) error {
 			return fmt.Errorf("comm: rank %d accepting mesh peer: %w", t.rank, err)
 		}
 		conn.SetReadDeadline(deadline)
-		var hdr [5]byte
+		var hdr [9]byte
 		if _, err := io.ReadFull(conn, hdr[:]); err != nil || hdr[0] != frameIdentify {
 			conn.Close()
 			return fmt.Errorf("comm: rank %d: bad identify frame (type %q, err %v)", t.rank, hdr[0], err)
 		}
 		peer := int(int32(binary.LittleEndian.Uint32(hdr[1:5])))
+		gen := int(int32(binary.LittleEndian.Uint32(hdr[5:9])))
+		if gen != t.opts.Generation {
+			conn.Close()
+			continue
+		}
 		if peer <= t.rank || peer >= t.world {
 			conn.Close()
 			return fmt.Errorf("comm: rank %d: identify from unexpected rank %d", t.rank, peer)
@@ -519,7 +799,7 @@ func (t *TCPTransport) buildMesh(peers []string) error {
 		}
 		conn.SetReadDeadline(time.Time{})
 		t.conns[peer] = conn
-		t.writers[peer] = bufio.NewWriter(conn)
+		accepted++
 	}
 	return nil
 }

@@ -1,0 +1,225 @@
+package comm
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// dialWorld bootstraps p TCP transports with explicit options and
+// registers cleanup. Index r holds rank r's endpoint.
+func dialWorld(t *testing.T, p int, opts TCPOptions) []*TCPTransport {
+	t.Helper()
+	co, err := NewCoordinatorOpts("127.0.0.1:0", p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go co.Serve()
+	trs := make([]*TCPTransport, p)
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			trs[rank], errs[rank] = DialTCPOpts(co.Addr(), rank, p, opts)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d dial: %v", r, err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, tr := range trs {
+			tr.Close()
+		}
+	})
+	return trs
+}
+
+// recoverPeerError runs fn and returns the *PeerError it panics with,
+// failing the test if it returns normally or panics something else.
+func recoverPeerError(t *testing.T, fn func()) *PeerError {
+	t.Helper()
+	var pe *PeerError
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("operation succeeded; want a *PeerError panic")
+			}
+			var ok bool
+			if pe, ok = AsPeerError(r); !ok {
+				t.Fatalf("panicked %v (%T); want *PeerError", r, r)
+			}
+		}()
+		fn()
+	}()
+	return pe
+}
+
+// TestTCPAbortPropagation: a rank that announces failure makes a peer
+// blocked on it fail fast with the announced root cause, but frames
+// already delivered still drain first.
+func TestTCPAbortPropagation(t *testing.T) {
+	trs := dialWorld(t, 2, TCPOptions{})
+	trs[1].Send(0, Payload{Floats: []float64{7}})
+	trs[1].Abort("disk on fire")
+
+	// The queued payload survives the abort announcement.
+	deadline := time.After(10 * time.Second)
+	for {
+		// Wait until the reader has routed the data frame; Recv itself
+		// would block correctly, but poll to keep the test simple.
+		p := trs[0].Recv(1)
+		if len(p.Floats) == 1 && p.Floats[0] == 7 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("payload never arrived")
+		default:
+			t.Fatalf("unexpected payload %+v", p)
+		}
+	}
+
+	pe := recoverPeerError(t, func() { trs[0].Recv(1) })
+	if !pe.Aborted || pe.Peer != 1 || pe.Rank != 0 {
+		t.Fatalf("PeerError %+v; want aborted by peer 1", pe)
+	}
+	if !strings.Contains(pe.Error(), "disk on fire") {
+		t.Fatalf("abort reason lost: %v", pe)
+	}
+}
+
+// TestTCPPeerDeathDetected: an unexplained connection loss (the kill -9
+// shape — no abort frame) surfaces as a PeerError naming the dead rank.
+func TestTCPPeerDeathDetected(t *testing.T) {
+	trs := dialWorld(t, 3, TCPOptions{
+		HeartbeatInterval: 50 * time.Millisecond,
+		ProgressTimeout:   time.Second,
+	})
+	trs[2].Close() // dies without a word
+
+	pe := recoverPeerError(t, func() { trs[0].Recv(2) })
+	if pe.Peer != 2 || pe.Rank != 0 || pe.Aborted {
+		t.Fatalf("PeerError %+v; want unexplained failure of peer 2", pe)
+	}
+	if !strings.Contains(pe.Error(), "peer rank 2") {
+		t.Fatalf("error does not name the dead rank: %v", pe)
+	}
+	// A barrier among the survivors fails rather than hangs: both keep
+	// heartbeating (so neither suspects the other), and the dead rank's
+	// silence trips the progress watchdog on whoever awaits its token.
+	errs := make(chan *PeerError, 2)
+	for _, tr := range trs[:2] {
+		go func(tr *TCPTransport) {
+			errs <- recoverPeerError(t, tr.Barrier)
+		}(tr)
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case pe := <-errs:
+			if pe.Peer != 2 {
+				t.Errorf("barrier blamed peer %d: %v", pe.Peer, pe)
+			}
+		case <-time.After(20 * time.Second):
+			t.Fatal("survivor barrier hung past the progress timeout")
+		}
+	}
+}
+
+// TestTCPProgressTimeout: a peer that is alive at the socket level but
+// completely silent (heartbeats disabled) trips the progress watchdog
+// instead of blocking forever.
+func TestTCPProgressTimeout(t *testing.T) {
+	trs := dialWorld(t, 2, TCPOptions{
+		HeartbeatInterval: -1, // silence means silence
+		ProgressTimeout:   300 * time.Millisecond,
+	})
+	start := time.Now()
+	pe := recoverPeerError(t, func() { trs[0].Recv(1) })
+	elapsed := time.Since(start)
+	if pe.Peer != 1 || !strings.Contains(pe.Error(), "progress timeout") {
+		t.Fatalf("PeerError %+v", pe)
+	}
+	if elapsed < 250*time.Millisecond || elapsed > 10*time.Second {
+		t.Fatalf("watchdog fired after %v; configured 300ms", elapsed)
+	}
+}
+
+// TestTCPHeartbeatsPreventTimeout: with heartbeats on, a peer that sends
+// no application frames for longer than the progress window is still
+// considered alive — only true silence is failure.
+func TestTCPHeartbeatsPreventTimeout(t *testing.T) {
+	trs := dialWorld(t, 2, TCPOptions{
+		HeartbeatInterval: 20 * time.Millisecond,
+		ProgressTimeout:   150 * time.Millisecond,
+	})
+	done := make(chan Payload, 1)
+	go func() { done <- trs[0].Recv(1) }()
+	// Several progress windows of application silence, bridged by
+	// heartbeats.
+	time.Sleep(500 * time.Millisecond)
+	trs[1].Send(0, Payload{Ints: []int{9}})
+	select {
+	case p := <-done:
+		if len(p.Ints) != 1 || p.Ints[0] != 9 {
+			t.Fatalf("payload %+v", p)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Recv never completed")
+	}
+}
+
+// TestTCPRendezvousTimeoutConfigurable: a world that never completes
+// rendezvous fails within the configured window, not the 30s default.
+func TestTCPRendezvousTimeoutConfigurable(t *testing.T) {
+	opts := TCPOptions{RendezvousTimeout: 300 * time.Millisecond}
+	co, err := NewCoordinatorOpts("127.0.0.1:0", 2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go co.Serve()
+	start := time.Now()
+	_, err = DialTCPOpts(co.Addr(), 0, 2, opts) // rank 1 never shows up
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("rendezvous with a missing rank succeeded")
+	}
+	if elapsed > 10*time.Second {
+		t.Fatalf("rendezvous gave up after %v; configured 300ms", elapsed)
+	}
+}
+
+// TestTCPGenerationMismatch: a straggler from a previous incarnation of
+// the world is dropped at rendezvous — it cannot join or corrupt the new
+// generation's mesh.
+func TestTCPGenerationMismatch(t *testing.T) {
+	opts := TCPOptions{
+		RendezvousTimeout: 500 * time.Millisecond,
+		Generation:        2,
+	}
+	co, err := NewCoordinatorOpts("127.0.0.1:0", 1, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go co.Serve()
+	// The straggler presents generation 1 and must be refused.
+	stale := opts
+	stale.Generation = 1
+	if _, err := DialTCPOpts(co.Addr(), 0, 1, stale); err == nil {
+		t.Fatal("stale-generation rank completed rendezvous")
+	} else if !strings.Contains(err.Error(), "stale generation") {
+		t.Fatalf("error does not hint at the generation mismatch: %v", err)
+	}
+	// The current generation still gets through afterwards.
+	tr, err := DialTCPOpts(co.Addr(), 0, 1, opts)
+	if err != nil {
+		t.Fatalf("current generation refused: %v", err)
+	}
+	tr.Close()
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/checkpoint"
+)
+
+// bitEqualResults requires two results to match bitwise — the
+// checkpoint/resume contract is digit-for-digit identity, not tolerance.
+func bitEqualResults(t *testing.T, got, want *Result) {
+	t.Helper()
+	if len(got.Losses) != len(want.Losses) {
+		t.Fatalf("losses: %d epochs, want %d", len(got.Losses), len(want.Losses))
+	}
+	for e := range want.Losses {
+		if math.Float64bits(got.Losses[e]) != math.Float64bits(want.Losses[e]) {
+			t.Fatalf("epoch %d loss %v, want %v (bitwise)", e+1, got.Losses[e], want.Losses[e])
+		}
+	}
+	if len(got.Weights) != len(want.Weights) {
+		t.Fatalf("weights: %d layers, want %d", len(got.Weights), len(want.Weights))
+	}
+	for l := range want.Weights {
+		for j := range want.Weights[l].Data {
+			a, b := got.Weights[l].Data[j], want.Weights[l].Data[j]
+			if math.Float64bits(a) != math.Float64bits(b) {
+				t.Fatalf("W[%d].Data[%d] = %v, want %v (bitwise)", l, j, a, b)
+			}
+		}
+	}
+	if math.Float64bits(got.Accuracy) != math.Float64bits(want.Accuracy) {
+		t.Fatalf("accuracy %v, want %v", got.Accuracy, want.Accuracy)
+	}
+}
+
+// TestCheckpointResumeBitIdentical is the resume property for every
+// trainer: train 3 epochs with checkpointing, then rerun with the same
+// directory asking for 6 — the engine resumes from the epoch-3 snapshot,
+// and the combined run must be bitwise identical to 6 uninterrupted
+// epochs. Adam exercises the full optimizer-state round trip (step count
+// plus two moment buffers per layer).
+func TestCheckpointResumeBitIdentical(t *testing.T) {
+	trainers := map[string]func() Trainer{
+		"serial": func() Trainer { return NewSerial() },
+		"1d":     func() Trainer { return NewOneD(4, testMach) },
+		"1.5d":   func() Trainer { return NewOneFiveD(4, 2, testMach) },
+		"2d":     func() Trainer { return NewTwoD(4, testMach) },
+		"3d":     func() Trainer { return NewThreeD(8, testMach) },
+	}
+	for name, mk := range trainers {
+		t.Run(name, func(t *testing.T) {
+			prob := testProblem(t, 40, 6, 5, 4, 6, 21)
+			prob.Config.Optimizer = "adam"
+
+			clean, err := mk().Train(prob)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			dir := t.TempDir()
+			half := prob
+			half.Config.Epochs = 3
+			half.Checkpoint = checkpoint.Options{Dir: dir, Every: 1}
+			if _, err := mk().Train(half); err != nil {
+				t.Fatal(err)
+			}
+			if p, err := checkpoint.Latest(dir); err != nil || filepath.Base(p) != "ckpt-00000003.ckpt" {
+				t.Fatalf("after 3 epochs Latest = %q, %v", p, err)
+			}
+
+			full := prob
+			full.Checkpoint = checkpoint.Options{Dir: dir, Every: 1}
+			resumed, err := mk().Train(full)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bitEqualResults(t, resumed, clean)
+		})
+	}
+}
+
+// TestCheckpointResumeNoop: resuming a run whose checkpoint already
+// covers every requested epoch trains zero further epochs but still
+// reports the full history.
+func TestCheckpointResumeNoop(t *testing.T) {
+	prob := testProblem(t, 30, 5, 4, 3, 4, 31)
+	dir := t.TempDir()
+	prob.Checkpoint = checkpoint.Options{Dir: dir}
+	want, err := NewSerial().Train(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewSerial().Train(prob) // resumes from the final snapshot
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitEqualResults(t, got, want)
+}
+
+// TestCheckpointEveryInterval: Every=2 over 5 epochs writes snapshots at
+// epochs 2 and 4 plus the final one at 5.
+func TestCheckpointEveryInterval(t *testing.T) {
+	prob := testProblem(t, 30, 5, 4, 3, 5, 41)
+	dir := t.TempDir()
+	prob.Checkpoint = checkpoint.Options{Dir: dir, Every: 2}
+	if _, err := NewSerial().Train(prob); err != nil {
+		t.Fatal(err)
+	}
+	names, err := filepath.Glob(filepath.Join(dir, "ckpt-*.ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, n := range names {
+		got = append(got, filepath.Base(n))
+	}
+	want := []string{"ckpt-00000002.ckpt", "ckpt-00000004.ckpt", "ckpt-00000005.ckpt"}
+	if len(got) != len(want) {
+		t.Fatalf("snapshots %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("snapshots %v, want %v", got, want)
+		}
+	}
+}
+
+// TestCheckpointResumeRejectsMismatch: a snapshot from a different run
+// configuration must be refused loudly, never silently retrained over.
+func TestCheckpointResumeRejectsMismatch(t *testing.T) {
+	prob := testProblem(t, 30, 5, 4, 3, 3, 51)
+	dir := t.TempDir()
+	prob.Checkpoint = checkpoint.Options{Dir: dir}
+	if _, err := NewSerial().Train(prob); err != nil {
+		t.Fatal(err)
+	}
+	bad := prob
+	bad.Config.Seed = prob.Config.Seed + 1
+	if _, err := NewSerial().Train(bad); err == nil {
+		t.Error("resume under a different seed accepted")
+	}
+	bad = prob
+	bad.Config.Optimizer = "adam"
+	if _, err := NewSerial().Train(bad); err == nil {
+		t.Error("resume under a different optimizer accepted")
+	}
+	bad = prob
+	bad.Config.Epochs = 2 // checkpoint is ahead of the requested run
+	if _, err := NewSerial().Train(bad); err == nil {
+		t.Error("resume past the requested epoch count accepted")
+	}
+}
+
+// TestCheckpointCorruptLatestFailsLoudly: a torn or corrupted latest
+// snapshot stops the run with an error instead of resuming from garbage.
+func TestCheckpointCorruptLatestFailsLoudly(t *testing.T) {
+	prob := testProblem(t, 30, 5, 4, 3, 3, 61)
+	dir := t.TempDir()
+	prob.Checkpoint = checkpoint.Options{Dir: dir}
+	if _, err := NewSerial().Train(prob); err != nil {
+		t.Fatal(err)
+	}
+	path, err := checkpoint.Latest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSerial().Train(prob); err == nil {
+		t.Fatal("training resumed from a corrupt checkpoint")
+	}
+}

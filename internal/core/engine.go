@@ -1,6 +1,9 @@
 package core
 
 import (
+	"fmt"
+
+	"repro/internal/checkpoint"
 	"repro/internal/dense"
 	"repro/internal/nn"
 )
@@ -16,6 +19,11 @@ import (
 // Methods are called in a fixed order on every rank (the engine code is
 // identical everywhere), which keeps the simulated collectives aligned.
 type layerOps interface {
+	// rank returns this rank's id (0 for the serial layouts). The engine
+	// uses it to write checkpoints on rank 0 only — the state is
+	// replicated, so one copy is the whole world's.
+	rank() int
+
 	// input returns this rank's block of the input features H⁰.
 	input() *dense.Matrix
 
@@ -107,9 +115,10 @@ func (c *actCache) hRowOr(gather func() *dense.Matrix) *dense.Matrix {
 // comm fabric recycling its payload buffers at the same boundary, the
 // steady-state epoch loop performs zero heap allocations after epoch one.
 type engine struct {
-	ops layerOps
-	cfg nn.Config
-	opt nn.Optimizer
+	ops  layerOps
+	cfg  nn.Config
+	opt  nn.Optimizer
+	ckpt checkpoint.Options
 
 	// labels and the masks are global (every rank holds them); they feed
 	// the final accuracy and the optional per-epoch tracking.
@@ -134,6 +143,7 @@ func newEngine(ops layerOps, cfg nn.Config, p Problem) *engine {
 		ops:       ops,
 		cfg:       cfg,
 		opt:       cfg.NewOptimizer(),
+		ckpt:      p.Checkpoint,
 		labels:    p.Labels,
 		trainMask: p.TrainMask,
 		valMask:   p.ValMask,
@@ -203,8 +213,12 @@ func (e *engine) forward(weights []*dense.Matrix) *dense.Matrix {
 
 // run executes the full training loop — Config.Epochs epochs, a final
 // forward pass, and the output gather — returning the Result on rank 0 and
-// nil elsewhere.
-func (e *engine) run() *Result {
+// nil elsewhere. When Problem.Checkpoint is enabled, it first resumes from
+// the latest snapshot in the checkpoint directory (if any) and then writes
+// one every Checkpoint.Every epochs plus one at the end; the resumed run
+// replays the identical deterministic schedule, so its losses and weights
+// are bit-for-bit the ones the uninterrupted run would have produced.
+func (e *engine) run() (*Result, error) {
 	weights := nn.InitWeights(e.cfg)
 	losses := make([]float64, 0, e.cfg.Epochs)
 	var trainAcc, valAcc []float64
@@ -217,7 +231,23 @@ func (e *engine) run() *Result {
 		e.masks = [][]bool{e.trainMask, e.valMask}
 	}
 
-	for epoch := 0; epoch < e.cfg.Epochs; epoch++ {
+	start := 0
+	if e.ckpt.Enabled() {
+		snap, err := e.loadLatest(weights)
+		if err != nil {
+			return nil, err
+		}
+		if snap != nil {
+			start = snap.Epoch
+			losses = append(losses, snap.Losses...)
+			if track {
+				trainAcc = append(trainAcc, snap.TrainAcc...)
+				valAcc = append(valAcc, snap.ValAcc...)
+			}
+		}
+	}
+
+	for epoch := start; epoch < e.cfg.Epochs; epoch++ {
 		loss, hOut, cache := e.epoch(weights)
 		losses = append(losses, loss)
 		if track {
@@ -228,11 +258,16 @@ func (e *engine) run() *Result {
 			valAcc = append(valAcc, counts[1]/float64(valTotal))
 		}
 		e.ops.endEpoch()
+		done := epoch + 1
+		if e.ckpt.Enabled() && e.ops.rank() == 0 &&
+			((e.ckpt.Every > 0 && done%e.ckpt.Every == 0) || done == e.cfg.Epochs) {
+			e.save(done, weights, losses, trainAcc, valAcc)
+		}
 	}
 
 	full := e.ops.gatherOutput(e.forward(weights))
 	if full == nil {
-		return nil
+		return nil, nil
 	}
 	return &Result{
 		Weights:       weights,
@@ -241,6 +276,70 @@ func (e *engine) run() *Result {
 		Accuracy:      nn.Accuracy(full, e.labels),
 		TrainAccuracy: trainAcc,
 		ValAccuracy:   valAcc,
+	}, nil
+}
+
+// loadLatest restores the newest checkpoint into weights and the
+// optimizer, returning the snapshot (nil when the directory holds none —
+// a fresh run). Every rank loads the same file: the state is replicated,
+// so the restore is communication-free. A snapshot that cannot belong to
+// this run — different seed, optimizer, or weight shapes — is a hard
+// error: silently training on from mismatched state would be far worse
+// than failing.
+func (e *engine) loadLatest(weights []*dense.Matrix) (*checkpoint.Snapshot, error) {
+	path, err := checkpoint.Latest(e.ckpt.Dir)
+	if err != nil || path == "" {
+		return nil, err
+	}
+	snap, err := checkpoint.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case snap.Seed != e.cfg.Seed:
+		return nil, fmt.Errorf("core: resume from %s: seed %d, run has %d", path, snap.Seed, e.cfg.Seed)
+	case snap.OptName != e.opt.Name():
+		return nil, fmt.Errorf("core: resume from %s: optimizer %q, run has %q", path, snap.OptName, e.opt.Name())
+	case snap.Epoch > e.cfg.Epochs:
+		return nil, fmt.Errorf("core: resume from %s: snapshot has %d epochs, run wants only %d", path, snap.Epoch, e.cfg.Epochs)
+	case len(snap.Weights) != len(weights):
+		return nil, fmt.Errorf("core: resume from %s: %d weight matrices, run has %d", path, len(snap.Weights), len(weights))
+	case len(snap.Losses) != snap.Epoch:
+		return nil, fmt.Errorf("core: resume from %s: %d losses for %d epochs", path, len(snap.Losses), snap.Epoch)
+	}
+	for l := range weights {
+		if snap.Weights[l].Rows != weights[l].Rows || snap.Weights[l].Cols != weights[l].Cols {
+			return nil, fmt.Errorf("core: resume from %s: layer %d weights %dx%d, run has %dx%d",
+				path, l, snap.Weights[l].Rows, snap.Weights[l].Cols, weights[l].Rows, weights[l].Cols)
+		}
+		copy(weights[l].Data, snap.Weights[l].Data)
+	}
+	if err := e.opt.Restore(snap.OptStep, snap.OptState); err != nil {
+		return nil, fmt.Errorf("core: resume from %s: %w", path, err)
+	}
+	return snap, nil
+}
+
+// save writes one checkpoint. A failed write panics rather than returning:
+// rank 0 cannot return early while its peers keep training (the world
+// would deadlock in the next collective), but a panic follows the same
+// path as a wire failure — the launcher recovers it, broadcasts an abort,
+// and every rank exits promptly with the root cause.
+func (e *engine) save(epoch int, weights []*dense.Matrix, losses, trainAcc, valAcc []float64) {
+	step, state := e.opt.Snapshot()
+	_, err := checkpoint.Save(e.ckpt.Dir, &checkpoint.Snapshot{
+		Epoch:    epoch,
+		Seed:     e.cfg.Seed,
+		Weights:  weights,
+		OptName:  e.opt.Name(),
+		OptStep:  step,
+		OptState: state,
+		Losses:   losses,
+		TrainAcc: trainAcc,
+		ValAcc:   valAcc,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("core: rank 0 checkpoint at epoch %d: %v", epoch, err))
 	}
 }
 

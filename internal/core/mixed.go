@@ -112,6 +112,8 @@ func (m *mixedOps) fusedReLU(l int) bool {
 	return m.fused && m.cfg.Activation(l).Name() == "relu"
 }
 
+func (m *mixedOps) rank() int { return 0 }
+
 func (m *mixedOps) input() *dense.Matrix { return m.hdr }
 
 func (m *mixedOps) forwardAggregate(_ *dense.Matrix, l int) *dense.Matrix {

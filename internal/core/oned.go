@@ -103,7 +103,11 @@ func (t *OneD) runRanks(p Problem, body func(ops layerOps, cfg nn.Config, prob P
 func (t *OneD) Train(p Problem) (*Result, error) {
 	var result Result
 	err := t.runRanks(p, func(ops layerOps, cfg nn.Config, prob Problem) error {
-		if out := newEngine(ops, cfg, prob).run(); out != nil {
+		out, err := newEngine(ops, cfg, prob).run()
+		if err != nil {
+			return err
+		}
+		if out != nil {
 			result = *out
 		}
 		return nil
@@ -198,6 +202,8 @@ func (r *oneDRank) setup(at *sparse.CSR, features *dense.Matrix) {
 	r.memBase = csrWords(r.atLocal) + matWords(r.h0) + cfgWeightWords(r.cfg)
 	r.recordMem(0)
 }
+
+func (r *oneDRank) rank() int { return r.comm.Rank() }
 
 func (r *oneDRank) input() *dense.Matrix { return r.h0 }
 

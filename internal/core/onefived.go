@@ -114,7 +114,11 @@ func (t *OneFiveD) runRanks(p Problem, body func(ops layerOps, cfg nn.Config, pr
 func (t *OneFiveD) Train(p Problem) (*Result, error) {
 	var result Result
 	err := t.runRanks(p, func(ops layerOps, cfg nn.Config, prob Problem) error {
-		if out := newEngine(ops, cfg, prob).run(); out != nil {
+		out, err := newEngine(ops, cfg, prob).run()
+		if err != nil {
+			return err
+		}
+		if out != nil {
 			result = *out
 		}
 		return nil
@@ -349,6 +353,8 @@ func (r *oneFiveDRank) bcastStage(s int, x *dense.Matrix) *comm.Request {
 	}
 	return r.layerGroup.IBroadcast(s, in, comm.CatDenseComm)
 }
+
+func (r *oneFiveDRank) rank() int { return r.comm.Rank() }
 
 func (r *oneFiveDRank) input() *dense.Matrix { return r.h0 }
 

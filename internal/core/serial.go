@@ -41,11 +41,11 @@ func (s *Serial) Train(p Problem) (*Result, error) {
 	if s.Kernel.precision() == PrecisionF32 {
 		ops := newMixedOps(cfg, p, s.Kernel)
 		s.choice = ops.choice
-		return newEngine(ops, cfg, p).run(), nil
+		return newEngine(ops, cfg, p).run()
 	}
 	ops := newSerialOps(cfg, p.A, p.Features, p.Labels, p.TrainMask, p.lossNormalizer())
 	s.choice = ops.configure(s.Kernel)
-	return newEngine(ops, cfg, p).run(), nil
+	return newEngine(ops, cfg, p).run()
 }
 
 // serialOps implements layerOps for the single-process reference: every
@@ -156,6 +156,8 @@ func (s *serialOps) setH(l int, h *dense.Matrix) {
 func (s *serialOps) fusedReLU(l int) bool {
 	return s.fused && s.cfg.Activation(l).Name() == "relu"
 }
+
+func (s *serialOps) rank() int { return 0 }
 
 func (s *serialOps) input() *dense.Matrix { return s.h0 }
 

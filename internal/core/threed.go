@@ -88,7 +88,11 @@ func (t *ThreeD) runRanks(p Problem, body func(ops layerOps, cfg nn.Config, prob
 func (t *ThreeD) Train(p Problem) (*Result, error) {
 	var result Result
 	err := t.runRanks(p, func(ops layerOps, cfg nn.Config, prob Problem) error {
-		if out := newEngine(ops, cfg, prob).run(); out != nil {
+		out, err := newEngine(ops, cfg, prob).run()
+		if err != nil {
+			return err
+		}
+		if out != nil {
 			result = *out
 		}
 		return nil
@@ -311,6 +315,8 @@ func (r *threeDRank) gatherRows(x *dense.Matrix, f int) *dense.Matrix {
 	r.recordMem(matWords(out))
 	return out
 }
+
+func (r *threeDRank) rank() int { return r.comm.Rank() }
 
 func (r *threeDRank) input() *dense.Matrix { return r.h0 }
 

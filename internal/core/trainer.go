@@ -32,6 +32,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/checkpoint"
 	"repro/internal/comm"
 	"repro/internal/costmodel"
 	"repro/internal/dense"
@@ -60,6 +61,11 @@ type Problem struct {
 	// explicit TrainMask is used as given.
 	ValMask []bool
 	Config  nn.Config
+	// Checkpoint enables periodic snapshots of the training state (see
+	// internal/checkpoint). Rank 0 writes them; on startup every rank
+	// restores from the latest one — the state is replicated, so a resumed
+	// run continues bit-identically to an uninterrupted one.
+	Checkpoint checkpoint.Options
 }
 
 // normalized returns p with the documented mask contract applied: a

@@ -89,7 +89,11 @@ func (t *TwoD) runRanks(p Problem, body func(ops layerOps, cfg nn.Config, prob P
 func (t *TwoD) Train(p Problem) (*Result, error) {
 	var result Result
 	err := t.runRanks(p, func(ops layerOps, cfg nn.Config, prob Problem) error {
-		if out := newEngine(ops, cfg, prob).run(); out != nil {
+		out, err := newEngine(ops, cfg, prob).run()
+		if err != nil {
+			return err
+		}
+		if out != nil {
 			result = *out
 		}
 		return nil
@@ -319,6 +323,8 @@ func (r *twoDRank) gatherRows(x *dense.Matrix, f int) *dense.Matrix {
 	r.recordMem(matWords(out))
 	return out
 }
+
+func (r *twoDRank) rank() int { return r.comm.Rank() }
 
 func (r *twoDRank) input() *dense.Matrix { return r.h0 }
 

@@ -21,6 +21,16 @@ type Optimizer interface {
 	// layer; shapes must match across calls (state buffers are allocated on
 	// first use).
 	Step(weights, grads []*dense.Matrix)
+	// Snapshot returns the optimizer's resumable state: the step counter
+	// and the live internal buffers in a fixed, optimizer-defined order.
+	// Stateless optimizers return (0, nil). The caller must copy or
+	// serialize the buffers before the next Step mutates them.
+	Snapshot() (step int, state []*dense.Matrix)
+	// Restore replaces the optimizer's state with a previously
+	// snapshotted one, taking ownership of the matrices. An empty state
+	// restores the fresh (pre-first-Step) condition. It rejects state
+	// that cannot belong to this update rule.
+	Restore(step int, state []*dense.Matrix) error
 }
 
 // Optimizers lists the selectable update rules.
@@ -54,6 +64,17 @@ func (o *SGD) Step(weights, grads []*dense.Matrix) {
 	}
 }
 
+// Snapshot implements Optimizer; SGD is stateless.
+func (o *SGD) Snapshot() (int, []*dense.Matrix) { return 0, nil }
+
+// Restore implements Optimizer.
+func (o *SGD) Restore(step int, state []*dense.Matrix) error {
+	if len(state) != 0 {
+		return fmt.Errorf("nn: sgd restore: unexpected %d state matrices", len(state))
+	}
+	return nil
+}
+
 // Momentum is SGD with heavy-ball momentum:
 //
 //	v ← μ·v + ∇W,  W ← W − lr·v
@@ -79,6 +100,19 @@ func (o *Momentum) Step(weights, grads []*dense.Matrix) {
 			w[i] -= o.LR * v[i]
 		}
 	}
+}
+
+// Snapshot implements Optimizer: the velocity buffers.
+func (o *Momentum) Snapshot() (int, []*dense.Matrix) { return 0, o.vel }
+
+// Restore implements Optimizer.
+func (o *Momentum) Restore(step int, state []*dense.Matrix) error {
+	if len(state) == 0 {
+		o.vel = nil // pre-first-step: allocated fresh on next Step
+		return nil
+	}
+	o.vel = state
+	return nil
 }
 
 // Adam is the Kingma-Ba adaptive-moment optimizer with bias correction:
@@ -115,6 +149,35 @@ func (o *Adam) Step(weights, grads []*dense.Matrix) {
 			w[i] -= o.LR * (m[i] / c1) / (math.Sqrt(v[i]/c2) + o.Eps)
 		}
 	}
+}
+
+// Snapshot implements Optimizer: the step counter, then the first-moment
+// matrices followed by the second-moment matrices.
+func (o *Adam) Snapshot() (int, []*dense.Matrix) {
+	if o.m == nil {
+		return o.t, nil
+	}
+	state := make([]*dense.Matrix, 0, len(o.m)+len(o.v))
+	state = append(state, o.m...)
+	return o.t, append(state, o.v...)
+}
+
+// Restore implements Optimizer.
+func (o *Adam) Restore(step int, state []*dense.Matrix) error {
+	if step < 0 {
+		return fmt.Errorf("nn: adam restore: negative step %d", step)
+	}
+	if len(state)%2 != 0 {
+		return fmt.Errorf("nn: adam restore: odd state count %d (want m then v)", len(state))
+	}
+	o.t = step
+	if len(state) == 0 {
+		o.m, o.v = nil, nil
+		return nil
+	}
+	half := len(state) / 2
+	o.m, o.v = state[:half:half], state[half:]
+	return nil
 }
 
 // zerosLike allocates zero matrices with the shapes of ms.
