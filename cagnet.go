@@ -215,7 +215,22 @@ type TrainOptions struct {
 	// resume-from-latest at startup: when Checkpoint.Dir holds a snapshot,
 	// training continues from it and the finished run is bit-identical to
 	// an uninterrupted one. Snapshots are written atomically by rank 0.
+	//
+	// The snapshot state is world-size-independent (replicated weights and
+	// optimizer buffers), so a resume may use a different Ranks — or even a
+	// different Algorithm — than the run that wrote it: the problem is
+	// simply repartitioned for the new world. Such an elastic resume is
+	// tolerance-equivalent, not bit-identical, to an uninterrupted run
+	// (accumulation orders change with the partition).
 	Checkpoint CheckpointOptions
+	// Drain, when non-nil, is polled at every epoch boundary (with the
+	// votes OR-reduced across ranks): once it returns true anywhere, the
+	// current epoch completes, a final checkpoint is written (when
+	// checkpointing is on), and Train returns early with
+	// TrainReport.DrainedEpoch set. Install a hook reading an atomic flag
+	// flipped by a SIGTERM handler to make maintenance never cost an
+	// epoch.
+	Drain func() bool
 	// Backend selects the compute backend for all kernels: "serial" runs
 	// them single-threaded, "parallel" (the default) row-partitions large
 	// SpMM/GEMM/activation kernels across a worker pool sized by
@@ -236,6 +251,9 @@ type CheckpointOptions struct {
 	// Every is the epoch interval between snapshots; <= 0 with Dir set
 	// writes only the final one.
 	Every int
+	// Keep prunes all but the newest Keep snapshot files after each
+	// successful save; <= 0 keeps everything.
+	Keep int
 }
 
 func (o TrainOptions) withDefaults() TrainOptions {
@@ -272,6 +290,12 @@ type TrainReport struct {
 	// ValMask is set.
 	TrainAccuracy []float64
 	ValAccuracy   []float64
+	// ResumedEpoch is the epoch count restored from a checkpoint at
+	// startup (0 for a fresh start); DrainedEpoch is the epoch after
+	// which a TrainOptions.Drain vote stopped the run early (0 when it
+	// trained to Epochs).
+	ResumedEpoch int
+	DrainedEpoch int
 	// OutputRows and OutputCols describe the final embedding matrix.
 	OutputRows, OutputCols int
 	// ModeledSeconds is the modeled run time across all epochs (zero for
@@ -347,7 +371,8 @@ func Train(ds *graph.Dataset, opts TrainOptions) (*TrainReport, error) {
 		Labels:     ds.Labels,
 		TrainMask:  opts.TrainMask,
 		ValMask:    opts.ValMask,
-		Checkpoint: checkpoint.Options{Dir: opts.Checkpoint.Dir, Every: opts.Checkpoint.Every},
+		Checkpoint: checkpoint.Options{Dir: opts.Checkpoint.Dir, Every: opts.Checkpoint.Every, Keep: opts.Checkpoint.Keep},
+		Drain:      opts.Drain,
 		Config: nn.Config{
 			Widths:    ds.LayerWidths(),
 			LR:        opts.LR,
@@ -397,6 +422,8 @@ func Train(ds *graph.Dataset, opts TrainOptions) (*TrainReport, error) {
 		ValAccuracy:   res.ValAccuracy,
 		OutputRows:    res.Output.Rows,
 		OutputCols:    res.Output.Cols,
+		ResumedEpoch:  res.ResumedEpoch,
+		DrainedEpoch:  res.DrainedEpoch,
 		Precision:     choice.Precision,
 		Format:        choice.Format,
 		Fused:         choice.Fused,

@@ -10,6 +10,7 @@ import (
 	cagnet "repro"
 	"repro/internal/checkpoint"
 	"repro/internal/harness"
+	"repro/internal/tolerance"
 )
 
 // FaultRow is one algorithm's checkpoint/recovery cost measurement: what
@@ -39,8 +40,32 @@ type FaultRow struct {
 	CheckpointBytes int64 `json:"checkpoint_bytes"`
 }
 
+// ElasticRow is one shrink-to-survivors measurement: train at P with
+// per-epoch snapshots, stop halfway, resume the same directory at a
+// smaller PResume (the checkpoint is world-size independent), and compare
+// the combined run against an uninterrupted serial run. Repartitioning
+// reassociates floating-point sums, so the contract is WithinTolerance,
+// not bit identity; MaxLossDelta records how far the losses actually
+// drifted.
+type ElasticRow struct {
+	Algorithm       string `json:"algorithm"`
+	P               int    `json:"p"`
+	PResume         int    `json:"p_resume"`
+	ResumeAlgorithm string `json:"resume_algorithm"`
+	Epochs          int    `json:"epochs"`
+	// ResumedEpoch is the epoch the shrunken run restored from.
+	ResumedEpoch int `json:"resumed_epoch"`
+	// WithinTolerance is the elastic-resume contract: the combined losses
+	// stay inside the tolerance envelope of an uninterrupted serial run.
+	WithinTolerance bool    `json:"within_tolerance"`
+	MaxLossDelta    float64 `json:"max_loss_delta"`
+	// ElasticWallSec is the wall time of the shrunken second half.
+	ElasticWallSec float64 `json:"elastic_wall_sec"`
+}
+
 // runFault measures the checkpoint/restart machinery: snapshot overhead
-// per epoch and the resume bit-identity contract, per algorithm.
+// per epoch and the resume bit-identity contract per algorithm, plus the
+// elastic shrink-to-survivors resume contract across world sizes.
 func runFault(o harness.Options) (any, error) {
 	o = o.WithDefaults()
 	scale := 8
@@ -140,5 +165,82 @@ func runFault(o harness.Options) (any, error) {
 		[]string{"algorithm", "P", "epochs", "resume-bit-identical", "clean s", "ckpt s", "overhead s", "ckpt bytes"}, cells))
 	fmt.Println("wall times describe this host; the gated contract is resume-bit-identical.")
 	fmt.Println()
-	return rows, nil
+
+	// Elastic shrink-to-survivors: the same snapshots restore into a
+	// smaller world (or another algorithm), emulating a supervisor that
+	// lost a rank for good and resumed with the survivors.
+	serialRef, err := cagnet.Train(ds, cagnet.TrainOptions{
+		Algorithm: "serial", Epochs: epochs,
+		Machine: o.Machine.Name, Optimizer: o.Optimizer,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("fault serial reference: %w", err)
+	}
+	var elastic []ElasticRow
+	for _, cfg := range []struct {
+		algo       string
+		p          int
+		resumeAlgo string
+		pResume    int
+	}{
+		{"1d", 4, "1d", 3},
+		{"2d", 4, "1d", 2},
+	} {
+		dir, err := os.MkdirTemp("", "cagnet-elastic-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		half := cagnet.TrainOptions{
+			Algorithm: cfg.algo, Ranks: cfg.p, Epochs: epochs / 2,
+			Machine: o.Machine.Name, Optimizer: o.Optimizer,
+			Checkpoint: cagnet.CheckpointOptions{Dir: dir, Every: 1},
+		}
+		if _, err := cagnet.Train(ds, half); err != nil {
+			return nil, fmt.Errorf("fault elastic %s half: %w", cfg.algo, err)
+		}
+		shrunk := half
+		shrunk.Algorithm, shrunk.Ranks, shrunk.Epochs = cfg.resumeAlgo, cfg.pResume, epochs
+		start := time.Now()
+		resumed, err := cagnet.Train(ds, shrunk)
+		if err != nil {
+			return nil, fmt.Errorf("fault elastic %s->%s/%d resume: %w", cfg.algo, cfg.resumeAlgo, cfg.pResume, err)
+		}
+		elasticWall := time.Since(start).Seconds()
+		var maxDelta float64
+		if len(resumed.Losses) == len(serialRef.Losses) {
+			for i := range serialRef.Losses {
+				maxDelta = math.Max(maxDelta, math.Abs(resumed.Losses[i]-serialRef.Losses[i]))
+			}
+		} else {
+			maxDelta = math.Inf(1)
+		}
+		within := tolerance.CloseSlice("elastic losses", resumed.Losses, serialRef.Losses, 1e-6, 1e-4) == nil
+		elastic = append(elastic, ElasticRow{
+			Algorithm: cfg.algo, P: cfg.p,
+			ResumeAlgorithm: cfg.resumeAlgo, PResume: cfg.pResume,
+			Epochs:          epochs,
+			ResumedEpoch:    resumed.ResumedEpoch,
+			WithinTolerance: within,
+			MaxLossDelta:    maxDelta,
+			ElasticWallSec:  elasticWall,
+		})
+	}
+	fmt.Println("== Fault tolerance: elastic shrink-to-survivors resume ==")
+	cells = cells[:0]
+	for _, r := range elastic {
+		cells = append(cells, []string{
+			fmt.Sprintf("%s/%d", r.Algorithm, r.P),
+			fmt.Sprintf("%s/%d", r.ResumeAlgorithm, r.PResume),
+			strconv.Itoa(r.Epochs), strconv.Itoa(r.ResumedEpoch),
+			strconv.FormatBool(r.WithinTolerance),
+			harness.FormatFloat(r.MaxLossDelta),
+			harness.FormatFloat(r.ElasticWallSec),
+		})
+	}
+	fmt.Println(harness.Table(
+		[]string{"trained", "resumed", "epochs", "from epoch", "within-tolerance", "max loss delta", "elastic s"}, cells))
+	fmt.Println("shrinking repartitions the problem, so the contract is tolerance, not bit identity.")
+	fmt.Println()
+	return map[string]any{"checkpoint": rows, "elastic": elastic}, nil
 }

@@ -159,11 +159,13 @@ func TestSupervisorGivesUp(t *testing.T) {
 	})
 	t.Run("restarts exhausted", func(t *testing.T) {
 		// -max-restarts 0 makes the supervisor refuse the very first
-		// retry, surfacing the crash instead of recovering from it.
+		// retry, and -min-world 2 forbids the elastic fallback of
+		// shrinking to one survivor — so the crash surfaces instead of
+		// being recovered from.
 		out, err := workerCmd(t, "-spawn", "-world", "2", "-algo", "1d",
 			"-dataset", "reddit-sim", "-quick", "-epochs", "4",
 			"-checkpoint-dir", t.TempDir(), "-max-restarts", "0",
-			"-chaos", "crash@epoch=2").CombinedOutput()
+			"-min-world", "2", "-chaos", "crash@epoch=2").CombinedOutput()
 		if err == nil {
 			t.Fatalf("run with exhausted restarts exited zero:\n%s", out)
 		}

@@ -41,16 +41,43 @@
 //
 //	cagnet-worker -spawn -world 4 -quick -checkpoint-dir /tmp/ckpt \
 //	    -checkpoint-every 1 -chaos crash@epoch=3
+//
+// # Elastic degraded-world training
+//
+// When the restart budget at the current world size is exhausted (or the
+// same rank keeps dying), the supervisor stops trying to restore the
+// world at full strength and shrinks it instead: the survivors are
+// relaunched as a new generation with the largest world size P′ < P the
+// algorithm supports (never below -min-world), resuming from the latest
+// checkpoint. Snapshots are world-size-independent — replicated weights
+// plus optimizer state — so the shrunken world repartitions the problem
+// and trains on; the result is tolerance-equivalent (not bit-identical —
+// accumulation orders change with the partition) to an uninterrupted run.
+// Shrunken-generation workers are launched with -world 0 and adopt the
+// world size from the generation's coordinator, which thereby acts as the
+// membership service for each incarnation. -min-world equal to -world
+// disables shrinking (the pre-elastic behavior).
+//
+// The flip side is graceful drain: SIGTERM to a worker (or to the -spawn
+// supervisor, which forwards it) finishes the current epoch, writes a
+// final checkpoint (rank 0), closes the transport in order, and exits 0 —
+// planned maintenance never costs an epoch. The drain decision is a
+// per-epoch collective vote, so every rank stops after the same epoch no
+// matter which rank the signal landed on.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"os/exec"
+	"os/signal"
 	"runtime"
 	"strconv"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	cagnet "repro"
@@ -61,6 +88,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/nn"
 	"repro/internal/parallel"
+	"repro/internal/partition"
 )
 
 type config struct {
@@ -86,9 +114,11 @@ type config struct {
 	heartbeatInterval time.Duration
 	checkpointDir     string
 	checkpointEvery   int
+	checkpointKeep    int
 	chaos             string
 	chaosRank         int
 	maxRestarts       int
+	minWorld          int
 	generation        int
 }
 
@@ -97,7 +127,7 @@ func main() {
 	log.SetPrefix("cagnet-worker: ")
 	var cfg config
 	flag.IntVar(&cfg.rank, "rank", -1, "this process's rank in [0, world) (or $CAGNET_RANK)")
-	flag.IntVar(&cfg.world, "world", 0, "total rank count (or $CAGNET_WORLD)")
+	flag.IntVar(&cfg.world, "world", 0, "total rank count (or $CAGNET_WORLD; 0 with -host=false adopts the size the coordinator announces)")
 	flag.StringVar(&cfg.coordinator, "coordinator", "", "rendezvous coordinator host:port (or $CAGNET_COORDINATOR)")
 	flag.BoolVar(&cfg.host, "host", true, "rank 0 hosts the coordinator at -coordinator (set -host=false when one already runs there)")
 	flag.BoolVar(&cfg.spawn, "spawn", false, "fork all -world workers locally (and supervise them: with -checkpoint-dir, a crashed world restarts from the latest checkpoint)")
@@ -116,9 +146,11 @@ func main() {
 	flag.DurationVar(&cfg.heartbeatInterval, "heartbeat-interval", 0, "period between heartbeat frames to every peer (0 = 500ms default; negative disables)")
 	flag.StringVar(&cfg.checkpointDir, "checkpoint-dir", "", "directory for atomic training-state snapshots; a start resumes from the latest one (empty disables)")
 	flag.IntVar(&cfg.checkpointEvery, "checkpoint-every", 0, "epochs between snapshots (0 = only the final one)")
+	flag.IntVar(&cfg.checkpointKeep, "checkpoint-keep", 0, "retain only the newest N snapshots after each write (0 = keep all; the latest is never pruned)")
 	flag.StringVar(&cfg.chaos, "chaos", "", "deterministic fault plan injected on the chaos rank, e.g. crash@epoch=3 or sever@op=40,delay@op=10:50ms")
 	flag.IntVar(&cfg.chaosRank, "chaos-rank", 1, "rank the -chaos plan applies to")
-	flag.IntVar(&cfg.maxRestarts, "max-restarts", 3, "-spawn: world restarts from checkpoint before giving up")
+	flag.IntVar(&cfg.maxRestarts, "max-restarts", 3, "-spawn: full-strength restarts from checkpoint at one world size before shrinking (or giving up at -min-world)")
+	flag.IntVar(&cfg.minWorld, "min-world", 1, "-spawn: smallest world size elastic shrinking may fall back to (set to -world to disable shrinking)")
 	flag.IntVar(&cfg.generation, "generation", 0, "rendezvous generation (set by the -spawn supervisor on restart)")
 	flag.Parse()
 
@@ -165,9 +197,6 @@ func (cfg config) tcpOptions() comm.TCPOptions {
 }
 
 func run(cfg config) error {
-	if cfg.world < 1 {
-		return fmt.Errorf("-world %d: need at least one rank (flag or $CAGNET_WORLD)", cfg.world)
-	}
 	if cfg.algo == "serial" {
 		return fmt.Errorf("-algo serial has no ranks to distribute; use cagnet-train")
 	}
@@ -175,15 +204,37 @@ func run(cfg config) error {
 		if _, err := comm.ParseFaultPlan(cfg.chaos); err != nil {
 			return err
 		}
-		if cfg.chaosRank < 0 || cfg.chaosRank >= cfg.world {
+		if cfg.chaosRank < 0 || (cfg.world > 0 && cfg.chaosRank >= cfg.world) {
 			return fmt.Errorf("-chaos-rank %d outside [0, %d)", cfg.chaosRank, cfg.world)
 		}
 	}
 	if cfg.checkpointEvery < 0 {
 		return fmt.Errorf("-checkpoint-every %d must be positive", cfg.checkpointEvery)
 	}
+	if cfg.checkpointKeep < 0 {
+		return fmt.Errorf("-checkpoint-keep %d must be positive (0 keeps all)", cfg.checkpointKeep)
+	}
 	if cfg.spawn {
+		if cfg.world < 1 {
+			return fmt.Errorf("-world %d: need at least one rank (flag or $CAGNET_WORLD)", cfg.world)
+		}
+		if cfg.minWorld < 1 || cfg.minWorld > cfg.world {
+			return fmt.Errorf("-min-world %d outside [1, %d]", cfg.minWorld, cfg.world)
+		}
 		return supervise(cfg)
+	}
+	if cfg.world == 0 && !cfg.host && cfg.coordinator != "" {
+		// Elastic membership: with -world 0 and an external coordinator,
+		// this rank adopts whatever world size the coordinator announces at
+		// rendezvous. Shrunken supervisor generations launch survivors this
+		// way, making the coordinator the membership service per incarnation.
+		if cfg.rank < 0 {
+			return fmt.Errorf("-rank %d: negotiating -world 0 still needs a rank (flag or $CAGNET_RANK)", cfg.rank)
+		}
+		return runRank(cfg)
+	}
+	if cfg.world < 1 {
+		return fmt.Errorf("-world %d: need at least one rank (flag or $CAGNET_WORLD)", cfg.world)
 	}
 	if cfg.rank < 0 || cfg.rank >= cfg.world {
 		return fmt.Errorf("-rank %d outside [0, %d) (flag or $CAGNET_RANK)", cfg.rank, cfg.world)
@@ -200,45 +251,123 @@ func run(cfg config) error {
 // a dead incarnation can never leak into the new one. Training is
 // bulk-synchronous over replicated state, so whole-world restart from the
 // last checkpoint is the recovery that preserves bit-identical results.
+//
+// When the restart budget at one world size runs out — or the same rank
+// dies twice in a row, which the supervisor reads as a dead host — it
+// stops trying to restore the world at full strength and shrinks it: the
+// next generation runs at the largest algorithm-valid world size below the
+// current one (never below -min-world), and its ranks negotiate the
+// shrunken membership from that generation's coordinator. Snapshots are
+// world-size independent, so the survivors repartition and resume from the
+// same checkpoint; a shrunken run is tolerance-equivalent to an
+// uninterrupted one, no longer bit-identical.
 func supervise(cfg config) error {
+	// SIGINT interrupts the between-generation backoff instead of sleeping
+	// through it; SIGTERM is forwarded to the children by spawnAll so the
+	// running generation drains gracefully.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	world := cfg.world
+	restarts := 0 // restart attempts at the current world size
+	lastFailed := -1
 	for gen := cfg.generation; ; gen++ {
-		err := spawnAll(cfg, gen)
+		failed, err := spawnAll(cfg, gen, world)
 		if err == nil {
+			if world < cfg.world {
+				log.Printf("world completed degraded at %d of %d ranks", world, cfg.world)
+			}
 			return nil
 		}
 		if cfg.checkpointDir == "" {
 			return fmt.Errorf("world failed with no -checkpoint-dir to restart from: %w", err)
 		}
-		restarts := gen - cfg.generation
-		if restarts >= cfg.maxRestarts {
-			return fmt.Errorf("giving up after %d restarts: %w", restarts, err)
+		deadHost := failed >= 0 && failed == lastFailed
+		lastFailed = failed
+		if restarts >= cfg.maxRestarts || deadHost {
+			next := shrinkWorld(cfg, world)
+			if next == 0 {
+				return fmt.Errorf("giving up after %d restarts at world %d (no valid world size left above -min-world %d): %w",
+					restarts, world, cfg.minWorld, err)
+			}
+			if deadHost {
+				log.Printf("rank %d died twice in a row; treating its host as dead", failed)
+			}
+			log.Printf("world generation %d failed at world %d: %v; shrinking to %d survivors and resuming from latest checkpoint",
+				gen, world, err, next)
+			world, restarts, lastFailed = next, 0, -1
+			continue
 		}
-		backoff := min((100*time.Millisecond)<<restarts, 2*time.Second)
+		restarts++
+		backoff := min((100*time.Millisecond)<<(restarts-1), 2*time.Second)
 		log.Printf("world generation %d failed: %v; restarting from latest checkpoint in %v", gen, err, backoff)
-		time.Sleep(backoff)
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return fmt.Errorf("interrupted during restart backoff: %w", err)
+		}
 	}
+}
+
+// shrinkWorld returns the largest world size below world that the algorithm
+// can run at (perfect square for 2d, perfect cube for 3d, replication-
+// divisible for 1.5d) and that -min-world permits, or 0 when none exists.
+func shrinkWorld(cfg config, world int) int {
+	for p := world - 1; p >= cfg.minWorld; p-- {
+		if worldValid(cfg, p) {
+			return p
+		}
+	}
+	return 0
+}
+
+// worldValid reports whether the configured algorithm can run at world size
+// p. The grid shapes are checked directly (the trainers validate them only
+// at Train time); everything else is delegated to the trainer constructor.
+func worldValid(cfg config, p int) bool {
+	if p < 1 {
+		return false
+	}
+	switch cfg.algo {
+	case "2d":
+		if !partition.IsPerfectSquare(p) {
+			return false
+		}
+	case "3d":
+		if !partition.IsPerfectCube(p) {
+			return false
+		}
+	}
+	mach, err := costmodel.ProfileByName(cfg.machine)
+	if err != nil {
+		return false
+	}
+	_, err = core.NewTrainerReplicated(cfg.algo, p, cfg.replication, mach)
+	return err == nil
 }
 
 // spawnAll forks one worker process per rank for one generation, hosting
 // that generation's rendezvous coordinator itself so the children only
-// need its address. The -chaos plan is forwarded to the chaos rank on the
-// first generation only — a restarted world must not re-crash on the same
-// scripted fault.
-func spawnAll(cfg config, gen int) error {
-	coord, err := comm.NewCoordinatorOpts("127.0.0.1:0", cfg.world, comm.TCPOptions{
+// need its address. Children are launched with -world 0 and adopt the
+// world size the coordinator announces — the same membership negotiation a
+// shrunken generation relies on. The -chaos plan is forwarded to the chaos
+// rank on the first generation only — a restarted world must not re-crash
+// on the same scripted fault. It returns the lowest rank that failed (-1
+// when none did) so the supervisor can spot a rank that dies repeatedly.
+func spawnAll(cfg config, gen, world int) (failedRank int, err error) {
+	coord, err := comm.NewCoordinatorOpts("127.0.0.1:0", world, comm.TCPOptions{
 		RendezvousTimeout: cfg.rendezvousTimeout,
 		Generation:        gen,
 	})
 	if err != nil {
-		return err
+		return -1, err
 	}
 	go coord.Serve()
 	exe, err := os.Executable()
 	if err != nil {
-		return err
+		return -1, err
 	}
 	args := []string{
-		"-world", strconv.Itoa(cfg.world),
+		"-world", "0",
 		"-coordinator", coord.Addr(),
 		"-host=false",
 		"-generation", strconv.Itoa(gen),
@@ -262,10 +391,11 @@ func spawnAll(cfg config, gen int) error {
 	}
 	if cfg.checkpointDir != "" {
 		args = append(args, "-checkpoint-dir", cfg.checkpointDir,
-			"-checkpoint-every", strconv.Itoa(cfg.checkpointEvery))
+			"-checkpoint-every", strconv.Itoa(cfg.checkpointEvery),
+			"-checkpoint-keep", strconv.Itoa(cfg.checkpointKeep))
 	}
-	procs := make([]*exec.Cmd, cfg.world)
-	for r := 0; r < cfg.world; r++ {
+	procs := make([]*exec.Cmd, world)
+	for r := 0; r < world; r++ {
 		rankArgs := append([]string{"-rank", strconv.Itoa(r)}, args...)
 		if cfg.chaos != "" && gen == cfg.generation && r == cfg.chaosRank {
 			rankArgs = append(rankArgs, "-chaos", cfg.chaos, "-chaos-rank", strconv.Itoa(r))
@@ -273,25 +403,54 @@ func spawnAll(cfg config, gen int) error {
 		procs[r] = exec.Command(exe, rankArgs...)
 		procs[r].Stdout = os.Stdout
 		procs[r].Stderr = os.Stderr
-		procs[r].Env = os.Environ()
+		// Blank CAGNET_WORLD so the children negotiate -world 0 from the
+		// coordinator instead of resurrecting a stale environment value.
+		procs[r].Env = append(os.Environ(), "CAGNET_WORLD=")
 		if err := procs[r].Start(); err != nil {
 			for _, p := range procs[:r] {
 				p.Process.Kill()
 				p.Wait()
 			}
-			return fmt.Errorf("spawning rank %d: %w", r, err)
+			return -1, fmt.Errorf("spawning rank %d: %w", r, err)
 		}
 	}
+	// Forward SIGTERM to every child: each rank finishes the current epoch,
+	// the world votes to drain, rank 0 writes a final checkpoint, and all
+	// exit 0 — so the supervisor sees a clean generation and exits 0 too.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case sig := <-sigCh:
+				log.Printf("supervisor: %v; forwarding to all %d ranks for graceful drain", sig, world)
+				for _, p := range procs {
+					if p.Process != nil {
+						p.Process.Signal(sig)
+					}
+				}
+			case <-done:
+				return
+			}
+		}
+	}()
+	defer func() {
+		signal.Stop(sigCh)
+		close(done)
+	}()
 	// Abort propagation and the progress timeout make every healthy rank
 	// exit on its own shortly after any rank dies, so waiting for all of
 	// them is bounded even on failure.
+	failedRank = -1
 	var firstErr error
 	for r, p := range procs {
 		if err := p.Wait(); err != nil && firstErr == nil {
+			failedRank = r
 			firstErr = fmt.Errorf("rank %d: %w", r, err)
 		}
 	}
-	return firstErr
+	return failedRank, firstErr
 }
 
 // runRank executes this process's share of the training job. Only rank 0
@@ -301,6 +460,33 @@ func runRank(cfg config) error {
 	mach, err := costmodel.ProfileByName(cfg.machine)
 	if err != nil {
 		return err
+	}
+	// Graceful drain: SIGTERM flips a flag the engine polls at every epoch
+	// boundary. The vote is OR-reduced across the world, so all ranks stop
+	// after the same epoch regardless of which rank the signal reached.
+	var draining atomic.Bool
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+	go func() {
+		for range sigCh {
+			if !draining.Swap(true) {
+				log.Printf("rank %d: SIGTERM; draining after the current epoch", cfg.rank)
+			}
+		}
+	}()
+
+	var tcpTr *comm.TCPTransport
+	if cfg.world == 0 {
+		// Elastic membership: rendezvous first and adopt the coordinator's
+		// announced world size; everything below sizes itself off it.
+		tcpTr, err = comm.DialTCPOpts(cfg.coordinator, cfg.rank, 0, cfg.tcpOptions())
+		if err != nil {
+			return err
+		}
+		defer tcpTr.Close()
+		cfg.world = tcpTr.Size()
+		log.Printf("rank %d: adopted world size %d from coordinator (generation %d)", cfg.rank, cfg.world, cfg.generation)
 	}
 	// All ranks usually share one host here; divide the compute pool so the
 	// processes together use about NumCPU workers instead of world·NumCPU.
@@ -335,7 +521,8 @@ func runRank(cfg config) error {
 		A:          ds.Graph.NormalizedAdjacency(),
 		Features:   ds.Features,
 		Labels:     ds.Labels,
-		Checkpoint: checkpoint.Options{Dir: cfg.checkpointDir, Every: cfg.checkpointEvery},
+		Checkpoint: checkpoint.Options{Dir: cfg.checkpointDir, Every: cfg.checkpointEvery, Keep: cfg.checkpointKeep},
+		Drain:      func() bool { return draining.Load() },
 		Config: nn.Config{
 			Widths:    ds.LayerWidths(),
 			LR:        cfg.lr,
@@ -345,20 +532,22 @@ func runRank(cfg config) error {
 		},
 	}
 
-	dialAddr := cfg.coordinator
-	if cfg.host && cfg.rank == 0 {
-		coord, err := comm.NewCoordinatorOpts(cfg.coordinator, cfg.world, cfg.tcpOptions())
-		if err != nil {
-			return fmt.Errorf("hosting coordinator: %w", err)
+	if tcpTr == nil {
+		dialAddr := cfg.coordinator
+		if cfg.host && cfg.rank == 0 {
+			coord, err := comm.NewCoordinatorOpts(cfg.coordinator, cfg.world, cfg.tcpOptions())
+			if err != nil {
+				return fmt.Errorf("hosting coordinator: %w", err)
+			}
+			go coord.Serve()
+			dialAddr = coord.Addr()
 		}
-		go coord.Serve()
-		dialAddr = coord.Addr()
+		tcpTr, err = comm.DialTCPOpts(dialAddr, cfg.rank, cfg.world, cfg.tcpOptions())
+		if err != nil {
+			return err
+		}
+		defer tcpTr.Close()
 	}
-	tcpTr, err := comm.DialTCPOpts(dialAddr, cfg.rank, cfg.world, cfg.tcpOptions())
-	if err != nil {
-		return err
-	}
-	defer tcpTr.Close()
 	var tr comm.Transport = tcpTr
 	if cfg.chaos != "" && cfg.rank == cfg.chaosRank {
 		plan, err := comm.ParseFaultPlan(cfg.chaos)
@@ -419,8 +608,18 @@ func runRank(cfg config) error {
 		ds.Name, ds.Graph.NumVertices, a.NNZ(), a.AvgDegree(), ds.FeatureLen(), ds.NumLabels)
 	fmt.Printf("world %d ranks over tcp: algo=%s epochs=%d lr=%g optimizer=%s machine=%s\n\n",
 		cfg.world, cfg.algo, cfg.epochs, cfg.lr, cfg.optimizer, cfg.machine)
+	if res.ResumedEpoch > 0 {
+		fmt.Printf("resumed from checkpoint at epoch %d\n\n", res.ResumedEpoch)
+	}
 	for i, loss := range res.Losses {
 		fmt.Printf("epoch %3d  loss %.6f\n", i+1, loss)
+	}
+	if res.DrainedEpoch > 0 {
+		note := "no checkpoint directory, nothing persisted"
+		if cfg.checkpointDir != "" {
+			note = "final checkpoint written"
+		}
+		fmt.Printf("\ndrained after epoch %d of %d (%s)\n", res.DrainedEpoch, cfg.epochs, note)
 	}
 	fmt.Printf("\nfinal training accuracy: %.4f\n\n", res.Accuracy)
 	epochs := float64(cfg.epochs)

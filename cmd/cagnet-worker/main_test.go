@@ -99,11 +99,15 @@ func TestEnvFallback(t *testing.T) {
 // TestRunValidation covers the fail-fast rejections, no sockets involved.
 func TestRunValidation(t *testing.T) {
 	for name, cfg := range map[string]config{
-		"no world":       {world: 0, rank: 0, algo: "2d", coordinator: "x:1"},
-		"serial":         {world: 1, rank: 0, algo: "serial", coordinator: "x:1"},
-		"rank high":      {world: 2, rank: 2, algo: "2d", coordinator: "x:1"},
-		"rank negative":  {world: 2, rank: -1, algo: "2d", coordinator: "x:1"},
-		"no coordinator": {world: 2, rank: 0, algo: "2d"},
+		"no world":             {world: 0, rank: 0, algo: "2d", coordinator: "x:1", host: true},
+		"no world no coord":    {world: 0, rank: 0, algo: "2d"},
+		"negotiate no rank":    {world: 0, rank: -1, algo: "2d", coordinator: "x:1"},
+		"serial":               {world: 1, rank: 0, algo: "serial", coordinator: "x:1"},
+		"rank high":            {world: 2, rank: 2, algo: "2d", coordinator: "x:1"},
+		"rank negative":        {world: 2, rank: -1, algo: "2d", coordinator: "x:1"},
+		"no coordinator":       {world: 2, rank: 0, algo: "2d"},
+		"spawn min-world high": {world: 2, algo: "1d", spawn: true, minWorld: 3},
+		"negative keep":        {world: 2, rank: 0, algo: "2d", coordinator: "x:1", checkpointKeep: -1},
 	} {
 		if err := run(cfg); err == nil {
 			t.Errorf("%s: config accepted", name)

@@ -37,6 +37,10 @@ type Options struct {
 	// Every is the epoch interval between snapshots; <= 0 with Dir set
 	// means only the final snapshot is written.
 	Every int
+	// Keep bounds how many snapshot files stay in Dir: after each
+	// successful Save the oldest files beyond the newest Keep are pruned.
+	// <= 0 keeps everything.
+	Keep int
 }
 
 // Enabled reports whether checkpointing is on.
@@ -64,14 +68,25 @@ type Snapshot struct {
 	Losses   []float64
 	TrainAcc []float64
 	ValAcc   []float64
+	// World and Algorithm record the run that wrote the snapshot. They
+	// are advisory: the state itself (replicated weights + optimizer) is
+	// world-size-independent, so an elastic resume at a different world
+	// size or decomposition is legal — the fields exist so such a resume
+	// can be reported, and so tooling can inspect where a file came from.
+	World     int
+	Algorithm string
 }
 
 // File format: an 16-byte header — 8-byte magic (which pins the format
 // major version), u32 payload CRC32 (IEEE), u32 payload length — then the
 // payload. All integers little-endian; floats as IEEE-754 bit patterns.
-var magic = [8]byte{'C', 'A', 'G', 'C', 'K', 'P', 'T', 1}
+// Version 2 appended the advisory World/Algorithm trailer to the payload.
+var magic = [8]byte{'C', 'A', 'G', 'C', 'K', 'P', 'T', formatVersion}
 
-const headerLen = 16
+const (
+	headerLen     = 16
+	formatVersion = 2
+)
 
 // Save atomically writes a snapshot into dir, creating it if needed, and
 // returns the written path. Files are named ckpt-%08d.ckpt by epoch so
@@ -126,6 +141,31 @@ func Latest(dir string) (string, error) {
 	return names[len(names)-1], nil
 }
 
+// Prune deletes all but the newest keep checkpoint files in dir, so long
+// elastic runs snapshotting every epoch don't grow the directory without
+// bound. keep <= 0 keeps everything. The newest file — the one Latest
+// would return — is never removed, and a file that vanishes under
+// Prune's feet (a concurrent prune) is skipped, not an error.
+func Prune(dir string, keep int) error {
+	if keep <= 0 {
+		return nil
+	}
+	names, err := filepath.Glob(filepath.Join(dir, "ckpt-*.ckpt"))
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if len(names) <= keep {
+		return nil
+	}
+	sort.Strings(names)
+	for _, name := range names[:len(names)-keep] {
+		if err := os.Remove(name); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("checkpoint: pruning %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
 // Load reads and verifies one snapshot. It fails loudly on a bad magic,
 // format version, length, or checksum — a corrupt checkpoint must never
 // silently resume training from garbage.
@@ -134,8 +174,11 @@ func Load(path string) (*Snapshot, error) {
 	if err != nil {
 		return nil, fmt.Errorf("checkpoint: %w", err)
 	}
-	if len(raw) < headerLen || !bytes.Equal(raw[:8], magic[:]) {
+	if len(raw) < headerLen || !bytes.Equal(raw[:7], magic[:7]) {
 		return nil, fmt.Errorf("checkpoint: %s: not a checkpoint file (bad magic)", path)
+	}
+	if raw[7] != formatVersion {
+		return nil, fmt.Errorf("checkpoint: %s: format version %d, this build reads only version %d", path, raw[7], formatVersion)
 	}
 	sum := binary.LittleEndian.Uint32(raw[8:12])
 	n := int(binary.LittleEndian.Uint32(raw[12:16]))
@@ -192,6 +235,10 @@ func encode(s *Snapshot) []byte {
 	putFloats(s.ValAcc)
 	putMats(s.Weights)
 	putMats(s.OptState)
+	// Version-2 advisory trailer.
+	putU32(s.World)
+	putU32(len(s.Algorithm))
+	b.WriteString(s.Algorithm)
 	return b.Bytes()
 }
 
@@ -243,7 +290,11 @@ func decode(payload []byte) (*Snapshot, error) {
 		ms := make([]*dense.Matrix, 0, n)
 		for i := 0; i < n; i++ {
 			rows, cols := getU32(), getU32()
-			if err != nil || rows < 0 || cols < 0 || rows*cols < 0 || 8*rows*cols > r.Len() {
+			// The element-count bound is phrased as a division so a huge
+			// rows×cols pair cannot overflow into a small product and pair
+			// an enormous claimed shape with an empty Data slice.
+			if err != nil || rows < 0 || cols < 0 ||
+				(rows > 0 && cols > (r.Len()/8)/rows) {
 				if err == nil {
 					err = fmt.Errorf("matrix %dx%d exceeds payload", rows, cols)
 				}
@@ -277,6 +328,18 @@ func decode(payload []byte) (*Snapshot, error) {
 	s.ValAcc = getFloats()
 	s.Weights = getMats()
 	s.OptState = getMats()
+	s.World = getU32()
+	algoLen := getU32()
+	if err == nil && (algoLen < 0 || algoLen > r.Len()) {
+		err = fmt.Errorf("algorithm length %d exceeds payload", algoLen)
+	}
+	if err == nil {
+		algo := make([]byte, algoLen)
+		if _, e := io.ReadFull(r, algo); e != nil {
+			err = e
+		}
+		s.Algorithm = string(algo)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -24,14 +24,16 @@ func testSnapshot(epoch int) *Snapshot {
 		losses[i] = 3.7 - float64(i)/100
 	}
 	return &Snapshot{
-		Epoch:    epoch,
-		Seed:     42,
-		Weights:  []*dense.Matrix{w},
-		OptName:  "adam",
-		OptStep:  epoch,
-		OptState: []*dense.Matrix{m, v},
-		Losses:   losses,
-		TrainAcc: []float64{0.5, 0.6}[:min(2, epoch)],
+		Epoch:     epoch,
+		Seed:      42,
+		Weights:   []*dense.Matrix{w},
+		OptName:   "adam",
+		OptStep:   epoch,
+		OptState:  []*dense.Matrix{m, v},
+		Losses:    losses,
+		TrainAcc:  []float64{0.5, 0.6}[:min(2, epoch)],
+		World:     4,
+		Algorithm: "1.5d",
 	}
 }
 
@@ -68,6 +70,10 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	if got.Epoch != want.Epoch || got.Seed != want.Seed ||
 		got.OptName != want.OptName || got.OptStep != want.OptStep {
 		t.Fatalf("scalars: got %+v", got)
+	}
+	if got.World != want.World || got.Algorithm != want.Algorithm {
+		t.Fatalf("advisory metadata: world %d algo %q, want %d %q",
+			got.World, got.Algorithm, want.World, want.Algorithm)
 	}
 	sameMats(t, "weights", got.Weights, want.Weights)
 	sameMats(t, "optState", got.OptState, want.OptState)
@@ -158,5 +164,116 @@ func TestLoadRejectsCorruption(t *testing.T) {
 func TestLoadMissingFile(t *testing.T) {
 	if _, err := Load(filepath.Join(t.TempDir(), "nope.ckpt")); err == nil {
 		t.Fatal("Load of a missing file succeeded")
+	}
+}
+
+func TestLoadRejectsOldFormatVersion(t *testing.T) {
+	dir := t.TempDir()
+	path, err := Save(dir, testSnapshot(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[7] = 1 // a v1 file written by an older build
+	old := filepath.Join(dir, "old.ckpt")
+	if err := os.WriteFile(old, raw, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Load(old)
+	if err == nil || !strings.Contains(err.Error(), "format version") {
+		t.Fatalf("v1 file: err = %v, want a format-version error", err)
+	}
+}
+
+// TestCrashBetweenTempWriteAndRename pins the atomicity contract: a crash
+// after the temp file is fully written but before the rename must leave
+// Latest pointing at the previous epoch's snapshot, with the stray temp
+// file invisible to the resume path.
+func TestCrashBetweenTempWriteAndRename(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Save(dir, testSnapshot(3)); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the crash: the epoch-4 snapshot exists only as a temp file
+	// (both a complete one and a torn prefix — the rename never happened).
+	whole, err := os.ReadFile(filepath.Join(dir, "ckpt-00000003.ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, b := range map[string][]byte{
+		"ckpt-1693848271.tmp": whole,
+		"ckpt-1693848272.tmp": whole[:len(whole)/2],
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name), b, 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err := Latest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(p, "ckpt-00000003.ckpt") {
+		t.Fatalf("Latest = %q, want the epoch-3 snapshot", p)
+	}
+	snap, err := Load(p)
+	if err != nil {
+		t.Fatalf("resume from previous epoch after mid-write crash: %v", err)
+	}
+	if snap.Epoch != 3 {
+		t.Fatalf("resumed epoch %d, want 3", snap.Epoch)
+	}
+}
+
+func TestPruneKeepsNewest(t *testing.T) {
+	dir := t.TempDir()
+	for e := 1; e <= 5; e++ {
+		if _, err := Save(dir, testSnapshot(e)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := Prune(dir, 2); err != nil {
+		t.Fatal(err)
+	}
+	names, _ := filepath.Glob(filepath.Join(dir, "ckpt-*.ckpt"))
+	if len(names) != 2 {
+		t.Fatalf("after Prune(2): %d files %v, want 2", len(names), names)
+	}
+	p, err := Latest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(p, "ckpt-00000005.ckpt") {
+		t.Fatalf("Latest after prune = %q, want the epoch-5 snapshot", p)
+	}
+	if _, err := Load(p); err != nil {
+		t.Fatalf("Latest after prune does not load: %v", err)
+	}
+}
+
+func TestPruneKeepAllAndMissingDir(t *testing.T) {
+	dir := t.TempDir()
+	for e := 1; e <= 3; e++ {
+		if _, err := Save(dir, testSnapshot(e)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := Prune(dir, 0); err != nil {
+		t.Fatal(err)
+	}
+	names, _ := filepath.Glob(filepath.Join(dir, "ckpt-*.ckpt"))
+	if len(names) != 3 {
+		t.Fatalf("Prune(0) removed files: %v", names)
+	}
+	if err := Prune(dir, 5); err != nil {
+		t.Fatal(err)
+	}
+	if names, _ = filepath.Glob(filepath.Join(dir, "ckpt-*.ckpt")); len(names) != 3 {
+		t.Fatalf("Prune(5) with 3 files removed some: %v", names)
+	}
+	if err := Prune(filepath.Join(dir, "missing"), 2); err != nil {
+		t.Fatalf("Prune of a missing dir: %v", err)
 	}
 }

@@ -1,0 +1,53 @@
+package checkpoint
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzSnapshotDecode feeds arbitrary bytes to the payload decoder. The
+// contract under fuzz: decode must never panic (every length field is
+// adversarial), and when it does accept a payload the result must be a
+// complete, canonical snapshot — re-encoding it reproduces the input byte
+// for byte, so a torn snapshot (a claimed shape paired with missing data)
+// cannot slip through as a success.
+func FuzzSnapshotDecode(f *testing.F) {
+	f.Add(encode(&Snapshot{}))
+	f.Add(encode(&Snapshot{
+		Epoch: 3, Seed: 42, OptName: "adam", OptStep: 3,
+		Losses: []float64{1.5, 1.25, 1.0}, World: 4, Algorithm: "1d",
+	}))
+	f.Add([]byte{})
+	// A huge claimed matrix shape whose element product overflows into a
+	// small (or negative) number must be rejected, not allocated.
+	huge := []byte{
+		0, 0, 0, 0, // epoch
+		0, 0, 0, 0, 0, 0, 0, 0, // seed
+		0, 0, 0, 0, // optName len
+		0, 0, 0, 0, // optStep
+		0, 0, 0, 0, // losses
+		0, 0, 0, 0, // trainAcc
+		0, 0, 0, 0, // valAcc
+		1, 0, 0, 0, // one weight matrix...
+		0, 0, 0, 0x80, // rows = 2^31
+		0, 0, 0, 0x80, // cols = 2^31
+	}
+	f.Add(huge)
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		s, err := decode(payload)
+		if err != nil {
+			return
+		}
+		if s == nil {
+			t.Fatal("decode returned nil snapshot with nil error")
+		}
+		for i, m := range append(s.Weights, s.OptState...) {
+			if len(m.Data) != m.Rows*m.Cols {
+				t.Fatalf("torn matrix %d: %dx%d with %d data words", i, m.Rows, m.Cols, len(m.Data))
+			}
+		}
+		if re := encode(s); !bytes.Equal(re, payload) {
+			t.Fatalf("decode accepted a non-canonical payload: re-encode %d bytes, input %d", len(re), len(payload))
+		}
+	})
+}

@@ -623,8 +623,14 @@ func DialTCP(coordAddr string, rank, world int) (*TCPTransport, error) {
 // backoff while the coordinator comes up), builds the full connection
 // mesh, and starts the per-peer reader goroutines plus the heartbeat
 // sender. The returned transport is ready for NewTransportComm.
+//
+// world == 0 means "adopt whatever world size the coordinator announces":
+// the coordinator is then the membership authority, which is what lets an
+// elastic supervisor shrink a crashed world — survivors rejoin with the
+// world size the new generation's coordinator negotiated, not the one
+// they were originally launched with. Check Size() after dialing.
 func DialTCPOpts(coordAddr string, rank, world int, opts TCPOptions) (*TCPTransport, error) {
-	if world <= 0 || rank < 0 || rank >= world {
+	if world < 0 || rank < 0 || (world > 0 && rank >= world) {
 		return nil, fmt.Errorf("comm: rank %d out of range for world %d", rank, world)
 	}
 	ln, err := net.Listen("tcp", ":0")
@@ -632,19 +638,28 @@ func DialTCPOpts(coordAddr string, rank, world int, opts TCPOptions) (*TCPTransp
 		return nil, fmt.Errorf("comm: rank %d data listen: %w", rank, err)
 	}
 	t := &TCPTransport{
-		rank:      rank,
-		world:     world,
-		opts:      opts.withDefaults(),
-		ln:        ln,
-		conns:     make([]net.Conn, world),
-		wmu:       make([]sync.Mutex, world),
-		inbox:     make([]chan Payload, world),
-		barrierCh: make([]chan struct{}, world),
-		readErr:   make([]chan error, world),
-		lastHeard: make([]atomic.Int64, world),
-		hbStop:    make(chan struct{}),
-		abortCh:   make(chan struct{}),
+		rank:    rank,
+		world:   world,
+		opts:    opts.withDefaults(),
+		ln:      ln,
+		hbStop:  make(chan struct{}),
+		abortCh: make(chan struct{}),
 	}
+
+	// Per-peer state is sized after the rendezvous: when world == 0 the
+	// peers frame is what tells us how many ranks the fabric has.
+	peers, err := t.rendezvous(coordAddr)
+	if err != nil {
+		t.Close()
+		return nil, err
+	}
+	world = t.world
+	t.conns = make([]net.Conn, world)
+	t.wmu = make([]sync.Mutex, world)
+	t.inbox = make([]chan Payload, world)
+	t.barrierCh = make([]chan struct{}, world)
+	t.readErr = make([]chan error, world)
+	t.lastHeard = make([]atomic.Int64, world)
 	for i := 0; i < world; i++ {
 		if i == rank {
 			continue
@@ -654,11 +669,6 @@ func DialTCPOpts(coordAddr string, rank, world int, opts TCPOptions) (*TCPTransp
 		t.readErr[i] = make(chan error, 1)
 	}
 
-	peers, err := t.rendezvous(coordAddr)
-	if err != nil {
-		t.Close()
-		return nil, err
-	}
 	if err := t.buildMesh(peers); err != nil {
 		t.Close()
 		return nil, err
@@ -736,8 +746,19 @@ func (t *TCPTransport) rendezvous(coordAddr string) ([]string, error) {
 	if _, err := io.ReadFull(r, cnt[:]); err != nil {
 		return nil, fmt.Errorf("comm: rank %d: short peers frame: %w", t.rank, err)
 	}
-	if got := int(binary.LittleEndian.Uint32(cnt[:])); got != t.world {
+	got := int(binary.LittleEndian.Uint32(cnt[:]))
+	switch {
+	case t.world == 0 && got > 0:
+		// Membership negotiation: adopt the coordinator's world size.
+		if t.rank >= got {
+			return nil, fmt.Errorf("comm: rank %d out of range for negotiated world %d", t.rank, got)
+		}
+		t.world = got
+	case got != t.world:
 		return nil, fmt.Errorf("comm: rank %d: coordinator world %d, want %d", t.rank, got, t.world)
+	}
+	if t.world <= 0 {
+		return nil, fmt.Errorf("comm: rank %d: coordinator announced world %d", t.rank, got)
 	}
 	peers := make([]string, t.world)
 	for i := range peers {
@@ -755,9 +776,23 @@ func (t *TCPTransport) rendezvous(coordAddr string) ([]string, error) {
 func (t *TCPTransport) buildMesh(peers []string) error {
 	deadline := time.Now().Add(t.opts.RendezvousTimeout)
 	for j := 0; j < t.rank; j++ {
-		conn, err := net.DialTimeout("tcp", peers[j], t.opts.RendezvousTimeout)
-		if err != nil {
-			return fmt.Errorf("comm: rank %d dialing rank %d at %s: %w", t.rank, j, peers[j], err)
+		// Retry with bounded backoff, like the coordinator dial: a peer
+		// that has rendezvoused but whose accept loop is slow to start
+		// under load is a transient condition, not a dead rank.
+		var conn net.Conn
+		var err error
+		for backoff := 10 * time.Millisecond; ; backoff *= 2 {
+			conn, err = net.DialTimeout("tcp", peers[j], time.Until(deadline))
+			if err == nil {
+				break
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("comm: rank %d dialing rank %d at %s: %w", t.rank, j, peers[j], err)
+			}
+			if backoff > time.Second {
+				backoff = time.Second
+			}
+			time.Sleep(backoff)
 		}
 		var hdr [9]byte
 		hdr[0] = frameIdentify

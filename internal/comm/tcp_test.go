@@ -307,3 +307,77 @@ func TestCoordinatorRejectsBadHello(t *testing.T) {
 		}
 	})
 }
+
+// TestTCPWorldAdoption pins the elastic-membership contract: a rank
+// dialing with world == 0 adopts the coordinator's announced world size,
+// and the resulting fabric carries collectives exactly like one whose
+// ranks were launched knowing the size up front.
+func TestTCPWorldAdoption(t *testing.T) {
+	const p = 3
+	co, err := NewCoordinator("127.0.0.1:0", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- co.Serve() }()
+
+	trs := make([]*TCPTransport, p)
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			trs[rank], errs[rank] = DialTCPOpts(co.Addr(), rank, 0, TCPOptions{})
+		}(r)
+	}
+	wg.Wait()
+	if err := <-serveErr; err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, tr := range trs {
+			tr.Close()
+		}
+	})
+	for r, tr := range trs {
+		if tr.Size() != p {
+			t.Fatalf("rank %d adopted world %d, want %d", r, tr.Size(), p)
+		}
+	}
+	// The negotiated fabric must behave like an explicitly-sized one.
+	var sums [p][]float64
+	var cwg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		cwg.Add(1)
+		go func(rank int) {
+			defer cwg.Done()
+			c := NewTransportComm(trs[rank], testCost)
+			sums[rank] = c.World().AllReduce([]float64{float64(rank + 1)}, CatDenseComm)
+		}(r)
+	}
+	cwg.Wait()
+	for r := 0; r < p; r++ {
+		if len(sums[r]) != 1 || sums[r][0] != 6 {
+			t.Fatalf("rank %d AllReduce over negotiated world = %v, want [6]", r, sums[r])
+		}
+	}
+}
+
+// TestTCPWorldAdoptionRankOutOfRange: a survivor whose rank is outside
+// the shrunken world must be refused at rendezvous, not meshed.
+func TestTCPWorldAdoptionRankOutOfRange(t *testing.T) {
+	co, err := NewCoordinator("127.0.0.1:0", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go co.Serve()
+	if _, err := DialTCPOpts(co.Addr(), 3, 0, TCPOptions{}); err == nil {
+		t.Fatal("rank 3 joined a negotiated world of 1")
+	}
+}

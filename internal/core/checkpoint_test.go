@@ -4,9 +4,11 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/checkpoint"
+	"repro/internal/tolerance"
 )
 
 // bitEqualResults requires two results to match bitwise — the
@@ -179,4 +181,118 @@ func TestCheckpointCorruptLatestFailsLoudly(t *testing.T) {
 	if _, err := NewSerial().Train(prob); err == nil {
 		t.Fatal("training resumed from a corrupt checkpoint")
 	}
+}
+
+// TestCheckpointResumeElasticWorld is the shrink-to-survivors resume
+// property: a snapshot written at one world size restores into a trainer
+// with a different world size — or even a different algorithm — because
+// the persisted state (replicated weights plus optimizer state) is
+// world-size independent. Repartitioning reassociates the floating-point
+// sums, so the contract here is tolerance, not the bit identity the
+// same-world resume guarantees.
+func TestCheckpointResumeElasticWorld(t *testing.T) {
+	for name, tc := range map[string]struct {
+		first, second func() Trainer
+	}{
+		"1d 4 to 3": {
+			func() Trainer { return NewOneD(4, testMach) },
+			func() Trainer { return NewOneD(3, testMach) },
+		},
+		"2d 4 to 1d 3": {
+			func() Trainer { return NewTwoD(4, testMach) },
+			func() Trainer { return NewOneD(3, testMach) },
+		},
+		"1.5d 4 to serial": {
+			func() Trainer { return NewOneFiveD(4, 2, testMach) },
+			func() Trainer { return NewSerial() },
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			prob := testProblem(t, 40, 6, 5, 4, 6, 21)
+			prob.Config.Optimizer = "adam"
+
+			clean, err := NewSerial().Train(prob)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			dir := t.TempDir()
+			half := prob
+			half.Config.Epochs = 3
+			half.Checkpoint = checkpoint.Options{Dir: dir, Every: 1}
+			if _, err := tc.first().Train(half); err != nil {
+				t.Fatal(err)
+			}
+
+			full := prob
+			full.Checkpoint = checkpoint.Options{Dir: dir, Every: 1}
+			resumed, err := tc.second().Train(full)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resumed.ResumedEpoch != 3 {
+				t.Fatalf("ResumedEpoch = %d, want 3", resumed.ResumedEpoch)
+			}
+			tolerance.AssertCloseSlice(t, "losses", resumed.Losses, clean.Losses, 1e-9, 1e-9)
+			tolerance.AssertClose(t, "output", resumed.Output, clean.Output, 1e-9, 1e-9)
+			for l := range clean.Weights {
+				tolerance.AssertClose(t, "weights", resumed.Weights[l], clean.Weights[l], 1e-9, 1e-9)
+			}
+		})
+	}
+}
+
+// TestDrainStopsEarly: a drain vote at the epoch boundary ends the run
+// after the current epoch with a final snapshot, and every trainer in the
+// world stops at the same epoch even when only one rank voted.
+func TestDrainStopsEarly(t *testing.T) {
+	prob := testProblem(t, 30, 5, 4, 3, 8, 61)
+	dir := t.TempDir()
+	prob.Checkpoint = checkpoint.Options{Dir: dir}
+	// The in-process world shares this closure across all four simulated
+	// ranks (four calls per epoch boundary). Exactly the 9th call — one
+	// rank, at the end of epoch 3 — votes to drain; the OR-reduce must
+	// stop all ranks at that epoch anyway.
+	var calls int64
+	prob.Drain = func() bool {
+		return atomic.AddInt64(&calls, 1) == 9
+	}
+	res, err := NewOneD(4, testMach).Train(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DrainedEpoch != 3 {
+		t.Fatalf("DrainedEpoch = %d, want 3", res.DrainedEpoch)
+	}
+	if len(res.Losses) != 3 {
+		t.Fatalf("drained run recorded %d losses, want 3", len(res.Losses))
+	}
+	path, err := checkpoint.Latest(dir)
+	if err != nil || path == "" {
+		t.Fatalf("drain wrote no final checkpoint: %v", err)
+	}
+	snap, err := checkpoint.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Epoch != 3 {
+		t.Fatalf("final snapshot at epoch %d, want 3", snap.Epoch)
+	}
+
+	// The drained run resumes where it left off and finishes bit-identical
+	// to an uninterrupted run — drain plus resume never costs an epoch.
+	clean := prob
+	clean.Checkpoint = checkpoint.Options{}
+	clean.Drain = nil
+	want, err := NewOneD(4, testMach).Train(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rest := prob
+	rest.Drain = nil
+	got, err := NewOneD(4, testMach).Train(rest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitEqualResults(t, got, want)
 }

@@ -120,6 +120,13 @@ type engine struct {
 	opt  nn.Optimizer
 	ckpt checkpoint.Options
 
+	// algo and world describe the run for the snapshot's advisory
+	// metadata ("" / 0 when the trainer didn't set them); drain is the
+	// optional cooperative-shutdown poll (Problem.Drain).
+	algo  string
+	world int
+	drain func() bool
+
 	// labels and the masks are global (every rank holds them); they feed
 	// the final accuracy and the optional per-epoch tracking.
 	labels    []int
@@ -128,13 +135,15 @@ type engine struct {
 
 	// Reused per-epoch bookkeeping, sized on first use: activations,
 	// pre-activations, activation caches, weight gradients, the 1-slot
-	// loss-reduction buffer, and the accuracy mask list.
-	h      []*dense.Matrix
-	z      []*dense.Matrix
-	caches []*actCache
-	dW     []*dense.Matrix
-	scalar []float64
-	masks  [][]bool
+	// loss-reduction buffer, the drain-vote buffer, and the accuracy mask
+	// list.
+	h        []*dense.Matrix
+	z        []*dense.Matrix
+	caches   []*actCache
+	dW       []*dense.Matrix
+	scalar   []float64
+	drainBuf []float64
+	masks    [][]bool
 }
 
 // newEngine builds the engine for one full training run of p.
@@ -144,10 +153,19 @@ func newEngine(ops layerOps, cfg nn.Config, p Problem) *engine {
 		cfg:       cfg,
 		opt:       cfg.NewOptimizer(),
 		ckpt:      p.Checkpoint,
+		drain:     p.Drain,
 		labels:    p.Labels,
 		trainMask: p.TrainMask,
 		valMask:   p.ValMask,
 	}
+}
+
+// meta records the algorithm name and world size for snapshot metadata.
+// Trainers call it between newEngine and run; the zero values are legal
+// (snapshots then just carry no provenance).
+func (e *engine) meta(algo string, world int) *engine {
+	e.algo, e.world = algo, world
+	return e
 }
 
 // epoch runs one forward pass, loss reduction, backward recursion, and
@@ -231,14 +249,14 @@ func (e *engine) run() (*Result, error) {
 		e.masks = [][]bool{e.trainMask, e.valMask}
 	}
 
-	start := 0
+	start, resumed := 0, 0
 	if e.ckpt.Enabled() {
 		snap, err := e.loadLatest(weights)
 		if err != nil {
 			return nil, err
 		}
 		if snap != nil {
-			start = snap.Epoch
+			start, resumed = snap.Epoch, snap.Epoch
 			losses = append(losses, snap.Losses...)
 			if track {
 				trainAcc = append(trainAcc, snap.TrainAcc...)
@@ -247,6 +265,7 @@ func (e *engine) run() (*Result, error) {
 		}
 	}
 
+	drained := 0
 	for epoch := start; epoch < e.cfg.Epochs; epoch++ {
 		loss, hOut, cache := e.epoch(weights)
 		losses = append(losses, loss)
@@ -259,9 +278,18 @@ func (e *engine) run() (*Result, error) {
 		}
 		e.ops.endEpoch()
 		done := epoch + 1
-		if e.ckpt.Enabled() && e.ops.rank() == 0 &&
-			((e.ckpt.Every > 0 && done%e.ckpt.Every == 0) || done == e.cfg.Epochs) {
+		wantSnap := (e.ckpt.Every > 0 && done%e.ckpt.Every == 0) || done == e.cfg.Epochs
+		if e.drainRequested() {
+			// The whole world agreed to drain: finish this epoch, write a
+			// final snapshot (rank 0), and stop cleanly.
+			drained = done
+			wantSnap = true
+		}
+		if e.ckpt.Enabled() && e.ops.rank() == 0 && wantSnap {
 			e.save(done, weights, losses, trainAcc, valAcc)
+		}
+		if drained > 0 {
+			break
 		}
 	}
 
@@ -276,7 +304,29 @@ func (e *engine) run() (*Result, error) {
 		Accuracy:      nn.Accuracy(full, e.labels),
 		TrainAccuracy: trainAcc,
 		ValAccuracy:   valAcc,
+		ResumedEpoch:  resumed,
+		DrainedEpoch:  drained,
 	}, nil
+}
+
+// drainRequested polls Problem.Drain and reduces the votes across the
+// world, so every rank takes the same branch even when the drain signal
+// (typically SIGTERM) lands on different ranks at different instants — a
+// rank that was not signalled drains anyway the moment any peer was. The
+// collective only runs when a drain hook is installed, keeping default
+// runs' communication ledgers and allocation counts untouched.
+func (e *engine) drainRequested() bool {
+	if e.drain == nil {
+		return false
+	}
+	if e.drainBuf == nil {
+		e.drainBuf = make([]float64, 1)
+	}
+	e.drainBuf[0] = 0
+	if e.drain() {
+		e.drainBuf[0] = 1
+	}
+	return e.ops.reduce(e.drainBuf)[0] > 0
 }
 
 // loadLatest restores the newest checkpoint into weights and the
@@ -328,19 +378,24 @@ func (e *engine) loadLatest(weights []*dense.Matrix) (*checkpoint.Snapshot, erro
 func (e *engine) save(epoch int, weights []*dense.Matrix, losses, trainAcc, valAcc []float64) {
 	step, state := e.opt.Snapshot()
 	_, err := checkpoint.Save(e.ckpt.Dir, &checkpoint.Snapshot{
-		Epoch:    epoch,
-		Seed:     e.cfg.Seed,
-		Weights:  weights,
-		OptName:  e.opt.Name(),
-		OptStep:  step,
-		OptState: state,
-		Losses:   losses,
-		TrainAcc: trainAcc,
-		ValAcc:   valAcc,
+		Epoch:     epoch,
+		Seed:      e.cfg.Seed,
+		Weights:   weights,
+		OptName:   e.opt.Name(),
+		OptStep:   step,
+		OptState:  state,
+		Losses:    losses,
+		TrainAcc:  trainAcc,
+		ValAcc:    valAcc,
+		World:     e.world,
+		Algorithm: e.algo,
 	})
 	if err != nil {
 		panic(fmt.Sprintf("core: rank 0 checkpoint at epoch %d: %v", epoch, err))
 	}
+	// Retention is hygiene: a failed prune must not kill a healthy run,
+	// and the snapshot just written is always among the survivors.
+	_ = checkpoint.Prune(e.ckpt.Dir, e.ckpt.Keep)
 }
 
 // argmaxCorrectInto counts, per mask (nil = all vertices), the rows of logp

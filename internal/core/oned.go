@@ -103,7 +103,7 @@ func (t *OneD) runRanks(p Problem, body func(ops layerOps, cfg nn.Config, prob P
 func (t *OneD) Train(p Problem) (*Result, error) {
 	var result Result
 	err := t.runRanks(p, func(ops layerOps, cfg nn.Config, prob Problem) error {
-		out, err := newEngine(ops, cfg, prob).run()
+		out, err := newEngine(ops, cfg, prob).meta(t.Name(), t.p).run()
 		if err != nil {
 			return err
 		}

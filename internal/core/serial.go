@@ -41,11 +41,11 @@ func (s *Serial) Train(p Problem) (*Result, error) {
 	if s.Kernel.precision() == PrecisionF32 {
 		ops := newMixedOps(cfg, p, s.Kernel)
 		s.choice = ops.choice
-		return newEngine(ops, cfg, p).run()
+		return newEngine(ops, cfg, p).meta("serial", 1).run()
 	}
 	ops := newSerialOps(cfg, p.A, p.Features, p.Labels, p.TrainMask, p.lossNormalizer())
 	s.choice = ops.configure(s.Kernel)
-	return newEngine(ops, cfg, p).run()
+	return newEngine(ops, cfg, p).meta("serial", 1).run()
 }
 
 // serialOps implements layerOps for the single-process reference: every

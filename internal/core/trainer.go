@@ -66,6 +66,15 @@ type Problem struct {
 	// restores from the latest one — the state is replicated, so a resumed
 	// run continues bit-identically to an uninterrupted one.
 	Checkpoint checkpoint.Options
+	// Drain, when non-nil, is polled once per epoch boundary on every
+	// rank and the votes are OR-reduced across the world: as soon as any
+	// rank's hook returns true, every rank finishes the current epoch,
+	// rank 0 writes a final checkpoint (when checkpointing is on), and
+	// training stops cleanly with Result.DrainedEpoch set. This is the
+	// graceful-shutdown path — SIGTERM handlers flip an atomic flag that
+	// the hook reads. Nil (the default) adds no per-epoch collective, so
+	// communication ledgers and allocation counts are untouched.
+	Drain func() bool
 }
 
 // normalized returns p with the documented mask contract applied: a
@@ -145,6 +154,12 @@ type Result struct {
 	// forward output. They are populated only when ValMask is set.
 	TrainAccuracy []float64
 	ValAccuracy   []float64
+	// ResumedEpoch is the epoch count restored from a checkpoint at
+	// startup (0 when the run started fresh).
+	ResumedEpoch int
+	// DrainedEpoch is the epoch after which a Problem.Drain vote stopped
+	// the run early (0 when the run trained to Config.Epochs).
+	DrainedEpoch int
 }
 
 // Trainer runs full-batch GCN training on a problem. Implementations:

@@ -1,27 +1,30 @@
 // Package tolerance provides the shared comparison helper for
 // tolerance-validated kernel variants: paths that are numerically
 // equivalent but not bit-identical to the float64 CSR reference (float32
-// mixed precision, unrolled multi-accumulator reductions). Bit-identical
-// paths don't use this package — they compare with exact equality.
+// mixed precision, unrolled multi-accumulator reductions, elastic resumes
+// across a repartition). Bit-identical paths don't use this package — they
+// compare with exact equality.
 package tolerance
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
 	"repro/internal/dense"
 )
 
-// AssertClose fails t unless got matches want element-wise within maxAbs
+// Close reports whether got matches want element-wise within maxAbs
 // absolute OR maxRel relative tolerance (an element passes if either bound
 // holds, the standard two-sided criterion: absolute for values near zero,
-// relative for large magnitudes). On failure it reports the worst element —
-// position, both values, and both error measures — so a tolerance bump is
-// never chosen blind.
-func AssertClose[T dense.Elem](t testing.TB, name string, got, want *dense.Of[T], maxAbs, maxRel float64) {
-	t.Helper()
+// relative for large magnitudes). On mismatch the returned error describes
+// the worst element — position, both values, and both error measures — so
+// a tolerance bump is never chosen blind. Non-runtime callers usually want
+// AssertClose; Close exists for runtime verdicts (the fault experiment's
+// elastic-resume check) that have no testing.TB.
+func Close[T dense.Elem](name string, got, want *dense.Of[T], maxAbs, maxRel float64) error {
 	if got.Rows != want.Rows || got.Cols != want.Cols {
-		t.Fatalf("%s: shape %dx%d, want %dx%d", name, got.Rows, got.Cols, want.Rows, want.Cols)
+		return fmt.Errorf("%s: shape %dx%d, want %dx%d", name, got.Rows, got.Cols, want.Rows, want.Cols)
 	}
 	worstI, worstAbs, worstRel := -1, 0.0, 0.0
 	for i := range want.Data {
@@ -36,9 +39,8 @@ func AssertClose[T dense.Elem](t testing.TB, name string, got, want *dense.Of[T]
 				continue
 			}
 			r, c := i/want.Cols, i%want.Cols
-			t.Fatalf("%s: element (%d,%d): got %v, want %v (non-finite values must match exactly)",
+			return fmt.Errorf("%s: element (%d,%d): got %v, want %v (non-finite values must match exactly)",
 				name, r, c, got.Data[i], want.Data[i])
-			return
 		}
 		abs := math.Abs(g - w)
 		rel := 0.0
@@ -56,8 +58,28 @@ func AssertClose[T dense.Elem](t testing.TB, name string, got, want *dense.Of[T]
 	}
 	if worstI >= 0 {
 		r, c := worstI/want.Cols, worstI%want.Cols
-		t.Fatalf("%s: worst element (%d,%d): got %v, want %v (|Δ| = %g > %g, rel = %g > %g)",
+		return fmt.Errorf("%s: worst element (%d,%d): got %v, want %v (|Δ| = %g > %g, rel = %g > %g)",
 			name, r, c, got.Data[worstI], want.Data[worstI], worstAbs, maxAbs, worstRel, maxRel)
+	}
+	return nil
+}
+
+// CloseSlice is Close for float64 slices (loss curves, accuracy traces).
+func CloseSlice(name string, got, want []float64, maxAbs, maxRel float64) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("%s: length %d, want %d", name, len(got), len(want))
+	}
+	gm := &dense.Matrix{Rows: 1, Cols: len(got), Data: got}
+	wm := &dense.Matrix{Rows: 1, Cols: len(want), Data: want}
+	return Close(name, gm, wm, maxAbs, maxRel)
+}
+
+// AssertClose is Close as a test assertion: it fails t with the worst
+// element's report unless got matches want within the bounds.
+func AssertClose[T dense.Elem](t testing.TB, name string, got, want *dense.Of[T], maxAbs, maxRel float64) {
+	t.Helper()
+	if err := Close(name, got, want, maxAbs, maxRel); err != nil {
+		t.Fatalf("%v", err)
 	}
 }
 
@@ -65,10 +87,7 @@ func AssertClose[T dense.Elem](t testing.TB, name string, got, want *dense.Of[T]
 // accuracy traces).
 func AssertCloseSlice(t testing.TB, name string, got, want []float64, maxAbs, maxRel float64) {
 	t.Helper()
-	if len(got) != len(want) {
-		t.Fatalf("%s: length %d, want %d", name, len(got), len(want))
+	if err := CloseSlice(name, got, want, maxAbs, maxRel); err != nil {
+		t.Fatalf("%v", err)
 	}
-	gm := &dense.Matrix{Rows: 1, Cols: len(got), Data: got}
-	wm := &dense.Matrix{Rows: 1, Cols: len(want), Data: want}
-	AssertClose(t, name, gm, wm, maxAbs, maxRel)
 }
